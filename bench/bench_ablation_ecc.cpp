@@ -1,0 +1,96 @@
+// Ablation (extension beyond the paper): Hamming(12,8) SEC-protected all-6T
+// storage versus the paper's hybrid 8T-6T approach at scaled voltage.
+// Compares accuracy, area overhead and access power overhead of the two
+// protection schemes.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/memory_config.hpp"
+#include "core/power_area.hpp"
+#include "core/quantized_network.hpp"
+#include "eccbase/ecc_memory.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hynapse;
+  bench::print_header(
+      "Ablation: ECC (Hamming SEC) baseline vs hybrid 8T-6T protection",
+      "extension beyond the paper (design-alternative analysis)");
+
+  const bench::Context ctx;
+  const mc::FailureTable& table = bench::failure_table(ctx);
+  const bench::Benchmark& bm = bench::benchmark_model();
+  const core::QuantizedNetwork qnet{bm.net, 8};
+  const data::Dataset test = bm.test.head(1200);
+  const double nominal = core::quantized_accuracy(qnet, test);
+  const std::vector<std::size_t> words = qnet.bank_words();
+
+  core::EvalOptions opt;
+  opt.chips = 3;
+
+  const core::PowerAreaReport baseline = core::evaluate_power_area(
+      core::MemoryConfig::all_6t(words), 0.75, ctx.cells);
+
+  util::Table t{{"Scheme @0.65V", "Accuracy", "Acc. drop", "Area overhead",
+                 "Access power vs 6T@0.75V"}};
+
+  // Unprotected all-6T.
+  {
+    const core::MemoryConfig cfg = core::MemoryConfig::all_6t(words);
+    const core::AccuracyResult acc =
+        core::evaluate_accuracy(qnet, cfg, table, 0.65, test, opt);
+    const core::RelativeSavings s = core::compare(
+        core::evaluate_power_area(cfg, 0.65, ctx.cells), baseline);
+    t.add_row({"all-6T (unprotected)", util::Table::pct(acc.mean),
+               util::Table::pct(nominal - acc.mean), "0.00 %",
+               "-" + util::Table::pct(s.access_power)});
+  }
+  // Hybrid (3,5).
+  {
+    const core::MemoryConfig cfg = core::MemoryConfig::uniform_hybrid(words, 3);
+    const core::AccuracyResult acc =
+        core::evaluate_accuracy(qnet, cfg, table, 0.65, test, opt);
+    const core::RelativeSavings s = core::compare(
+        core::evaluate_power_area(cfg, 0.65, ctx.cells), baseline);
+    t.add_row({"hybrid 8T-6T (3,5)", util::Table::pct(acc.mean),
+               util::Table::pct(nominal - acc.mean),
+               util::Table::pct(cfg.area_overhead_vs_all_6t(ctx.constants)),
+               "-" + util::Table::pct(s.access_power)});
+  }
+  // Config 2-A.
+  {
+    const std::vector<int> msbs{2, 3, 1, 1, 3};
+    const core::MemoryConfig cfg = core::MemoryConfig::per_layer(words, msbs);
+    const core::AccuracyResult acc =
+        core::evaluate_accuracy(qnet, cfg, table, 0.65, test, opt);
+    const core::RelativeSavings s = core::compare(
+        core::evaluate_power_area(cfg, 0.65, ctx.cells), baseline);
+    t.add_row({"sensitivity-driven 2-A", util::Table::pct(acc.mean),
+               util::Table::pct(nominal - acc.mean),
+               util::Table::pct(cfg.area_overhead_vs_all_6t(ctx.constants)),
+               "-" + util::Table::pct(s.access_power)});
+  }
+  // ECC on all-6T: 12/8 cells and 12/8 access energy (decoder not charged).
+  {
+    const core::AccuracyResult acc =
+        eccbase::evaluate_ecc_accuracy(qnet, table, 0.65, test, opt);
+    const core::MemoryConfig raw = core::MemoryConfig::all_6t(words);
+    core::PowerAreaReport r = core::evaluate_power_area(raw, 0.65, ctx.cells);
+    r.access_power *= 1.5;
+    r.leakage_power *= 1.5;
+    const core::RelativeSavings s = core::compare(r, baseline);
+    t.add_row({"all-6T + Hamming(12,8)", util::Table::pct(acc.mean),
+               util::Table::pct(nominal - acc.mean),
+               util::Table::pct(eccbase::ecc_area_overhead()),
+               "-" + util::Table::pct(s.access_power)});
+  }
+  t.print();
+
+  std::printf(
+      "\nTakeaway: SEC corrects one error per word, but at 0.65 V the 6T\n"
+      "per-bit failure rate makes multi-error words common (12 cells/word),\n"
+      "so ECC both costs more area than Config 2 (50 %% vs 10.4 %%) and\n"
+      "recovers less accuracy -- the paper's significance-driven protection\n"
+      "is the better fit for ANN synaptic storage.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Google-benchmark microbenchmarks of the simulation hot paths: device
+// evaluation, bitcell solves, Monte-Carlo sampling throughput, GEMM, fault
+// injection, and end-to-end inference.
+#include <benchmark/benchmark.h>
+
+#include "ann/matrix.hpp"
+#include "ann/mlp.hpp"
+#include "circuit/reference.hpp"
+#include "core/fault_model.hpp"
+#include "core/synaptic_memory.hpp"
+#include "mc/criteria.hpp"
+#include "mc/montecarlo.hpp"
+#include "mc/variation.hpp"
+#include "sram/timing.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hynapse;
+
+const circuit::Technology& tech() {
+  static const circuit::Technology t = circuit::ptm22();
+  return t;
+}
+
+void BM_MosfetIds(benchmark::State& state) {
+  const circuit::Mosfet m{tech().nmos, 2 * tech().wmin, tech().lmin};
+  double v = 0.3;
+  for (auto _ : state) {
+    v = v < 0.9 ? v + 1e-7 : 0.3;
+    benchmark::DoNotOptimize(m.ids(v, 0.65));
+  }
+}
+BENCHMARK(BM_MosfetIds);
+
+void BM_BitcellReadCurrent(benchmark::State& state) {
+  const circuit::Bitcell6T cell = circuit::reference_6t(tech());
+  for (auto _ : state) benchmark::DoNotOptimize(cell.read_current(0.65));
+}
+BENCHMARK(BM_BitcellReadCurrent);
+
+void BM_BitcellWriteResidual(benchmark::State& state) {
+  const circuit::Bitcell6T cell = circuit::reference_6t(tech());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cell.write_residual(0.65, 0.45e-15, 2e-10));
+}
+BENCHMARK(BM_BitcellWriteResidual);
+
+void BM_ReadSnm(benchmark::State& state) {
+  const circuit::Bitcell6T cell = circuit::reference_6t(tech());
+  for (auto _ : state) benchmark::DoNotOptimize(cell.read_snm(0.95, 200));
+}
+BENCHMARK(BM_ReadSnm);
+
+void BM_McSample6T(benchmark::State& state) {
+  const circuit::Sizing6T s6 = circuit::reference_sizing_6t(tech());
+  const circuit::Sizing8T s8 = circuit::reference_sizing_8t(tech());
+  const sram::SubArrayModel array{tech(), sram::SubArrayGeometry{}, s6};
+  const sram::CycleModel cycle{tech(), array, circuit::Bitcell6T{tech(), s6}};
+  const mc::VariationSampler sampler{tech(), s6, s8};
+  const mc::FailureCriteria criteria{tech(), cycle, s6, s8};
+  util::Rng rng{9};
+  for (auto _ : state) {
+    const circuit::Variation6T var = sampler.sample_6t(rng);
+    benchmark::DoNotOptimize(
+        criteria.read_access_metric_6t(var, 0.65));
+  }
+}
+BENCHMARK(BM_McSample6T);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ann::Matrix a{n, n};
+  ann::Matrix b{n, n};
+  ann::Matrix c{n, n};
+  util::Rng rng{4};
+  for (float& x : a.data()) x = static_cast<float>(rng.uniform());
+  for (float& x : b.data()) x = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    ann::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(512);
+
+void BM_FaultMapSampling(benchmark::State& state) {
+  std::vector<mc::FailureTableRow> rows(2);
+  rows[0].vdd = 0.6;
+  rows[1].vdd = 1.0;
+  rows[0].cell6 = rows[1].cell6 = {0.01, 0.005, 0.0005};
+  const mc::FailureTable table{std::move(rows)};
+  const core::FaultModel model{table, 0.65};
+  const core::BankConfig bank{"b", 100000, 8, 2};
+  util::Rng rng{11};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FaultMap::sample(bank, model, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 100000 * 8);
+}
+BENCHMARK(BM_FaultMapSampling);
+
+void BM_Inference784(benchmark::State& state) {
+  const ann::Mlp net{{784, 128, 64, 10}, 3};
+  ann::Matrix x{64, 784};
+  util::Rng rng{5};
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Inference784);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "ann/serialize.hpp"
+#include "ann/trainer.hpp"
+#include "data/digits.hpp"
+#include "data/idx.hpp"
+#include "mc/criteria.hpp"
+#include "mc/montecarlo.hpp"
+#include "mc/variation.hpp"
+
+namespace hynapse::bench {
+
+std::string cache_dir() {
+  const char* env = std::getenv("HYNAPSE_CACHE_DIR");
+  const std::string dir = env != nullptr ? env : ".hynapse_cache";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Context::Context()
+    : tech{circuit::ptm22()},
+      constants{circuit::paper_constants()},
+      array{tech, sram::SubArrayGeometry{}, circuit::reference_sizing_6t(tech)},
+      cycle{tech, array, circuit::reference_6t(tech)},
+      cells{tech, cycle, constants} {}
+
+const mc::FailureTable& failure_table(const Context& ctx) {
+  static const mc::FailureTable table = [&ctx] {
+    const std::string path = cache_dir() + "/failure_table.csv";
+    if (auto cached = mc::FailureTable::load_csv(path)) {
+      std::printf("[common] failure table loaded from %s\n", path.c_str());
+      return *cached;
+    }
+    std::printf(
+        "[common] running bitcell Monte-Carlo over the VDD grid "
+        "(cached afterwards)...\n");
+    const circuit::Sizing6T s6 = circuit::reference_sizing_6t(ctx.tech);
+    const circuit::Sizing8T s8 = circuit::reference_sizing_8t(ctx.tech);
+    const mc::VariationSampler sampler{ctx.tech, s6, s8};
+    const mc::FailureCriteria criteria{ctx.tech, ctx.cycle, s6, s8};
+    const mc::FailureAnalyzer analyzer{criteria, sampler};
+    const std::vector<double> grid = circuit::paper_voltage_grid();
+    mc::FailureTable table = mc::FailureTable::build(analyzer, grid, 20160312);
+    table.save_csv(path);
+    std::printf("[common] failure table cached to %s\n", path.c_str());
+    return table;
+  }();
+  return table;
+}
+
+namespace {
+
+data::Dataset load_test_set() {
+  if (const char* dir = std::getenv("HYNAPSE_MNIST_DIR")) {
+    const std::string base{dir};
+    if (auto ds = data::load_idx_dataset(base + "/t10k-images-idx3-ubyte",
+                                         base + "/t10k-labels-idx1-ubyte")) {
+      std::printf("[common] using real MNIST test set from %s\n", dir);
+      return std::move(*ds);
+    }
+  }
+  return data::generate_digits(2000, 77001);
+}
+
+data::Dataset load_train_set() {
+  if (const char* dir = std::getenv("HYNAPSE_MNIST_DIR")) {
+    const std::string base{dir};
+    if (auto ds = data::load_idx_dataset(base + "/train-images-idx3-ubyte",
+                                         base + "/train-labels-idx1-ubyte")) {
+      std::printf("[common] using real MNIST training set from %s\n", dir);
+      return std::move(*ds);
+    }
+  }
+  return data::generate_digits(8000, 42001);
+}
+
+}  // namespace
+
+const Benchmark& benchmark_model() {
+  static const Benchmark bm = [] {
+    // LeCun scaled tanh: the DeepLearnToolbox default, and what lets the
+    // 4-hidden-layer Table-I network train with plain backprop.
+    Benchmark out{
+        ann::Mlp{core::table1_layer_sizes(), 1, ann::Activation::tanh_lecun},
+        load_test_set(), 0.0};
+    const std::string path = cache_dir() + "/table1_model.bin";
+    if (auto cached = ann::load_mlp(path);
+        cached && cached->layer_sizes() == core::table1_layer_sizes()) {
+      out.net = std::move(*cached);
+      std::printf("[common] benchmark model loaded from %s\n", path.c_str());
+    } else {
+      std::printf(
+          "[common] training the Table-I benchmark network "
+          "(784-1000-500-200-100-10), one-time cost...\n");
+      const data::Dataset train = load_train_set();
+      ann::TrainConfig cfg;
+      cfg.epochs = 8;
+      cfg.batch_size = 64;
+      cfg.learning_rate = 0.05;
+      cfg.momentum = 0.9;
+      cfg.lr_decay = 0.85;
+      cfg.on_epoch = [](std::size_t e, double loss) {
+        std::printf("[common]   epoch %zu: training loss %.4f\n", e, loss);
+      };
+      ann::train_sgd(out.net, train.images, train.labels, cfg);
+      ann::save_mlp(out.net, path);
+      std::printf("[common] benchmark model cached to %s\n", path.c_str());
+    }
+    out.float_accuracy = out.net.accuracy(out.test.images, out.test.labels);
+    std::printf("[common] float (32-bit) test accuracy: %.2f %%\n",
+                100.0 * out.float_accuracy);
+    return out;
+  }();
+  return bm;
+}
+
+std::vector<std::size_t> table1_bank_words() {
+  return {785000, 500500, 100200, 20100, 1010};
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Paper: Srinivasan et al., \"Significance Driven Hybrid 8T-6T "
+              "SRAM for\nEnergy-Efficient Synaptic Storage in Artificial "
+              "Neural Networks\", DATE 2016\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace hynapse::bench

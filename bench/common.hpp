@@ -1,0 +1,55 @@
+// Shared infrastructure for the figure/table reproduction harnesses: cached
+// Monte-Carlo failure tables and a cached trained Table-I benchmark network,
+// so each bench binary starts from the same artifacts without repeating the
+// expensive steps.
+#pragma once
+
+#include <string>
+
+#include "ann/mlp.hpp"
+#include "circuit/reference.hpp"
+#include "core/experiments.hpp"
+#include "data/dataset.hpp"
+#include "mc/failure_table.hpp"
+#include "sram/power.hpp"
+
+namespace hynapse::bench {
+
+/// Directory for cached artifacts (failure table CSV, trained model).
+/// Override with HYNAPSE_CACHE_DIR; created on demand.
+[[nodiscard]] std::string cache_dir();
+
+/// Everything the system-level experiments need, wired to the reference
+/// designs. Keep one instance per binary.
+struct Context {
+  circuit::Technology tech;
+  circuit::PaperConstants constants;
+  sram::SubArrayModel array;
+  sram::CycleModel cycle;
+  sram::BitcellPowerModel cells;
+
+  Context();
+};
+
+/// Monte-Carlo failure table over the paper's voltage grid; built once and
+/// cached as CSV in cache_dir().
+[[nodiscard]] const mc::FailureTable& failure_table(const Context& ctx);
+
+/// The trained Table-I benchmark network (784-1000-500-200-100-10) on the
+/// synthetic digit task, trained once and cached in cache_dir(). Loads real
+/// MNIST instead when HYNAPSE_MNIST_DIR points at the four IDX files.
+struct Benchmark {
+  ann::Mlp net;
+  data::Dataset test;
+  double float_accuracy = 0.0;
+};
+
+[[nodiscard]] const Benchmark& benchmark_model();
+
+/// Per-layer bank word counts for the Table-I network (weights + biases).
+[[nodiscard]] std::vector<std::size_t> table1_bank_words();
+
+/// Standard banner printed by every harness.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+}  // namespace hynapse::bench

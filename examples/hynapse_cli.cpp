@@ -1,0 +1,209 @@
+// hynapse_cli: command-line front-end to the library for scripted use.
+//
+// Subcommands:
+//   characterize [vdd]             bitcell margins & currents at one voltage
+//   failure-rates [n_samples]      Monte-Carlo failure table over the sweep
+//   evaluate <config> [vdd]        train/quantize/inject and report accuracy
+//                                  (config: all6t | hybridN | perlayer:a,b,..)
+//   optimize [vdd] [drop%]         greedy per-bank MSB allocation
+//   retention                      standby data-retention failure sweep
+//
+// Everything runs on the small reference network so each command finishes
+// in seconds; the paper-scale reproductions live in bench/.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ann/trainer.hpp"
+#include "core/experiments.hpp"
+#include "core/power_area.hpp"
+#include "core/sensitivity.hpp"
+#include "data/digits.hpp"
+#include "mc/criteria.hpp"
+#include "mc/montecarlo.hpp"
+#include "mc/variation.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hynapse;
+
+struct Stack {
+  circuit::Technology tech = circuit::ptm22();
+  circuit::Sizing6T s6 = circuit::reference_sizing_6t(tech);
+  circuit::Sizing8T s8 = circuit::reference_sizing_8t(tech);
+  sram::SubArrayModel array{tech, sram::SubArrayGeometry{}, s6};
+  sram::CycleModel cycle{tech, array, circuit::Bitcell6T{tech, s6}};
+  sram::BitcellPowerModel cells{tech, cycle, circuit::paper_constants()};
+  mc::VariationSampler sampler{tech, s6, s8};
+  mc::FailureCriteria criteria{tech, cycle, s6, s8};
+};
+
+int cmd_characterize(const Stack& st, double vdd) {
+  const circuit::Bitcell6T c6{st.tech, st.s6};
+  const circuit::Bitcell8T c8{st.tech, st.s8};
+  util::Table t{{"Quantity", "6T", "8T"}};
+  t.add_row({"read SNM [mV]", util::Table::num(1e3 * c6.read_snm(vdd), 1),
+             util::Table::num(1e3 * c8.read_snm(vdd), 1)});
+  t.add_row({"hold SNM [mV]", util::Table::num(1e3 * c6.hold_snm(vdd), 1),
+             util::Table::num(1e3 * c8.hold_snm(vdd), 1)});
+  t.add_row({"write margin [mV]",
+             util::Table::num(1e3 * c6.write_margin(vdd), 1),
+             util::Table::num(1e3 * c8.write_margin(vdd), 1)});
+  t.add_row({"read current [uA]",
+             util::Table::num(1e6 * c6.read_current(vdd), 2),
+             util::Table::num(1e6 * c8.read_current(vdd), 2)});
+  t.add_row({"leakage [nA]", util::Table::num(1e9 * c6.leakage(vdd), 2),
+             util::Table::num(1e9 * c8.leakage(vdd), 2)});
+  std::printf("Reference bitcells at VDD = %.2f V:\n", vdd);
+  t.print();
+  return 0;
+}
+
+int cmd_failure_rates(const Stack& st, std::size_t samples) {
+  mc::AnalyzerOptions opts;
+  opts.mc_samples = samples;
+  opts.is_samples = samples / 2;
+  const mc::FailureAnalyzer analyzer{st.criteria, st.sampler, opts};
+  util::Table t{{"VDD [V]", "6T read access", "6T write", "8T read access"}};
+  for (double vdd : circuit::paper_voltage_grid()) {
+    const mc::CellFailureRates r6 = analyzer.analyze_6t(vdd, 1);
+    const mc::CellFailureRates r8 = analyzer.analyze_8t(vdd, 2);
+    t.add_row({util::Table::num(vdd, 2), util::Table::sci(r6.read_access.p),
+               util::Table::sci(r6.write_fail.p),
+               util::Table::sci(r8.read_access.p)});
+  }
+  t.print();
+  return 0;
+}
+
+core::QuantizedNetwork trained_reference() {
+  std::printf("training the reference network...\n");
+  const data::Dataset train = data::generate_digits(3000, 51);
+  ann::Mlp net{{784, 96, 48, 10}, 5};
+  ann::TrainConfig tc;
+  tc.epochs = 7;
+  tc.batch_size = 50;
+  ann::train_sgd(net, train.images, train.labels, tc);
+  return core::QuantizedNetwork{net, 8};
+}
+
+std::vector<int> parse_config(const std::string& arg, std::size_t banks) {
+  if (arg == "all6t") return std::vector<int>(banks, 0);
+  if (arg.rfind("hybrid", 0) == 0)
+    return std::vector<int>(banks, std::atoi(arg.c_str() + 6));
+  if (arg.rfind("perlayer:", 0) == 0) {
+    std::vector<int> msbs;
+    const char* p = arg.c_str() + 9;
+    while (*p != '\0') {
+      msbs.push_back(std::atoi(p));
+      const char* comma = std::strchr(p, ',');
+      if (comma == nullptr) break;
+      p = comma + 1;
+    }
+    if (msbs.size() == banks) return msbs;
+  }
+  throw std::invalid_argument{"bad config: " + arg};
+}
+
+mc::FailureTable quick_table(const Stack& st, double vdd) {
+  mc::AnalyzerOptions opts;
+  opts.mc_samples = 8000;
+  const mc::FailureAnalyzer analyzer{st.criteria, st.sampler, opts};
+  const std::vector<double> grid{vdd};
+  return mc::FailureTable::build(analyzer, grid, 9);
+}
+
+int cmd_evaluate(const Stack& st, const std::string& config, double vdd) {
+  const core::QuantizedNetwork qnet = trained_reference();
+  const data::Dataset test = data::generate_digits(700, 52);
+  const std::vector<std::size_t> words = qnet.bank_words();
+  const core::MemoryConfig cfg =
+      core::MemoryConfig::per_layer(words, parse_config(config, words.size()));
+  const mc::FailureTable table = quick_table(st, vdd);
+  core::EvalOptions opt;
+  opt.chips = 3;
+  const core::AccuracyResult acc =
+      core::evaluate_accuracy(qnet, cfg, table, vdd, test, opt);
+  const core::PowerAreaReport power =
+      core::evaluate_power_area(cfg, vdd, st.cells);
+  std::printf("\nconfig %s at %.2f V:\n", cfg.describe().c_str(), vdd);
+  std::printf("  accuracy           : %.2f %% +/- %.2f (nominal %.2f %%)\n",
+              100.0 * acc.mean, 100.0 * acc.stddev,
+              100.0 * core::quantized_accuracy(qnet, test));
+  std::printf("  access power       : %.2f uW\n", 1e6 * power.access_power);
+  std::printf("  leakage power      : %.2f uW\n", 1e6 * power.leakage_power);
+  std::printf("  area overhead      : %.2f %%\n",
+              100.0 * cfg.area_overhead_vs_all_6t(circuit::paper_constants()));
+  return 0;
+}
+
+int cmd_optimize(const Stack& st, double vdd, double drop_percent) {
+  const core::QuantizedNetwork qnet = trained_reference();
+  const data::Dataset val = data::generate_digits(500, 53);
+  const mc::FailureTable table = quick_table(st, vdd);
+  core::AllocationOptions opt;
+  opt.target_accuracy_drop = drop_percent / 100.0;
+  opt.chips_per_eval = 2;
+  const core::AllocationResult r = core::optimize_allocation(
+      qnet, val, table, vdd, circuit::paper_constants(), opt);
+  std::printf("allocation: ");
+  for (std::size_t i = 0; i < r.msbs_per_bank.size(); ++i)
+    std::printf("%sL%zu=%d", i ? ", " : "", i + 1, r.msbs_per_bank[i]);
+  std::printf("\naccuracy %.2f %%, area overhead %.2f %%, %zu evaluations\n",
+              100.0 * r.accuracy, 100.0 * r.area_overhead, r.evaluations);
+  return 0;
+}
+
+int cmd_retention(const Stack& st) {
+  mc::AnalyzerOptions opts;
+  opts.mc_samples = 6000;
+  const mc::FailureAnalyzer analyzer{st.criteria, st.sampler, opts};
+  util::Table t{{"V_standby [V]", "retention failure rate"}};
+  for (double v : {0.45, 0.35, 0.30, 0.25, 0.20}) {
+    t.add_row({util::Table::num(v, 2),
+               util::Table::sci(analyzer.retention_6t(v, 3).p)});
+  }
+  t.print();
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: hynapse_cli <command> [args]\n"
+      "  characterize [vdd=0.95]\n"
+      "  failure-rates [samples=10000]\n"
+      "  evaluate <all6t|hybridN|perlayer:a,b,..> [vdd=0.65]\n"
+      "  optimize [vdd=0.65] [max_drop_percent=1.0]\n"
+      "  retention\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd{argv[1]};
+  Stack st;
+  try {
+    if (cmd == "characterize")
+      return cmd_characterize(st, argc > 2 ? std::atof(argv[2]) : 0.95);
+    if (cmd == "failure-rates")
+      return cmd_failure_rates(
+          st, argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 10000);
+    if (cmd == "evaluate")
+      return cmd_evaluate(st, argc > 2 ? argv[2] : "hybrid3",
+                          argc > 3 ? std::atof(argv[3]) : 0.65);
+    if (cmd == "optimize")
+      return cmd_optimize(st, argc > 2 ? std::atof(argv[2]) : 0.65,
+                          argc > 3 ? std::atof(argv[3]) : 1.0);
+    if (cmd == "retention") return cmd_retention(st);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

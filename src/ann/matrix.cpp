@@ -1,0 +1,125 @@
+#include "ann/matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace hynapse::ann {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_{rows}, cols_{cols}, data_(rows * cols, 0.0f) {}
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+namespace {
+
+void check_gemm(std::size_t ar, std::size_t ac, std::size_t br,
+                std::size_t bc, std::size_t cr, std::size_t cc) {
+  if (ac != br || cr != ar || cc != bc)
+    throw std::invalid_argument{"gemm: dimension mismatch"};
+}
+
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool parallel) {
+  check_gemm(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  const auto body = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* ci = c.row(i);
+      std::fill(ci, ci + n, 0.0f);
+      const float* ai = a.row(i);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float aip = ai[p];
+        if (aip == 0.0f) continue;
+        const float* bp = b.row(p);
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  };
+  if (parallel && m >= 64) {
+    util::parallel_for_chunks(m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+void gemm_bt(const Matrix& a, const Matrix& bt, Matrix& c, bool parallel) {
+  // c[i][j] = sum_p a[i][p] * bt[j][p]
+  if (a.cols() != bt.cols() || c.rows() != a.rows() || c.cols() != bt.rows())
+    throw std::invalid_argument{"gemm_bt: dimension mismatch"};
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = bt.rows();
+  const auto body = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* ai = a.row(i);
+      float* ci = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* bj = bt.row(j);
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] = acc;
+      }
+    }
+  };
+  if (parallel && m >= 64) {
+    util::parallel_for_chunks(m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+void gemm_at(const Matrix& at, const Matrix& b, Matrix& c, bool parallel) {
+  // c[i][j] = sum_p at[p][i] * b[p][j]; c is (at.cols x b.cols).
+  if (at.rows() != b.rows() || c.rows() != at.cols() || c.cols() != b.cols())
+    throw std::invalid_argument{"gemm_at: dimension mismatch"};
+  const std::size_t k = at.rows();
+  const std::size_t m = at.cols();
+  const std::size_t n = b.cols();
+  const auto body = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* ci = c.row(i);
+      std::fill(ci, ci + n, 0.0f);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float w = at.at(p, i);
+        if (w == 0.0f) continue;
+        const float* bp = b.row(p);
+        for (std::size_t j = 0; j < n; ++j) ci[j] += w * bp[j];
+      }
+    }
+  };
+  if (parallel && m >= 64) {
+    util::parallel_for_chunks(m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  check_gemm(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < a.cols(); ++p)
+        acc += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = acc;
+    }
+  }
+}
+
+void add_row_bias(Matrix& y, std::span<const float> bias) {
+  if (bias.size() != y.cols())
+    throw std::invalid_argument{"add_row_bias: size mismatch"};
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    float* yi = y.row(i);
+    for (std::size_t j = 0; j < y.cols(); ++j) yi[j] += bias[j];
+  }
+}
+
+}  // namespace hynapse::ann

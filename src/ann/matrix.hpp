@@ -1,0 +1,65 @@
+// Dense row-major float matrix with the handful of BLAS-like kernels the MLP
+// needs. Single precision is the right trade for the ANN level (weights are
+// ultimately quantized to 8 bits anyway); the circuit level uses doubles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hynapse::ann {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float* row(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] const float* row(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  void fill(float value);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// c = a * b. Dimensions must agree (throws std::invalid_argument).
+/// Cache-blocked i-k-j loop order with a vectorizable inner loop; optionally
+/// multithreaded over row blocks.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool parallel = true);
+
+/// c = a * b^T (used by the backward pass).
+void gemm_bt(const Matrix& a, const Matrix& b_transposed, Matrix& c,
+             bool parallel = true);
+
+/// c = a^T * b (used for weight gradients).
+void gemm_at(const Matrix& a_transposed, const Matrix& b, Matrix& c,
+             bool parallel = true);
+
+/// Reference implementation for testing the optimized kernels.
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// y += row-broadcast bias (bias has size y.cols()).
+void add_row_bias(Matrix& y, std::span<const float> bias);
+
+}  // namespace hynapse::ann

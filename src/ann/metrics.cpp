@@ -1,0 +1,121 @@
+#include "ann/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hynapse::ann {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_{num_classes}, cells_(num_classes * num_classes, 0) {
+  if (num_classes == 0)
+    throw std::invalid_argument{"ConfusionMatrix: zero classes"};
+}
+
+void ConfusionMatrix::add(std::uint8_t truth, std::uint8_t predicted) {
+  if (truth >= n_ || predicted >= n_)
+    throw std::out_of_range{"ConfusionMatrix::add: class out of range"};
+  ++cells_[truth * n_ + predicted];
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(std::span<const std::uint8_t> truth,
+                                std::span<const std::uint8_t> predicted) {
+  if (truth.size() != predicted.size())
+    throw std::invalid_argument{"ConfusionMatrix::add_batch: size mismatch"};
+  for (std::size_t i = 0; i < truth.size(); ++i) add(truth[i], predicted[i]);
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t predicted) const {
+  if (truth >= n_ || predicted >= n_)
+    throw std::out_of_range{"ConfusionMatrix::count"};
+  return cells_[truth * n_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t c = 0; c < n_; ++c) hits += cells_[c * n_ + c];
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < n_; ++t) predicted += cells_[t * n_ + cls];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(cells_[cls * n_ + cls]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < n_; ++p) actual += cells_[cls * n_ + p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(cells_[cls * n_ + cls]) /
+         static_cast<double>(actual);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) {
+    const double p = precision(c);
+    const double r = recall(c);
+    sum += (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+  return sum / static_cast<double>(n_);
+}
+
+std::size_t ConfusionMatrix::worst_class() const {
+  std::size_t worst = 0;
+  double worst_recall = 2.0;
+  for (std::size_t c = 0; c < n_; ++c) {
+    const double r = recall(c);
+    if (r < worst_recall) {
+      worst_recall = r;
+      worst = c;
+    }
+  }
+  return worst;
+}
+
+std::string ConfusionMatrix::str() const {
+  std::ostringstream out;
+  out << "true\\pred";
+  for (std::size_t p = 0; p < n_; ++p) out << '\t' << p;
+  out << '\n';
+  for (std::size_t t = 0; t < n_; ++t) {
+    out << t;
+    for (std::size_t p = 0; p < n_; ++p) out << '\t' << cells_[t * n_ + p];
+    out << '\n';
+  }
+  return out.str();
+}
+
+ConfusionMatrix evaluate_confusion(const Mlp& net, const Matrix& inputs,
+                                   std::span<const std::uint8_t> labels,
+                                   std::size_t num_classes) {
+  ConfusionMatrix cm{num_classes};
+  const std::vector<std::uint8_t> pred = net.predict(inputs);
+  cm.add_batch(labels, pred);
+  return cm;
+}
+
+double top_k_accuracy(const Mlp& net, const Matrix& inputs,
+                      std::span<const std::uint8_t> labels, std::size_t k) {
+  if (k == 0) throw std::invalid_argument{"top_k_accuracy: k must be >= 1"};
+  const Matrix probs = net.forward(inputs);
+  std::size_t hits = 0;
+  std::vector<std::size_t> order(probs.cols());
+  for (std::size_t i = 0; i < probs.rows(); ++i) {
+    const float* row = probs.row(i);
+    const float truth_score = row[labels[i]];
+    std::size_t better = 0;
+    for (std::size_t j = 0; j < probs.cols(); ++j)
+      if (row[j] > truth_score) ++better;
+    if (better < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(probs.rows());
+}
+
+}  // namespace hynapse::ann

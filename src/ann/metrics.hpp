@@ -1,0 +1,62 @@
+// Classification metrics beyond plain accuracy: confusion matrix, per-class
+// precision/recall, and top-k accuracy. Used by the chip-binning studies to
+// show *which* digits fail first as synaptic storage degrades.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ann/mlp.hpp"
+
+namespace hynapse::ann {
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::uint8_t truth, std::uint8_t predicted);
+
+  /// Accumulates a whole batch of predictions.
+  void add_batch(std::span<const std::uint8_t> truth,
+                 std::span<const std::uint8_t> predicted);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return n_; }
+  [[nodiscard]] std::size_t count(std::size_t truth,
+                                  std::size_t predicted) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  [[nodiscard]] double accuracy() const;
+  /// Precision of one class: TP / (TP + FP); 0 when never predicted.
+  [[nodiscard]] double precision(std::size_t cls) const;
+  /// Recall of one class: TP / (TP + FN); 0 when absent from the data.
+  [[nodiscard]] double recall(std::size_t cls) const;
+  /// Unweighted mean of per-class F1 scores.
+  [[nodiscard]] double macro_f1() const;
+
+  /// Index of the class with the worst recall (ties -> lowest index).
+  [[nodiscard]] std::size_t worst_class() const;
+
+  /// Fixed-width text rendering for reports.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // n x n row-major
+};
+
+/// Builds the confusion matrix of a network over a labelled set.
+[[nodiscard]] ConfusionMatrix evaluate_confusion(
+    const Mlp& net, const Matrix& inputs,
+    std::span<const std::uint8_t> labels, std::size_t num_classes = 10);
+
+/// Top-k accuracy: fraction of rows whose true class is among the k largest
+/// outputs.
+[[nodiscard]] double top_k_accuracy(const Mlp& net, const Matrix& inputs,
+                                    std::span<const std::uint8_t> labels,
+                                    std::size_t k);
+
+}  // namespace hynapse::ann

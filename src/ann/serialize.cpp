@@ -1,0 +1,79 @@
+#include "ann/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hynapse::ann {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48594d4cu;  // "HYML"
+constexpr std::uint32_t kVersion = 2;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+void save_mlp(const Mlp& net, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"save_mlp: cannot open " + path};
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint8_t>(net.hidden_activation()));
+  const auto& sizes = net.layer_sizes();
+  write_pod(out, static_cast<std::uint32_t>(sizes.size()));
+  for (std::size_t s : sizes) write_pod(out, static_cast<std::uint64_t>(s));
+  for (std::size_t l = 0; l < net.num_weight_layers(); ++l) {
+    const Matrix& w = net.weight(l);
+    out.write(reinterpret_cast<const char*>(w.data().data()),
+              static_cast<std::streamsize>(w.size() * sizeof(float)));
+    const auto& b = net.bias(l);
+    out.write(reinterpret_cast<const char*>(b.data()),
+              static_cast<std::streamsize>(b.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error{"save_mlp: write failed for " + path};
+}
+
+std::optional<Mlp> load_mlp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t num_sizes = 0;
+  if (!read_pod(in, magic) || magic != kMagic) return std::nullopt;
+  if (!read_pod(in, version) || version != kVersion) return std::nullopt;
+  std::uint8_t activation = 0;
+  if (!read_pod(in, activation) || activation > 2) return std::nullopt;
+  if (!read_pod(in, num_sizes) || num_sizes < 2 || num_sizes > 64)
+    return std::nullopt;
+  std::vector<std::size_t> sizes(num_sizes);
+  for (auto& s : sizes) {
+    std::uint64_t v = 0;
+    if (!read_pod(in, v) || v == 0 || v > (1u << 24)) return std::nullopt;
+    s = static_cast<std::size_t>(v);
+  }
+  Mlp net{sizes, 0, static_cast<Activation>(activation)};
+  for (std::size_t l = 0; l < net.num_weight_layers(); ++l) {
+    Matrix& w = net.weight(l);
+    in.read(reinterpret_cast<char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size() * sizeof(float)));
+    auto& b = net.bias(l);
+    in.read(reinterpret_cast<char*>(b.data()),
+            static_cast<std::streamsize>(b.size() * sizeof(float)));
+    if (!in) return std::nullopt;
+  }
+  return net;
+}
+
+}  // namespace hynapse::ann

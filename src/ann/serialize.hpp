@@ -1,0 +1,20 @@
+// Binary model serialization so bench harnesses can train the Table-I
+// network once and reuse it across every figure reproduction.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ann/mlp.hpp"
+
+namespace hynapse::ann {
+
+/// Writes layer sizes, weights and biases in a little-endian binary format
+/// with a magic/version header. Throws std::runtime_error on I/O failure.
+void save_mlp(const Mlp& net, const std::string& path);
+
+/// Loads a model written by save_mlp; returns nullopt if the file is absent
+/// or malformed (callers fall back to retraining).
+[[nodiscard]] std::optional<Mlp> load_mlp(const std::string& path);
+
+}  // namespace hynapse::ann

@@ -1,0 +1,160 @@
+#include "ann/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hynapse::ann {
+
+namespace {
+
+// dL/dz for softmax + cross-entropy is (p - onehot) / batch.
+void output_delta(const Matrix& probs, std::span<const std::uint8_t> labels,
+                  std::size_t base, Matrix& delta) {
+  const float inv_batch = 1.0f / static_cast<float>(probs.rows());
+  for (std::size_t i = 0; i < probs.rows(); ++i) {
+    const float* p = probs.row(i);
+    float* d = delta.row(i);
+    const std::uint8_t y = labels[base + i];
+    for (std::size_t j = 0; j < probs.cols(); ++j) {
+      d[j] = (p[j] - (j == y ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+}
+
+}  // namespace
+
+double cross_entropy(const Mlp& net, const Matrix& inputs,
+                     std::span<const std::uint8_t> labels) {
+  const Matrix probs = net.forward(inputs);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < probs.rows(); ++i) {
+    const float p = std::max(probs.at(i, labels[i]), 1e-12f);
+    loss -= std::log(static_cast<double>(p));
+  }
+  return loss / static_cast<double>(probs.rows());
+}
+
+double train_sgd(Mlp& net, const Matrix& inputs,
+                 std::span<const std::uint8_t> labels,
+                 const TrainConfig& config) {
+  if (labels.size() != inputs.rows())
+    throw std::invalid_argument{"train_sgd: label count mismatch"};
+  if (config.batch_size == 0)
+    throw std::invalid_argument{"train_sgd: zero batch size"};
+
+  const std::size_t n = inputs.rows();
+  const std::size_t layers = net.num_weight_layers();
+
+  // Momentum buffers mirror the parameter shapes.
+  std::vector<Matrix> vel_w;
+  std::vector<std::vector<float>> vel_b;
+  vel_w.reserve(layers);
+  vel_b.reserve(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    vel_w.emplace_back(net.weight(l).rows(), net.weight(l).cols());
+    vel_b.emplace_back(net.bias(l).size(), 0.0f);
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng{config.shuffle_seed};
+
+  std::vector<Matrix> acts;
+  std::vector<Matrix> deltas(layers);
+  std::vector<Matrix> grads(layers);
+  double lr = config.learning_rate;
+  double last_epoch_loss = 0.0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic generator.
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = rng.uniform_index(i);
+      std::swap(order[i - 1], order[j]);
+    }
+
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t bs = std::min(config.batch_size, n - start);
+      Matrix batch{bs, inputs.cols()};
+      std::vector<std::uint8_t> batch_labels(bs);
+      for (std::size_t i = 0; i < bs; ++i) {
+        const std::size_t src = order[start + i];
+        std::copy_n(inputs.row(src), inputs.cols(), batch.row(i));
+        batch_labels[i] = labels[src];
+      }
+
+      net.forward_full(batch, acts);
+      const Matrix& probs = acts.back();
+      for (std::size_t i = 0; i < bs; ++i) {
+        epoch_loss -= std::log(std::max(
+            static_cast<double>(probs.at(i, batch_labels[i])), 1e-12));
+      }
+
+      // Backward pass.
+      for (std::size_t li = layers; li-- > 0;) {
+        Matrix& delta = deltas[li];
+        if (delta.rows() != bs || delta.cols() != net.weight(li).cols())
+          delta = Matrix{bs, net.weight(li).cols()};
+        if (li == layers - 1) {
+          output_delta(probs, batch_labels, 0, delta);
+          // batch_labels already sliced; base = 0.
+        } else {
+          // delta_l = (delta_{l+1} * W_{l+1}^T) ⊙ f'(a_l)
+          gemm_bt(deltas[li + 1], net.weight(li + 1), delta);
+          const Matrix& a = acts[li + 1];
+          const Activation act = net.hidden_activation();
+          for (std::size_t i = 0; i < bs; ++i) {
+            float* d = delta.row(i);
+            const float* av = a.row(i);
+            for (std::size_t j = 0; j < delta.cols(); ++j)
+              d[j] *= activation_derivative(av[j], act);
+          }
+        }
+      }
+
+      // Gradients and parameter update.
+      for (std::size_t li = 0; li < layers; ++li) {
+        Matrix& grad = grads[li];
+        if (grad.rows() != net.weight(li).rows() ||
+            grad.cols() != net.weight(li).cols())
+          grad = Matrix{net.weight(li).rows(), net.weight(li).cols()};
+        gemm_at(acts[li], deltas[li], grad);
+
+        Matrix& w = net.weight(li);
+        Matrix& vw = vel_w[li];
+        const float lrf = static_cast<float>(lr);
+        const float mom = static_cast<float>(config.momentum);
+        float* wd = w.data().data();
+        float* vd = vw.data().data();
+        const float* gd = grad.data().data();
+        for (std::size_t idx = 0; idx < w.size(); ++idx) {
+          vd[idx] = mom * vd[idx] - lrf * gd[idx];
+          wd[idx] += vd[idx];
+        }
+
+        std::vector<float>& b = net.bias(li);
+        std::vector<float>& vb = vel_b[li];
+        const Matrix& delta = deltas[li];
+        for (std::size_t j = 0; j < b.size(); ++j) {
+          float g = 0.0f;
+          for (std::size_t i = 0; i < bs; ++i) g += delta.at(i, j);
+          vb[j] = mom * vb[j] - lrf * g;
+          b[j] += vb[j];
+        }
+      }
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(n);
+    if (config.on_epoch) config.on_epoch(epoch, last_epoch_loss);
+    lr *= config.lr_decay;
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace hynapse::ann

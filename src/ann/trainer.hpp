@@ -1,0 +1,36 @@
+// Mini-batch SGD backpropagation trainer with momentum (the paper trains its
+// benchmark with the standard backprop algorithm [12] via the deep learning
+// toolbox [22]).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "ann/mlp.hpp"
+
+namespace hynapse::ann {
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 64;
+  double learning_rate = 0.5;
+  double momentum = 0.9;
+  /// Multiplicative learning-rate decay applied after each epoch.
+  double lr_decay = 0.85;
+  std::uint64_t shuffle_seed = 1234;
+  /// Invoked after each epoch with (epoch index, mean training loss).
+  std::function<void(std::size_t, double)> on_epoch;
+};
+
+/// Trains in place with softmax cross-entropy loss; returns the final mean
+/// training loss. `labels` are class indices aligned with `inputs` rows.
+double train_sgd(Mlp& net, const Matrix& inputs,
+                 std::span<const std::uint8_t> labels,
+                 const TrainConfig& config);
+
+/// Mean softmax cross-entropy of the network on a labelled set.
+[[nodiscard]] double cross_entropy(const Mlp& net, const Matrix& inputs,
+                                   std::span<const std::uint8_t> labels);
+
+}  // namespace hynapse::ann

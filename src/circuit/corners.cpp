@@ -1,0 +1,50 @@
+#include "circuit/corners.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hynapse::circuit {
+
+std::string corner_name(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::tt: return "TT";
+    case ProcessCorner::ff: return "FF";
+    case ProcessCorner::ss: return "SS";
+    case ProcessCorner::fs: return "FS";
+    case ProcessCorner::sf: return "SF";
+  }
+  throw std::invalid_argument{"corner_name: bad corner"};
+}
+
+Technology at_corner(const Technology& nominal, ProcessCorner corner) {
+  Technology t = nominal;
+  double dn = 0.0;  // NMOS VT shift
+  double dp = 0.0;  // PMOS VT shift (magnitude)
+  switch (corner) {
+    case ProcessCorner::tt: break;
+    case ProcessCorner::ff: dn = -kCornerVtShift; dp = -kCornerVtShift; break;
+    case ProcessCorner::ss: dn = +kCornerVtShift; dp = +kCornerVtShift; break;
+    case ProcessCorner::fs: dn = -kCornerVtShift; dp = +kCornerVtShift; break;
+    case ProcessCorner::sf: dn = +kCornerVtShift; dp = -kCornerVtShift; break;
+  }
+  t.nmos.vt0 += dn;
+  t.pmos.vt0 += dp;
+  return t;
+}
+
+Technology at_temperature(const Technology& nominal, double temp_kelvin) {
+  if (!(temp_kelvin > 0.0))
+    throw std::invalid_argument{"at_temperature: T must be positive"};
+  Technology t = nominal;
+  const double ratio = temp_kelvin / kNominalTemperature;
+  const double dvt = -0.8e-3 * (temp_kelvin - kNominalTemperature);
+  const double mobility = std::pow(ratio, -1.5);
+  for (TechCard* card : {&t.nmos, &t.pmos}) {
+    card->phi_t = 0.02585 * ratio;
+    card->vt0 += dvt;
+    card->b *= mobility;
+  }
+  return t;
+}
+
+}  // namespace hynapse::circuit

@@ -1,0 +1,43 @@
+// Process corners and temperature scaling for the technology cards.
+//
+// The paper evaluates the typical corner at room temperature; a production
+// memory design signs off across corners, so the reproduction provides the
+// standard five (TT/FF/SS/FS/SF) plus thermal-voltage/threshold temperature
+// dependence, used by the corner-sweep bench and the retention analysis.
+#pragma once
+
+#include <string>
+
+#include "circuit/tech.hpp"
+
+namespace hynapse::circuit {
+
+enum class ProcessCorner {
+  tt,  ///< typical NMOS / typical PMOS (the paper's corner)
+  ff,  ///< fast / fast: low VT, hot leakage, best speed
+  ss,  ///< slow / slow: high VT, worst read current
+  fs,  ///< fast NMOS / slow PMOS: write-friendly, read-disturb-prone
+  sf,  ///< slow NMOS / fast PMOS: write-hostile corner
+};
+
+[[nodiscard]] std::string corner_name(ProcessCorner corner);
+
+/// Corner VT shift magnitude [V] applied to the nominal cards (a standard
+/// +-3-sigma-of-process global shift; distinct from the local Pelgrom
+/// mismatch the Monte-Carlo samples).
+inline constexpr double kCornerVtShift = 0.03;
+
+/// Returns the technology with corner-shifted threshold voltages:
+/// fast = lower VT, slow = higher VT, per device type.
+[[nodiscard]] Technology at_corner(const Technology& nominal,
+                                   ProcessCorner corner);
+
+/// Returns the technology re-evaluated at a junction temperature [K]:
+/// phi_t scales linearly with T; VT drops ~0.8 mV/K; mobility degradation
+/// lowers the current factor ~ (T/T0)^-1.5.
+[[nodiscard]] Technology at_temperature(const Technology& nominal,
+                                        double temp_kelvin);
+
+inline constexpr double kNominalTemperature = 300.0;
+
+}  // namespace hynapse::circuit

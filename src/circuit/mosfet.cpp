@@ -1,0 +1,51 @@
+#include "circuit/mosfet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hynapse::circuit {
+
+Mosfet::Mosfet(const TechCard& card, double w, double l, double delta_vt)
+    : card_{&card}, w_{w}, l_{l}, delta_vt_{delta_vt}, w_over_l_{w / l} {
+  if (!(w > 0.0) || !(l > 0.0))
+    throw std::invalid_argument{"Mosfet: geometry must be positive"};
+}
+
+double Mosfet::ids(double vgs, double vds) const noexcept {
+  if (vds < 0.0) vds = 0.0;
+  const TechCard& c = *card_;
+  const double vt_eff = c.vt0 + delta_vt_ - c.dibl * vds;
+  const double nvt = c.n_sub * c.phi_t;
+  // Smoothed overdrive: ~ (vgs - vt) in strong inversion, exponential in
+  // weak inversion. Keeps ids continuous and monotone across the threshold.
+  const double x = (vgs - vt_eff) / nvt;
+  double veff = 0.0;
+  if (x > 40.0) {
+    veff = vgs - vt_eff;
+  } else {
+    veff = nvt * std::log1p(std::exp(x));
+  }
+  if (veff <= 0.0) return 0.0;
+
+  const double isat = c.b * w_over_l_ * std::pow(veff, c.alpha);
+  const double vdsat = c.vdsat_k * std::pow(veff, 0.5 * c.alpha);
+  if (vds >= vdsat) {
+    return isat * (1.0 + c.lambda_clm * (vds - vdsat));
+  }
+  const double r = vds / vdsat;
+  return isat * r * (2.0 - r);
+}
+
+double Mosfet::leakage(double vdd) const noexcept { return ids(0.0, vdd); }
+
+double Mosfet::sigma_vt(double wmin, double lmin) const noexcept {
+  return card_->sigma_vt0 * std::sqrt((lmin / l_) * (wmin / w_));
+}
+
+Mosfet Mosfet::with_delta_vt(double delta_vt) const {
+  Mosfet copy = *this;
+  copy.delta_vt_ = delta_vt;
+  return copy;
+}
+
+}  // namespace hynapse::circuit

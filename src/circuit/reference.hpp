@@ -1,0 +1,55 @@
+// Calibrated reference bitcell designs and the paper-quoted constants used
+// for iso-stability power/area accounting.
+#pragma once
+
+#include <vector>
+
+#include "circuit/bitcell.hpp"
+#include "circuit/tech.hpp"
+
+namespace hynapse::circuit {
+
+/// Values stated in the paper (Sections IV and VI). The analytical stack
+/// models land in the right neighbourhood of the power/leakage ratios; the
+/// system-level accounting pins them to these quoted values so that the
+/// reproduced tables depend on the paper's numbers, not on residual model
+/// error. See DESIGN.md section 4.
+struct PaperConstants {
+  /// Layout analysis: "the 8T bitcell incurs a 37% area overhead". The exact
+  /// ratio 1.3667 reproduces the paper's 13.75 % word overhead for 3 of 8
+  /// protected bits and 10.41 % for Config 2-A.
+  double area_ratio_8t_over_6t = 1.3667;
+  /// "an 8T bitcell consumes roughly 20% more read and write power ...".
+  double read_power_ratio_8t = 1.20;
+  double write_power_ratio_8t = 1.20;
+  /// "... and 47% more leakage power than a 6T bitcell under iso-voltage".
+  double leakage_ratio_8t = 1.47;
+  /// Representative 22 nm-class 6T cell footprint.
+  double cell_area_6t_um2 = 0.100;
+  /// Target nominal margins of the reference 6T design (Section IV).
+  double nominal_read_snm = 0.195;
+  double nominal_write_margin = 0.250;
+  double vdd_nominal = 0.95;
+  double vdd_min = 0.65;
+};
+
+[[nodiscard]] PaperConstants paper_constants();
+
+/// VDD sweep used by every figure: 0.65 V to 0.95 V in 50 mV steps.
+[[nodiscard]] std::vector<double> paper_voltage_grid();
+
+/// Reference 6T sizing, calibrated against ptm22() so that the nominal read
+/// SNM is ~195 mV and the BL-sweep write margin ~250 mV at 0.95 V.
+[[nodiscard]] Sizing6T reference_sizing_6t(const Technology& tech);
+
+/// Reference 8T sizing: write-optimized core (stronger PG, weaker PU - legal
+/// because read stability no longer constrains the core) plus a read buffer
+/// sized for the same nominal read current as the 6T cell, implementing the
+/// paper's "designed for equal read access and write times" constraint.
+[[nodiscard]] Sizing8T reference_sizing_8t(const Technology& tech);
+
+/// Convenience: reference cells with zero variation.
+[[nodiscard]] Bitcell6T reference_6t(const Technology& tech);
+[[nodiscard]] Bitcell8T reference_8t(const Technology& tech);
+
+}  // namespace hynapse::circuit

@@ -1,0 +1,25 @@
+#include "circuit/retention.hpp"
+
+namespace hynapse::circuit {
+
+double retention_voltage(const Bitcell6T& cell, double v_lo, double v_hi) {
+  if (!cell.holds_state(v_hi)) return v_hi;
+  if (cell.holds_state(v_lo)) return v_lo;
+  double lo = v_lo;   // does not hold
+  double hi = v_hi;   // holds
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cell.holds_state(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double hold_margin(const Bitcell6T& cell, double v_standby, int grid) {
+  return cell.hold_snm(v_standby, grid);
+}
+
+}  // namespace hynapse::circuit

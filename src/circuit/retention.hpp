@@ -1,0 +1,22 @@
+// Data-retention-voltage (DRV) analysis: the minimum standby supply at which
+// a bitcell still holds its state. Extension beyond the paper: the hybrid
+// array's leakage savings invite dropping the standby rail between
+// inferences, and the DRV distribution under variation bounds how far.
+#pragma once
+
+#include "circuit/bitcell.hpp"
+
+namespace hynapse::circuit {
+
+/// Minimum supply at which `cell` holds its state, found by bisection on
+/// the hold residual over [v_lo, v_hi]. Returns v_hi if the cell cannot
+/// hold even there, and v_lo if it holds everywhere in the bracket.
+[[nodiscard]] double retention_voltage(const Bitcell6T& cell, double v_lo = 0.05,
+                                       double v_hi = 0.95);
+
+/// Hold static noise margin at a standby voltage (unloaded butterfly) --
+/// the margin-style view of the same question.
+[[nodiscard]] double hold_margin(const Bitcell6T& cell, double v_standby,
+                                 int grid = 300);
+
+}  // namespace hynapse::circuit

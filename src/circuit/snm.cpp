@@ -1,0 +1,155 @@
+#include "circuit/snm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hynapse::circuit {
+
+TabulatedVtc::TabulatedVtc(const std::function<double(double)>& fn, double vdd,
+                           int points)
+    : vdd_{vdd} {
+  if (points < 8) throw std::invalid_argument{"TabulatedVtc: too few points"};
+  ys_.resize(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x =
+        vdd * static_cast<double>(i) / static_cast<double>(points - 1);
+    ys_[static_cast<std::size_t>(i)] = fn(x);
+  }
+}
+
+double TabulatedVtc::eval(double x) const noexcept {
+  const auto n = static_cast<int>(ys_.size());
+  const double t = std::clamp(x / vdd_, 0.0, 1.0) * static_cast<double>(n - 1);
+  const int lo = std::min(static_cast<int>(t), n - 2);
+  const double frac = t - static_cast<double>(lo);
+  const auto ulo = static_cast<std::size_t>(lo);
+  return ys_[ulo] + frac * (ys_[ulo + 1] - ys_[ulo]);
+}
+
+double TabulatedVtc::input(std::size_t i) const {
+  return vdd_ * static_cast<double>(i) / static_cast<double>(ys_.size() - 1);
+}
+
+double TabulatedVtc::output(std::size_t i) const { return ys_.at(i); }
+
+namespace {
+
+/// One curve in 45-degree-rotated coordinates: v as a single-valued function
+/// of u, stored as monotonically increasing (u, v) samples.
+struct RotatedCurve {
+  std::vector<double> u;
+  std::vector<double> v;
+
+  [[nodiscard]] double eval(double uq) const noexcept {
+    if (uq <= u.front()) return v.front();
+    if (uq >= u.back()) return v.back();
+    const auto it = std::upper_bound(u.begin(), u.end(), uq);
+    const auto hi = static_cast<std::size_t>(it - u.begin());
+    const std::size_t lo = hi - 1;
+    const double t = (uq - u[lo]) / std::max(u[hi] - u[lo], 1e-30);
+    return v[lo] + t * (v[hi] - v[lo]);
+  }
+};
+
+constexpr double kInvSqrt2 = 0.7071067811865476;
+
+// Curve y = F(x): u = (x - y)/sqrt2 is strictly increasing along x because F
+// is decreasing.
+RotatedCurve rotate_forward(const TabulatedVtc& f) {
+  RotatedCurve c;
+  c.u.reserve(f.size());
+  c.v.reserve(f.size());
+  double last_u = -1e300;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const double x = f.input(i);
+    const double y = f.output(i);
+    const double u = (x - y) * kInvSqrt2;
+    if (u <= last_u) continue;  // guard against flat numerical segments
+    last_u = u;
+    c.u.push_back(u);
+    c.v.push_back((x + y) * kInvSqrt2);
+  }
+  return c;
+}
+
+// Mirrored curve x = G(y): points (G(t), t); u = (G(t) - t)/sqrt2 decreases
+// along t, so traverse in reverse to store increasing u.
+RotatedCurve rotate_mirrored(const TabulatedVtc& g) {
+  RotatedCurve c;
+  c.u.reserve(g.size());
+  c.v.reserve(g.size());
+  double last_u = -1e300;
+  for (std::size_t k = g.size(); k-- > 0;) {
+    const double t = g.input(k);
+    const double x = g.output(k);
+    const double u = (x - t) * kInvSqrt2;
+    if (u <= last_u) continue;
+    last_u = u;
+    c.u.push_back(u);
+    c.v.push_back((x + t) * kInvSqrt2);
+  }
+  return c;
+}
+
+}  // namespace
+
+double static_noise_margin(const TabulatedVtc& vtc1, const TabulatedVtc& vtc2) {
+  const RotatedCurve f = rotate_forward(vtc1);
+  const RotatedCurve g = rotate_mirrored(vtc2);
+  const double u_lo = std::max(f.u.front(), g.u.front());
+  const double u_hi = std::min(f.u.back(), g.u.back());
+  if (!(u_hi > u_lo)) return 0.0;
+
+  // Sample the gap between the rotated curves. Butterfly eyes are *closed*
+  // regions: the gap returns to (near) zero on both sides of a lobe, either
+  // by crossing zero at the metastable point or by touching zero where the
+  // curves meet at a stable point. A monostable pair has sign regions that
+  // run into the end of the common range with a large residual gap -- those
+  // pseudo-lobes are not inscribed-square candidates and must be rejected,
+  // otherwise a flipped cell would report a healthy SNM.
+  constexpr int kGrid = 2001;
+  std::vector<double> gap(kGrid);
+  for (int i = 0; i < kGrid; ++i) {
+    const double u =
+        u_lo + (u_hi - u_lo) * static_cast<double>(i) / (kGrid - 1);
+    gap[static_cast<std::size_t>(i)] = f.eval(u) - g.eval(u);
+  }
+
+  // Scan maximal same-sign regions; a region bounded by the array ends is
+  // valid only if the gap there has (nearly) closed.
+  double max_pos = 0.0;  // eye where F is above the mirrored curve
+  double max_neg = 0.0;  // the other eye
+  int start = 0;
+  while (start < kGrid) {
+    const double s0 = gap[static_cast<std::size_t>(start)];
+    if (s0 == 0.0) {
+      ++start;
+      continue;
+    }
+    int end = start;
+    double peak = 0.0;
+    while (end < kGrid &&
+           gap[static_cast<std::size_t>(end)] * s0 > 0.0) {
+      peak = std::max(peak, std::fabs(gap[static_cast<std::size_t>(end)]));
+      ++end;
+    }
+    const bool left_closed =
+        start > 0 ||
+        std::fabs(gap[static_cast<std::size_t>(start)]) < 0.05 * peak;
+    const bool right_closed =
+        end < kGrid ||
+        std::fabs(gap[static_cast<std::size_t>(end - 1)]) < 0.05 * peak;
+    if (left_closed && right_closed) {
+      if (s0 > 0.0) {
+        max_pos = std::max(max_pos, peak);
+      } else {
+        max_neg = std::max(max_neg, peak);
+      }
+    }
+    start = end;
+  }
+  return std::min(max_pos, max_neg) * kInvSqrt2;
+}
+
+}  // namespace hynapse::circuit

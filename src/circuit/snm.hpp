@@ -1,0 +1,43 @@
+// Static-noise-margin extraction via the Seevinck method: rotate the
+// butterfly plot by 45 degrees, where both transfer curves become
+// single-valued functions of u = (x - y)/sqrt(2); the side of the largest
+// square inscribed in a lobe is the maximum vertical gap between the rotated
+// curves divided by sqrt(2), and the SNM is the smaller of the two lobes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hynapse::circuit {
+
+/// A monotone-decreasing voltage-transfer curve sampled on a uniform input
+/// grid over [0, vdd], with linear interpolation. Tabulation makes the SNM
+/// search cheap even though each raw VTC point costs a nested KCL bisection.
+class TabulatedVtc {
+ public:
+  /// Samples `fn` at `points` inputs across [0, vdd]. Requires points >= 8.
+  TabulatedVtc(const std::function<double(double)>& fn, double vdd,
+               int points = 400);
+
+  /// Interpolated output for input x (clamped to [0, vdd]).
+  [[nodiscard]] double eval(double x) const noexcept;
+
+  [[nodiscard]] double vdd() const noexcept { return vdd_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ys_.size(); }
+  /// Input of sample i (uniform grid point).
+  [[nodiscard]] double input(std::size_t i) const;
+  /// Output of sample i.
+  [[nodiscard]] double output(std::size_t i) const;
+
+ private:
+  double vdd_;
+  std::vector<double> ys_;  // outputs at uniform inputs
+};
+
+/// Static noise margin of the cross-coupled pair whose half-cell transfer
+/// curves are `vtc1` (y = F(x)) and `vtc2` (mirrored: x = G(y)). Returns 0
+/// for a monostable (already flipped) cell.
+[[nodiscard]] double static_noise_margin(const TabulatedVtc& vtc1,
+                                         const TabulatedVtc& vtc2);
+
+}  // namespace hynapse::circuit

@@ -1,0 +1,71 @@
+// Scalar root/extremum helpers shared by the circuit solvers. Header-only so
+// the Monte-Carlo hot path can inline them.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hynapse::circuit {
+
+/// Finds x in [lo, hi] with f(x) = 0 for a monotonically *increasing*
+/// residual f, by bisection. If f has no sign change on the bracket the
+/// nearer endpoint is returned (the circuit callers rely on this clamping
+/// behaviour for rail-saturated nodes).
+template <typename F>
+[[nodiscard]] double bisect_increasing(F&& f, double lo, double hi,
+                                       int iterations = 60) {
+  if (!(hi >= lo)) throw std::invalid_argument{"bisect: bad bracket"};
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo >= 0.0) return lo;
+  if (fhi <= 0.0) return hi;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Same for a monotonically decreasing residual.
+template <typename F>
+[[nodiscard]] double bisect_decreasing(F&& f, double lo, double hi,
+                                       int iterations = 60) {
+  return bisect_increasing([&f](double x) { return -f(x); }, lo, hi,
+                           iterations);
+}
+
+/// Golden-section maximization of a unimodal function on [lo, hi].
+/// Returns the arg-max; call f once more for the value.
+template <typename F>
+[[nodiscard]] double golden_max(F&& f, double lo, double hi,
+                                int iterations = 80) {
+  constexpr double inv_phi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int i = 0; i < iterations; ++i) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = f(x1);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace hynapse::circuit

@@ -1,0 +1,25 @@
+#include "circuit/tech.hpp"
+
+namespace hynapse::circuit {
+
+Technology ptm22() {
+  Technology t;
+  t.nmos.vt0 = 0.38;
+  t.nmos.b = 5.0e-5;
+  t.nmos.alpha = 1.3;
+  t.nmos.n_sub = 1.9;
+  t.nmos.dibl = 0.136;
+  t.nmos.vdsat_k = 0.5;
+  t.nmos.lambda_clm = 0.05;
+  t.nmos.sigma_vt0 = 0.055;
+
+  t.pmos = t.nmos;
+  t.pmos.vt0 = 0.36;
+  t.pmos.b = 2.4e-5;  // ~half electron mobility
+  t.pmos.sigma_vt0 = 0.045;  // PMOS RDF is milder at this node
+
+  t.vdd_nominal = 0.95;
+  return t;
+}
+
+}  // namespace hynapse::circuit

@@ -1,0 +1,47 @@
+// Technology cards for the 22 nm predictive-technology-class device model.
+//
+// The paper characterizes its bitcells with HSPICE on 22 nm PTM cards [18].
+// This module provides the equivalent analytical card: every parameter a
+// Sakurai-Newton alpha-power-law model with subthreshold conduction and DIBL
+// needs, plus the Pelgrom mismatch coefficient used for threshold-voltage
+// variation (Eq. 1 of the paper).
+#pragma once
+
+namespace hynapse::circuit {
+
+/// Per-device-type model card. Voltages in volts, currents in amperes,
+/// lengths in meters, capacitances in farads.
+struct TechCard {
+  double vt0 = 0.0;        ///< nominal threshold voltage magnitude [V]
+  double b = 0.0;          ///< alpha-power transconductance scale [A/V^alpha]
+  double alpha = 1.3;      ///< velocity-saturation index
+  double n_sub = 1.9;      ///< subthreshold slope factor (model-internal; the
+                           ///< effective SS is ln(10)*n_sub*phi_t/alpha)
+  double dibl = 0.136;     ///< drain-induced barrier lowering [V/V]
+  double vdsat_k = 0.5;    ///< saturation-voltage coefficient [V^(1-alpha/2)]
+  double lambda_clm = 0.05;  ///< channel-length modulation [1/V]
+  double phi_t = 0.02585;  ///< thermal voltage at 300 K [V]
+  double sigma_vt0 = 0.0;  ///< VT mismatch sigma of a minimum device [V]
+};
+
+/// Complete technology description shared by every circuit in the repo.
+struct Technology {
+  TechCard nmos;
+  TechCard pmos;
+  double vdd_nominal = 0.95;  ///< paper's nominal supply [V]
+  double wmin = 45e-9;        ///< minimum transistor width [m]
+  double lmin = 22e-9;        ///< minimum channel length [m]
+
+  /// Capacitance constants used by the array-level models.
+  double c_drain_per_width = 0.9e-9;  ///< junction cap per width [F/m]
+  double c_gate_per_width = 1.1e-9;   ///< gate cap per width [F/m]
+  double c_wire_per_length = 0.20e-9;  ///< bitline/wordline wire cap [F/m]
+};
+
+/// 22 nm predictive-technology-class cards calibrated to the paper's anchors:
+/// subthreshold slope ~87 mV/dec, leakage-vs-VDD slope matching Fig 6(c)
+/// (~4.3x from 0.95 V to 0.65 V), and on-currents giving ~ns-scale access on
+/// a 256x256 sub-array.
+[[nodiscard]] Technology ptm22();
+
+}  // namespace hynapse::circuit

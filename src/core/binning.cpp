@@ -1,0 +1,46 @@
+#include "core/binning.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace hynapse::core {
+
+double ChipDistribution::percentile(double p) const {
+  if (accuracies.empty())
+    throw std::logic_error{"ChipDistribution: empty"};
+  return util::percentile(accuracies, p);
+}
+
+double ChipDistribution::accuracy_yield(double threshold) const {
+  if (accuracies.empty())
+    throw std::logic_error{"ChipDistribution: empty"};
+  const auto first_ok = std::lower_bound(accuracies.begin(),
+                                         accuracies.end(), threshold);
+  return static_cast<double>(accuracies.end() - first_ok) /
+         static_cast<double>(accuracies.size());
+}
+
+ChipDistribution chip_accuracy_distribution(
+    const QuantizedNetwork& qnet, const MemoryConfig& config,
+    const mc::FailureTable& failures, double vdd, const data::Dataset& test,
+    std::size_t chips, std::uint64_t seed, ReadFaultPolicy policy) {
+  EvalOptions opt;
+  opt.chips = chips;
+  opt.seed = seed;
+  opt.policy = policy;
+  const AccuracyResult result =
+      evaluate_accuracy(qnet, config, failures, vdd, test, opt);
+
+  ChipDistribution dist;
+  dist.accuracies = result.per_chip;
+  std::sort(dist.accuracies.begin(), dist.accuracies.end());
+  dist.mean = result.mean;
+  dist.stddev = result.stddev;
+  dist.min = dist.accuracies.front();
+  dist.max = dist.accuracies.back();
+  return dist;
+}
+
+}  // namespace hynapse::core

@@ -1,0 +1,37 @@
+// Chip-binning study: the accuracy of a fault-injected synaptic memory is a
+// random variable over process variation (each die draws its own defect
+// map). This module characterizes that distribution -- mean, spread,
+// percentiles and "accuracy yield" (the fraction of dies meeting a spec) --
+// which is how a production flow would grade approximate-memory parts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiments.hpp"
+
+namespace hynapse::core {
+
+struct ChipDistribution {
+  std::vector<double> accuracies;  ///< sorted ascending, one per chip
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Linear-interpolation percentile, p in [0,1].
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Fraction of chips with accuracy >= threshold.
+  [[nodiscard]] double accuracy_yield(double threshold) const;
+};
+
+/// Evaluates `chips` independent die samples of the given configuration at
+/// `vdd` (seeded deterministically) and returns the accuracy distribution.
+[[nodiscard]] ChipDistribution chip_accuracy_distribution(
+    const QuantizedNetwork& qnet, const MemoryConfig& config,
+    const mc::FailureTable& failures, double vdd, const data::Dataset& test,
+    std::size_t chips, std::uint64_t seed = 555,
+    ReadFaultPolicy policy = ReadFaultPolicy::random_per_read);
+
+}  // namespace hynapse::core

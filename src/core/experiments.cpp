@@ -1,0 +1,42 @@
+#include "core/experiments.hpp"
+
+#include "core/synaptic_memory.hpp"
+#include "util/stats.hpp"
+
+namespace hynapse::core {
+
+AccuracyResult evaluate_accuracy(const QuantizedNetwork& qnet,
+                                 const MemoryConfig& config,
+                                 const mc::FailureTable& failures, double vdd,
+                                 const data::Dataset& test,
+                                 const EvalOptions& options) {
+  const FaultModel model{failures, vdd, options.policy};
+  AccuracyResult result;
+  result.per_chip.reserve(options.chips);
+  for (std::size_t chip = 0; chip < options.chips; ++chip) {
+    const std::uint64_t chip_seed =
+        options.seed ^ (0x9e3779b97f4a7c15ull * (chip + 1));
+    SynapticMemory memory{config, model, chip_seed};
+    memory.store_network(qnet);
+    util::Rng read_rng{chip_seed ^ 0x5555aaaa5555aaaaull};
+    const QuantizedNetwork faulted = memory.load_network(qnet, read_rng);
+    const ann::Mlp net = faulted.dequantize();
+    result.per_chip.push_back(net.accuracy(test.images, test.labels));
+  }
+  result.mean = util::mean(result.per_chip);
+  result.stddev = util::stddev(result.per_chip);
+  return result;
+}
+
+double quantized_accuracy(const QuantizedNetwork& qnet,
+                          const data::Dataset& test) {
+  return qnet.dequantize().accuracy(test.images, test.labels);
+}
+
+std::vector<std::size_t> table1_layer_sizes() {
+  // Unique solution to Table I: 2594 neurons, 1,406,810 synapses counting
+  // biases (1,405,000 weights + 1,810 biases).
+  return {784, 1000, 500, 200, 100, 10};
+}
+
+}  // namespace hynapse::core

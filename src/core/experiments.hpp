@@ -1,0 +1,44 @@
+// Experiment drivers: classification accuracy under fault injection for a
+// given memory configuration and operating voltage, averaged over simulated
+// chip instances. The top of the paper's circuit-to-system simulation
+// framework (Section V).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fault_model.hpp"
+#include "core/memory_config.hpp"
+#include "core/quantized_network.hpp"
+#include "data/dataset.hpp"
+#include "mc/failure_table.hpp"
+
+namespace hynapse::core {
+
+struct AccuracyResult {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::vector<double> per_chip;
+};
+
+struct EvalOptions {
+  std::size_t chips = 5;           ///< independent chip instances
+  std::uint64_t seed = 2024;
+  ReadFaultPolicy policy = ReadFaultPolicy::random_per_read;
+};
+
+/// Stores the network into `config` at `vdd` on each simulated chip, reads
+/// it back through the fault model and measures test accuracy.
+[[nodiscard]] AccuracyResult evaluate_accuracy(
+    const QuantizedNetwork& qnet, const MemoryConfig& config,
+    const mc::FailureTable& failures, double vdd, const data::Dataset& test,
+    const EvalOptions& options = {});
+
+/// Fault-free accuracy of the quantized network (the "8-bit nominal" line).
+[[nodiscard]] double quantized_accuracy(const QuantizedNetwork& qnet,
+                                        const data::Dataset& test);
+
+/// The paper's benchmark topology (Table I): 784-1000-500-200-100-10.
+[[nodiscard]] std::vector<std::size_t> table1_layer_sizes();
+
+}  // namespace hynapse::core

@@ -1,0 +1,101 @@
+#include "core/memory_config.hpp"
+
+#include <stdexcept>
+
+namespace hynapse::core {
+
+MemoryConfig::MemoryConfig(std::vector<BankConfig> banks)
+    : banks_{std::move(banks)} {
+  if (banks_.empty())
+    throw std::invalid_argument{"MemoryConfig: need at least one bank"};
+  for (const BankConfig& b : banks_) {
+    if (b.words == 0) throw std::invalid_argument{"MemoryConfig: empty bank"};
+    if (b.word_bits < 2 || b.word_bits > 16)
+      throw std::invalid_argument{"MemoryConfig: bad word width"};
+    if (b.msbs_in_8t < 0 || b.msbs_in_8t > b.word_bits)
+      throw std::invalid_argument{"MemoryConfig: bad 8T MSB count"};
+  }
+}
+
+MemoryConfig MemoryConfig::all_6t(std::span<const std::size_t> bank_words,
+                                  int word_bits) {
+  return uniform_hybrid(bank_words, 0, word_bits);
+}
+
+MemoryConfig MemoryConfig::uniform_hybrid(
+    std::span<const std::size_t> bank_words, int n_msb, int word_bits) {
+  std::vector<BankConfig> banks;
+  banks.reserve(bank_words.size());
+  for (std::size_t i = 0; i < bank_words.size(); ++i) {
+    banks.push_back(BankConfig{"L" + std::to_string(i + 1), bank_words[i],
+                               word_bits, n_msb});
+  }
+  return MemoryConfig{std::move(banks)};
+}
+
+MemoryConfig MemoryConfig::per_layer(std::span<const std::size_t> bank_words,
+                                     std::span<const int> n_msbs,
+                                     int word_bits) {
+  if (bank_words.size() != n_msbs.size())
+    throw std::invalid_argument{"MemoryConfig::per_layer: size mismatch"};
+  std::vector<BankConfig> banks;
+  banks.reserve(bank_words.size());
+  for (std::size_t i = 0; i < bank_words.size(); ++i) {
+    banks.push_back(BankConfig{"L" + std::to_string(i + 1), bank_words[i],
+                               word_bits, n_msbs[i]});
+  }
+  return MemoryConfig{std::move(banks)};
+}
+
+std::size_t MemoryConfig::total_words() const noexcept {
+  std::size_t n = 0;
+  for (const auto& b : banks_) n += b.words;
+  return n;
+}
+
+std::size_t MemoryConfig::total_bits_6t() const noexcept {
+  std::size_t n = 0;
+  for (const auto& b : banks_) n += b.bits_6t();
+  return n;
+}
+
+std::size_t MemoryConfig::total_bits_8t() const noexcept {
+  std::size_t n = 0;
+  for (const auto& b : banks_) n += b.bits_8t();
+  return n;
+}
+
+double MemoryConfig::area_units(
+    const circuit::PaperConstants& constants) const {
+  return static_cast<double>(total_bits_6t()) +
+         constants.area_ratio_8t_over_6t *
+             static_cast<double>(total_bits_8t());
+}
+
+double MemoryConfig::area_overhead_vs_all_6t(
+    const circuit::PaperConstants& constants) const {
+  const double all_6t =
+      static_cast<double>(total_bits_6t() + total_bits_8t());
+  return area_units(constants) / all_6t - 1.0;
+}
+
+std::string MemoryConfig::describe() const {
+  // Uniform configs print as "(n,m)"; mixed configs as "n=(a,b,...)".
+  bool uniform = true;
+  for (const auto& b : banks_)
+    if (b.msbs_in_8t != banks_.front().msbs_in_8t) uniform = false;
+  if (uniform) {
+    const int n = banks_.front().msbs_in_8t;
+    const int m = banks_.front().word_bits - n;
+    return "(" + std::to_string(n) + "," + std::to_string(m) + ")";
+  }
+  std::string out = "n=(";
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(banks_[i].msbs_in_8t);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hynapse::core

@@ -1,0 +1,82 @@
+// Synaptic memory configurations (Fig. 3 of the paper):
+//   Base configuration  -- all-6T SRAM banks;
+//   Configuration 1     -- significance-driven hybrid 8T-6T SRAM: the same
+//                          number of MSBs of every synaptic weight lives in
+//                          8T bitcells;
+//   Configuration 2     -- synaptic-sensitivity-driven architecture: one
+//                          hybrid bank per ANN layer, each protecting a
+//                          per-layer number of MSBs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/reference.hpp"
+
+namespace hynapse::core {
+
+/// One SRAM bank holding the synapses that fan out of one ANN layer.
+/// Bit index convention: 0 = LSB ... word_bits-1 = MSB (sign bit).
+struct BankConfig {
+  std::string name;
+  std::size_t words = 0;  ///< number of synaptic weights stored
+  int word_bits = 8;
+  int msbs_in_8t = 0;  ///< top `msbs_in_8t` bits are 8T cells
+
+  [[nodiscard]] bool bit_is_8t(int bit) const noexcept {
+    return bit >= word_bits - msbs_in_8t;
+  }
+  [[nodiscard]] std::size_t bits_8t() const noexcept {
+    return words * static_cast<std::size_t>(msbs_in_8t);
+  }
+  [[nodiscard]] std::size_t bits_6t() const noexcept {
+    return words * static_cast<std::size_t>(word_bits - msbs_in_8t);
+  }
+};
+
+class MemoryConfig {
+ public:
+  MemoryConfig() = default;
+  explicit MemoryConfig(std::vector<BankConfig> banks);
+
+  /// Base configuration (Fig. 3a).
+  [[nodiscard]] static MemoryConfig all_6t(
+      std::span<const std::size_t> bank_words, int word_bits = 8);
+
+  /// Configuration 1 (Fig. 3b): `n_msb` protected MSBs in every bank.
+  [[nodiscard]] static MemoryConfig uniform_hybrid(
+      std::span<const std::size_t> bank_words, int n_msb, int word_bits = 8);
+
+  /// Configuration 2 (Fig. 3c): per-bank protected-MSB counts.
+  [[nodiscard]] static MemoryConfig per_layer(
+      std::span<const std::size_t> bank_words, std::span<const int> n_msbs,
+      int word_bits = 8);
+
+  [[nodiscard]] const std::vector<BankConfig>& banks() const noexcept {
+    return banks_;
+  }
+  [[nodiscard]] std::size_t num_banks() const noexcept { return banks_.size(); }
+  [[nodiscard]] std::size_t total_words() const noexcept;
+  [[nodiscard]] std::size_t total_bits_6t() const noexcept;
+  [[nodiscard]] std::size_t total_bits_8t() const noexcept;
+
+  /// Total array area in units of one 6T bitcell (hybrid rows lay out with
+  /// no overhead beyond the larger 8T footprint, per Chang et al. [13]).
+  [[nodiscard]] double area_units(
+      const circuit::PaperConstants& constants) const;
+
+  /// Fractional area increase over the all-6T layout of the same capacity
+  /// (e.g. 0.1041 for the paper's Config 2-A).
+  [[nodiscard]] double area_overhead_vs_all_6t(
+      const circuit::PaperConstants& constants) const;
+
+  /// Short human-readable descriptor, e.g. "(3,5) hybrid" or "n=(2,3,1,1,3)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<BankConfig> banks_;
+};
+
+}  // namespace hynapse::core

@@ -1,0 +1,28 @@
+#include "core/power_area.hpp"
+
+namespace hynapse::core {
+
+PowerAreaReport evaluate_power_area(const MemoryConfig& config, double vdd,
+                                    const sram::BitcellPowerModel& cells) {
+  PowerAreaReport r;
+  r.vdd = vdd;
+  const double bits6 = static_cast<double>(config.total_bits_6t());
+  const double bits8 = static_cast<double>(config.total_bits_8t());
+  r.access_power = bits6 * cells.read_power_6t(vdd) +
+                   bits8 * cells.read_power_8t(vdd);
+  r.leakage_power = bits6 * cells.leakage_power_6t(vdd) +
+                    bits8 * cells.leakage_power_8t(vdd);
+  r.area_units = config.area_units(cells.constants());
+  return r;
+}
+
+RelativeSavings compare(const PowerAreaReport& candidate,
+                        const PowerAreaReport& baseline) {
+  RelativeSavings s;
+  s.access_power = 1.0 - candidate.access_power / baseline.access_power;
+  s.leakage_power = 1.0 - candidate.leakage_power / baseline.leakage_power;
+  s.area_overhead = candidate.area_units / baseline.area_units - 1.0;
+  return s;
+}
+
+}  // namespace hynapse::core

@@ -1,0 +1,35 @@
+// System-level power and area accounting for a synaptic memory
+// configuration, built from the per-bitcell characteristics (Fig. 6) and
+// the paper's 8T/6T iso-voltage ratios. Produces the quantities behind
+// Fig. 7(b), Fig. 8(b,c) and Fig. 9.
+#pragma once
+
+#include "core/memory_config.hpp"
+#include "sram/power.hpp"
+
+namespace hynapse::core {
+
+struct PowerAreaReport {
+  double vdd = 0.0;
+  double access_power = 0.0;   ///< W: streaming-read power of all stored bits
+  double leakage_power = 0.0;  ///< W: standby leakage of the whole array
+  double area_units = 0.0;     ///< area in 6T-bitcell units
+};
+
+/// Evaluates a configuration operating at `vdd`.
+[[nodiscard]] PowerAreaReport evaluate_power_area(
+    const MemoryConfig& config, double vdd,
+    const sram::BitcellPowerModel& cells);
+
+/// Relative savings of `candidate` against `baseline` (positive = candidate
+/// is better); area_overhead is positive when the candidate is larger.
+struct RelativeSavings {
+  double access_power = 0.0;
+  double leakage_power = 0.0;
+  double area_overhead = 0.0;
+};
+
+[[nodiscard]] RelativeSavings compare(const PowerAreaReport& candidate,
+                                      const PowerAreaReport& baseline);
+
+}  // namespace hynapse::core

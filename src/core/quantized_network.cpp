@@ -1,0 +1,50 @@
+#include "core/quantized_network.hpp"
+
+namespace hynapse::core {
+
+QuantizedNetwork::QuantizedNetwork(const ann::Mlp& net, int weight_bits)
+    : weight_bits_{weight_bits},
+      sizes_{net.layer_sizes()},
+      activation_{net.hidden_activation()} {
+  layers_.reserve(net.num_weight_layers());
+  for (std::size_t l = 0; l < net.num_weight_layers(); ++l) {
+    const ann::Matrix& w = net.weight(l);
+    const std::vector<float>& b = net.bias(l);
+    const quant::QFormat wf =
+        quant::choose_format(quant::max_abs(w.data()), weight_bits);
+    const quant::QFormat bf = quant::choose_format(
+        quant::max_abs(std::span<const float>{b}), weight_bits);
+    QuantizedLayer layer{wf, bf, w.rows(), w.cols(), {}, {}};
+    layer.weight_codes.reserve(w.size());
+    for (float x : w.data())
+      layer.weight_codes.push_back(wf.quantize(static_cast<double>(x)));
+    layer.bias_codes.reserve(b.size());
+    for (float x : b)
+      layer.bias_codes.push_back(bf.quantize(static_cast<double>(x)));
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<std::size_t> QuantizedNetwork::bank_words() const {
+  std::vector<std::size_t> words;
+  words.reserve(layers_.size());
+  for (const auto& l : layers_) words.push_back(l.synapse_count());
+  return words;
+}
+
+ann::Mlp QuantizedNetwork::dequantize() const {
+  ann::Mlp net{sizes_, 0, activation_};
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const QuantizedLayer& q = layers_[l];
+    ann::Matrix& w = net.weight(l);
+    for (std::size_t i = 0; i < q.weight_codes.size(); ++i)
+      w.data()[i] =
+          static_cast<float>(q.weight_fmt.dequantize(q.weight_codes[i]));
+    std::vector<float>& b = net.bias(l);
+    for (std::size_t i = 0; i < q.bias_codes.size(); ++i)
+      b[i] = static_cast<float>(q.bias_fmt.dequantize(q.bias_codes[i]));
+  }
+  return net;
+}
+
+}  // namespace hynapse::core

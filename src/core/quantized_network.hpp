@@ -1,0 +1,63 @@
+// 8-bit fixed-point view of a trained MLP: the representation that actually
+// lives in the synaptic SRAM. Each connection layer gets its own Q-format
+// for weights and biases (smallest format covering the observed range).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/mlp.hpp"
+#include "quant/qformat.hpp"
+
+namespace hynapse::core {
+
+struct QuantizedLayer {
+  quant::QFormat weight_fmt;
+  quant::QFormat bias_fmt;
+  std::size_t fan_in = 0;
+  std::size_t fan_out = 0;
+  std::vector<std::int32_t> weight_codes;  ///< row-major fan_in x fan_out
+  std::vector<std::int32_t> bias_codes;    ///< fan_out
+
+  /// Synapses in this layer counting biases (Table I convention).
+  [[nodiscard]] std::size_t synapse_count() const noexcept {
+    return weight_codes.size() + bias_codes.size();
+  }
+};
+
+class QuantizedNetwork {
+ public:
+  /// Quantizes every layer of `net` to `weight_bits` two's-complement bits.
+  QuantizedNetwork(const ann::Mlp& net, int weight_bits = 8);
+
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] const QuantizedLayer& layer(std::size_t i) const {
+    return layers_.at(i);
+  }
+  [[nodiscard]] QuantizedLayer& layer(std::size_t i) { return layers_.at(i); }
+  [[nodiscard]] int weight_bits() const noexcept { return weight_bits_; }
+  [[nodiscard]] const std::vector<std::size_t>& layer_sizes() const noexcept {
+    return sizes_;
+  }
+
+  /// Per-layer synapse counts (weights + biases): the bank word counts for
+  /// MemoryConfig factories.
+  [[nodiscard]] std::vector<std::size_t> bank_words() const;
+
+  /// Reconstructs a float network from the (possibly fault-injected) codes.
+  [[nodiscard]] ann::Mlp dequantize() const;
+
+  [[nodiscard]] ann::Activation activation() const noexcept {
+    return activation_;
+  }
+
+ private:
+  int weight_bits_;
+  std::vector<std::size_t> sizes_;
+  ann::Activation activation_ = ann::Activation::sigmoid;
+  std::vector<QuantizedLayer> layers_;
+};
+
+}  // namespace hynapse::core

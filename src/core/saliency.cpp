@@ -1,0 +1,104 @@
+#include "core/saliency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hynapse::core {
+
+std::vector<NeuronSaliency> neuron_ablation_saliency(
+    const ann::Mlp& net, const data::Dataset& eval,
+    const SaliencyOptions& options) {
+  const double baseline = net.accuracy(eval.images, eval.labels);
+  util::Rng rng{options.seed};
+  std::vector<NeuronSaliency> out;
+
+  // Hidden layers are 1 .. layer_sizes().size()-2 in neuron terms; a
+  // neuron's outgoing synapses live in weight(layer) rows.
+  const std::size_t hidden_layers = net.layer_sizes().size() - 2;
+  for (std::size_t hl = 0; hl < hidden_layers; ++hl) {
+    const std::size_t width = net.layer_sizes()[hl + 1];
+    const std::size_t probes = std::min(options.neurons_per_layer, width);
+    // Sample distinct neurons.
+    std::vector<std::size_t> picked;
+    while (picked.size() < probes) {
+      const std::size_t n = rng.uniform_index(width);
+      if (std::find(picked.begin(), picked.end(), n) == picked.end())
+        picked.push_back(n);
+    }
+    for (std::size_t neuron : picked) {
+      ann::Mlp ablated = net;
+      // Zero the neuron's outgoing row in the next weight matrix and its
+      // bias so it contributes nothing downstream.
+      ann::Matrix& w_out = ablated.weight(hl + 1);
+      for (std::size_t j = 0; j < w_out.cols(); ++j)
+        w_out.at(neuron, j) = 0.0f;
+      ablated.bias(hl)[neuron] = 0.0f;
+      const double acc = ablated.accuracy(eval.images, eval.labels);
+      out.push_back(NeuronSaliency{hl, neuron, baseline - acc});
+    }
+  }
+  return out;
+}
+
+std::vector<LayerResilience> layer_resilience(const ann::Mlp& net,
+                                              const data::Dataset& eval,
+                                              const SaliencyOptions& options) {
+  const std::vector<NeuronSaliency> saliency =
+      neuron_ablation_saliency(net, eval, options);
+  const std::size_t hidden_layers = net.layer_sizes().size() - 2;
+  std::vector<LayerResilience> layers(hidden_layers);
+  for (std::size_t hl = 0; hl < hidden_layers; ++hl) layers[hl].layer = hl;
+  for (const NeuronSaliency& s : saliency) {
+    LayerResilience& lr = layers[s.layer];
+    ++lr.neurons_probed;
+    lr.mean_drop += s.accuracy_drop;
+    lr.max_drop = std::max(lr.max_drop, s.accuracy_drop);
+    if (s.accuracy_drop < options.resilience_threshold)
+      lr.resilient_fraction += 1.0;
+  }
+  for (LayerResilience& lr : layers) {
+    if (lr.neurons_probed > 0) {
+      lr.mean_drop /= static_cast<double>(lr.neurons_probed);
+      lr.resilient_fraction /= static_cast<double>(lr.neurons_probed);
+    }
+  }
+  return layers;
+}
+
+double group_ablation_drop(const ann::Mlp& net, const data::Dataset& eval,
+                           std::size_t hidden_layer, double fraction,
+                           std::size_t trials, std::uint64_t seed) {
+  const std::size_t hidden_layers = net.layer_sizes().size() - 2;
+  if (hidden_layer >= hidden_layers)
+    throw std::out_of_range{"group_ablation_drop: not a hidden layer"};
+  if (!(fraction > 0.0) || fraction > 1.0)
+    throw std::invalid_argument{"group_ablation_drop: bad fraction"};
+  const double baseline = net.accuracy(eval.images, eval.labels);
+  const std::size_t width = net.layer_sizes()[hidden_layer + 1];
+  const auto group = static_cast<std::size_t>(
+      std::max(1.0, fraction * static_cast<double>(width)));
+  util::Rng rng{seed};
+  double drop = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ann::Mlp ablated = net;
+    std::vector<std::size_t> picked;
+    while (picked.size() < group) {
+      const std::size_t n = rng.uniform_index(width);
+      if (std::find(picked.begin(), picked.end(), n) == picked.end())
+        picked.push_back(n);
+    }
+    ann::Matrix& w_out = ablated.weight(hidden_layer + 1);
+    for (std::size_t neuron : picked) {
+      for (std::size_t j = 0; j < w_out.cols(); ++j)
+        w_out.at(neuron, j) = 0.0f;
+      ablated.bias(hidden_layer)[neuron] = 0.0f;
+    }
+    drop += baseline - ablated.accuracy(eval.images, eval.labels);
+  }
+  return drop / static_cast<double>(trials);
+}
+
+}  // namespace hynapse::core

@@ -1,0 +1,62 @@
+// Neuron-level resilience analysis in the style of AxNN (Venkataramani et
+// al. [8], the paper's reference for "the fraction of resilient neurons
+// decreases while moving towards the output layer"): measure each neuron's
+// importance by ablating it (zeroing its outgoing synapses) and recording
+// the accuracy drop. Aggregated per layer, this tests the claim behind
+// Configuration 2 directly at the neuron granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/mlp.hpp"
+#include "data/dataset.hpp"
+
+namespace hynapse::core {
+
+struct NeuronSaliency {
+  std::size_t layer = 0;   ///< hidden-layer index (0 = first hidden)
+  std::size_t neuron = 0;  ///< index within the layer
+  double accuracy_drop = 0.0;
+};
+
+struct LayerResilience {
+  std::size_t layer = 0;
+  std::size_t neurons_probed = 0;
+  double mean_drop = 0.0;
+  double max_drop = 0.0;
+  /// Fraction of probed neurons whose ablation costs less than
+  /// `resilience_threshold` accuracy (the "resilient" fraction of [8]).
+  double resilient_fraction = 0.0;
+};
+
+struct SaliencyOptions {
+  std::size_t neurons_per_layer = 12;  ///< sampled uniformly per layer
+  double resilience_threshold = 0.002;
+  std::uint64_t seed = 97;
+};
+
+/// Ablates sampled hidden neurons one at a time and measures the accuracy
+/// drop on `eval`. Returns one entry per probed neuron.
+[[nodiscard]] std::vector<NeuronSaliency> neuron_ablation_saliency(
+    const ann::Mlp& net, const data::Dataset& eval,
+    const SaliencyOptions& options = {});
+
+/// Per-layer aggregation of the ablation study.
+[[nodiscard]] std::vector<LayerResilience> layer_resilience(
+    const ann::Mlp& net, const data::Dataset& eval,
+    const SaliencyOptions& options = {});
+
+/// Group ablation: zeroes a random `fraction` of one hidden layer's neurons
+/// and measures the accuracy drop (averaged over `trials` random groups).
+/// Wide over-parameterized layers shrug off single-neuron ablation; group
+/// ablation exposes the per-layer redundancy differences behind the paper's
+/// Configuration-2 reasoning.
+[[nodiscard]] double group_ablation_drop(const ann::Mlp& net,
+                                         const data::Dataset& eval,
+                                         std::size_t hidden_layer,
+                                         double fraction,
+                                         std::size_t trials = 3,
+                                         std::uint64_t seed = 131);
+
+}  // namespace hynapse::core

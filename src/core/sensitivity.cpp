@@ -1,0 +1,128 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "core/experiments.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hynapse::core {
+
+namespace {
+
+// Flips `bit` of each weight code in `layer` with probability p.
+void inject_bit_errors(QuantizedLayer& layer, int bit, double p,
+                       util::Rng& rng) {
+  const auto flip = [&](std::int32_t& code, const quant::QFormat& fmt) {
+    if (!rng.bernoulli(p)) return;
+    code = fmt.from_bits(quant::flip_bit(fmt.to_bits(code), bit));
+  };
+  for (std::int32_t& c : layer.weight_codes) flip(c, layer.weight_fmt);
+  for (std::int32_t& c : layer.bias_codes) flip(c, layer.bias_fmt);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> bit_sensitivity(
+    const QuantizedNetwork& qnet, const data::Dataset& eval,
+    const SensitivityOptions& options) {
+  const double baseline = quantized_accuracy(qnet, eval);
+  const int bits = qnet.weight_bits();
+  std::vector<std::vector<double>> drop(
+      qnet.num_layers(), std::vector<double>(static_cast<std::size_t>(bits)));
+  util::Rng rng{options.seed};
+  for (std::size_t l = 0; l < qnet.num_layers(); ++l) {
+    for (int b = 0; b < bits; ++b) {
+      double acc = 0.0;
+      for (std::size_t t = 0; t < options.trials; ++t) {
+        QuantizedNetwork perturbed = qnet;
+        util::Rng trial_rng = rng.split();
+        inject_bit_errors(perturbed.layer(l), b, options.bit_error_rate,
+                          trial_rng);
+        acc += quantized_accuracy(perturbed, eval);
+      }
+      acc /= static_cast<double>(options.trials);
+      drop[l][static_cast<std::size_t>(b)] = baseline - acc;
+    }
+  }
+  return drop;
+}
+
+std::vector<double> layer_sensitivity(const QuantizedNetwork& qnet,
+                                      const data::Dataset& eval,
+                                      const SensitivityOptions& options) {
+  const double baseline = quantized_accuracy(qnet, eval);
+  const int msb = qnet.weight_bits() - 1;
+  std::vector<double> drop(qnet.num_layers());
+  util::Rng rng{options.seed};
+  for (std::size_t l = 0; l < qnet.num_layers(); ++l) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < options.trials; ++t) {
+      QuantizedNetwork perturbed = qnet;
+      util::Rng trial_rng = rng.split();
+      inject_bit_errors(perturbed.layer(l), msb, options.bit_error_rate,
+                        trial_rng);
+      acc += quantized_accuracy(perturbed, eval);
+    }
+    drop[l] = baseline - acc / static_cast<double>(options.trials);
+  }
+  return drop;
+}
+
+AllocationResult optimize_allocation(const QuantizedNetwork& qnet,
+                                     const data::Dataset& val,
+                                     const mc::FailureTable& failures,
+                                     double vdd,
+                                     const circuit::PaperConstants& constants,
+                                     const AllocationOptions& options) {
+  const std::vector<std::size_t> words = qnet.bank_words();
+  const double baseline = quantized_accuracy(qnet, val);
+  const double target = baseline - options.target_accuracy_drop;
+
+  AllocationResult result;
+  result.msbs_per_bank.assign(words.size(), 0);
+
+  EvalOptions eval_opts;
+  eval_opts.chips = options.chips_per_eval;
+  eval_opts.seed = options.seed;
+
+  const auto evaluate = [&](const std::vector<int>& msbs) {
+    const MemoryConfig cfg = MemoryConfig::per_layer(
+        words, msbs, qnet.weight_bits());
+    ++result.evaluations;
+    return evaluate_accuracy(qnet, cfg, failures, vdd, val, eval_opts).mean;
+  };
+
+  double current = evaluate(result.msbs_per_bank);
+  while (current < target) {
+    double best_score = -1e300;
+    std::size_t best_bank = words.size();
+    double best_acc = current;
+    for (std::size_t b = 0; b < words.size(); ++b) {
+      if (result.msbs_per_bank[b] >= options.max_msbs) continue;
+      std::vector<int> candidate = result.msbs_per_bank;
+      ++candidate[b];
+      const double acc = evaluate(candidate);
+      // Area cost of protecting one more bit column of bank b.
+      const double cost = static_cast<double>(words[b]) *
+                          (constants.area_ratio_8t_over_6t - 1.0);
+      const double score = (acc - current) / cost;
+      if (score > best_score) {
+        best_score = score;
+        best_bank = b;
+        best_acc = acc;
+      }
+    }
+    if (best_bank == words.size()) break;  // everything protected
+    ++result.msbs_per_bank[best_bank];
+    current = best_acc;
+  }
+
+  result.accuracy = current;
+  const MemoryConfig final_cfg = MemoryConfig::per_layer(
+      words, result.msbs_per_bank, qnet.weight_bits());
+  result.area_overhead = final_cfg.area_overhead_vs_all_6t(constants);
+  return result;
+}
+
+}  // namespace hynapse::core

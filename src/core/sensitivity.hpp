@@ -1,0 +1,64 @@
+// Synaptic-sensitivity analysis: which layers, and which bit positions, can
+// tolerate storage errors? Quantifies the intuitions behind Configuration 2
+// (Section III-B / VI-C): input & first-hidden-layer synapses and the
+// output-layer synapses are sensitive, central hidden layers are resilient,
+// and the input layer tolerates more than the first hidden layer.
+//
+// Also provides the greedy per-bank MSB allocation optimizer -- the natural
+// automation of the paper's manual sensitivity-driven assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/memory_config.hpp"
+#include "core/quantized_network.hpp"
+#include "data/dataset.hpp"
+#include "mc/failure_table.hpp"
+
+namespace hynapse::core {
+
+struct SensitivityOptions {
+  double bit_error_rate = 0.05;  ///< flip probability injected per weight
+  std::size_t trials = 3;        ///< error-pattern repetitions averaged
+  std::uint64_t seed = 7;
+};
+
+/// drop[layer][bit] = baseline accuracy - accuracy with bit `bit` of every
+/// weight in `layer` flipped with the configured probability (bit 0 = LSB).
+[[nodiscard]] std::vector<std::vector<double>> bit_sensitivity(
+    const QuantizedNetwork& qnet, const data::Dataset& eval,
+    const SensitivityOptions& options = {});
+
+/// layer_drop[layer] = accuracy drop when the MSB of that layer alone is
+/// flipped at the configured rate: the per-layer significance profile the
+/// paper's intuitions 1-2 describe.
+[[nodiscard]] std::vector<double> layer_sensitivity(
+    const QuantizedNetwork& qnet, const data::Dataset& eval,
+    const SensitivityOptions& options = {});
+
+struct AllocationOptions {
+  double target_accuracy_drop = 0.01;  ///< vs fault-free quantized accuracy
+  std::size_t chips_per_eval = 2;
+  std::uint64_t seed = 11;
+  int max_msbs = 8;
+};
+
+struct AllocationResult {
+  std::vector<int> msbs_per_bank;
+  double accuracy = 0.0;
+  double area_overhead = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Greedy allocation: repeatedly protect the next MSB of whichever bank
+/// yields the largest accuracy gain per unit of added area, until the mean
+/// accuracy is within `target_accuracy_drop` of the fault-free quantized
+/// baseline (or every bit is protected).
+[[nodiscard]] AllocationResult optimize_allocation(
+    const QuantizedNetwork& qnet, const data::Dataset& val,
+    const mc::FailureTable& failures, double vdd,
+    const circuit::PaperConstants& constants,
+    const AllocationOptions& options = {});
+
+}  // namespace hynapse::core

@@ -1,0 +1,144 @@
+#include "core/synaptic_memory.hpp"
+
+#include <stdexcept>
+
+namespace hynapse::core {
+
+SynapticMemory::SynapticMemory(MemoryConfig config, const FaultModel& model,
+                               std::uint64_t chip_seed)
+    : config_{std::move(config)}, model_{&model} {
+  util::Rng rng{chip_seed};
+  maps_.reserve(config_.num_banks());
+  words_.resize(config_.num_banks());
+  powerup_.resize(config_.num_banks());
+  disturb_done_.resize(config_.num_banks());
+  for (std::size_t b = 0; b < config_.num_banks(); ++b) {
+    const BankConfig& bank = config_.banks()[b];
+    util::Rng bank_rng = rng.split();
+    maps_.push_back(FaultMap::sample(bank, model, bank_rng));
+    // Power-up state: every cell wakes with random contents.
+    powerup_[b].resize(bank.words);
+    const std::uint16_t mask =
+        static_cast<std::uint16_t>((1u << bank.word_bits) - 1u);
+    for (auto& w : powerup_[b])
+      w = static_cast<std::uint16_t>(bank_rng.next_u64()) & mask;
+    words_[b] = powerup_[b];
+    disturb_done_[b].assign(maps_[b].defects().size(), 0);
+  }
+}
+
+void SynapticMemory::store(std::size_t bank,
+                           std::span<const std::int32_t> codes,
+                           const quant::QFormat& fmt) {
+  const BankConfig& bc = config_.banks().at(bank);
+  if (codes.size() > bc.words)
+    throw std::invalid_argument{"SynapticMemory::store: bank too small"};
+  std::vector<std::uint16_t>& mem = words_[bank];
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    mem[i] = static_cast<std::uint16_t>(fmt.to_bits(codes[i]));
+  // Rewriting restores disturb-weak cells until their next read upsets them
+  // again.
+  std::fill(disturb_done_[bank].begin(), disturb_done_[bank].end(), 0);
+  // Write-weak cells missed the update and still hold power-up data.
+  for (const Defect& d : maps_[bank].defects()) {
+    if (d.condition != CellCondition::write_weak) continue;
+    if (d.word >= codes.size()) continue;
+    const std::uint16_t bit = static_cast<std::uint16_t>(1u << d.bit);
+    mem[d.word] = static_cast<std::uint16_t>(
+        (mem[d.word] & ~bit) | (powerup_[bank][d.word] & bit));
+  }
+}
+
+void SynapticMemory::load(std::size_t bank, std::span<std::int32_t> codes,
+                          const quant::QFormat& fmt, util::Rng& read_rng) {
+  const BankConfig& bc = config_.banks().at(bank);
+  if (codes.size() > bc.words)
+    throw std::invalid_argument{"SynapticMemory::load: bank too small"};
+  std::vector<std::uint16_t>& mem = words_[bank];
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    codes[i] = fmt.from_bits(mem[i]);
+
+  const std::vector<Defect>& defects = maps_[bank].defects();
+  for (std::size_t di = 0; di < defects.size(); ++di) {
+    const Defect& d = defects[di];
+    if (d.word >= codes.size()) continue;
+    const std::uint16_t bit = static_cast<std::uint16_t>(1u << d.bit);
+    std::uint32_t pattern = fmt.to_bits(codes[d.word]);
+    switch (d.condition) {
+      case CellCondition::read_weak: {
+        bool sensed = false;
+        switch (model_->policy()) {
+          case ReadFaultPolicy::random_per_read:
+            sensed = read_rng.bernoulli(0.5);
+            break;
+          case ReadFaultPolicy::always_flip:
+            sensed = (mem[d.word] & bit) == 0;
+            break;
+          case ReadFaultPolicy::stuck_at_powerup:
+            sensed = (powerup_[bank][d.word] & bit) != 0;
+            break;
+        }
+        pattern = sensed ? (pattern | bit)
+                         : (pattern & ~static_cast<std::uint32_t>(bit));
+        break;
+      }
+      case CellCondition::disturb_weak: {
+        // The first read upsets the cell; the corrupted value is stored and
+        // returned stably from then on.
+        if (!disturb_done_[bank][di]) {
+          disturb_done_[bank][di] = 1;
+          mem[d.word] = static_cast<std::uint16_t>(mem[d.word] ^ bit);
+          pattern ^= bit;
+        }
+        break;
+      }
+      case CellCondition::write_weak:
+      case CellCondition::ok:
+        break;  // store() already handled write-weak cells
+    }
+    codes[d.word] = fmt.from_bits(pattern);
+  }
+}
+
+void SynapticMemory::store_network(const QuantizedNetwork& net) {
+  if (net.num_layers() != config_.num_banks())
+    throw std::invalid_argument{
+        "SynapticMemory::store_network: bank/layer count mismatch"};
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const QuantizedLayer& layer = net.layer(l);
+    // Bank layout: weight words first, then bias words. Biases use their own
+    // Q-format but the same bit-significance partition.
+    std::vector<std::int32_t> all;
+    all.reserve(layer.synapse_count());
+    all.insert(all.end(), layer.weight_codes.begin(),
+               layer.weight_codes.end());
+    all.insert(all.end(), layer.bias_codes.begin(), layer.bias_codes.end());
+    // Bits are raw two's-complement patterns; the format only matters for
+    // code<->bits conversion, identical for weights and biases of equal
+    // width, so store with the weight format.
+    store(l, all, layer.weight_fmt);
+  }
+}
+
+QuantizedNetwork SynapticMemory::load_network(
+    const QuantizedNetwork& reference, util::Rng& read_rng) {
+  QuantizedNetwork out = reference;
+  for (std::size_t l = 0; l < out.num_layers(); ++l) {
+    QuantizedLayer& layer = out.layer(l);
+    std::vector<std::int32_t> all(layer.synapse_count());
+    load(l, all, layer.weight_fmt, read_rng);
+    const std::size_t nw = layer.weight_codes.size();
+    std::copy_n(all.begin(), nw, layer.weight_codes.begin());
+    std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(nw),
+                layer.bias_codes.size(), layer.bias_codes.begin());
+  }
+  return out;
+}
+
+std::size_t SynapticMemory::defect_count(CellCondition c) const {
+  std::size_t n = 0;
+  for (const FaultMap& m : maps_) n += m.count(c);
+  return n;
+}
+
+}  // namespace hynapse::core

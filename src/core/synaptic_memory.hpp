@@ -1,0 +1,64 @@
+// Fault-injecting synaptic storage: quantized weights written into hybrid
+// 8T-6T banks on a simulated chip instance, read back through the bit-level
+// fault model. This is the paper's "ANN functional simulator" hook: "The
+// read access and write failures are modeled by introducing bit flips while
+// accessing and updating the synaptic weights" (Section V).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/fault_model.hpp"
+#include "core/memory_config.hpp"
+#include "core/quantized_network.hpp"
+#include "util/rng.hpp"
+
+namespace hynapse::core {
+
+class SynapticMemory {
+ public:
+  /// Creates one chip instance: power-up contents and the static defect map
+  /// derive deterministically from `chip_seed`.
+  SynapticMemory(MemoryConfig config, const FaultModel& model,
+                 std::uint64_t chip_seed);
+
+  /// Writes `codes` (two's-complement, `word_bits` wide) into a bank.
+  /// Write-weak cells retain their power-up value.
+  void store(std::size_t bank, std::span<const std::int32_t> codes,
+             const quant::QFormat& fmt);
+
+  /// Reads a bank back, applying read-weak (per the model's policy) and
+  /// disturb-weak behaviour. Disturbed cells are corrupted in place, so a
+  /// second load sees the flipped data.
+  void load(std::size_t bank, std::span<std::int32_t> codes,
+            const quant::QFormat& fmt, util::Rng& read_rng);
+
+  /// Stores every layer of a quantized network (bank i = layer i: weight
+  /// codes then bias codes).
+  void store_network(const QuantizedNetwork& net);
+
+  /// Loads every layer back into a copy of `reference` (formats and shapes
+  /// are taken from it) and returns the perturbed network.
+  [[nodiscard]] QuantizedNetwork load_network(const QuantizedNetwork& reference,
+                                              util::Rng& read_rng);
+
+  [[nodiscard]] const MemoryConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const FaultMap& fault_map(std::size_t bank) const {
+    return maps_.at(bank);
+  }
+
+  /// Total defective cells of a given condition across all banks.
+  [[nodiscard]] std::size_t defect_count(CellCondition c) const;
+
+ private:
+  MemoryConfig config_;
+  const FaultModel* model_;
+  std::vector<FaultMap> maps_;
+  std::vector<std::vector<std::uint16_t>> words_;    // stored bit patterns
+  std::vector<std::vector<std::uint16_t>> powerup_;  // power-up patterns
+  /// One flag per defect: a disturb-weak cell upsets only on its first read.
+  std::vector<std::vector<std::uint8_t>> disturb_done_;
+};
+
+}  // namespace hynapse::core

@@ -1,0 +1,25 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+namespace hynapse::data {
+
+Dataset Dataset::head(std::size_t n) const {
+  n = std::min(n, size());
+  Dataset out;
+  out.images = ann::Matrix{n, images.cols()};
+  out.labels.assign(labels.begin(),
+                    labels.begin() + static_cast<std::ptrdiff_t>(n));
+  for (std::size_t i = 0; i < n; ++i)
+    std::copy_n(images.row(i), images.cols(), out.images.row(i));
+  return out;
+}
+
+std::vector<std::size_t> class_histogram(const Dataset& ds) {
+  std::vector<std::size_t> hist(10, 0);
+  for (std::uint8_t y : ds.labels)
+    if (y < hist.size()) ++hist[y];
+  return hist;
+}
+
+}  // namespace hynapse::data

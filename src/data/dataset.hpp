@@ -1,0 +1,28 @@
+// Labelled image dataset container shared by the generator, the IDX loader
+// and the ANN benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ann/matrix.hpp"
+
+namespace hynapse::data {
+
+/// Row-major images (one row per sample, pixels normalized to [0,1]) plus
+/// class labels.
+struct Dataset {
+  ann::Matrix images;  // n x (width*height)
+  std::vector<std::uint8_t> labels;
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+
+  /// Returns the first n samples as a new dataset (n clamped to size()).
+  [[nodiscard]] Dataset head(std::size_t n) const;
+};
+
+/// Per-class sample counts (classes 0..9).
+[[nodiscard]] std::vector<std::size_t> class_histogram(const Dataset& ds);
+
+}  // namespace hynapse::data

@@ -1,0 +1,46 @@
+// Procedural handwritten-digit generator: the offline stand-in for MNIST
+// (see DESIGN.md section 1). Each class is a stroke skeleton (polyline set
+// in the unit square) rasterized at 28x28 with a random affine transform
+// (translation/rotation/scale/shear), random stroke thickness, intensity
+// variation and pixel noise. Like MNIST, digits are centred so border
+// pixels carry almost no information -- the property behind the paper's
+// "input layer is resilient relative to the first hidden layer" observation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace hynapse::data {
+
+inline constexpr std::size_t kDigitSide = 28;
+inline constexpr std::size_t kDigitPixels = kDigitSide * kDigitSide;
+
+struct DigitGenOptions {
+  double max_shift_px = 2.2;      ///< uniform +-translation
+  double max_rotate_rad = 0.22;   ///< uniform +-rotation
+  double min_scale = 0.85;        ///< per-axis scale range
+  double max_scale = 1.15;
+  double max_shear = 0.15;        ///< horizontal shear range
+  double min_thickness = 0.9;     ///< stroke half-width in pixels
+  double max_thickness = 1.8;
+  double pixel_noise = 0.03;      ///< additive Gaussian sigma
+  double min_intensity = 0.75;    ///< stroke peak intensity range
+  double max_intensity = 1.0;
+};
+
+/// Generates `count` samples with (near-)balanced classes, deterministically
+/// from `seed`.
+[[nodiscard]] Dataset generate_digits(std::size_t count, std::uint64_t seed,
+                                      const DigitGenOptions& options = {});
+
+/// Rasterizes a single digit (exposed for tests and visual inspection).
+/// `out` must hold kDigitPixels floats.
+void render_digit(int digit, std::uint64_t seed, const DigitGenOptions& options,
+                  float* out);
+
+/// ASCII-art rendering of one sample (for examples/debugging).
+[[nodiscard]] std::string ascii_art(const float* pixels);
+
+}  // namespace hynapse::data

@@ -1,0 +1,110 @@
+#include "data/idx.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace hynapse::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char b[4] = {0, 0, 0, 0};
+  in.read(reinterpret_cast<char*>(b), 4);
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+void write_be32(std::ostream& out, std::uint32_t v) {
+  const unsigned char b[4] = {
+      static_cast<unsigned char>(v >> 24), static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+constexpr std::uint32_t kImagesMagic = 0x00000803;  // idx3, ubyte
+constexpr std::uint32_t kLabelsMagic = 0x00000801;  // idx1, ubyte
+
+}  // namespace
+
+std::optional<ann::Matrix> read_idx_images(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  if (read_be32(in) != kImagesMagic) return std::nullopt;
+  const std::uint32_t count = read_be32(in);
+  const std::uint32_t rows = read_be32(in);
+  const std::uint32_t cols = read_be32(in);
+  if (!in || count == 0 || rows == 0 || cols == 0 || rows * cols > (1u << 20))
+    return std::nullopt;
+  ann::Matrix images{count, static_cast<std::size_t>(rows) * cols};
+  std::vector<unsigned char> buf(static_cast<std::size_t>(rows) * cols);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    if (!in) return std::nullopt;
+    float* row = images.row(i);
+    for (std::size_t p = 0; p < buf.size(); ++p)
+      row[p] = static_cast<float>(buf[p]) / 255.0f;
+  }
+  return images;
+}
+
+std::optional<std::vector<std::uint8_t>> read_idx_labels(
+    const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  if (read_be32(in) != kLabelsMagic) return std::nullopt;
+  const std::uint32_t count = read_be32(in);
+  if (!in || count == 0) return std::nullopt;
+  std::vector<std::uint8_t> labels(count);
+  in.read(reinterpret_cast<char*>(labels.data()), count);
+  if (!in) return std::nullopt;
+  return labels;
+}
+
+void write_idx_images(const ann::Matrix& images, std::size_t rows,
+                      std::size_t cols, const std::string& path) {
+  if (rows * cols != images.cols())
+    throw std::invalid_argument{"write_idx_images: shape mismatch"};
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"write_idx_images: cannot open " + path};
+  write_be32(out, kImagesMagic);
+  write_be32(out, static_cast<std::uint32_t>(images.rows()));
+  write_be32(out, static_cast<std::uint32_t>(rows));
+  write_be32(out, static_cast<std::uint32_t>(cols));
+  std::vector<unsigned char> buf(images.cols());
+  for (std::size_t i = 0; i < images.rows(); ++i) {
+    const float* r = images.row(i);
+    for (std::size_t p = 0; p < buf.size(); ++p) {
+      const float v = std::clamp(r[p], 0.0f, 1.0f);
+      buf[p] = static_cast<unsigned char>(v * 255.0f + 0.5f);
+    }
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+  if (!out) throw std::runtime_error{"write_idx_images: write failed"};
+}
+
+void write_idx_labels(const std::vector<std::uint8_t>& labels,
+                      const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"write_idx_labels: cannot open " + path};
+  write_be32(out, kLabelsMagic);
+  write_be32(out, static_cast<std::uint32_t>(labels.size()));
+  out.write(reinterpret_cast<const char*>(labels.data()),
+            static_cast<std::streamsize>(labels.size()));
+  if (!out) throw std::runtime_error{"write_idx_labels: write failed"};
+}
+
+std::optional<Dataset> load_idx_dataset(const std::string& images_path,
+                                        const std::string& labels_path) {
+  auto images = read_idx_images(images_path);
+  auto labels = read_idx_labels(labels_path);
+  if (!images || !labels) return std::nullopt;
+  if (images->rows() != labels->size()) return std::nullopt;
+  Dataset ds;
+  ds.images = std::move(*images);
+  ds.labels = std::move(*labels);
+  return ds;
+}
+
+}  // namespace hynapse::data

@@ -1,0 +1,38 @@
+// IDX file format reader/writer (the format MNIST is distributed in). When
+// real MNIST files are available (HYNAPSE_MNIST_DIR), the benchmarks use
+// them; otherwise the synthetic generator stands in. The writer exists so
+// tests can round-trip and so generated datasets can be exported.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace hynapse::data {
+
+/// Reads an IDX3 image file (unsigned byte pixels) into row-major floats
+/// scaled to [0,1]. Returns nullopt on missing/malformed file.
+[[nodiscard]] std::optional<ann::Matrix> read_idx_images(
+    const std::string& path);
+
+/// Reads an IDX1 label file. Returns nullopt on missing/malformed file.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> read_idx_labels(
+    const std::string& path);
+
+/// Writes images (values clamped to [0,1], stored as bytes) in IDX3 format.
+void write_idx_images(const ann::Matrix& images, std::size_t rows,
+                      std::size_t cols, const std::string& path);
+
+/// Writes labels in IDX1 format.
+void write_idx_labels(const std::vector<std::uint8_t>& labels,
+                      const std::string& path);
+
+/// Loads a dataset from an images/labels IDX pair; nullopt unless both load
+/// and their sample counts agree.
+[[nodiscard]] std::optional<Dataset> load_idx_dataset(
+    const std::string& images_path, const std::string& labels_path);
+
+}  // namespace hynapse::data

@@ -1,0 +1,81 @@
+#include "eccbase/ecc_memory.hpp"
+
+#include "eccbase/hamming.hpp"
+#include "util/stats.hpp"
+
+namespace hynapse::eccbase {
+
+namespace {
+
+// Applies one chip's worth of faults to a 12-bit codeword array. The same
+// static-defect semantics as core::SynapticMemory, inlined over codewords:
+// each of the 12 cells is independently defective with the 6T rates.
+void corrupt_and_decode(std::vector<std::int32_t>& codes,
+                        const quant::QFormat& fmt,
+                        const core::FaultModel& model, util::Rng& chip_rng,
+                        util::Rng& read_rng) {
+  const double p = model.total_rate(/*is_8t=*/false);
+  for (std::int32_t& code : codes) {
+    const auto truth = static_cast<std::uint8_t>(fmt.to_bits(code));
+    std::uint16_t word = hamming_encode(truth);
+    const std::uint16_t stored = word;
+    for (int bit = 0; bit < kCodeBits; ++bit) {
+      if (!chip_rng.bernoulli(p)) continue;
+      const core::CellCondition c =
+          model.pick_mechanism(/*is_8t=*/false, chip_rng);
+      const auto mask = static_cast<std::uint16_t>(1u << bit);
+      switch (c) {
+        case core::CellCondition::read_weak:
+          word = static_cast<std::uint16_t>(
+              read_rng.bernoulli(0.5) ? (word | mask) : (word & ~mask));
+          break;
+        case core::CellCondition::write_weak:
+          // Power-up content instead of the written bit.
+          word = static_cast<std::uint16_t>(
+              read_rng.bernoulli(0.5) ? (word | mask) : (word & ~mask));
+          break;
+        case core::CellCondition::disturb_weak:
+          if (read_rng.bernoulli(0.5))
+            word = static_cast<std::uint16_t>(word ^ mask);
+          break;
+        case core::CellCondition::ok:
+          break;
+      }
+    }
+    (void)stored;
+    code = fmt.from_bits(hamming_decode(word).data);
+  }
+}
+
+}  // namespace
+
+core::AccuracyResult evaluate_ecc_accuracy(const core::QuantizedNetwork& qnet,
+                                           const mc::FailureTable& failures,
+                                           double vdd,
+                                           const data::Dataset& test,
+                                           const core::EvalOptions& options) {
+  const core::FaultModel model{failures, vdd, options.policy};
+  core::AccuracyResult result;
+  result.per_chip.reserve(options.chips);
+  for (std::size_t chip = 0; chip < options.chips; ++chip) {
+    const std::uint64_t chip_seed =
+        options.seed ^ (0xc2b2ae3d27d4eb4full * (chip + 1));
+    util::Rng chip_rng{chip_seed};
+    util::Rng read_rng{chip_seed ^ 0x3333cccc3333ccccull};
+    core::QuantizedNetwork faulted = qnet;
+    for (std::size_t l = 0; l < faulted.num_layers(); ++l) {
+      core::QuantizedLayer& layer = faulted.layer(l);
+      corrupt_and_decode(layer.weight_codes, layer.weight_fmt, model,
+                         chip_rng, read_rng);
+      corrupt_and_decode(layer.bias_codes, layer.bias_fmt, model, chip_rng,
+                         read_rng);
+    }
+    const ann::Mlp net = faulted.dequantize();
+    result.per_chip.push_back(net.accuracy(test.images, test.labels));
+  }
+  result.mean = util::mean(result.per_chip);
+  result.stddev = util::stddev(result.per_chip);
+  return result;
+}
+
+}  // namespace hynapse::eccbase

@@ -1,0 +1,32 @@
+// ECC-protected all-6T synaptic storage: the ablation baseline against the
+// paper's hybrid 8T-6T approach. Every 8-bit synaptic word is stored as a
+// Hamming(12,8) codeword in 6T cells at scaled voltage; reads decode and
+// single-error-correct. Power and area scale by 12/8 on 6T-cell figures
+// (decode logic excluded, which favours the ECC baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiments.hpp"
+#include "core/fault_model.hpp"
+#include "core/quantized_network.hpp"
+#include "data/dataset.hpp"
+#include "eccbase/hamming.hpp"
+#include "mc/failure_table.hpp"
+
+namespace hynapse::eccbase {
+
+/// Accuracy of the network stored under Hamming(12,8)-protected 6T cells at
+/// `vdd`, averaged over chip instances (same eval protocol as
+/// core::evaluate_accuracy).
+[[nodiscard]] core::AccuracyResult evaluate_ecc_accuracy(
+    const core::QuantizedNetwork& qnet, const mc::FailureTable& failures,
+    double vdd, const data::Dataset& test,
+    const core::EvalOptions& options = {});
+
+/// Cell-count overhead of the ECC scheme vs unprotected 8-bit words (0.5).
+[[nodiscard]] constexpr double ecc_area_overhead() noexcept {
+  return static_cast<double>(kCheckBits) / static_cast<double>(kDataBits);
+}
+
+}  // namespace hynapse::eccbase

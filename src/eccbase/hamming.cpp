@@ -1,0 +1,60 @@
+#include "eccbase/hamming.hpp"
+
+namespace hynapse::eccbase {
+
+namespace {
+
+// 1-indexed codeword positions 1..12; positions 1,2,4,8 hold parity.
+constexpr int kDataPositions[kDataBits] = {3, 5, 6, 7, 9, 10, 11, 12};
+
+}  // namespace
+
+std::uint16_t hamming_encode(std::uint8_t data) noexcept {
+  std::uint16_t code = 0;
+  for (int i = 0; i < kDataBits; ++i) {
+    if (data & (1u << i))
+      code |= static_cast<std::uint16_t>(1u << (kDataPositions[i] - 1));
+  }
+  // Parity bit at position p covers codeword positions with bit p set.
+  for (int p = 0; p < kCheckBits; ++p) {
+    const int pos = 1 << p;
+    int parity = 0;
+    for (int j = 1; j <= kCodeBits; ++j) {
+      if ((j & pos) && (code & (1u << (j - 1)))) parity ^= 1;
+    }
+    if (parity)
+      code |= static_cast<std::uint16_t>(1u << (pos - 1));
+  }
+  return code;
+}
+
+DecodeResult hamming_decode(std::uint16_t codeword) noexcept {
+  int syndrome = 0;
+  for (int p = 0; p < kCheckBits; ++p) {
+    const int pos = 1 << p;
+    int parity = 0;
+    for (int j = 1; j <= kCodeBits; ++j) {
+      if ((j & pos) && (codeword & (1u << (j - 1)))) parity ^= 1;
+    }
+    if (parity) syndrome |= pos;
+  }
+  DecodeResult r;
+  if (syndrome != 0 && syndrome <= kCodeBits) {
+    codeword = static_cast<std::uint16_t>(codeword ^ (1u << (syndrome - 1)));
+    r.corrected = true;
+  }
+  for (int i = 0; i < kDataBits; ++i) {
+    if (codeword & (1u << (kDataPositions[i] - 1)))
+      r.data |= static_cast<std::uint8_t>(1u << i);
+  }
+  return r;
+}
+
+DecodeResult decode_with_truth(std::uint16_t codeword,
+                               std::uint8_t truth) noexcept {
+  DecodeResult r = hamming_decode(codeword);
+  r.miscorrected = (r.data != truth);
+  return r;
+}
+
+}  // namespace hynapse::eccbase

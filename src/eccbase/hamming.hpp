@@ -1,0 +1,38 @@
+// Hamming(12,8) single-error-correcting code over one synaptic word.
+//
+// Ablation baseline: the obvious alternative to the paper's hybrid 8T-6T
+// protection is to keep an all-6T array at scaled voltage and add ECC.
+// SEC over an 8-bit word costs 4 check bits (50 % extra cells) plus decode
+// logic, and corrects at most one error per word -- the comparison the
+// bench_ablation_ecc harness quantifies.
+#pragma once
+
+#include <cstdint>
+
+namespace hynapse::eccbase {
+
+inline constexpr int kDataBits = 8;
+inline constexpr int kCheckBits = 4;
+inline constexpr int kCodeBits = kDataBits + kCheckBits;
+
+/// Encodes 8 data bits into a 12-bit Hamming codeword (data in positions
+/// that are not powers of two, 1-indexed parity layout).
+[[nodiscard]] std::uint16_t hamming_encode(std::uint8_t data) noexcept;
+
+struct DecodeResult {
+  std::uint8_t data = 0;
+  bool corrected = false;    ///< a single-bit error was fixed
+  bool miscorrected = false; ///< >=2 errors aliased onto a wrong correction
+};
+
+/// Decodes a possibly corrupted codeword. With >=2 bit errors the syndrome
+/// aliases and the decoder silently "corrects" the wrong bit; callers see
+/// that via comparison with ground truth only (miscorrected is filled by
+/// decode_with_truth).
+[[nodiscard]] DecodeResult hamming_decode(std::uint16_t codeword) noexcept;
+
+/// Decode plus ground-truth comparison (test/bench helper).
+[[nodiscard]] DecodeResult decode_with_truth(std::uint16_t codeword,
+                                             std::uint8_t truth) noexcept;
+
+}  // namespace hynapse::eccbase

@@ -1,0 +1,86 @@
+#include "mc/criteria.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hynapse::mc {
+
+FailureCriteria::FailureCriteria(const circuit::Technology& tech,
+                                 const sram::CycleModel& cycle,
+                                 const circuit::Sizing6T& sizing6,
+                                 const circuit::Sizing8T& sizing8)
+    : tech_{&tech}, cycle_{&cycle}, sizing6_{sizing6}, sizing8_{sizing8} {}
+
+double FailureCriteria::read_access_metric_6t(const circuit::Variation6T& var,
+                                              double vdd) const {
+  const circuit::Bitcell6T cell{*tech_, sizing6_, var};
+  const double t = cycle_->cell_read_delay(cell, vdd);
+  return t / cycle_->read_budget(vdd) - 1.0;
+}
+
+double FailureCriteria::write_metric_6t(const circuit::Variation6T& var,
+                                        double vdd) const {
+  // Two-node transient: positive residual means (Q - QB) never crossed
+  // within the write budget, i.e. the write failed.
+  const circuit::Bitcell6T cell{*tech_, sizing6_, var};
+  return cell.write_residual(vdd, cycle_->c_node(),
+                             cycle_->write_budget(vdd));
+}
+
+double FailureCriteria::read_disturb_metric_6t(const circuit::Variation6T& var,
+                                               double vdd) const {
+  const circuit::Bitcell6T cell{*tech_, sizing6_, var};
+  // Positive when the read bump exceeds the opposite trip point (in volts,
+  // normalized by vdd to keep the metric scale-free).
+  return (cell.read_bump(vdd) -
+          cell.trip_voltage(circuit::Side::right, vdd)) /
+         vdd;
+}
+
+double FailureCriteria::metric_6t(Mechanism m, const circuit::Variation6T& var,
+                                  double vdd) const {
+  switch (m) {
+    case Mechanism::read_access:
+      return read_access_metric_6t(var, vdd);
+    case Mechanism::write:
+      return write_metric_6t(var, vdd);
+    case Mechanism::read_disturb:
+      return read_disturb_metric_6t(var, vdd);
+  }
+  return 0.0;
+}
+
+double FailureCriteria::hold_metric_6t(const circuit::Variation6T& var,
+                                       double v_standby) const {
+  const circuit::Bitcell6T cell{*tech_, sizing6_, var};
+  return cell.hold_residual(v_standby);
+}
+
+double FailureCriteria::read_access_metric_8t(const circuit::Variation8T& var,
+                                              double vdd) const {
+  const circuit::Bitcell8T cell{*tech_, sizing8_, var};
+  const double t = cycle_->cell_read_delay_8t(cell, vdd);
+  return t / cycle_->read_budget(vdd) - 1.0;
+}
+
+double FailureCriteria::write_metric_8t(const circuit::Variation8T& var,
+                                        double vdd) const {
+  const circuit::Bitcell8T cell{*tech_, sizing8_, var};
+  return cell.write_residual(vdd, cycle_->c_node(),
+                             cycle_->write_budget(vdd));
+}
+
+double FailureCriteria::metric_8t(Mechanism m, const circuit::Variation8T& var,
+                                  double vdd) const {
+  switch (m) {
+    case Mechanism::read_access:
+      return read_access_metric_8t(var, vdd);
+    case Mechanism::write:
+      return write_metric_8t(var, vdd);
+    case Mechanism::read_disturb:
+      return -1.0;  // decoupled read port: no disturb mechanism
+  }
+  return 0.0;
+}
+
+}  // namespace hynapse::mc

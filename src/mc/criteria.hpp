@@ -1,0 +1,69 @@
+// Failure criteria for one bitcell sample (Section IV of the paper):
+//  1. Read access failure: the cell cannot develop the sense differential
+//     within the (voltage-scaled) read cycle.
+//  2. Write failure: the cell cannot flip within the write cycle (or is
+//     statically unwriteable at that corner).
+//  3. Read disturb failure: the read bump flips the cell.
+//
+// Each criterion is also exposed as a continuous limit-state metric
+// (positive = fail) so the importance sampler can find the dominant failure
+// direction in dVT space.
+#pragma once
+
+#include "circuit/bitcell.hpp"
+#include "circuit/tech.hpp"
+#include "sram/timing.hpp"
+
+namespace hynapse::mc {
+
+enum class Mechanism { read_access, write, read_disturb };
+
+class FailureCriteria {
+ public:
+  FailureCriteria(const circuit::Technology& tech,
+                  const sram::CycleModel& cycle,
+                  const circuit::Sizing6T& sizing6,
+                  const circuit::Sizing8T& sizing8);
+
+  // --- 6T metrics (positive = fail) --------------------------------------
+  [[nodiscard]] double read_access_metric_6t(const circuit::Variation6T& var,
+                                             double vdd) const;
+  [[nodiscard]] double write_metric_6t(const circuit::Variation6T& var,
+                                       double vdd) const;
+  [[nodiscard]] double read_disturb_metric_6t(const circuit::Variation6T& var,
+                                              double vdd) const;
+  [[nodiscard]] double metric_6t(Mechanism m, const circuit::Variation6T& var,
+                                 double vdd) const;
+
+  /// Standby retention limit-state at a (possibly deeply scaled) hold
+  /// voltage: positive = the cell loses its state (extension; see
+  /// circuit/retention.hpp).
+  [[nodiscard]] double hold_metric_6t(const circuit::Variation6T& var,
+                                      double v_standby) const;
+
+  // --- 8T metrics ----------------------------------------------------------
+  [[nodiscard]] double read_access_metric_8t(const circuit::Variation8T& var,
+                                             double vdd) const;
+  [[nodiscard]] double write_metric_8t(const circuit::Variation8T& var,
+                                       double vdd) const;
+  [[nodiscard]] double metric_8t(Mechanism m, const circuit::Variation8T& var,
+                                 double vdd) const;
+
+  [[nodiscard]] const sram::CycleModel& cycle() const noexcept {
+    return *cycle_;
+  }
+  [[nodiscard]] const circuit::Sizing6T& sizing6() const noexcept {
+    return sizing6_;
+  }
+  [[nodiscard]] const circuit::Sizing8T& sizing8() const noexcept {
+    return sizing8_;
+  }
+
+ private:
+  const circuit::Technology* tech_;
+  const sram::CycleModel* cycle_;
+  circuit::Sizing6T sizing6_;
+  circuit::Sizing8T sizing8_;
+};
+
+}  // namespace hynapse::mc

@@ -1,0 +1,118 @@
+#include "mc/failure_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hynapse::mc {
+
+namespace {
+
+// Interpolates a probability log-linearly; falls back to linear when either
+// endpoint is zero (log undefined).
+double interp_prob(double p_lo, double p_hi, double t) {
+  if (p_lo > 0.0 && p_hi > 0.0) {
+    return std::exp(std::log(p_lo) + t * (std::log(p_hi) - std::log(p_lo)));
+  }
+  return p_lo + t * (p_hi - p_lo);
+}
+
+}  // namespace
+
+FailureTable::FailureTable(std::vector<FailureTableRow> rows)
+    : rows_{std::move(rows)} {
+  if (rows_.empty()) throw std::invalid_argument{"FailureTable: no rows"};
+  std::sort(rows_.begin(), rows_.end(),
+            [](const FailureTableRow& a, const FailureTableRow& b) {
+              return a.vdd < b.vdd;
+            });
+}
+
+FailureTable FailureTable::build(const FailureAnalyzer& analyzer,
+                                 std::span<const double> vdd_grid,
+                                 std::uint64_t seed) {
+  std::vector<FailureTableRow> rows;
+  rows.reserve(vdd_grid.size());
+  for (double vdd : vdd_grid) {
+    FailureTableRow row;
+    row.vdd = vdd;
+    const CellFailureRates r6 = analyzer.analyze_6t(vdd, seed);
+    const CellFailureRates r8 = analyzer.analyze_8t(vdd, seed ^ 0xabcdefull);
+    row.cell6 = {r6.read_access.p, r6.write_fail.p, r6.read_disturb.p};
+    row.cell8 = {r8.read_access.p, r8.write_fail.p, r8.read_disturb.p};
+    rows.push_back(row);
+  }
+  return FailureTable{std::move(rows)};
+}
+
+BitcellFailureRates FailureTable::interpolate(double vdd, bool cell8) const {
+  const auto pick = [cell8](const FailureTableRow& r) -> const BitcellFailureRates& {
+    return cell8 ? r.cell8 : r.cell6;
+  };
+  if (vdd <= rows_.front().vdd) return pick(rows_.front());
+  if (vdd >= rows_.back().vdd) return pick(rows_.back());
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    if (vdd <= rows_[i].vdd) {
+      const FailureTableRow& lo = rows_[i - 1];
+      const FailureTableRow& hi = rows_[i];
+      const double t = (vdd - lo.vdd) / (hi.vdd - lo.vdd);
+      const BitcellFailureRates& a = pick(lo);
+      const BitcellFailureRates& b = pick(hi);
+      BitcellFailureRates out;
+      // Rates fall with rising voltage; interpolate each mechanism.
+      out.read_access = interp_prob(a.read_access, b.read_access, t);
+      out.write_fail = interp_prob(a.write_fail, b.write_fail, t);
+      out.read_disturb = interp_prob(a.read_disturb, b.read_disturb, t);
+      return out;
+    }
+  }
+  return pick(rows_.back());
+}
+
+BitcellFailureRates FailureTable::rates_6t(double vdd) const {
+  if (rows_.empty()) throw std::logic_error{"FailureTable: empty"};
+  return interpolate(vdd, false);
+}
+
+BitcellFailureRates FailureTable::rates_8t(double vdd) const {
+  if (rows_.empty()) throw std::logic_error{"FailureTable: empty"};
+  return interpolate(vdd, true);
+}
+
+void FailureTable::save_csv(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"FailureTable: cannot open " + path};
+  out << "vdd,ra6,wr6,rd6,ra8,wr8,rd8\n";
+  out.precision(17);  // exact double round-trip
+  for (const auto& r : rows_) {
+    out << r.vdd << ',' << r.cell6.read_access << ',' << r.cell6.write_fail
+        << ',' << r.cell6.read_disturb << ',' << r.cell8.read_access << ','
+        << r.cell8.write_fail << ',' << r.cell8.read_disturb << '\n';
+  }
+}
+
+std::optional<FailureTable> FailureTable::load_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;  // header
+  std::vector<FailureTableRow> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss{line};
+    FailureTableRow r;
+    char comma = 0;
+    ss >> r.vdd >> comma >> r.cell6.read_access >> comma >>
+        r.cell6.write_fail >> comma >> r.cell6.read_disturb >> comma >>
+        r.cell8.read_access >> comma >> r.cell8.write_fail >> comma >>
+        r.cell8.read_disturb;
+    if (!ss) return std::nullopt;
+    rows.push_back(r);
+  }
+  if (rows.empty()) return std::nullopt;
+  return FailureTable{std::move(rows)};
+}
+
+}  // namespace hynapse::mc

@@ -1,0 +1,63 @@
+// Voltage-indexed bitcell failure-rate table: the hand-off artifact between
+// the circuit/Monte-Carlo level and the ANN fault-injection level ("The
+// failure probabilities and the different synaptic memory configurations ...
+// are fed to an ANN functional simulator", Section V).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mc/montecarlo.hpp"
+
+namespace hynapse::mc {
+
+/// Point rates for one cell type at one voltage (probabilities per cell).
+struct BitcellFailureRates {
+  double read_access = 0.0;
+  double write_fail = 0.0;
+  double read_disturb = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    return read_access + write_fail + read_disturb;
+  }
+};
+
+struct FailureTableRow {
+  double vdd = 0.0;
+  BitcellFailureRates cell6;
+  BitcellFailureRates cell8;
+};
+
+/// Failure rates over a VDD grid with log-linear interpolation between grid
+/// points (failure probability is near-exponential in voltage).
+class FailureTable {
+ public:
+  FailureTable() = default;
+  explicit FailureTable(std::vector<FailureTableRow> rows);
+
+  /// Runs the analyzer over the voltage grid. Deterministic in `seed`.
+  [[nodiscard]] static FailureTable build(const FailureAnalyzer& analyzer,
+                                          std::span<const double> vdd_grid,
+                                          std::uint64_t seed);
+
+  [[nodiscard]] BitcellFailureRates rates_6t(double vdd) const;
+  [[nodiscard]] BitcellFailureRates rates_8t(double vdd) const;
+
+  [[nodiscard]] const std::vector<FailureTableRow>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// CSV round-trip so expensive tables can be cached between bench runs.
+  void save_csv(const std::string& path) const;
+  [[nodiscard]] static std::optional<FailureTable> load_csv(
+      const std::string& path);
+
+ private:
+  [[nodiscard]] BitcellFailureRates interpolate(double vdd, bool cell8) const;
+
+  std::vector<FailureTableRow> rows_;  // sorted by vdd ascending
+};
+
+}  // namespace hynapse::mc

@@ -1,0 +1,88 @@
+#include "mc/margins.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace hynapse::mc {
+
+namespace {
+
+MarginDistribution summarize(std::vector<double> values,
+                             std::size_t nonpositive, std::size_t total) {
+  MarginDistribution d;
+  d.samples = total;
+  d.fraction_nonpositive =
+      static_cast<double>(nonpositive) / static_cast<double>(total);
+  if (values.empty()) return d;
+  std::sort(values.begin(), values.end());
+  util::RunningStats stats;
+  for (double v : values) stats.add(v);
+  d.mean = stats.mean();
+  d.stddev = stats.stddev();
+  d.min = values.front();
+  d.p001 = util::percentile(values, 0.001);
+  d.p01 = util::percentile(values, 0.01);
+  d.p50 = util::percentile(values, 0.5);
+  return d;
+}
+
+}  // namespace
+
+MarginDistribution read_snm_distribution(const circuit::Technology& tech,
+                                         const circuit::Sizing6T& sizing,
+                                         const VariationSampler& sampler,
+                                         double vdd, std::size_t n,
+                                         std::uint64_t seed, int snm_grid) {
+  std::vector<double> snm(n, 0.0);
+  constexpr std::size_t kChunks = 16;
+  const std::size_t per_chunk = (n + kChunks - 1) / kChunks;
+  util::parallel_for(kChunks, [&](std::size_t c) {
+    std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ull * (c + 1));
+    util::Rng rng{util::splitmix64(s)};
+    for (std::size_t i = c * per_chunk;
+         i < std::min(n, (c + 1) * per_chunk); ++i) {
+      const circuit::Bitcell6T cell{tech, sizing, sampler.sample_6t(rng)};
+      snm[i] = cell.read_snm(vdd, snm_grid);
+    }
+  });
+  std::size_t nonpositive = 0;
+  for (double v : snm)
+    if (v <= 0.0) ++nonpositive;
+  return summarize(std::move(snm), nonpositive, n);
+}
+
+MarginDistribution write_time_distribution(const circuit::Technology& tech,
+                                           const circuit::Sizing6T& sizing,
+                                           const VariationSampler& sampler,
+                                           double vdd, double c_node,
+                                           double t_max, std::size_t n,
+                                           std::uint64_t seed) {
+  std::vector<double> times;
+  times.reserve(n);
+  std::vector<double> raw(n, 0.0);
+  constexpr std::size_t kChunks = 16;
+  const std::size_t per_chunk = (n + kChunks - 1) / kChunks;
+  util::parallel_for(kChunks, [&](std::size_t c) {
+    std::uint64_t s = seed ^ (0xc2b2ae3d27d4eb4full * (c + 1));
+    util::Rng rng{util::splitmix64(s)};
+    for (std::size_t i = c * per_chunk;
+         i < std::min(n, (c + 1) * per_chunk); ++i) {
+      const circuit::Bitcell6T cell{tech, sizing, sampler.sample_6t(rng)};
+      raw[i] = cell.write_flip_time(vdd, c_node, t_max);
+    }
+  });
+  std::size_t unwriteable = 0;
+  for (double t : raw) {
+    if (std::isfinite(t)) {
+      times.push_back(t);
+    } else {
+      ++unwriteable;
+    }
+  }
+  return summarize(std::move(times), unwriteable, n);
+}
+
+}  // namespace hynapse::mc

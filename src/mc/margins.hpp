@@ -1,0 +1,42 @@
+// Margin *distributions* under threshold-voltage variation: the statistical
+// view connecting Section IV's nominal SNM/WM numbers to the failure rates
+// of Fig. 5. Samples full Seevinck read-SNM and write-flip-time populations
+// and summarizes them (moments, percentiles, sigma-to-spec distances).
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/bitcell.hpp"
+#include "mc/variation.hpp"
+#include "util/stats.hpp"
+
+namespace hynapse::mc {
+
+struct MarginDistribution {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p001 = 0.0;  ///< 0.1th percentile (weak tail)
+  double p01 = 0.0;   ///< 1st percentile
+  double p50 = 0.0;
+  double min = 0.0;
+  /// Fraction of samples at or below zero margin (direct failure estimate).
+  double fraction_nonpositive = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Read-SNM population of the 6T cell at `vdd`. Each sample runs the full
+/// butterfly extraction, so keep `n` in the hundreds-to-low-thousands.
+[[nodiscard]] MarginDistribution read_snm_distribution(
+    const circuit::Technology& tech, const circuit::Sizing6T& sizing,
+    const VariationSampler& sampler, double vdd, std::size_t n,
+    std::uint64_t seed, int snm_grid = 160);
+
+/// Write-flip-time population [s] of the 6T cell at `vdd` (two-node
+/// transient, window `t_max`); infinite times (unwriteable corners) are
+/// counted in fraction_nonpositive and excluded from the moments.
+[[nodiscard]] MarginDistribution write_time_distribution(
+    const circuit::Technology& tech, const circuit::Sizing6T& sizing,
+    const VariationSampler& sampler, double vdd, double c_node, double t_max,
+    std::size_t n, std::uint64_t seed);
+
+}  // namespace hynapse::mc

@@ -1,0 +1,249 @@
+#include "mc/montecarlo.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace hynapse::mc {
+
+namespace {
+
+// Deterministic per-chunk seeding: the sample stream is split into a fixed
+// number of chunks whose seeds derive only from (seed, chunk index), so the
+// result is identical for any thread count.
+constexpr std::size_t kChunks = 64;
+
+std::uint64_t chunk_seed(std::uint64_t seed, std::size_t chunk) {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ull * (chunk + 1));
+  return util::splitmix64(s);
+}
+
+RateEstimate finish_mc(std::size_t hits, std::size_t n) {
+  RateEstimate r;
+  r.trials = n;
+  r.hits = static_cast<double>(hits);
+  r.p = static_cast<double>(hits) / static_cast<double>(n);
+  const auto ci = util::wilson_interval(hits, n);
+  r.ci_lo = ci.lo;
+  r.ci_hi = ci.hi;
+  return r;
+}
+
+template <std::size_t D, typename MetricFn>
+RateEstimate importance_sample(const MetricFn& metric,
+                               const std::array<double, D>& sigmas,
+                               std::size_t n, double beta, std::uint64_t seed,
+                               std::size_t threads) {
+  // Dominant failure direction from central differences at the origin,
+  // expressed in standardized coordinates (one step = one sigma).
+  std::array<double, D> grad{};
+  double norm = 0.0;
+  for (std::size_t i = 0; i < D; ++i) {
+    std::array<double, D> plus{};
+    std::array<double, D> minus{};
+    plus[i] = 0.5 * sigmas[i];
+    minus[i] = -0.5 * sigmas[i];
+    grad[i] = metric(plus) - metric(minus);
+    norm += grad[i] * grad[i];
+  }
+  norm = std::sqrt(norm);
+  RateEstimate r;
+  r.trials = n;
+  r.importance_sampled = true;
+  if (norm <= 0.0) {
+    // Metric insensitive to variation at this voltage: nominal verdict only.
+    std::array<double, D> origin{};
+    r.p = metric(origin) > 0.0 ? 1.0 : 0.0;
+    r.ci_lo = r.p;
+    r.ci_hi = r.p;
+    return r;
+  }
+  std::array<double, D> mu{};  // standardized shift
+  for (std::size_t i = 0; i < D; ++i) mu[i] = beta * grad[i] / norm;
+  const double mu_sq = beta * beta;
+
+  std::vector<double> sum_w(kChunks, 0.0);
+  std::vector<double> sum_w2(kChunks, 0.0);
+  std::vector<std::size_t> raw_hits(kChunks, 0);
+  const std::size_t per_chunk = (n + kChunks - 1) / kChunks;
+
+  util::parallel_for(
+      kChunks,
+      [&](std::size_t c) {
+        util::Rng rng{chunk_seed(seed, c)};
+        std::array<double, D> x{};
+        for (std::size_t s = 0; s < per_chunk; ++s) {
+          double dot = 0.0;
+          for (std::size_t i = 0; i < D; ++i) {
+            const double z = rng.normal();
+            const double xi = mu[i] + z;
+            dot += mu[i] * xi;
+            x[i] = xi * sigmas[i];  // back to volts
+          }
+          if (metric(x) > 0.0) {
+            const double w = std::exp(-dot + 0.5 * mu_sq);
+            sum_w[c] += w;
+            sum_w2[c] += w * w;
+            ++raw_hits[c];
+          }
+        }
+      },
+      threads);
+
+  const double total = static_cast<double>(per_chunk * kChunks);
+  double sw = 0.0;
+  double sw2 = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    sw += sum_w[c];
+    sw2 += sum_w2[c];
+    hits += raw_hits[c];
+  }
+  const double p = sw / total;
+  const double var = std::max(0.0, sw2 / total - p * p) / total;
+  const double se = std::sqrt(var);
+  r.p = p;
+  r.ci_lo = std::max(0.0, p - 1.96 * se);
+  r.ci_hi = std::min(1.0, p + 1.96 * se);
+  r.trials = static_cast<std::size_t>(total);
+  r.hits = static_cast<double>(hits);
+  return r;
+}
+
+}  // namespace
+
+FailureAnalyzer::FailureAnalyzer(const FailureCriteria& criteria,
+                                 const VariationSampler& sampler,
+                                 AnalyzerOptions opts)
+    : criteria_{&criteria}, sampler_{&sampler}, opts_{opts} {}
+
+RateEstimate FailureAnalyzer::plain_mc_6t(Mechanism m, double vdd,
+                                          std::size_t n,
+                                          std::uint64_t seed) const {
+  std::vector<std::size_t> hits(kChunks, 0);
+  const std::size_t per_chunk = (n + kChunks - 1) / kChunks;
+  util::parallel_for(
+      kChunks,
+      [&](std::size_t c) {
+        util::Rng rng{chunk_seed(seed, c)};
+        for (std::size_t s = 0; s < per_chunk; ++s) {
+          const circuit::Variation6T var = sampler_->sample_6t(rng);
+          if (criteria_->metric_6t(m, var, vdd) > 0.0) ++hits[c];
+        }
+      },
+      opts_.threads);
+  std::size_t total_hits = 0;
+  for (auto h : hits) total_hits += h;
+  return finish_mc(total_hits, per_chunk * kChunks);
+}
+
+RateEstimate FailureAnalyzer::plain_mc_8t(Mechanism m, double vdd,
+                                          std::size_t n,
+                                          std::uint64_t seed) const {
+  std::vector<std::size_t> hits(kChunks, 0);
+  const std::size_t per_chunk = (n + kChunks - 1) / kChunks;
+  util::parallel_for(
+      kChunks,
+      [&](std::size_t c) {
+        util::Rng rng{chunk_seed(seed, c)};
+        for (std::size_t s = 0; s < per_chunk; ++s) {
+          const circuit::Variation8T var = sampler_->sample_8t(rng);
+          if (criteria_->metric_8t(m, var, vdd) > 0.0) ++hits[c];
+        }
+      },
+      opts_.threads);
+  std::size_t total_hits = 0;
+  for (auto h : hits) total_hits += h;
+  return finish_mc(total_hits, per_chunk * kChunks);
+}
+
+RateEstimate FailureAnalyzer::importance_6t(Mechanism m, double vdd,
+                                            std::size_t n,
+                                            std::uint64_t seed) const {
+  const auto metric = [&](const std::array<double, k6t_devices>& dvt) {
+    return criteria_->metric_6t(m, VariationSampler::pack_6t(dvt), vdd);
+  };
+  return importance_sample<k6t_devices>(metric, sampler_->sigmas_6t(), n,
+                                        opts_.is_beta, seed, opts_.threads);
+}
+
+RateEstimate FailureAnalyzer::importance_8t(Mechanism m, double vdd,
+                                            std::size_t n,
+                                            std::uint64_t seed) const {
+  const auto metric = [&](const std::array<double, k8t_devices>& dvt) {
+    return criteria_->metric_8t(m, VariationSampler::pack_8t(dvt), vdd);
+  };
+  return importance_sample<k8t_devices>(metric, sampler_->sigmas_8t(), n,
+                                        opts_.is_beta, seed, opts_.threads);
+}
+
+RateEstimate FailureAnalyzer::retention_6t(double v_standby,
+                                           std::uint64_t seed) const {
+  // Plain MC on the hold limit-state.
+  std::vector<std::size_t> hits(kChunks, 0);
+  const std::size_t per_chunk = (opts_.mc_samples + kChunks - 1) / kChunks;
+  util::parallel_for(
+      kChunks,
+      [&](std::size_t c) {
+        util::Rng rng{chunk_seed(seed, c)};
+        for (std::size_t s = 0; s < per_chunk; ++s) {
+          const circuit::Variation6T var = sampler_->sample_6t(rng);
+          if (criteria_->hold_metric_6t(var, v_standby) > 0.0) ++hits[c];
+        }
+      },
+      opts_.threads);
+  std::size_t total_hits = 0;
+  for (auto h : hits) total_hits += h;
+  RateEstimate est = finish_mc(total_hits, per_chunk * kChunks);
+  if (est.hits >= static_cast<double>(opts_.min_hits_for_mc)) return est;
+
+  const auto metric = [&](const std::array<double, k6t_devices>& dvt) {
+    return criteria_->hold_metric_6t(VariationSampler::pack_6t(dvt),
+                                     v_standby);
+  };
+  return importance_sample<k6t_devices>(metric, sampler_->sigmas_6t(),
+                                        opts_.is_samples, opts_.is_beta,
+                                        seed ^ 0xfeedull, opts_.threads);
+}
+
+CellFailureRates FailureAnalyzer::analyze_6t(double vdd,
+                                             std::uint64_t seed) const {
+  CellFailureRates out;
+  const Mechanism mechs[] = {Mechanism::read_access, Mechanism::write,
+                             Mechanism::read_disturb};
+  RateEstimate* slots[] = {&out.read_access, &out.write_fail,
+                           &out.read_disturb};
+  for (int i = 0; i < 3; ++i) {
+    RateEstimate est =
+        plain_mc_6t(mechs[i], vdd, opts_.mc_samples, seed + 101 * i);
+    if (est.hits < static_cast<double>(opts_.min_hits_for_mc)) {
+      est = importance_6t(mechs[i], vdd, opts_.is_samples, seed + 777 + i);
+    }
+    *slots[i] = est;
+  }
+  return out;
+}
+
+CellFailureRates FailureAnalyzer::analyze_8t(double vdd,
+                                             std::uint64_t seed) const {
+  CellFailureRates out;
+  const Mechanism mechs[] = {Mechanism::read_access, Mechanism::write};
+  RateEstimate* slots[] = {&out.read_access, &out.write_fail};
+  for (int i = 0; i < 2; ++i) {
+    RateEstimate est =
+        plain_mc_8t(mechs[i], vdd, opts_.mc_samples, seed + 131 * i);
+    if (est.hits < static_cast<double>(opts_.min_hits_for_mc)) {
+      est = importance_8t(mechs[i], vdd, opts_.is_samples, seed + 555 + i);
+    }
+    *slots[i] = est;
+  }
+  out.read_disturb = RateEstimate{};  // structurally impossible
+  out.read_disturb.trials = opts_.mc_samples;
+  return out;
+}
+
+}  // namespace hynapse::mc

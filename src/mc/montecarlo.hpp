@@ -1,0 +1,91 @@
+// Monte-Carlo failure-rate estimation for 6T/8T bitcells ("Monte Carlo
+// simulations were run on a 256x256 SRAM sub-array to estimate the read
+// access, read disturb, and write failure rates at different operating
+// voltages", Section IV).
+//
+// Plain MC handles rates down to ~1e-4 cheaply; below that the analyzer
+// switches to mean-shifted importance sampling along the dominant failure
+// direction in dVT space -- the standard statistical-SRAM-yield technique
+// (cf. Mukhopadhyay et al.), which the paper obtains from brute-force SPICE.
+#pragma once
+
+#include <cstdint>
+
+#include "mc/criteria.hpp"
+#include "mc/variation.hpp"
+
+namespace hynapse::mc {
+
+/// One estimated probability with a 95 % interval. For plain MC the interval
+/// is the Wilson score; for importance sampling it is the delta-method
+/// normal interval on the weighted estimator.
+struct RateEstimate {
+  double p = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  std::size_t trials = 0;
+  double hits = 0.0;  ///< raw hits (MC) or effective weighted hits (IS)
+  bool importance_sampled = false;
+};
+
+/// The three per-cell failure mechanisms at one operating voltage.
+struct CellFailureRates {
+  RateEstimate read_access;
+  RateEstimate write_fail;
+  RateEstimate read_disturb;
+};
+
+struct AnalyzerOptions {
+  std::size_t mc_samples = 40000;
+  std::size_t is_samples = 16000;
+  /// Plain-MC hit count below which the analyzer re-estimates that mechanism
+  /// with importance sampling.
+  std::size_t min_hits_for_mc = 20;
+  /// Mean-shift magnitude in units of sigma along the dominant direction.
+  double is_beta = 3.5;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+class FailureAnalyzer {
+ public:
+  FailureAnalyzer(const FailureCriteria& criteria,
+                  const VariationSampler& sampler, AnalyzerOptions opts = {});
+
+  /// Estimates all three mechanisms for a 6T cell at vdd. Deterministic for
+  /// a given seed regardless of thread count.
+  [[nodiscard]] CellFailureRates analyze_6t(double vdd,
+                                            std::uint64_t seed) const;
+  /// Same for the 8T cell (read_disturb is identically zero by construction).
+  [[nodiscard]] CellFailureRates analyze_8t(double vdd,
+                                            std::uint64_t seed) const;
+
+  // Exposed for validation tests (IS-vs-MC agreement).
+  [[nodiscard]] RateEstimate plain_mc_6t(Mechanism m, double vdd,
+                                         std::size_t n,
+                                         std::uint64_t seed) const;
+  [[nodiscard]] RateEstimate importance_6t(Mechanism m, double vdd,
+                                           std::size_t n,
+                                           std::uint64_t seed) const;
+  [[nodiscard]] RateEstimate plain_mc_8t(Mechanism m, double vdd,
+                                         std::size_t n,
+                                         std::uint64_t seed) const;
+  [[nodiscard]] RateEstimate importance_8t(Mechanism m, double vdd,
+                                           std::size_t n,
+                                           std::uint64_t seed) const;
+
+  /// Standby data-retention failure rate at a scaled hold voltage
+  /// (plain MC with an importance-sampled fallback for the tail).
+  [[nodiscard]] RateEstimate retention_6t(double v_standby,
+                                          std::uint64_t seed) const;
+
+  [[nodiscard]] const AnalyzerOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  const FailureCriteria* criteria_;
+  const VariationSampler* sampler_;
+  AnalyzerOptions opts_;
+};
+
+}  // namespace hynapse::mc

@@ -1,0 +1,77 @@
+#include "mc/variation.hpp"
+
+#include <cmath>
+
+namespace hynapse::mc {
+
+namespace {
+
+double pelgrom_sigma(const circuit::TechCard& card, double w, double l,
+                     double wmin, double lmin) {
+  return card.sigma_vt0 * std::sqrt((lmin / l) * (wmin / w));
+}
+
+}  // namespace
+
+VariationSampler::VariationSampler(const circuit::Technology& tech,
+                                   const circuit::Sizing6T& sizing6,
+                                   const circuit::Sizing8T& sizing8) {
+  const double l = tech.lmin;
+  const double wmin = tech.wmin;
+  const double lmin = tech.lmin;
+  // 6T: pass gates and pull-downs are NMOS, pull-ups PMOS.
+  sigmas6_[0] = pelgrom_sigma(tech.nmos, sizing6.w_pg, l, wmin, lmin);
+  sigmas6_[1] = pelgrom_sigma(tech.nmos, sizing6.w_pd, l, wmin, lmin);
+  sigmas6_[2] = pelgrom_sigma(tech.pmos, sizing6.w_pu, l, wmin, lmin);
+  sigmas6_[3] = sigmas6_[0];
+  sigmas6_[4] = sigmas6_[1];
+  sigmas6_[5] = sigmas6_[2];
+
+  sigmas8_[0] = pelgrom_sigma(tech.nmos, sizing8.core.w_pg, l, wmin, lmin);
+  sigmas8_[1] = pelgrom_sigma(tech.nmos, sizing8.core.w_pd, l, wmin, lmin);
+  sigmas8_[2] = pelgrom_sigma(tech.pmos, sizing8.core.w_pu, l, wmin, lmin);
+  sigmas8_[3] = sigmas8_[0];
+  sigmas8_[4] = sigmas8_[1];
+  sigmas8_[5] = sigmas8_[2];
+  sigmas8_[6] = pelgrom_sigma(tech.nmos, sizing8.w_rpg, l, wmin, lmin);
+  sigmas8_[7] = pelgrom_sigma(tech.nmos, sizing8.w_rpd, l, wmin, lmin);
+}
+
+circuit::Variation6T VariationSampler::sample_6t(util::Rng& rng) const {
+  std::array<double, k6t_devices> dvt{};
+  for (std::size_t i = 0; i < k6t_devices; ++i)
+    dvt[i] = rng.normal(0.0, sigmas6_[i]);
+  return pack_6t(dvt);
+}
+
+circuit::Variation8T VariationSampler::sample_8t(util::Rng& rng) const {
+  std::array<double, k8t_devices> dvt{};
+  for (std::size_t i = 0; i < k8t_devices; ++i)
+    dvt[i] = rng.normal(0.0, sigmas8_[i]);
+  return pack_8t(dvt);
+}
+
+circuit::Variation6T VariationSampler::pack_6t(
+    const std::array<double, k6t_devices>& dvt) noexcept {
+  circuit::Variation6T v;
+  v.pg_l = dvt[0];
+  v.pd_l = dvt[1];
+  v.pu_l = dvt[2];
+  v.pg_r = dvt[3];
+  v.pd_r = dvt[4];
+  v.pu_r = dvt[5];
+  return v;
+}
+
+circuit::Variation8T VariationSampler::pack_8t(
+    const std::array<double, k8t_devices>& dvt) noexcept {
+  circuit::Variation8T v;
+  std::array<double, k6t_devices> core{};
+  for (std::size_t i = 0; i < k6t_devices; ++i) core[i] = dvt[i];
+  v.core = pack_6t(core);
+  v.rpg = dvt[6];
+  v.rpd = dvt[7];
+  return v;
+}
+
+}  // namespace hynapse::mc

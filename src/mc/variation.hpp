@@ -1,0 +1,49 @@
+// Threshold-voltage variation sampling (Eq. 1 of the paper): per-transistor
+// independent Gaussian dVT with zero mean and Pelgrom-scaled sigma
+//   sigma_VT = sigma_VT0 * sqrt((Lmin/L)(Wmin/W)).
+#pragma once
+
+#include <array>
+
+#include "circuit/bitcell.hpp"
+#include "circuit/tech.hpp"
+#include "util/rng.hpp"
+
+namespace hynapse::mc {
+
+/// Fixed transistor ordering used for the flat dVT vectors handed to the
+/// importance sampler: 6T = {pg_l, pd_l, pu_l, pg_r, pd_r, pu_r},
+/// 8T appends {rpg, rpd}.
+inline constexpr std::size_t k6t_devices = 6;
+inline constexpr std::size_t k8t_devices = 8;
+
+class VariationSampler {
+ public:
+  VariationSampler(const circuit::Technology& tech,
+                   const circuit::Sizing6T& sizing6,
+                   const circuit::Sizing8T& sizing8);
+
+  /// Per-device sigmas in the flat ordering above [V].
+  [[nodiscard]] const std::array<double, k6t_devices>& sigmas_6t() const noexcept {
+    return sigmas6_;
+  }
+  [[nodiscard]] const std::array<double, k8t_devices>& sigmas_8t() const noexcept {
+    return sigmas8_;
+  }
+
+  /// Draws one cell's dVT vector (standard normals scaled by sigma).
+  [[nodiscard]] circuit::Variation6T sample_6t(util::Rng& rng) const;
+  [[nodiscard]] circuit::Variation8T sample_8t(util::Rng& rng) const;
+
+  /// Converts a flat dVT vector (volts) into the structured form.
+  [[nodiscard]] static circuit::Variation6T pack_6t(
+      const std::array<double, k6t_devices>& dvt) noexcept;
+  [[nodiscard]] static circuit::Variation8T pack_8t(
+      const std::array<double, k8t_devices>& dvt) noexcept;
+
+ private:
+  std::array<double, k6t_devices> sigmas6_{};
+  std::array<double, k8t_devices> sigmas8_{};
+};
+
+}  // namespace hynapse::mc

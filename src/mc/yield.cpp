@@ -1,0 +1,38 @@
+#include "mc/yield.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hynapse::mc {
+
+ArrayYield array_yield(const BitcellFailureRates& rates, std::size_t cells,
+                       int word_bits) {
+  if (cells == 0 || word_bits <= 0)
+    throw std::invalid_argument{"array_yield: bad geometry"};
+  ArrayYield y;
+  y.p_cell = std::min(1.0, rates.total());
+  y.p_word = 1.0 - std::pow(1.0 - y.p_cell, word_bits);
+  // log1p keeps the clean-array probability accurate when p_cell is tiny
+  // and cells is large (65536 for the paper's sub-array).
+  y.p_array_clean =
+      std::exp(static_cast<double>(cells) * std::log1p(-y.p_cell));
+  y.expected_failures = static_cast<double>(cells) * y.p_cell;
+  return y;
+}
+
+double yield_with_sparing(double p_cell, std::size_t cells,
+                          std::size_t repairable_faults) {
+  if (p_cell < 0.0 || p_cell > 1.0)
+    throw std::invalid_argument{"yield_with_sparing: bad probability"};
+  const double lambda = static_cast<double>(cells) * p_cell;
+  // Poisson CDF evaluated with running terms to avoid factorial overflow.
+  double term = std::exp(-lambda);
+  double cdf = term;
+  for (std::size_t k = 1; k <= repairable_faults; ++k) {
+    term *= lambda / static_cast<double>(k);
+    cdf += term;
+  }
+  return std::min(1.0, cdf);
+}
+
+}  // namespace hynapse::mc

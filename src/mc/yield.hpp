@@ -1,0 +1,33 @@
+// Array-level yield arithmetic on top of the per-cell failure rates: what
+// fraction of 256x256 sub-arrays (or full synaptic memories) are fault-free,
+// and how much row/column sparing buys. The paper's architecture tolerates
+// faults at the application level; this module quantifies the conventional
+// repair-based alternative for comparison.
+#pragma once
+
+#include <cstddef>
+
+#include "mc/failure_table.hpp"
+
+namespace hynapse::mc {
+
+struct ArrayYield {
+  double p_cell = 0.0;   ///< per-cell any-mechanism failure probability
+  double p_word = 0.0;   ///< P(at least one failing cell in a word)
+  double p_array_clean = 0.0;  ///< P(zero failing cells in the array)
+  double expected_failures = 0.0;  ///< mean failing cells per array
+};
+
+/// Combines the mechanism rates (mutually exclusive per cell) into
+/// word/array yield figures for `cells` bitcells grouped into
+/// `word_bits`-cell words.
+[[nodiscard]] ArrayYield array_yield(const BitcellFailureRates& rates,
+                                     std::size_t cells, int word_bits);
+
+/// Yield with repair: probability that the number of failing cells does not
+/// exceed the spare capacity, under the Poisson approximation of the
+/// binomial defect count (tight for the small rates involved).
+[[nodiscard]] double yield_with_sparing(double p_cell, std::size_t cells,
+                                        std::size_t repairable_faults);
+
+}  // namespace hynapse::mc

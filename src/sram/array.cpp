@@ -1,0 +1,21 @@
+#include "sram/array.hpp"
+
+namespace hynapse::sram {
+
+SubArrayModel::SubArrayModel(const circuit::Technology& tech,
+                             const SubArrayGeometry& geo,
+                             const circuit::Sizing6T& cell)
+    : geo_{geo} {
+  const double rows = static_cast<double>(geo.rows);
+  const double cols = static_cast<double>(geo.cols);
+  c_bitline_ = rows * (cell.w_pg * tech.c_drain_per_width) +
+               rows * geo.cell_height * tech.c_wire_per_length;
+  c_wordline_ = cols * (2.0 * cell.w_pg * tech.c_gate_per_width) +
+                cols * geo.cell_width * tech.c_wire_per_length;
+  // Storage node: pull-up/pull-down junctions, the access junction, and the
+  // opposite inverter's gate load.
+  c_node_ = (cell.w_pu + cell.w_pd + cell.w_pg) * tech.c_drain_per_width +
+            (cell.w_pu + cell.w_pd) * tech.c_gate_per_width;
+}
+
+}  // namespace hynapse::sram

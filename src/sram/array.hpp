@@ -1,0 +1,54 @@
+// Sub-array electrical model: turns cell geometry and the technology's
+// parasitic constants into the bitline/wordline capacitances that set access
+// delay and dynamic energy. The paper sizes its cells against a 256x256
+// sub-array ("determined by considering the delay incurred in
+// charging/discharging the bitline capacitance associated with a 256x256
+// SRAM sub-array", Section IV).
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/reference.hpp"
+#include "circuit/tech.hpp"
+
+namespace hynapse::sram {
+
+/// Physical organization of one sub-array.
+struct SubArrayGeometry {
+  std::size_t rows = 256;
+  std::size_t cols = 256;
+  double cell_height = 0.20e-6;  ///< pitch along the bitline [m]
+  double cell_width = 0.50e-6;   ///< pitch along the wordline [m]
+};
+
+/// Derived electrical view of a sub-array built from 6T cells (the 8T read
+/// bitline is handled by the power model through the paper's cell-level
+/// ratios).
+class SubArrayModel {
+ public:
+  SubArrayModel(const circuit::Technology& tech, const SubArrayGeometry& geo,
+                const circuit::Sizing6T& cell);
+
+  /// Total bitline capacitance: one access-transistor junction per row plus
+  /// wire capacitance over the column height [F].
+  [[nodiscard]] double c_bitline() const noexcept { return c_bitline_; }
+
+  /// Total wordline capacitance: two access-gate loads per cell plus wire
+  /// capacitance across the row [F].
+  [[nodiscard]] double c_wordline() const noexcept { return c_wordline_; }
+
+  /// Storage-node capacitance of one cell [F].
+  [[nodiscard]] double c_node() const noexcept { return c_node_; }
+
+  [[nodiscard]] const SubArrayGeometry& geometry() const noexcept {
+    return geo_;
+  }
+
+ private:
+  SubArrayGeometry geo_;
+  double c_bitline_;
+  double c_wordline_;
+  double c_node_;
+};
+
+}  // namespace hynapse::sram

@@ -1,0 +1,94 @@
+#include "sram/organization.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hynapse::sram {
+
+namespace {
+
+// Peripheral area surcharge (decoders, sense amps, control) as a fraction of
+// the cell array -- a standard planning number for commodity SRAM macros.
+constexpr double kPeripheryAreaFraction = 0.30;
+// Periphery leakage as a fraction of cell-array leakage.
+constexpr double kPeripheryLeakageFraction = 0.15;
+
+}  // namespace
+
+BankOrganization::BankOrganization(const circuit::Technology& tech,
+                                   const SubArrayGeometry& subarray,
+                                   std::size_t words, int word_bits,
+                                   int msbs_in_8t)
+    : tech_{&tech},
+      sub_{subarray},
+      array_model_{tech, subarray, circuit::reference_sizing_6t(tech)},
+      decoder_{tech, subarray.rows,
+               // wordline load of one sub-array row
+               SubArrayModel{tech, subarray,
+                             circuit::reference_sizing_6t(tech)}
+                   .c_wordline()},
+      sense_{},
+      cell6_{circuit::reference_6t(tech)},
+      cell8_{circuit::reference_8t(tech)},
+      constants_{circuit::paper_constants()} {
+  if (words == 0) throw std::invalid_argument{"BankOrganization: no words"};
+  if (word_bits < 2 || msbs_in_8t < 0 || msbs_in_8t > word_bits)
+    throw std::invalid_argument{"BankOrganization: bad word layout"};
+  geo_.words = words;
+  geo_.word_bits = word_bits;
+  geo_.msbs_in_8t = msbs_in_8t;
+  geo_.words_per_row = subarray.cols / static_cast<std::size_t>(word_bits);
+  if (geo_.words_per_row == 0)
+    throw std::invalid_argument{"BankOrganization: word wider than a row"};
+  geo_.rows_used = (words + geo_.words_per_row - 1) / geo_.words_per_row;
+  geo_.subarrays = (geo_.rows_used + subarray.rows - 1) / subarray.rows;
+}
+
+double BankOrganization::read_energy(double vdd) const {
+  const double dv = sense_.required_differential(vdd);
+  const double e_bit6 =
+      Precharge::energy(array_model_.c_bitline(), dv, vdd) + sense_.energy(vdd);
+  const double e_bit8 = constants_.read_power_ratio_8t * e_bit6;
+  const int n8 = geo_.msbs_in_8t;
+  const int n6 = geo_.word_bits - n8;
+  return n6 * e_bit6 + n8 * e_bit8 + decoder_.energy(vdd);
+}
+
+double BankOrganization::write_energy(double vdd) const {
+  const double e_bit6 = array_model_.c_bitline() * vdd * vdd +
+                        array_model_.c_node() * vdd * vdd;
+  const double e_bit8 = constants_.write_power_ratio_8t * e_bit6;
+  const int n8 = geo_.msbs_in_8t;
+  const int n6 = geo_.word_bits - n8;
+  return n6 * e_bit6 + n8 * e_bit8 + decoder_.energy(vdd);
+}
+
+double BankOrganization::leakage_power(double vdd) const {
+  const double leak6 = vdd * cell6_.leakage(vdd);
+  const double leak8 = constants_.leakage_ratio_8t * leak6;
+  const auto n8 = static_cast<double>(geo_.msbs_in_8t);
+  const auto n6 = static_cast<double>(geo_.word_bits - geo_.msbs_in_8t);
+  const double cells =
+      static_cast<double>(geo_.words) * (n6 * leak6 + n8 * leak8);
+  return cells * (1.0 + kPeripheryLeakageFraction);
+}
+
+double BankOrganization::area() const {
+  const double a6 = constants_.cell_area_6t_um2 * 1e-12;  // m^2
+  const double a8 = constants_.area_ratio_8t_over_6t * a6;
+  const auto n8 = static_cast<double>(geo_.msbs_in_8t);
+  const auto n6 = static_cast<double>(geo_.word_bits - geo_.msbs_in_8t);
+  const double cells = static_cast<double>(geo_.words) * (n6 * a6 + n8 * a8);
+  return cells * (1.0 + kPeripheryAreaFraction);
+}
+
+double BankOrganization::read_latency(double vdd) const {
+  const double dv = sense_.required_differential(vdd);
+  const double i6 = cell6_.read_current(vdd);
+  if (i6 <= 0.0) return 1e9;
+  const double t_bitline = array_model_.c_bitline() * dv / i6;
+  constexpr double t_sense_fraction = 0.15;  // of the bitline phase
+  return decoder_.delay(vdd) + t_bitline * (1.0 + t_sense_fraction);
+}
+
+}  // namespace hynapse::sram

@@ -1,0 +1,70 @@
+// Array-level organization: tiles one logical synaptic bank (N words of
+// `word_bits` with a hybrid 8T/6T column split) onto physical 256x256
+// sub-arrays, and rolls up access energy, leakage and area including the
+// peripheral circuits. This is the "detailed" cross-check model; the
+// figure-level accounting uses the paper-anchored per-cell BitcellPowerModel
+// (see DESIGN.md section 6).
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/reference.hpp"
+#include "sram/array.hpp"
+#include "sram/periphery.hpp"
+#include "sram/timing.hpp"
+
+namespace hynapse::sram {
+
+/// Physical realization of one hybrid bank.
+struct BankGeometry {
+  std::size_t words = 0;
+  int word_bits = 8;
+  int msbs_in_8t = 0;
+  /// Words stored per sub-array row (columns / word_bits, via column mux).
+  std::size_t words_per_row = 0;
+  std::size_t rows_used = 0;
+  std::size_t subarrays = 0;
+};
+
+class BankOrganization {
+ public:
+  /// Lays `words` out across sub-arrays of the given geometry. Hybrid words
+  /// keep all bits in one row (single-row layout per Chang et al. [13]).
+  BankOrganization(const circuit::Technology& tech,
+                   const SubArrayGeometry& subarray, std::size_t words,
+                   int word_bits, int msbs_in_8t);
+
+  [[nodiscard]] const BankGeometry& geometry() const noexcept { return geo_; }
+
+  /// Energy of one word read at vdd [J]: per-bit bitline development and
+  /// precharge, wordline, decode, sense amps. 8T bits carry the paper's
+  /// +20 % access-power ratio.
+  [[nodiscard]] double read_energy(double vdd) const;
+
+  /// Energy of one word write at vdd [J].
+  [[nodiscard]] double write_energy(double vdd) const;
+
+  /// Standby leakage of the whole bank [W], cells plus a periphery
+  /// surcharge.
+  [[nodiscard]] double leakage_power(double vdd) const;
+
+  /// Bank area [m^2]: bitcells plus a peripheral area fraction.
+  [[nodiscard]] double area() const;
+
+  /// Random-access read latency at vdd [s]: decode + bitline development +
+  /// sense.
+  [[nodiscard]] double read_latency(double vdd) const;
+
+ private:
+  const circuit::Technology* tech_;
+  SubArrayGeometry sub_;
+  BankGeometry geo_;
+  SubArrayModel array_model_;
+  RowDecoder decoder_;
+  SenseAmp sense_;
+  circuit::Bitcell6T cell6_;
+  circuit::Bitcell8T cell8_;
+  circuit::PaperConstants constants_;
+};
+
+}  // namespace hynapse::sram

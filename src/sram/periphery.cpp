@@ -1,0 +1,58 @@
+#include "sram/periphery.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hynapse::sram {
+
+namespace {
+
+bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+RowDecoder::RowDecoder(const circuit::Technology& tech, std::size_t rows,
+                       double c_wordline)
+    : tech_{&tech}, rows_{rows}, c_wordline_{c_wordline} {
+  if (!is_power_of_two(rows) || rows < 4)
+    throw std::invalid_argument{"RowDecoder: rows must be a power of two >= 4"};
+  // Fan-in-4 predecode tree: each stage resolves 2 address bits.
+  const int address_bits = static_cast<int>(std::log2(rows));
+  stages_ = (address_bits + 1) / 2 + 1;  // predecoders + wordline driver
+
+  // Logical effort: G = product of stage logical efforts (NAND2 ~ 4/3),
+  // B ~ 1 on the critical path, H = C_wl / C_in.
+  const double c_unit = 2.0 * tech.wmin * tech.c_gate_per_width;
+  const double g = std::pow(4.0 / 3.0, stages_ - 1);
+  const double h = c_wordline / c_unit;
+  path_effort_ = g * h;
+
+  // Switched capacitance: geometric ladder from c_unit up to the wordline.
+  const double stage_ratio = std::pow(path_effort_, 1.0 / stages_);
+  double c = c_unit;
+  c_path_ = 0.0;
+  for (int s = 0; s < stages_; ++s) {
+    c_path_ += c;
+    c *= stage_ratio;
+  }
+}
+
+double RowDecoder::delay(double vdd) const {
+  // FO4-like time constant from the NMOS card: tau = C_unit * V / Ion(V).
+  const circuit::TechCard& n = tech_->nmos;
+  const double overdrive = vdd - n.vt0 + n.dibl * vdd;
+  if (overdrive <= 0.0) return 1e9;
+  const circuit::Mosfet unit{n, 2.0 * tech_->wmin, tech_->lmin};
+  const double ion = unit.ids(vdd, vdd);
+  const double c_unit = 2.0 * tech_->wmin * tech_->c_gate_per_width;
+  const double tau = c_unit * vdd / ion;
+  const double stage_effort = std::pow(path_effort_, 1.0 / stages_);
+  constexpr double parasitic_per_stage = 1.0;  // normalized self-loading
+  return stages_ * (stage_effort + parasitic_per_stage) * tau;
+}
+
+double RowDecoder::energy(double vdd) const {
+  return (c_path_ + c_wordline_) * vdd * vdd;
+}
+
+}  // namespace hynapse::sram

@@ -1,0 +1,77 @@
+// Peripheral circuit models of the sub-array: row decoder (logical-effort
+// delay/energy), sense amplifier (offset -> required bitline differential),
+// and bitline precharge. These complete the array-level picture around the
+// bitcell core; the figure-level power accounting keeps the paper-anchored
+// per-cell model, and the organization model (organization.hpp) uses these
+// for the array-realism cross-check.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/mosfet.hpp"
+#include "circuit/tech.hpp"
+
+namespace hynapse::sram {
+
+/// Row decoder for 2^n rows built from fan-in-4 predecode stages and a
+/// wordline driver, evaluated with the logical-effort method.
+class RowDecoder {
+ public:
+  /// `rows` must be a power of two >= 4. `c_wordline` is the load the last
+  /// stage drives; `c_unit` the input capacitance of a minimum inverter.
+  RowDecoder(const circuit::Technology& tech, std::size_t rows,
+             double c_wordline);
+
+  /// Number of gain stages on the decode path.
+  [[nodiscard]] int stages() const noexcept { return stages_; }
+
+  /// Decode delay at vdd [s]: stage count x optimal stage effort x the
+  /// technology FO4-like time constant (alpha-power voltage scaling).
+  [[nodiscard]] double delay(double vdd) const;
+
+  /// Energy per decode [J]: switched capacitance of the active path plus
+  /// the selected wordline.
+  [[nodiscard]] double energy(double vdd) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+ private:
+  const circuit::Technology* tech_;
+  std::size_t rows_;
+  int stages_;
+  double path_effort_;
+  double c_wordline_;
+  double c_path_;  // switched capacitance along the decode path
+};
+
+/// Latch-type sense amplifier: the required bitline differential is the
+/// offset tail plus a VDD-proportional common-mode term; energy is the
+/// internal node swing.
+struct SenseAmp {
+  double offset_sigma = 0.008;     ///< input-referred offset sigma [V]
+  double sigma_margin = 6.0;       ///< design margin in sigmas
+  double common_mode_slope = 0.055;  ///< VDD-proportional term
+  double c_internal = 1.1e-15;     ///< switched internal capacitance [F]
+
+  /// Required differential at vdd [V] (reproduces the CycleModel default:
+  /// 50 mV floor + 0.055*VDD).
+  [[nodiscard]] double required_differential(double vdd) const noexcept {
+    return offset_sigma * sigma_margin + common_mode_slope * vdd;
+  }
+
+  /// Energy per sense operation [J].
+  [[nodiscard]] double energy(double vdd) const noexcept {
+    return c_internal * vdd * vdd;
+  }
+};
+
+/// Bitline precharge: restores the differential discharged during a read.
+struct Precharge {
+  /// Energy to restore a bitline discharged by `dv` at rail vdd [J].
+  [[nodiscard]] static double energy(double c_bitline, double dv,
+                                     double vdd) noexcept {
+    return c_bitline * dv * vdd;
+  }
+};
+
+}  // namespace hynapse::sram

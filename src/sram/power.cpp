@@ -1,0 +1,67 @@
+#include "sram/power.hpp"
+
+namespace hynapse::sram {
+
+BitcellPowerModel::BitcellPowerModel(const circuit::Technology& tech,
+                                     const CycleModel& cycle,
+                                     const circuit::PaperConstants& constants,
+                                     double f_nominal)
+    : tech_{&tech},
+      cycle_{&cycle},
+      constants_{constants},
+      f_nominal_{f_nominal},
+      cell6_{circuit::reference_6t(tech)},
+      cell8_{circuit::reference_8t(tech)} {}
+
+double BitcellPowerModel::frequency(double vdd) const {
+  return cycle_->frequency(vdd, f_nominal_);
+}
+
+double BitcellPowerModel::read_energy_6t(double vdd) const {
+  const SubArrayModel& a = cycle_->array();
+  const double e_bitline = a.c_bitline() * cycle_->dv_sense(vdd) * vdd;
+  const double e_wordline =
+      a.c_wordline() * vdd * vdd / static_cast<double>(a.geometry().cols);
+  const double v0 = tech_->vdd_nominal;
+  const double e_sense = e_sense_nominal_ * (vdd * vdd) / (v0 * v0);
+  return e_bitline + e_wordline + e_sense;
+}
+
+double BitcellPowerModel::write_energy_6t(double vdd) const {
+  const SubArrayModel& a = cycle_->array();
+  const double e_bitline = a.c_bitline() * vdd * vdd;
+  const double e_wordline =
+      a.c_wordline() * vdd * vdd / static_cast<double>(a.geometry().cols);
+  const double e_node = a.c_node() * vdd * vdd;
+  return e_bitline + e_wordline + e_node;
+}
+
+double BitcellPowerModel::read_power_6t(double vdd) const {
+  return read_energy_6t(vdd) * frequency(vdd);
+}
+
+double BitcellPowerModel::write_power_6t(double vdd) const {
+  return write_energy_6t(vdd) * frequency(vdd);
+}
+
+double BitcellPowerModel::leakage_power_6t(double vdd) const {
+  return vdd * cell6_.leakage(vdd);
+}
+
+double BitcellPowerModel::read_power_8t(double vdd) const {
+  return constants_.read_power_ratio_8t * read_power_6t(vdd);
+}
+
+double BitcellPowerModel::write_power_8t(double vdd) const {
+  return constants_.write_power_ratio_8t * write_power_6t(vdd);
+}
+
+double BitcellPowerModel::leakage_power_8t(double vdd) const {
+  return constants_.leakage_ratio_8t * leakage_power_6t(vdd);
+}
+
+double BitcellPowerModel::analytic_leakage_ratio_8t(double vdd) const {
+  return cell8_.leakage(vdd) / cell6_.leakage(vdd);
+}
+
+}  // namespace hynapse::sram

@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hynapse::util {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string{cell};
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_{path}, out_{path} {
+  if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + path};
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  std::vector<std::string> cells;
+  cells.reserve(names.size());
+  for (auto n : names) cells.emplace_back(n);
+  write_cells(cells);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  write_cells(names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_cells(cells);
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream ss;
+    ss.precision(precision);
+    ss << v;
+    cells.push_back(ss.str());
+  }
+  write_cells(cells);
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace hynapse::util

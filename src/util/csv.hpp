@@ -1,0 +1,44 @@
+// CSV emission for experiment harnesses. Every bench binary prints a human
+// table to stdout and can mirror the same rows into a CSV file for plotting.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hynapse::util {
+
+/// Streaming CSV writer with RFC-4180-style quoting. Throws std::runtime_error
+/// if the file cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header row; normally called once, first.
+  void header(std::initializer_list<std::string_view> names);
+  void header(const std::vector<std::string>& names);
+
+  /// Appends one row of already-formatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  void row_numeric(const std::vector<double>& values, int precision = 8);
+
+  /// Flushes the underlying stream.
+  void flush();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Quotes a single CSV cell if it contains separators, quotes or newlines.
+[[nodiscard]] std::string csv_escape(std::string_view cell);
+
+}  // namespace hynapse::util

@@ -1,0 +1,27 @@
+// Minimal data-parallel loop helper. Monte-Carlo sampling, batched inference
+// and training are embarrassingly parallel over chunks; a full task system is
+// unnecessary.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hynapse::util {
+
+/// Number of worker threads used by parallel_for (hardware concurrency,
+/// at least 1).
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Runs fn(begin, end) over disjoint chunks of [0, n) on up to `threads`
+/// threads (0 = default_thread_count()). Blocks until all chunks finish.
+/// fn must be safe to invoke concurrently on disjoint ranges. Exceptions
+/// thrown by fn propagate to the caller (first one wins).
+void parallel_for_chunks(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t threads = 0);
+
+/// Element-wise convenience wrapper: fn(i) for each i in [0, n).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace hynapse::util

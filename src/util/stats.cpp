@@ -1,0 +1,165 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hynapse::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const noexcept {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  if (trials == 0) throw std::invalid_argument{"wilson_interval: zero trials"};
+  if (successes > trials)
+    throw std::invalid_argument{"wilson_interval: successes > trials"};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double spread = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, (center - spread) / denom),
+          std::min(1.0, (center + spread) / denom)};
+}
+
+double percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) throw std::invalid_argument{"percentile: empty sample"};
+  p = std::clamp(p, 0.0, 1.0);
+  std::vector<double> sorted{sample.begin(), sample.end()};
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean(std::span<const double> sample) noexcept {
+  if (sample.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : sample) acc += x;
+  return acc / static_cast<double>(sample.size());
+}
+
+double stddev(std::span<const double> sample) noexcept {
+  if (sample.size() < 2) return 0.0;
+  const double m = mean(sample);
+  double acc = 0.0;
+  for (double x : sample) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(sample.size() - 1));
+}
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument{"normal_quantile: p must be in (0,1)"};
+  // Acklam's rational approximation with central/tail split.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double q = 0.0;
+  double r = 0.0;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double failure_prob_to_sigma(double p) {
+  if (p <= 0.0) return std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return -std::numeric_limits<double>::infinity();
+  return -normal_quantile(p);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument{"Histogram: zero bins"};
+  if (!(hi > lo)) throw std::invalid_argument{"Histogram: hi must exceed lo"};
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+
+double Histogram::bin_center(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range{"Histogram::bin_center"};
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+}  // namespace hynapse::util

@@ -1,0 +1,91 @@
+// Small statistics toolkit: streaming moments, percentiles, and binomial
+// confidence intervals for Monte-Carlo failure-rate estimation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hynapse::util {
+
+/// Welford streaming mean/variance accumulator. Numerically stable for the
+/// long Monte-Carlo streams used in yield analysis.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double std_error() const noexcept;
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided binomial proportion interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at z standard
+/// deviations (z = 1.96 for 95 %). Well-behaved at p = 0 and p = 1, which is
+/// exactly the regime of rare SRAM failures.
+[[nodiscard]] Interval wilson_interval(std::size_t successes, std::size_t trials,
+                                       double z = 1.96);
+
+/// Linear-interpolation percentile of a sample (p in [0,1]); the input span is
+/// copied and sorted internally.
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> sample) noexcept;
+
+/// Unbiased standard deviation of a sample; 0 for fewer than two points.
+[[nodiscard]] double stddev(std::span<const double> sample) noexcept;
+
+/// Standard normal CDF Phi(x) via std::erfc (double precision).
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |error| <
+/// 1.15e-9), used by importance-sampling diagnostics and sigma-to-yield
+/// conversions.
+[[nodiscard]] double normal_quantile(double p);
+
+/// Convert a failure probability to the equivalent one-sided sigma level
+/// (e.g. 1e-3 -> ~3.09 sigma). Returns +inf for p <= 0.
+[[nodiscard]] double failure_prob_to_sigma(double p);
+
+/// Histogram with uniform bins over [lo, hi]; out-of-range samples clamp to
+/// the edge bins. Used by margin-distribution diagnostics.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hynapse::util

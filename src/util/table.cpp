@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace hynapse::util {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  if (headers_.empty()) throw std::invalid_argument{"Table: no headers"};
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument{"Table: row width mismatch"};
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+std::string Table::sci(double v, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::scientific);
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return num(100.0 * fraction, precision) + " %";
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ';
+      // Right-align everything except the first column, which is usually a
+      // label.
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        out << cells[c] << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << cells[c];
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    out << std::string(widths[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace hynapse::util

@@ -1,0 +1,36 @@
+// Console table formatter used by every bench binary so that reproduced paper
+// tables/figures print with consistent alignment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hynapse::util {
+
+/// Fixed-column text table. Cells are strings; numeric helpers format with a
+/// chosen precision. Rendered with a header rule and right-aligned numerics.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with fixed precision (trailing-zero-preserving).
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+  /// Formats a double in scientific notation (for failure rates).
+  [[nodiscard]] static std::string sci(double v, int precision = 2);
+  /// Formats a percentage (value 0.1234 -> "12.34 %" with precision 2).
+  [[nodiscard]] static std::string pct(double fraction, int precision = 2);
+
+  /// Renders the table to a string (including trailing newline).
+  [[nodiscard]] std::string str() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hynapse::util

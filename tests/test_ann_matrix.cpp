@@ -1,0 +1,121 @@
+#include "ann/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hynapse::ann {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Matrix m{r, c};
+  util::Rng rng{seed};
+  for (float& x : m.data()) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m{3, 4};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  m.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(m.row(1)[2], 5.0f);
+}
+
+TEST(Matrix, FillSetsEverything) {
+  Matrix m{2, 2};
+  m.fill(3.5f);
+  for (float x : m.data()) EXPECT_FLOAT_EQ(x, 3.5f);
+}
+
+TEST(Gemm, MatchesNaiveReference) {
+  const Matrix a = random_matrix(17, 31, 1);
+  const Matrix b = random_matrix(31, 23, 2);
+  Matrix fast{17, 23};
+  Matrix slow{17, 23};
+  gemm(a, b, fast);
+  gemm_naive(a, b, slow);
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    EXPECT_NEAR(fast.data()[i], slow.data()[i], 1e-4);
+}
+
+TEST(Gemm, ParallelMatchesSerial) {
+  const Matrix a = random_matrix(200, 64, 3);
+  const Matrix b = random_matrix(64, 48, 4);
+  Matrix par{200, 48};
+  Matrix ser{200, 48};
+  gemm(a, b, par, /*parallel=*/true);
+  gemm(a, b, ser, /*parallel=*/false);
+  EXPECT_EQ(par, ser);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  const Matrix a = random_matrix(8, 8, 5);
+  Matrix eye{8, 8};
+  for (std::size_t i = 0; i < 8; ++i) eye.at(i, i) = 1.0f;
+  Matrix out{8, 8};
+  gemm(a, eye, out);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(out.data()[i], a.data()[i], 1e-6);
+}
+
+TEST(Gemm, RejectsDimensionMismatch) {
+  const Matrix a{3, 4};
+  const Matrix b{5, 2};
+  Matrix c{3, 2};
+  EXPECT_THROW(gemm(a, b, c), std::invalid_argument);
+  Matrix bad_c{4, 2};
+  const Matrix ok_b{4, 2};
+  EXPECT_THROW(gemm(a, ok_b, bad_c), std::invalid_argument);
+}
+
+TEST(GemmBt, MatchesExplicitTranspose) {
+  const Matrix a = random_matrix(9, 13, 6);
+  const Matrix b = random_matrix(13, 7, 7);  // we'll compute a * b
+  // bt stores b^T (7 x 13); gemm_bt(a, bt) must equal a * b.
+  Matrix bt{7, 13};
+  for (std::size_t i = 0; i < 13; ++i)
+    for (std::size_t j = 0; j < 7; ++j) bt.at(j, i) = b.at(i, j);
+  Matrix direct{9, 7};
+  gemm_naive(a, b, direct);
+  Matrix viabt{9, 7};
+  gemm_bt(a, bt, viabt);
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_NEAR(direct.data()[i], viabt.data()[i], 1e-4);
+}
+
+TEST(GemmAt, MatchesExplicitTranspose) {
+  const Matrix at = random_matrix(11, 6, 8);  // stores A^T implicitly: A is 6x11? no:
+  // gemm_at computes C = at^T * b where at is (k x m): here k=11, m=6.
+  const Matrix b = random_matrix(11, 5, 9);
+  Matrix a{6, 11};
+  for (std::size_t i = 0; i < 11; ++i)
+    for (std::size_t j = 0; j < 6; ++j) a.at(j, i) = at.at(i, j);
+  Matrix direct{6, 5};
+  gemm_naive(a, b, direct);
+  Matrix viaat{6, 5};
+  gemm_at(at, b, viaat);
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_NEAR(direct.data()[i], viaat.data()[i], 1e-4);
+}
+
+TEST(AddRowBias, BroadcastsAcrossRows) {
+  Matrix m{2, 3};
+  m.fill(1.0f);
+  const std::vector<float> bias{0.5f, -1.0f, 2.0f};
+  add_row_bias(m, bias);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 3.0f);
+}
+
+TEST(AddRowBias, RejectsSizeMismatch) {
+  Matrix m{2, 3};
+  const std::vector<float> bias{1.0f};
+  EXPECT_THROW(add_row_bias(m, bias), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hynapse::ann

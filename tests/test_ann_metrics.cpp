@@ -1,0 +1,98 @@
+#include "ann/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/digits.hpp"
+#include "test_helpers.hpp"
+
+namespace hynapse::ann {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm{3};
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(1, 2);  // miss
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(1, 2), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 4.0 / 5.0);
+}
+
+TEST(ConfusionMatrix, PrecisionRecall) {
+  ConfusionMatrix cm{2};
+  // class 1: TP=3, FN=1, FP=2.
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  cm.add(0, 1);
+  cm.add(0, 1);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 3.0 / 5.0);
+}
+
+TEST(ConfusionMatrix, EdgeCases) {
+  ConfusionMatrix cm{2};
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 0.0);  // never predicted
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.0);     // never present
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW((ConfusionMatrix{0}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, WorstClassIdentified) {
+  ConfusionMatrix cm{3};
+  for (int i = 0; i < 10; ++i) cm.add(0, 0);
+  for (int i = 0; i < 10; ++i) cm.add(1, 1);
+  for (int i = 0; i < 4; ++i) cm.add(2, 0);  // class 2 always wrong
+  cm.add(2, 2);
+  EXPECT_EQ(cm.worst_class(), 2u);
+}
+
+TEST(ConfusionMatrix, MacroF1PerfectClassifier) {
+  ConfusionMatrix cm{3};
+  for (std::uint8_t c = 0; c < 3; ++c)
+    for (int i = 0; i < 5; ++i) cm.add(c, c);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, BatchMatchesIncremental) {
+  const std::vector<std::uint8_t> truth{0, 1, 2, 1, 0};
+  const std::vector<std::uint8_t> pred{0, 1, 1, 1, 2};
+  ConfusionMatrix a{3};
+  a.add_batch(truth, pred);
+  ConfusionMatrix b{3};
+  for (std::size_t i = 0; i < truth.size(); ++i) b.add(truth[i], pred[i]);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Metrics, EvaluateConfusionOnTrainedNet) {
+  const Mlp& net = hynapse::testing::small_trained_net();
+  const data::Dataset& test = hynapse::testing::small_test_set();
+  const ConfusionMatrix cm =
+      evaluate_confusion(net, test.images, test.labels);
+  EXPECT_EQ(cm.total(), test.size());
+  EXPECT_NEAR(cm.accuracy(), net.accuracy(test.images, test.labels), 1e-12);
+  // A well-trained digit model has decent recall everywhere.
+  for (std::size_t c = 0; c < 10; ++c) EXPECT_GT(cm.recall(c), 0.7) << c;
+}
+
+TEST(Metrics, TopKOrderingProperties) {
+  const Mlp& net = hynapse::testing::small_trained_net();
+  const data::Dataset test = hynapse::testing::small_test_set().head(200);
+  const double top1 = top_k_accuracy(net, test.images, test.labels, 1);
+  const double top3 = top_k_accuracy(net, test.images, test.labels, 3);
+  const double top10 = top_k_accuracy(net, test.images, test.labels, 10);
+  EXPECT_NEAR(top1, net.accuracy(test.images, test.labels), 1e-12);
+  EXPECT_GE(top3, top1);
+  EXPECT_DOUBLE_EQ(top10, 1.0);
+  EXPECT_THROW((void)top_k_accuracy(net, test.images, test.labels, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hynapse::ann

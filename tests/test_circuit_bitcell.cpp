@@ -1,0 +1,198 @@
+#include "circuit/bitcell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/reference.hpp"
+
+namespace hynapse::circuit {
+namespace {
+
+class BitcellTest : public ::testing::Test {
+ protected:
+  Technology tech_ = ptm22();
+  Bitcell6T cell6_ = reference_6t(tech_);
+  Bitcell8T cell8_ = reference_8t(tech_);
+  double vdd_ = 0.95;
+};
+
+TEST_F(BitcellTest, RejectsBadSizing) {
+  EXPECT_THROW((Bitcell6T{tech_, Sizing6T{0.0, 1e-7, 1e-7}}),
+               std::invalid_argument);
+  Sizing8T s = reference_sizing_8t(tech_);
+  s.w_rpd = 0.0;
+  EXPECT_THROW((Bitcell8T{tech_, s}), std::invalid_argument);
+}
+
+// --- paper Section IV characterization targets ---------------------------
+
+TEST_F(BitcellTest, NominalReadSnmMatchesPaper) {
+  EXPECT_NEAR(cell6_.read_snm(vdd_), 0.195, 0.010);
+}
+
+TEST_F(BitcellTest, NominalWriteMarginMatchesPaper) {
+  EXPECT_NEAR(cell6_.write_margin(vdd_), 0.250, 0.012);
+}
+
+TEST_F(BitcellTest, HoldSnmExceedsReadSnm) {
+  EXPECT_GT(cell6_.hold_snm(vdd_), cell6_.read_snm(vdd_) + 0.05);
+}
+
+TEST_F(BitcellTest, ReadSnmDegradesWithVoltage) {
+  double prev = 0.0;
+  for (double vdd : paper_voltage_grid()) {
+    const double snm = cell6_.read_snm(vdd);
+    EXPECT_GT(snm, prev);  // grid is ascending; SNM rises with VDD
+    prev = snm;
+  }
+}
+
+TEST_F(BitcellTest, EightTReadSnmEqualsHoldSnm) {
+  // Decoupled read port: reading cannot degrade stability.
+  EXPECT_DOUBLE_EQ(cell8_.read_snm(vdd_), cell8_.hold_snm(vdd_));
+  EXPECT_GT(cell8_.read_snm(0.65), cell6_.read_snm(0.65));
+}
+
+TEST_F(BitcellTest, EightTWriteMarginExceedsSixT) {
+  // Write-optimized core (no read-stability constraint).
+  EXPECT_GT(cell8_.write_margin(vdd_), cell6_.write_margin(vdd_) + 0.05);
+}
+
+TEST_F(BitcellTest, EqualNominalReadTimesBySizing) {
+  // Paper: "The 6T and 8T bitcells were designed for equal read access and
+  // write times". The 8T buffer is at least as fast as the 6T read path.
+  EXPECT_GE(cell8_.read_current(vdd_), cell6_.read_current(vdd_));
+}
+
+// --- read path -------------------------------------------------------------
+
+TEST_F(BitcellTest, ReadCurrentRisesWithVdd) {
+  double prev = 0.0;
+  for (double vdd : paper_voltage_grid()) {
+    const double i = cell6_.read_current(vdd);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST_F(BitcellTest, ReadBumpIsSmallFractionOfVdd) {
+  const double bump = cell6_.read_bump(vdd_);
+  EXPECT_GT(bump, 0.01);
+  EXPECT_LT(bump, 0.35 * vdd_);
+}
+
+TEST_F(BitcellTest, NominalCellHasNoDisturb) {
+  for (double vdd : paper_voltage_grid())
+    EXPECT_FALSE(cell6_.read_disturb_fails(vdd));
+}
+
+TEST_F(BitcellTest, SkewedCellCanDisturb) {
+  // Strong pass gate + very weak pull-down pushes the bump over the trip
+  // point of a skewed opposite inverter.
+  Variation6T var;
+  var.pd_l = +0.35;   // weak PD on the read side
+  var.pg_l = -0.25;   // strong access transistor
+  var.pd_r = -0.15;   // opposite inverter trips early
+  var.pu_r = +0.20;
+  const Bitcell6T skewed{tech_, reference_sizing_6t(tech_), var};
+  EXPECT_TRUE(skewed.read_disturb_fails(0.65));
+}
+
+TEST_F(BitcellTest, EightTHasNoDisturbEvenWhenSkewed) {
+  EXPECT_FALSE(Bitcell8T::read_disturb_fails(0.65));
+}
+
+// --- write path ------------------------------------------------------------
+
+TEST_F(BitcellTest, NominalCellIsWriteable) {
+  EXPECT_FALSE(cell6_.static_write_fails(vdd_));
+  const double t = cell6_.write_flip_time(vdd_, 0.5e-15, 1e-9);
+  EXPECT_TRUE(std::isfinite(t));
+  EXPECT_GT(t, 0.0);
+}
+
+TEST_F(BitcellTest, WriteResidualNegativeWhenWriteSucceeds) {
+  const double t = cell6_.write_flip_time(vdd_, 0.5e-15, 1e-9);
+  EXPECT_LT(cell6_.write_residual(vdd_, 0.5e-15, 4.0 * t), 0.0);
+}
+
+TEST_F(BitcellTest, WriteResidualPositiveForHopelessCorner) {
+  Variation6T var;
+  var.pg_l = +0.40;  // feeble pass gate
+  var.pu_l = -0.35;  // ferocious pull-up (PMOS stronger when VT magnitude drops)
+  var.pd_r = +0.30;  // QB side reluctant to rise
+  const Bitcell6T stuck{tech_, reference_sizing_6t(tech_), var};
+  EXPECT_GT(stuck.write_residual(0.65, 0.5e-15, 1e-10), 0.0);
+}
+
+TEST_F(BitcellTest, WriteFasterAtHigherVdd) {
+  // Window tight enough for the fixed-step transient to resolve ps-scale
+  // flip times.
+  const double slow = cell6_.write_flip_time(0.65, 0.5e-15, 2e-10);
+  const double fast = cell6_.write_flip_time(0.95, 0.5e-15, 2e-10);
+  EXPECT_LT(fast, slow);
+}
+
+TEST_F(BitcellTest, WriteMarginShrinksWithVoltage) {
+  EXPECT_LT(cell6_.write_margin(0.65), cell6_.write_margin(0.95));
+}
+
+// --- leakage ----------------------------------------------------------------
+
+TEST_F(BitcellTest, LeakageRisesWithVdd) {
+  double prev = 0.0;
+  for (double vdd : paper_voltage_grid()) {
+    const double leak = cell6_.leakage(vdd);
+    EXPECT_GT(leak, prev);
+    prev = leak;
+  }
+}
+
+TEST_F(BitcellTest, LeakageRatioAnchor) {
+  // Fig 6(c): cell leakage power drops ~4.3x from 0.95 V to 0.65 V.
+  const double ratio =
+      (0.95 * cell6_.leakage(0.95)) / (0.65 * cell6_.leakage(0.65));
+  EXPECT_NEAR(ratio, 4.3, 1.0);
+}
+
+TEST_F(BitcellTest, EightTLeaksMoreThanItsOwnCore) {
+  // The read buffer adds leakage on top of the 8T core.
+  const Bitcell6T core{tech_, reference_sizing_8t(tech_).core};
+  EXPECT_GT(cell8_.leakage(vdd_), core.leakage(vdd_));
+}
+
+// --- variation response (property sweep) ------------------------------------
+
+class BitcellVddSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BitcellVddSweep, WeakPassGateSlowsRead) {
+  const Technology tech = ptm22();
+  const double vdd = GetParam();
+  const Bitcell6T nominal{tech, reference_sizing_6t(tech)};
+  Variation6T var;
+  var.pg_l = +0.10;
+  const Bitcell6T weak{tech, reference_sizing_6t(tech), var};
+  EXPECT_LT(weak.read_current(vdd), nominal.read_current(vdd));
+}
+
+TEST_P(BitcellVddSweep, VariationHurtsMoreAtLowVoltage) {
+  const Technology tech = ptm22();
+  const double vdd = GetParam();
+  const Bitcell6T nominal{tech, reference_sizing_6t(tech)};
+  Variation6T var;
+  var.pg_l = +0.08;
+  var.pd_l = +0.08;
+  const Bitcell6T weak{tech, reference_sizing_6t(tech), var};
+  const double degradation_here =
+      weak.read_current(vdd) / nominal.read_current(vdd);
+  const double degradation_nom =
+      weak.read_current(0.95) / nominal.read_current(0.95);
+  if (vdd < 0.95) EXPECT_LT(degradation_here, degradation_nom + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperVoltages, BitcellVddSweep,
+                         ::testing::Values(0.65, 0.70, 0.75, 0.85, 0.95));
+
+}  // namespace
+}  // namespace hynapse::circuit

@@ -1,0 +1,131 @@
+#include "circuit/inverter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/snm.hpp"
+#include "circuit/tech.hpp"
+
+namespace hynapse::circuit {
+namespace {
+
+class InverterTest : public ::testing::Test {
+ protected:
+  Technology tech_ = ptm22();
+  Inverter inv_{Mosfet{tech_.pmos, 2 * tech_.wmin, tech_.lmin},
+                Mosfet{tech_.nmos, tech_.wmin, tech_.lmin}};
+  double vdd_ = 0.95;
+};
+
+TEST_F(InverterTest, RailsAreCorrect) {
+  EXPECT_GT(inv_.output(0.0, vdd_), 0.95 * vdd_);
+  EXPECT_LT(inv_.output(vdd_, vdd_), 0.05 * vdd_);
+}
+
+TEST_F(InverterTest, VtcMonotoneDecreasing) {
+  double prev = vdd_ + 1.0;
+  for (double v = 0.0; v <= vdd_; v += 0.01) {
+    const double out = inv_.output(v, vdd_);
+    EXPECT_LE(out, prev + 1e-9) << "vin=" << v;
+    prev = out;
+  }
+}
+
+TEST_F(InverterTest, TripPointIsFixedPoint) {
+  const double trip = inv_.trip_voltage(vdd_);
+  EXPECT_GT(trip, 0.2 * vdd_);
+  EXPECT_LT(trip, 0.8 * vdd_);
+  EXPECT_NEAR(inv_.output(trip, vdd_), trip, 2e-3);
+}
+
+TEST_F(InverterTest, GainAtTripExceedsOne) {
+  EXPECT_GT(inv_.gain_at_trip(vdd_), 1.5);
+}
+
+TEST_F(InverterTest, StrongerPullDownLowersTrip) {
+  const Inverter strong_pd{Mosfet{tech_.pmos, 2 * tech_.wmin, tech_.lmin},
+                           Mosfet{tech_.nmos, 3 * tech_.wmin, tech_.lmin}};
+  EXPECT_LT(strong_pd.trip_voltage(vdd_), inv_.trip_voltage(vdd_));
+}
+
+TEST_F(InverterTest, AccessLoadRaisesLowOutput) {
+  const Mosfet pg{tech_.nmos, tech_.wmin, tech_.lmin};
+  const double unloaded = inv_.output(vdd_, vdd_);
+  const double loaded = inv_.output(vdd_, vdd_, &pg, vdd_);
+  EXPECT_GT(loaded, unloaded);
+  EXPECT_GT(loaded, 0.02 * vdd_);  // a real read bump
+}
+
+TEST_F(InverterTest, TripScalesWithVdd) {
+  for (double vdd : {0.65, 0.75, 0.85, 0.95}) {
+    const double trip = inv_.trip_voltage(vdd);
+    EXPECT_GT(trip, 0.25 * vdd);
+    EXPECT_LT(trip, 0.75 * vdd);
+  }
+}
+
+TEST(TabulatedVtc, InterpolatesAndClamps) {
+  const auto fn = [](double x) { return 1.0 - x; };
+  const TabulatedVtc t{fn, 1.0, 101};
+  EXPECT_NEAR(t.eval(0.5), 0.5, 1e-9);
+  EXPECT_NEAR(t.eval(0.123), 0.877, 1e-6);
+  EXPECT_NEAR(t.eval(-1.0), 1.0, 1e-12);
+  EXPECT_NEAR(t.eval(2.0), 0.0, 1e-12);
+  EXPECT_EQ(t.size(), 101u);
+}
+
+TEST(TabulatedVtc, RejectsTooFewPoints) {
+  EXPECT_THROW((TabulatedVtc{[](double) { return 0.0; }, 1.0, 4}),
+               std::invalid_argument);
+}
+
+TEST(Snm, IdealSteepInvertersGiveHalfVdd) {
+  // Near-ideal inverter: steep transition at vdd/2 -> SNM ~ vdd/2.
+  const double vdd = 1.0;
+  const auto steep = [vdd](double x) {
+    return vdd / (1.0 + std::exp(220.0 * (x - vdd / 2)));
+  };
+  const TabulatedVtc f{steep, vdd, 800};
+  const TabulatedVtc g{steep, vdd, 800};
+  EXPECT_NEAR(static_noise_margin(f, g), 0.5 * vdd, 0.035 * vdd);
+}
+
+TEST(Snm, NeverExceedsHalfVdd) {
+  const Technology tech = ptm22();
+  const Inverter inv{Mosfet{tech.pmos, 2 * tech.wmin, tech.lmin},
+                     Mosfet{tech.nmos, 2 * tech.wmin, tech.lmin}};
+  for (double vdd : {0.65, 0.95}) {
+    const TabulatedVtc f{[&](double v) { return inv.output(v, vdd); }, vdd,
+                         400};
+    const double snm = static_noise_margin(f, f);
+    EXPECT_GT(snm, 0.0);
+    EXPECT_LE(snm, 0.5 * vdd + 1e-6);
+  }
+}
+
+TEST(Snm, CollapsedButterflyGivesZero) {
+  // Two identical *non-inverting-gain* curves (shallow line y = 0.5 - 0.1x)
+  // produce no eye: SNM 0.
+  const auto shallow = [](double x) { return 0.5 - 0.1 * x; };
+  const TabulatedVtc f{shallow, 1.0, 200};
+  EXPECT_NEAR(static_noise_margin(f, f), 0.0, 0.02);
+}
+
+TEST(Snm, AsymmetryReducesMargin) {
+  const Technology tech = ptm22();
+  const Inverter balanced{Mosfet{tech.pmos, 2 * tech.wmin, tech.lmin},
+                          Mosfet{tech.nmos, 2 * tech.wmin, tech.lmin}};
+  // A +120 mV VT shift on one pull-down skews that inverter's curve.
+  const Inverter skewed{Mosfet{tech.pmos, 2 * tech.wmin, tech.lmin},
+                        Mosfet{tech.nmos, 2 * tech.wmin, tech.lmin, 0.12}};
+  const double vdd = 0.95;
+  const TabulatedVtc fb{[&](double v) { return balanced.output(v, vdd); },
+                        vdd, 400};
+  const TabulatedVtc fs{[&](double v) { return skewed.output(v, vdd); }, vdd,
+                        400};
+  EXPECT_LT(static_noise_margin(fb, fs), static_noise_margin(fb, fb));
+}
+
+}  // namespace
+}  // namespace hynapse::circuit

@@ -1,0 +1,132 @@
+#include "circuit/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/tech.hpp"
+
+namespace hynapse::circuit {
+namespace {
+
+class MosfetTest : public ::testing::Test {
+ protected:
+  Technology tech_ = ptm22();
+  Mosfet nmos_{tech_.nmos, 2 * tech_.wmin, tech_.lmin};
+  Mosfet pmos_{tech_.pmos, 2 * tech_.wmin, tech_.lmin};
+};
+
+TEST_F(MosfetTest, RejectsBadGeometry) {
+  EXPECT_THROW((Mosfet{tech_.nmos, 0.0, tech_.lmin}), std::invalid_argument);
+  EXPECT_THROW((Mosfet{tech_.nmos, tech_.wmin, -1.0}), std::invalid_argument);
+}
+
+TEST_F(MosfetTest, CurrentIncreasesWithVgs) {
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 1.0; vgs += 0.05) {
+    const double i = nmos_.ids(vgs, 0.9);
+    EXPECT_GT(i, prev) << "vgs=" << vgs;
+    prev = i;
+  }
+}
+
+TEST_F(MosfetTest, CurrentNonDecreasingWithVds) {
+  double prev = -1.0;
+  for (double vds = 0.0; vds <= 1.0; vds += 0.02) {
+    const double i = nmos_.ids(0.9, vds);
+    EXPECT_GE(i, prev) << "vds=" << vds;
+    prev = i;
+  }
+}
+
+TEST_F(MosfetTest, ZeroVdsGivesZeroCurrent) {
+  EXPECT_DOUBLE_EQ(nmos_.ids(0.9, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(nmos_.ids(0.9, -0.5), 0.0);  // clamped
+}
+
+TEST_F(MosfetTest, ContinuousAcrossThreshold) {
+  // The smoothed overdrive must not leave a jump near vgs = vt0.
+  const double vt = tech_.nmos.vt0;
+  const double below = nmos_.ids(vt - 1e-6, 0.5);
+  const double above = nmos_.ids(vt + 1e-6, 0.5);
+  EXPECT_NEAR(below, above, 0.02 * above + 1e-15);
+}
+
+TEST_F(MosfetTest, SubthresholdSlopeNearTarget) {
+  // Effective SS = ln(10) * n_sub * phi_t / alpha ~ 87 mV/dec for ptm22.
+  const double i1 = nmos_.ids(0.10, 0.5);
+  const double i2 = nmos_.ids(0.20, 0.5);
+  const double ss = 0.1 / std::log10(i2 / i1);
+  EXPECT_NEAR(ss, 0.087, 0.012);
+}
+
+TEST_F(MosfetTest, DiblRaisesLeakage) {
+  const double low = nmos_.leakage(0.65);
+  const double high = nmos_.leakage(0.95);
+  EXPECT_GT(high, low);
+  // Fig 6(c) anchor: leakage current grows ~3x over 300 mV (power ~4.3x
+  // including the V factor).
+  EXPECT_NEAR(high / low, 2.9, 0.8);
+}
+
+TEST_F(MosfetTest, OnCurrentInRealisticRange) {
+  // 22 nm-class device, W/L ~ 2, full drive: tens of microamps.
+  const double ion = nmos_.ids(0.95, 0.95);
+  EXPECT_GT(ion, 10e-6);
+  EXPECT_LT(ion, 500e-6);
+}
+
+TEST_F(MosfetTest, OffCurrentInRealisticRange) {
+  const double ioff = nmos_.leakage(0.95);
+  EXPECT_GT(ioff, 1e-10);
+  EXPECT_LT(ioff, 1e-7);
+}
+
+TEST_F(MosfetTest, PmosWeakerThanNmos) {
+  EXPECT_LT(pmos_.ids(0.95, 0.95), nmos_.ids(0.95, 0.95));
+}
+
+TEST_F(MosfetTest, DeltaVtShiftsCurrent) {
+  const Mosfet weak = nmos_.with_delta_vt(+0.06);
+  const Mosfet strong = nmos_.with_delta_vt(-0.06);
+  const double inom = nmos_.ids(0.8, 0.8);
+  EXPECT_LT(weak.ids(0.8, 0.8), inom);
+  EXPECT_GT(strong.ids(0.8, 0.8), inom);
+}
+
+TEST_F(MosfetTest, CurrentScalesWithWidth) {
+  const Mosfet wide{tech_.nmos, 4 * tech_.wmin, tech_.lmin};
+  EXPECT_NEAR(wide.ids(0.9, 0.9) / nmos_.ids(0.9, 0.9), 2.0, 1e-9);
+}
+
+TEST_F(MosfetTest, PelgromSigmaScaling) {
+  // sigma ~ 1/sqrt(W L): quadrupled width halves sigma (Eq. 1).
+  const Mosfet wide{tech_.nmos, 4 * tech_.wmin, tech_.lmin};
+  const double s1 = nmos_.sigma_vt(tech_.wmin, tech_.lmin);
+  const double s4 = wide.sigma_vt(tech_.wmin, tech_.lmin);
+  EXPECT_NEAR(s1 / s4, std::sqrt(2.0), 1e-9);
+  const Mosfet minimum{tech_.nmos, tech_.wmin, tech_.lmin};
+  EXPECT_DOUBLE_EQ(minimum.sigma_vt(tech_.wmin, tech_.lmin),
+                   tech_.nmos.sigma_vt0);
+}
+
+// Monotonicity sweep across a voltage grid (property-style).
+class MosfetVgsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosfetVgsSweep, SaturationCurrentMonotoneInOverdrive) {
+  const Technology tech = ptm22();
+  const Mosfet m{tech.nmos, tech.wmin, tech.lmin};
+  const double vds = GetParam();
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 1.2; vgs += 0.01) {
+    const double i = m.ids(vgs, vds);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VdsGrid, MosfetVgsSweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.95));
+
+}  // namespace
+}  // namespace hynapse::circuit

@@ -1,0 +1,88 @@
+#include "core/memory_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hynapse::core {
+namespace {
+
+// Benchmark ANN per-layer synapse counts (weights + biases).
+const std::vector<std::size_t> kBankWords{785000, 500500, 100200, 20100,
+                                          1010};
+
+TEST(MemoryConfig, All6tHasNoEightT) {
+  const MemoryConfig cfg = MemoryConfig::all_6t(kBankWords);
+  EXPECT_EQ(cfg.num_banks(), 5u);
+  EXPECT_EQ(cfg.total_bits_8t(), 0u);
+  EXPECT_EQ(cfg.total_bits_6t(), cfg.total_words() * 8);
+  EXPECT_DOUBLE_EQ(
+      cfg.area_overhead_vs_all_6t(circuit::paper_constants()), 0.0);
+}
+
+TEST(MemoryConfig, UniformHybridPartition) {
+  const MemoryConfig cfg = MemoryConfig::uniform_hybrid(kBankWords, 3);
+  for (const BankConfig& b : cfg.banks()) {
+    EXPECT_EQ(b.msbs_in_8t, 3);
+    // Bits 7,6,5 are 8T; bits 4..0 are 6T.
+    EXPECT_TRUE(b.bit_is_8t(7));
+    EXPECT_TRUE(b.bit_is_8t(5));
+    EXPECT_FALSE(b.bit_is_8t(4));
+    EXPECT_FALSE(b.bit_is_8t(0));
+  }
+  EXPECT_EQ(cfg.total_bits_8t(), cfg.total_words() * 3);
+}
+
+TEST(MemoryConfig, PerLayerPartition) {
+  const std::vector<int> msbs{2, 3, 1, 1, 3};
+  const MemoryConfig cfg = MemoryConfig::per_layer(kBankWords, msbs);
+  for (std::size_t i = 0; i < msbs.size(); ++i)
+    EXPECT_EQ(cfg.banks()[i].msbs_in_8t, msbs[i]);
+}
+
+TEST(MemoryConfig, ValidationErrors) {
+  EXPECT_THROW(MemoryConfig{std::vector<BankConfig>{}},
+               std::invalid_argument);
+  EXPECT_THROW(MemoryConfig::uniform_hybrid(kBankWords, 9),
+               std::invalid_argument);
+  EXPECT_THROW(MemoryConfig::uniform_hybrid(kBankWords, -1),
+               std::invalid_argument);
+  const std::vector<int> short_msbs{1, 2};
+  EXPECT_THROW(MemoryConfig::per_layer(kBankWords, short_msbs),
+               std::invalid_argument);
+  const std::vector<std::size_t> empty_bank{100, 0};
+  EXPECT_THROW(MemoryConfig::all_6t(empty_bank), std::invalid_argument);
+}
+
+TEST(MemoryConfig, AreaGrowsWithProtection) {
+  const circuit::PaperConstants pc = circuit::paper_constants();
+  double prev = 0.0;
+  for (int n = 0; n <= 8; ++n) {
+    const double overhead =
+        MemoryConfig::uniform_hybrid(kBankWords, n).area_overhead_vs_all_6t(
+            pc);
+    EXPECT_GT(overhead, prev - 1e-12);
+    prev = overhead;
+  }
+  // Full 8T = the paper's quoted +37 % (modelled as 1.3667).
+  EXPECT_NEAR(prev, pc.area_ratio_8t_over_6t - 1.0, 1e-9);
+}
+
+TEST(MemoryConfig, DescribeFormats) {
+  EXPECT_EQ(MemoryConfig::uniform_hybrid(kBankWords, 3).describe(), "(3,5)");
+  const std::vector<int> msbs{2, 3, 1, 1, 3};
+  EXPECT_EQ(MemoryConfig::per_layer(kBankWords, msbs).describe(),
+            "n=(2,3,1,1,3)");
+}
+
+TEST(MemoryConfig, AreaIndependentOfBankSplit) {
+  // Splitting the same words across banks differently must not change area.
+  const circuit::PaperConstants pc = circuit::paper_constants();
+  const std::vector<std::size_t> one{1406810};
+  const std::vector<std::size_t> two{1000000, 406810};
+  EXPECT_NEAR(MemoryConfig::uniform_hybrid(one, 2).area_units(pc),
+              MemoryConfig::uniform_hybrid(two, 2).area_units(pc), 1e-6);
+}
+
+}  // namespace
+}  // namespace hynapse::core

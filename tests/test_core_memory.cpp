@@ -1,0 +1,221 @@
+#include "core/synaptic_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <numeric>
+
+#include "core/experiments.hpp"
+#include "test_helpers.hpp"
+
+namespace hynapse::core {
+namespace {
+
+using hynapse::testing::flat_table;
+
+std::vector<std::int32_t> ramp_codes(std::size_t n) {
+  std::vector<std::int32_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i)
+    codes[i] = static_cast<std::int32_t>(i % 256) - 128;
+  return codes;
+}
+
+TEST(SynapticMemory, FaultFreeRoundTrip) {
+  const mc::FailureTable table = flat_table(0.0, 0.0, 0.0);
+  const FaultModel model{table, 0.9};
+  const std::vector<std::size_t> words{4096};
+  SynapticMemory mem{MemoryConfig::all_6t(words), model, 1};
+  const quant::QFormat fmt{8, 6};
+  const std::vector<std::int32_t> codes = ramp_codes(4096);
+  mem.store(0, codes, fmt);
+  std::vector<std::int32_t> out(4096);
+  util::Rng rng{2};
+  mem.load(0, out, fmt, rng);
+  EXPECT_EQ(out, codes);
+}
+
+TEST(SynapticMemory, ReadWeakFlipsRoughlyHalfPerRead) {
+  const mc::FailureTable table = flat_table(0.05, 0.0, 0.0);
+  const FaultModel model{table, 0.65, ReadFaultPolicy::random_per_read};
+  const std::vector<std::size_t> words{20000};
+  SynapticMemory mem{MemoryConfig::all_6t(words), model, 3};
+  const quant::QFormat fmt{8, 6};
+  const std::vector<std::int32_t> codes(20000, 0);
+  mem.store(0, codes, fmt);
+  std::vector<std::int32_t> out(20000);
+  util::Rng rng{4};
+  mem.load(0, out, fmt, rng);
+  std::size_t corrupted = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i] != codes[i]) ++corrupted;
+  // p_defect = 0.05 per bit, 8 bits; ~half of read-weak cells sense wrong:
+  // expected corrupted-word rate ~ 1 - (1 - 0.05*0.5)^8 ~ 0.183.
+  EXPECT_NEAR(static_cast<double>(corrupted) / 20000.0, 0.183, 0.02);
+}
+
+TEST(SynapticMemory, AlwaysFlipPolicyIsDeterministicCorruption) {
+  const mc::FailureTable table = flat_table(0.05, 0.0, 0.0);
+  const FaultModel model{table, 0.65, ReadFaultPolicy::always_flip};
+  const std::vector<std::size_t> words{5000};
+  SynapticMemory mem{MemoryConfig::all_6t(words), model, 5};
+  const quant::QFormat fmt{8, 6};
+  const std::vector<std::int32_t> codes(5000, 42);
+  mem.store(0, codes, fmt);
+  std::vector<std::int32_t> a(5000);
+  std::vector<std::int32_t> b(5000);
+  util::Rng ra{6};
+  util::Rng rb{7};  // different read streams
+  mem.load(0, a, fmt, ra);
+  mem.load(0, b, fmt, rb);
+  EXPECT_EQ(a, b);  // flip is deterministic, independent of read RNG
+  std::size_t corrupted = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != 42) ++corrupted;
+  EXPECT_GT(corrupted, 0u);
+}
+
+TEST(SynapticMemory, WriteWeakCellsHoldPowerUpState) {
+  const mc::FailureTable table = flat_table(0.0, 0.3, 0.0);
+  const FaultModel model{table, 0.65};
+  const std::vector<std::size_t> words{10000};
+  SynapticMemory mem{MemoryConfig::all_6t(words), model, 8};
+  const quant::QFormat fmt{8, 6};
+  const std::vector<std::int32_t> codes(10000, 0);  // all-zero pattern
+  mem.store(0, codes, fmt);
+  std::vector<std::int32_t> out(10000);
+  util::Rng rng{9};
+  mem.load(0, out, fmt, rng);
+  // ~30 % of bits missed the write and hold random power-up data; about
+  // half of those differ from the intended 0.
+  std::size_t wrong_bits = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint32_t diff = fmt.to_bits(out[i]) ^ fmt.to_bits(codes[i]);
+    wrong_bits += static_cast<std::size_t>(std::popcount(diff));
+  }
+  EXPECT_NEAR(static_cast<double>(wrong_bits) / (10000.0 * 8.0), 0.15, 0.02);
+}
+
+TEST(SynapticMemory, DisturbCorruptionPersistsAcrossLoads) {
+  const mc::FailureTable table = flat_table(0.0, 0.0, 0.2);
+  const FaultModel model{table, 0.65};
+  const std::vector<std::size_t> words{5000};
+  SynapticMemory mem{MemoryConfig::all_6t(words), model, 10};
+  const quant::QFormat fmt{8, 6};
+  const std::vector<std::int32_t> codes(5000, -1);
+  mem.store(0, codes, fmt);
+  std::vector<std::int32_t> first(5000);
+  std::vector<std::int32_t> second(5000);
+  util::Rng rng{11};
+  mem.load(0, first, fmt, rng);
+  // Second read with a *fresh* RNG still sees the destroyed data: the first
+  // read physically flipped the weak cells.
+  util::Rng rng2{999};
+  mem.load(0, second, fmt, rng2);
+  std::size_t first_bad = 0;
+  for (std::size_t i = 0; i < first.size(); ++i)
+    if (first[i] != -1) ++first_bad;
+  EXPECT_GT(first_bad, 0u);
+  // Every corruption seen by read 1 is still present in read 2 (modulo new
+  // disturb flips in read 2, which only add).
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    if (first[i] != -1) {
+      EXPECT_NE(second[i], -1) << "disturb corruption vanished at " << i;
+    }
+  }
+}
+
+TEST(SynapticMemory, HybridProtectsMsbsCompletely) {
+  // Heavy 6T failures, clean 8T cells, 4 protected MSBs: only the low
+  // nibble can differ after a read.
+  const mc::FailureTable table = flat_table(0.3, 0.1, 0.05);
+  const FaultModel model{table, 0.65};
+  const std::vector<std::size_t> words{8000};
+  SynapticMemory mem{MemoryConfig::uniform_hybrid(words, 4), model, 12};
+  const quant::QFormat fmt{8, 6};
+  const std::vector<std::int32_t> codes = ramp_codes(8000);
+  mem.store(0, codes, fmt);
+  std::vector<std::int32_t> out(8000);
+  util::Rng rng{13};
+  mem.load(0, out, fmt, rng);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint32_t diff = fmt.to_bits(out[i]) ^ fmt.to_bits(codes[i]);
+    EXPECT_EQ(diff & 0xF0u, 0u) << "protected MSB corrupted at word " << i;
+  }
+}
+
+TEST(SynapticMemory, ChipSeedReproducible) {
+  const mc::FailureTable table = flat_table(0.05, 0.02, 0.01);
+  const FaultModel model{table, 0.65};
+  const std::vector<std::size_t> words{4000};
+  const quant::QFormat fmt{8, 6};
+  const std::vector<std::int32_t> codes = ramp_codes(4000);
+  std::vector<std::int32_t> a(4000);
+  std::vector<std::int32_t> b(4000);
+  {
+    SynapticMemory mem{MemoryConfig::all_6t(words), model, 77};
+    mem.store(0, codes, fmt);
+    util::Rng rng{5};
+    mem.load(0, a, fmt, rng);
+  }
+  {
+    SynapticMemory mem{MemoryConfig::all_6t(words), model, 77};
+    mem.store(0, codes, fmt);
+    util::Rng rng{5};
+    mem.load(0, b, fmt, rng);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(SynapticMemory, DifferentChipsDiffer) {
+  const mc::FailureTable table = flat_table(0.05, 0.0, 0.0);
+  const FaultModel model{table, 0.65};
+  const std::vector<std::size_t> words{4000};
+  SynapticMemory m1{MemoryConfig::all_6t(words), model, 1};
+  SynapticMemory m2{MemoryConfig::all_6t(words), model, 2};
+  EXPECT_NE(m1.defect_count(CellCondition::read_weak), 0u);
+  // Same expected density but different placement; counts close but maps
+  // differ (compare a few defects).
+  ASSERT_FALSE(m1.fault_map(0).defects().empty());
+  ASSERT_FALSE(m2.fault_map(0).defects().empty());
+  EXPECT_NE(m1.fault_map(0).defects().front().word,
+            m2.fault_map(0).defects().front().word);
+}
+
+TEST(SynapticMemory, StoreNetworkRoundTripCleanChip) {
+  const ann::Mlp& net = hynapse::testing::small_trained_net();
+  const QuantizedNetwork qnet{net, 8};
+  const mc::FailureTable table = flat_table(0.0, 0.0, 0.0);
+  const FaultModel model{table, 0.9};
+  const MemoryConfig cfg = MemoryConfig::all_6t(qnet.bank_words());
+  SynapticMemory mem{cfg, model, 21};
+  mem.store_network(qnet);
+  util::Rng rng{22};
+  const QuantizedNetwork loaded = mem.load_network(qnet, rng);
+  for (std::size_t l = 0; l < qnet.num_layers(); ++l) {
+    EXPECT_EQ(loaded.layer(l).weight_codes, qnet.layer(l).weight_codes);
+    EXPECT_EQ(loaded.layer(l).bias_codes, qnet.layer(l).bias_codes);
+  }
+}
+
+TEST(SynapticMemory, BankLayerMismatchThrows) {
+  const ann::Mlp& net = hynapse::testing::small_trained_net();
+  const QuantizedNetwork qnet{net, 8};
+  const mc::FailureTable table = flat_table(0.0, 0.0, 0.0);
+  const FaultModel model{table, 0.9};
+  const std::vector<std::size_t> wrong{100, 200};
+  SynapticMemory mem{MemoryConfig::all_6t(wrong), model, 1};
+  EXPECT_THROW(mem.store_network(qnet), std::invalid_argument);
+}
+
+TEST(SynapticMemory, StoreRejectsOversizedPayload) {
+  const mc::FailureTable table = flat_table(0.0, 0.0, 0.0);
+  const FaultModel model{table, 0.9};
+  const std::vector<std::size_t> words{10};
+  SynapticMemory mem{MemoryConfig::all_6t(words), model, 1};
+  const quant::QFormat fmt{8, 6};
+  const std::vector<std::int32_t> codes(11, 0);
+  EXPECT_THROW(mem.store(0, codes, fmt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hynapse::core

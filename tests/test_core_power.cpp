@@ -1,0 +1,92 @@
+#include "core/power_area.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/memory_config.hpp"
+
+namespace hynapse::core {
+namespace {
+
+class CorePowerTest : public ::testing::Test {
+ protected:
+  CorePowerTest()
+      : tech_{circuit::ptm22()},
+        array_{tech_, sram::SubArrayGeometry{},
+               circuit::reference_sizing_6t(tech_)},
+        cycle_{tech_, array_, circuit::reference_6t(tech_)},
+        cells_{tech_, cycle_, circuit::paper_constants()} {}
+
+  circuit::Technology tech_;
+  sram::SubArrayModel array_;
+  sram::CycleModel cycle_;
+  sram::BitcellPowerModel cells_;
+  const std::vector<std::size_t> words_{785000, 500500, 100200, 20100, 1010};
+};
+
+TEST_F(CorePowerTest, HybridCostsMorePowerAtIsoVoltage) {
+  const MemoryConfig base = MemoryConfig::all_6t(words_);
+  const MemoryConfig hybrid = MemoryConfig::uniform_hybrid(words_, 3);
+  const PowerAreaReport rb = evaluate_power_area(base, 0.75, cells_);
+  const PowerAreaReport rh = evaluate_power_area(hybrid, 0.75, cells_);
+  EXPECT_GT(rh.access_power, rb.access_power);
+  EXPECT_GT(rh.leakage_power, rb.leakage_power);
+  EXPECT_GT(rh.area_units, rb.area_units);
+}
+
+TEST_F(CorePowerTest, IsoVoltagePenaltyMatchesClosedForm) {
+  // With n of 8 bits at +20 % read power, total access power grows by
+  // exactly 0.2*n/8 at iso-voltage.
+  const MemoryConfig base = MemoryConfig::all_6t(words_);
+  for (int n : {1, 2, 3, 4}) {
+    const MemoryConfig hybrid = MemoryConfig::uniform_hybrid(words_, n);
+    const double ratio =
+        evaluate_power_area(hybrid, 0.75, cells_).access_power /
+        evaluate_power_area(base, 0.75, cells_).access_power;
+    EXPECT_NEAR(ratio, 1.0 + 0.2 * n / 8.0, 1e-9) << n;
+  }
+}
+
+TEST_F(CorePowerTest, VoltageScalingBeatsHybridPenalty) {
+  // The whole point of the architecture: hybrid at 0.65 V consumes less
+  // than all-6T at the 0.75 V iso-stability baseline.
+  const MemoryConfig base = MemoryConfig::all_6t(words_);
+  const MemoryConfig hybrid = MemoryConfig::uniform_hybrid(words_, 3);
+  const PowerAreaReport baseline = evaluate_power_area(base, 0.75, cells_);
+  const PowerAreaReport scaled = evaluate_power_area(hybrid, 0.65, cells_);
+  const RelativeSavings s = compare(scaled, baseline);
+  EXPECT_GT(s.access_power, 0.20);
+  EXPECT_GT(s.leakage_power, 0.20);
+  EXPECT_GT(s.area_overhead, 0.10);
+}
+
+TEST_F(CorePowerTest, CompareIsAntisymmetricAtZero) {
+  const MemoryConfig base = MemoryConfig::all_6t(words_);
+  const PowerAreaReport r = evaluate_power_area(base, 0.75, cells_);
+  const RelativeSavings s = compare(r, r);
+  EXPECT_DOUBLE_EQ(s.access_power, 0.0);
+  EXPECT_DOUBLE_EQ(s.leakage_power, 0.0);
+  EXPECT_DOUBLE_EQ(s.area_overhead, 0.0);
+}
+
+TEST_F(CorePowerTest, LeakagePenaltyUsesPaperRatio) {
+  const MemoryConfig base = MemoryConfig::all_6t(words_);
+  const MemoryConfig all8 = MemoryConfig::uniform_hybrid(words_, 8);
+  const double ratio =
+      evaluate_power_area(all8, 0.75, cells_).leakage_power /
+      evaluate_power_area(base, 0.75, cells_).leakage_power;
+  EXPECT_NEAR(ratio, 1.47, 1e-9);
+}
+
+TEST_F(CorePowerTest, PowerScalesLinearlyWithWords) {
+  const std::vector<std::size_t> one{1000};
+  const std::vector<std::size_t> ten{10000};
+  const double p1 =
+      evaluate_power_area(MemoryConfig::all_6t(one), 0.8, cells_).access_power;
+  const double p10 =
+      evaluate_power_area(MemoryConfig::all_6t(ten), 0.8, cells_)
+          .access_power;
+  EXPECT_NEAR(p10 / p1, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hynapse::core

@@ -1,0 +1,97 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "test_helpers.hpp"
+
+namespace hynapse::core {
+namespace {
+
+using hynapse::testing::flat_table;
+using hynapse::testing::small_test_set;
+using hynapse::testing::small_trained_net;
+
+TEST(Sensitivity, MsbFlipsHurtMoreThanLsbFlips) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset eval = small_test_set().head(300);
+  SensitivityOptions opt;
+  opt.bit_error_rate = 0.08;
+  opt.trials = 2;
+  const auto drop = bit_sensitivity(qnet, eval, opt);
+  ASSERT_EQ(drop.size(), qnet.num_layers());
+  for (std::size_t l = 0; l < drop.size(); ++l) {
+    EXPECT_GT(drop[l][7], drop[l][0] - 0.01)
+        << "layer " << l << ": MSB no worse than LSB";
+    // LSB flips are nearly harmless at this rate.
+    EXPECT_LT(drop[l][0], 0.05) << "layer " << l;
+  }
+  // At least one layer shows a substantial MSB drop.
+  double max_msb = 0.0;
+  for (const auto& row : drop) max_msb = std::max(max_msb, row[7]);
+  EXPECT_GT(max_msb, 0.05);
+}
+
+TEST(Sensitivity, LayerProfileHasExpectedSize) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset eval = small_test_set().head(200);
+  const auto profile = layer_sensitivity(qnet, eval);
+  EXPECT_EQ(profile.size(), qnet.num_layers());
+}
+
+TEST(Sensitivity, DeterministicForSeed) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset eval = small_test_set().head(150);
+  SensitivityOptions opt;
+  opt.trials = 1;
+  const auto a = layer_sensitivity(qnet, eval, opt);
+  const auto b = layer_sensitivity(qnet, eval, opt);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Allocation, CleanMemoryNeedsNoProtection) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset val = small_test_set().head(200);
+  const mc::FailureTable table = flat_table(0.0, 0.0, 0.0);
+  const AllocationResult r = optimize_allocation(
+      qnet, val, table, 0.65, circuit::paper_constants());
+  for (int n : r.msbs_per_bank) EXPECT_EQ(n, 0);
+  EXPECT_DOUBLE_EQ(r.area_overhead, 0.0);
+}
+
+TEST(Allocation, HeavyFaultsForceProtection) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset val = small_test_set().head(250);
+  // Severe 6T read failures: unprotected accuracy collapses.
+  const mc::FailureTable table = flat_table(0.05, 0.01, 0.0);
+  AllocationOptions opt;
+  opt.target_accuracy_drop = 0.03;
+  opt.chips_per_eval = 1;
+  const AllocationResult r = optimize_allocation(
+      qnet, val, table, 0.65, circuit::paper_constants(), opt);
+  int total = 0;
+  for (int n : r.msbs_per_bank) total += n;
+  EXPECT_GT(total, 0);
+  EXPECT_GT(r.area_overhead, 0.0);
+  // Achieved the target on the validation set.
+  const double baseline = quantized_accuracy(qnet, val);
+  EXPECT_GE(r.accuracy, baseline - 0.03 - 0.02 /* eval noise */);
+}
+
+TEST(Allocation, ProtectionCappedAtWordWidth) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset val = small_test_set().head(100);
+  // Catastrophic rates AND an unreachable target: allocation must stop at
+  // max_msbs everywhere instead of looping forever.
+  const mc::FailureTable table = flat_table(0.5, 0.3, 0.1);
+  AllocationOptions opt;
+  opt.target_accuracy_drop = 0.0;
+  opt.chips_per_eval = 1;
+  opt.max_msbs = 8;
+  const AllocationResult r = optimize_allocation(
+      qnet, val, table, 0.65, circuit::paper_constants(), opt);
+  for (int n : r.msbs_per_bank) EXPECT_LE(n, 8);
+}
+
+}  // namespace
+}  // namespace hynapse::core

@@ -1,0 +1,109 @@
+#include "eccbase/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eccbase/ecc_memory.hpp"
+#include "test_helpers.hpp"
+
+namespace hynapse::eccbase {
+namespace {
+
+TEST(Hamming, CleanRoundTripAllValues) {
+  for (int v = 0; v < 256; ++v) {
+    const auto data = static_cast<std::uint8_t>(v);
+    const DecodeResult r = hamming_decode(hamming_encode(data));
+    EXPECT_EQ(r.data, data);
+    EXPECT_FALSE(r.corrected);
+  }
+}
+
+TEST(Hamming, CorrectsEverySingleBitError) {
+  for (int v = 0; v < 256; ++v) {
+    const auto data = static_cast<std::uint8_t>(v);
+    const std::uint16_t code = hamming_encode(data);
+    for (int bit = 0; bit < kCodeBits; ++bit) {
+      const auto corrupted = static_cast<std::uint16_t>(code ^ (1u << bit));
+      const DecodeResult r = hamming_decode(corrupted);
+      EXPECT_EQ(r.data, data) << "value " << v << " bit " << bit;
+      EXPECT_TRUE(r.corrected);
+    }
+  }
+}
+
+TEST(Hamming, DoubleErrorsUsuallyMiscorrect) {
+  // SEC without an extra parity bit cannot detect double errors; verify the
+  // decode_with_truth helper reports the damage.
+  int miscorrections = 0;
+  int cases = 0;
+  for (int v : {0x00, 0x5A, 0xFF, 0x13}) {
+    const std::uint16_t code = hamming_encode(static_cast<std::uint8_t>(v));
+    for (int b1 = 0; b1 < kCodeBits; ++b1) {
+      for (int b2 = b1 + 1; b2 < kCodeBits; ++b2) {
+        const auto corrupted =
+            static_cast<std::uint16_t>(code ^ (1u << b1) ^ (1u << b2));
+        const DecodeResult r =
+            decode_with_truth(corrupted, static_cast<std::uint8_t>(v));
+        ++cases;
+        if (r.miscorrected) ++miscorrections;
+      }
+    }
+  }
+  EXPECT_GT(miscorrections, cases / 2);
+}
+
+TEST(Hamming, ParityBitsPlacedAtPowersOfTwo) {
+  // Encoding zero data must produce zero parity, and each parity bit must
+  // respond to a data bit it covers.
+  EXPECT_EQ(hamming_encode(0), 0);
+  const std::uint16_t c1 = hamming_encode(1);  // data bit at position 3
+  EXPECT_NE(c1 & 0x1, 0);  // parity at position 1 covers position 3
+  EXPECT_NE(c1 & 0x2, 0);  // parity at position 2 covers position 3
+}
+
+TEST(EccMemory, CleanTableGivesQuantizedAccuracy) {
+  const core::QuantizedNetwork qnet{hynapse::testing::small_trained_net(), 8};
+  const data::Dataset test = hynapse::testing::small_test_set().head(300);
+  const mc::FailureTable table = hynapse::testing::flat_table(0.0, 0.0, 0.0);
+  core::EvalOptions opt;
+  opt.chips = 2;
+  const core::AccuracyResult r =
+      evaluate_ecc_accuracy(qnet, table, 0.65, test, opt);
+  EXPECT_NEAR(r.mean, core::quantized_accuracy(qnet, test), 1e-9);
+}
+
+TEST(EccMemory, CorrectsModerateErrorRates) {
+  const core::QuantizedNetwork qnet{hynapse::testing::small_trained_net(), 8};
+  const data::Dataset test = hynapse::testing::small_test_set().head(300);
+  // Per-bit defect rate 1%: mostly single-bit-per-word events, SEC fixes
+  // nearly all of them.
+  const mc::FailureTable table = hynapse::testing::flat_table(0.01, 0.0, 0.0);
+  core::EvalOptions opt;
+  opt.chips = 2;
+  const core::AccuracyResult ecc =
+      evaluate_ecc_accuracy(qnet, table, 0.65, test, opt);
+  const core::AccuracyResult raw = core::evaluate_accuracy(
+      qnet, core::MemoryConfig::all_6t(qnet.bank_words()), table, 0.65, test,
+      opt);
+  EXPECT_GT(ecc.mean, raw.mean - 0.005);
+  EXPECT_GT(ecc.mean, core::quantized_accuracy(qnet, test) - 0.02);
+}
+
+TEST(EccMemory, BreaksDownAtHighErrorRates) {
+  const core::QuantizedNetwork qnet{hynapse::testing::small_trained_net(), 8};
+  const data::Dataset test = hynapse::testing::small_test_set().head(300);
+  // 8% per-bit defects: ~1 expected defect per 12-bit codeword, frequent
+  // multi-bit words defeat SEC.
+  const mc::FailureTable table = hynapse::testing::flat_table(0.08, 0.0, 0.0);
+  core::EvalOptions opt;
+  opt.chips = 2;
+  const core::AccuracyResult ecc =
+      evaluate_ecc_accuracy(qnet, table, 0.65, test, opt);
+  EXPECT_LT(ecc.mean, core::quantized_accuracy(qnet, test) - 0.02);
+}
+
+TEST(EccMemory, AreaOverheadIsFiftyPercent) {
+  EXPECT_DOUBLE_EQ(ecc_area_overhead(), 0.5);
+}
+
+}  // namespace
+}  // namespace hynapse::eccbase

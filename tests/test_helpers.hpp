@@ -1,0 +1,51 @@
+// Shared fixtures for the core/integration tests: a small trained digit
+// classifier (trained once per process) and hand-built failure tables with
+// exactly controlled rates.
+#pragma once
+
+#include "ann/trainer.hpp"
+#include "core/quantized_network.hpp"
+#include "data/digits.hpp"
+#include "mc/failure_table.hpp"
+
+namespace hynapse::testing {
+
+/// Small 784-48-24-10 digit classifier, ~97 %+ on the synthetic test set.
+/// Trained lazily once; subsequent calls return the cached model.
+inline const ann::Mlp& small_trained_net() {
+  static const ann::Mlp net = [] {
+    const data::Dataset train = data::generate_digits(1500, 11);
+    ann::Mlp n{{784, 48, 24, 10}, 42};
+    ann::TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.batch_size = 50;
+    cfg.learning_rate = 0.5;
+    ann::train_sgd(n, train.images, train.labels, cfg);
+    return n;
+  }();
+  return net;
+}
+
+inline const data::Dataset& small_test_set() {
+  static const data::Dataset ds = data::generate_digits(600, 1013);
+  return ds;
+}
+
+/// Failure table with the same rates at every voltage: 6T cells fail with
+/// the given probabilities, 8T cells are perfect. Lets tests control error
+/// injection exactly.
+inline mc::FailureTable flat_table(double read6, double write6,
+                                   double disturb6, double read8 = 0.0,
+                                   double write8 = 0.0) {
+  std::vector<mc::FailureTableRow> rows;
+  for (double vdd : {0.60, 1.00}) {
+    mc::FailureTableRow r;
+    r.vdd = vdd;
+    r.cell6 = {read6, write6, disturb6};
+    r.cell8 = {read8, write8, 0.0};
+    rows.push_back(r);
+  }
+  return mc::FailureTable{std::move(rows)};
+}
+
+}  // namespace hynapse::testing

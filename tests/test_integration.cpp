@@ -1,0 +1,145 @@
+// End-to-end integration tests: train -> quantize -> store under faults ->
+// classify, exercising the full circuit-to-system pipeline on a small
+// network with controlled failure rates.
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "core/memory_config.hpp"
+#include "core/sensitivity.hpp"
+#include "test_helpers.hpp"
+
+namespace hynapse::core {
+namespace {
+
+using hynapse::testing::flat_table;
+using hynapse::testing::small_test_set;
+using hynapse::testing::small_trained_net;
+
+TEST(Integration, QuantizedAccuracyNearFloat) {
+  // The paper's premise for 8-bit synapses: <0.5 % degradation vs full
+  // precision.
+  const ann::Mlp& net = small_trained_net();
+  const data::Dataset& test = small_test_set();
+  const double float_acc = net.accuracy(test.images, test.labels);
+  const QuantizedNetwork qnet{net, 8};
+  const double q_acc = quantized_accuracy(qnet, test);
+  EXPECT_GT(float_acc, 0.90);
+  EXPECT_NEAR(q_acc, float_acc, 0.005);
+}
+
+TEST(Integration, CleanMemoryPreservesAccuracy) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset& test = small_test_set();
+  const mc::FailureTable table = flat_table(0.0, 0.0, 0.0);
+  EvalOptions opt;
+  opt.chips = 2;
+  const AccuracyResult r = evaluate_accuracy(
+      qnet, MemoryConfig::all_6t(qnet.bank_words()), table, 0.7, test, opt);
+  EXPECT_DOUBLE_EQ(r.mean, quantized_accuracy(qnet, test));
+  EXPECT_DOUBLE_EQ(r.stddev, 0.0);
+}
+
+TEST(Integration, HeavyFaultsCollapseAll6T) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset test = small_test_set().head(400);
+  const mc::FailureTable table = flat_table(0.08, 0.02, 0.0);
+  EvalOptions opt;
+  opt.chips = 3;
+  const AccuracyResult r = evaluate_accuracy(
+      qnet, MemoryConfig::all_6t(qnet.bank_words()), table, 0.65, test, opt);
+  // Paper Fig 7(a): aggressive scaling costs >30 % accuracy on all-6T.
+  EXPECT_LT(r.mean, quantized_accuracy(qnet, test) - 0.30);
+}
+
+TEST(Integration, HybridRecoversAccuracy) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset test = small_test_set().head(400);
+  const mc::FailureTable table = flat_table(0.05, 0.015, 0.0);
+  EvalOptions opt;
+  opt.chips = 3;
+  const double baseline = quantized_accuracy(qnet, test);
+  const AccuracyResult all6 = evaluate_accuracy(
+      qnet, MemoryConfig::all_6t(qnet.bank_words()), table, 0.65, test, opt);
+  const AccuracyResult hybrid3 = evaluate_accuracy(
+      qnet, MemoryConfig::uniform_hybrid(qnet.bank_words(), 3), table, 0.65,
+      test, opt);
+  const AccuracyResult hybrid4 = evaluate_accuracy(
+      qnet, MemoryConfig::uniform_hybrid(qnet.bank_words(), 4), table, 0.65,
+      test, opt);
+  // Fig 8(a) shape: protection monotonically recovers accuracy, and 3-4
+  // protected MSBs get close to nominal.
+  EXPECT_GT(hybrid3.mean, all6.mean + 0.15);
+  EXPECT_GE(hybrid4.mean + 0.02, hybrid3.mean);
+  EXPECT_GT(hybrid4.mean, baseline - 0.05);
+}
+
+TEST(Integration, MoreProtectionNeverHurtsMuch) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset test = small_test_set().head(300);
+  const mc::FailureTable table = flat_table(0.03, 0.01, 0.0);
+  EvalOptions opt;
+  opt.chips = 2;
+  double prev = 0.0;
+  for (int n : {0, 1, 2, 3, 4}) {
+    const AccuracyResult r = evaluate_accuracy(
+        qnet, MemoryConfig::uniform_hybrid(qnet.bank_words(), n), table,
+        0.65, test, opt);
+    EXPECT_GT(r.mean, prev - 0.04) << "n=" << n;
+    prev = r.mean;
+  }
+}
+
+TEST(Integration, PerLayerConfigMatchesUniformWhenEqual) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset test = small_test_set().head(200);
+  const mc::FailureTable table = flat_table(0.02, 0.0, 0.0);
+  EvalOptions opt;
+  opt.chips = 2;
+  const std::vector<int> msbs(qnet.num_layers(), 2);
+  const AccuracyResult uniform = evaluate_accuracy(
+      qnet, MemoryConfig::uniform_hybrid(qnet.bank_words(), 2), table, 0.65,
+      test, opt);
+  const AccuracyResult per_layer = evaluate_accuracy(
+      qnet, MemoryConfig::per_layer(qnet.bank_words(), msbs), table, 0.65,
+      test, opt);
+  EXPECT_DOUBLE_EQ(uniform.mean, per_layer.mean);
+}
+
+TEST(Integration, EvaluationIsDeterministic) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset test = small_test_set().head(200);
+  const mc::FailureTable table = flat_table(0.02, 0.01, 0.001);
+  EvalOptions opt;
+  opt.chips = 2;
+  opt.seed = 31337;
+  const AccuracyResult a = evaluate_accuracy(
+      qnet, MemoryConfig::all_6t(qnet.bank_words()), table, 0.65, test, opt);
+  const AccuracyResult b = evaluate_accuracy(
+      qnet, MemoryConfig::all_6t(qnet.bank_words()), table, 0.65, test, opt);
+  EXPECT_EQ(a.per_chip, b.per_chip);
+}
+
+TEST(Integration, ChipVariationProducesSpread) {
+  const QuantizedNetwork qnet{small_trained_net(), 8};
+  const data::Dataset test = small_test_set().head(300);
+  const mc::FailureTable table = flat_table(0.04, 0.01, 0.0);
+  EvalOptions opt;
+  opt.chips = 5;
+  const AccuracyResult r = evaluate_accuracy(
+      qnet, MemoryConfig::all_6t(qnet.bank_words()), table, 0.65, test, opt);
+  EXPECT_EQ(r.per_chip.size(), 5u);
+  EXPECT_GT(r.stddev, 0.0);
+}
+
+TEST(Integration, Table1TopologyInstantiates) {
+  // Construct (not train) the full benchmark network and verify the memory
+  // configuration built from it matches the paper's synapse count.
+  const ann::Mlp net{table1_layer_sizes(), 5};
+  const QuantizedNetwork qnet{net, 8};
+  const MemoryConfig cfg = MemoryConfig::all_6t(qnet.bank_words());
+  EXPECT_EQ(cfg.total_words(), 1406810u);
+  EXPECT_EQ(cfg.num_banks(), 5u);
+}
+
+}  // namespace
+}  // namespace hynapse::core

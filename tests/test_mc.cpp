@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "circuit/reference.hpp"
+#include "util/stats.hpp"
+#include "mc/criteria.hpp"
+#include "mc/failure_table.hpp"
+#include "mc/montecarlo.hpp"
+#include "mc/variation.hpp"
+
+namespace hynapse::mc {
+namespace {
+
+class McTest : public ::testing::Test {
+ protected:
+  McTest()
+      : tech_{circuit::ptm22()},
+        s6_{circuit::reference_sizing_6t(tech_)},
+        s8_{circuit::reference_sizing_8t(tech_)},
+        array_{tech_, sram::SubArrayGeometry{}, s6_},
+        cycle_{tech_, array_, circuit::Bitcell6T{tech_, s6_}},
+        sampler_{tech_, s6_, s8_},
+        criteria_{tech_, cycle_, s6_, s8_} {}
+
+  AnalyzerOptions fast_opts() const {
+    AnalyzerOptions o;
+    o.mc_samples = 4000;
+    o.is_samples = 3000;
+    return o;
+  }
+
+  circuit::Technology tech_;
+  circuit::Sizing6T s6_;
+  circuit::Sizing8T s8_;
+  sram::SubArrayModel array_;
+  sram::CycleModel cycle_;
+  VariationSampler sampler_;
+  FailureCriteria criteria_;
+};
+
+TEST_F(McTest, SamplerSigmasFollowPelgrom) {
+  const auto& sig = sampler_.sigmas_6t();
+  // PD is the widest 6T device -> smallest sigma; PG the narrowest NMOS.
+  EXPECT_LT(sig[1], sig[0]);
+  // Left/right symmetric.
+  EXPECT_DOUBLE_EQ(sig[0], sig[3]);
+  EXPECT_DOUBLE_EQ(sig[1], sig[4]);
+  EXPECT_DOUBLE_EQ(sig[2], sig[5]);
+}
+
+TEST_F(McTest, SampleStatisticsMatchSigmas) {
+  util::Rng rng{5};
+  util::RunningStats pg;
+  for (int i = 0; i < 20000; ++i) {
+    pg.add(sampler_.sample_6t(rng).pg_l);
+  }
+  EXPECT_NEAR(pg.mean(), 0.0, 0.002);
+  EXPECT_NEAR(pg.stddev(), sampler_.sigmas_6t()[0], 0.003);
+}
+
+TEST_F(McTest, NominalSampleDoesNotFail) {
+  const circuit::Variation6T none{};
+  EXPECT_LT(criteria_.read_access_metric_6t(none, 0.95), 0.0);
+  EXPECT_LT(criteria_.write_metric_6t(none, 0.95), 0.0);
+  EXPECT_LT(criteria_.read_disturb_metric_6t(none, 0.95), 0.0);
+}
+
+TEST_F(McTest, ReadMetricMonotoneInPassGateVt) {
+  circuit::Variation6T var{};
+  double prev = -10.0;
+  for (double dvt = -0.1; dvt <= 0.25; dvt += 0.05) {
+    var.pg_l = dvt;
+    const double m = criteria_.read_access_metric_6t(var, 0.7);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST_F(McTest, PlainMcDeterministicAcrossCalls) {
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const RateEstimate a =
+      analyzer.plain_mc_6t(Mechanism::read_access, 0.65, 4000, 77);
+  const RateEstimate b =
+      analyzer.plain_mc_6t(Mechanism::read_access, 0.65, 4000, 77);
+  EXPECT_DOUBLE_EQ(a.p, b.p);
+  EXPECT_EQ(a.hits, b.hits);
+}
+
+TEST_F(McTest, FailureRatesDecreaseWithVoltage) {
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const RateEstimate low =
+      analyzer.plain_mc_6t(Mechanism::read_access, 0.65, 6000, 3);
+  const RateEstimate high =
+      analyzer.plain_mc_6t(Mechanism::read_access, 0.80, 6000, 3);
+  EXPECT_GT(low.p, high.p);
+  EXPECT_GT(low.p, 0.01);  // calibrated anchor: a few percent at 0.65 V
+}
+
+TEST_F(McTest, WilsonIntervalBracketsEstimate) {
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const RateEstimate r =
+      analyzer.plain_mc_6t(Mechanism::read_access, 0.65, 6000, 9);
+  EXPECT_LE(r.ci_lo, r.p);
+  EXPECT_GE(r.ci_hi, r.p);
+}
+
+TEST_F(McTest, ImportanceSamplingAgreesWithPlainMc) {
+  // At 0.65 V the read-access rate is large enough for plain MC to nail it;
+  // IS must land inside (a widened) agreement band.
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const RateEstimate mc =
+      analyzer.plain_mc_6t(Mechanism::read_access, 0.65, 20000, 21);
+  const RateEstimate is =
+      analyzer.importance_6t(Mechanism::read_access, 0.65, 12000, 22);
+  EXPECT_TRUE(is.importance_sampled);
+  EXPECT_GT(is.p, 0.3 * mc.p);
+  EXPECT_LT(is.p, 3.0 * mc.p);
+}
+
+TEST_F(McTest, ImportanceSamplingReachesRareTail) {
+  // At nominal voltage the read-access rate is far below plain-MC reach.
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const RateEstimate is =
+      analyzer.importance_6t(Mechanism::read_access, 0.95, 8000, 31);
+  EXPECT_LT(is.p, 1e-4);
+  EXPECT_GT(is.p, 0.0);
+}
+
+TEST_F(McTest, EightTReadPortIsRobust) {
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const CellFailureRates r8 = analyzer.analyze_8t(0.65, 55);
+  EXPECT_LT(r8.read_access.p, 1e-4);
+  EXPECT_LT(r8.write_fail.p, 1e-4);
+  EXPECT_DOUBLE_EQ(r8.read_disturb.p, 0.0);
+}
+
+TEST_F(McTest, SixTAnalysisShowsReadDominatesAtLowVdd) {
+  AnalyzerOptions o = fast_opts();
+  o.mc_samples = 12000;
+  const FailureAnalyzer analyzer{criteria_, sampler_, o};
+  const CellFailureRates r = analyzer.analyze_6t(0.65, 99);
+  EXPECT_GT(r.read_access.p, r.write_fail.p);   // Fig. 5 ordering
+  EXPECT_GT(r.read_access.p, r.read_disturb.p);
+}
+
+TEST_F(McTest, FailureTableInterpolatesMonotonically) {
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const double grid[] = {0.65, 0.75, 0.85, 0.95};
+  const FailureTable table = FailureTable::build(analyzer, grid, 7);
+  const double p65 = table.rates_6t(0.65).read_access;
+  const double p70 = table.rates_6t(0.70).read_access;  // interpolated
+  const double p75 = table.rates_6t(0.75).read_access;
+  EXPECT_GT(p65, p70);
+  EXPECT_GT(p70, p75);
+}
+
+TEST_F(McTest, FailureTableClampsOutsideGrid) {
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const double grid[] = {0.65, 0.75};
+  const FailureTable table = FailureTable::build(analyzer, grid, 7);
+  EXPECT_DOUBLE_EQ(table.rates_6t(0.50).read_access,
+                   table.rates_6t(0.65).read_access);
+  EXPECT_DOUBLE_EQ(table.rates_6t(1.10).read_access,
+                   table.rates_6t(0.75).read_access);
+}
+
+TEST_F(McTest, FailureTableCsvRoundTrip) {
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const double grid[] = {0.65, 0.80};
+  const FailureTable table = FailureTable::build(analyzer, grid, 7);
+  const std::string path = "/tmp/hynapse_test_ftable.csv";
+  table.save_csv(path);
+  const auto loaded = FailureTable::load_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->rates_6t(0.65).read_access,
+                   table.rates_6t(0.65).read_access);
+  EXPECT_DOUBLE_EQ(loaded->rates_8t(0.80).write_fail,
+                   table.rates_8t(0.80).write_fail);
+  std::filesystem::remove(path);
+}
+
+TEST_F(McTest, FailureTableLoadRejectsGarbage) {
+  const std::string path = "/tmp/hynapse_test_badtable.csv";
+  {
+    std::ofstream out{path};
+    out << "not,a,table\nstill,not,one\n";
+  }
+  EXPECT_FALSE(FailureTable::load_csv(path).has_value());
+  EXPECT_FALSE(FailureTable::load_csv("/no/such/file.csv").has_value());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace hynapse::mc

@@ -1,0 +1,150 @@
+#include "quant/qformat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hynapse::quant {
+namespace {
+
+TEST(QFormat, BasicProperties) {
+  const QFormat q{8, 6};  // Q2.6
+  EXPECT_EQ(q.total_bits(), 8);
+  EXPECT_EQ(q.frac_bits(), 6);
+  EXPECT_EQ(q.int_bits(), 2);
+  EXPECT_DOUBLE_EQ(q.lsb(), 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(q.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(q.max_value(), 2.0 - 1.0 / 64.0);
+  EXPECT_EQ(q.name(), "Q2.6");
+}
+
+TEST(QFormat, RejectsBadParameters) {
+  EXPECT_THROW((QFormat{1, 0}), std::invalid_argument);
+  EXPECT_THROW((QFormat{17, 4}), std::invalid_argument);
+  EXPECT_THROW((QFormat{8, 8}), std::invalid_argument);
+  EXPECT_THROW((QFormat{8, -1}), std::invalid_argument);
+}
+
+TEST(QFormat, QuantizeExactValues) {
+  const QFormat q{8, 6};
+  EXPECT_EQ(q.quantize(0.0), 0);
+  EXPECT_EQ(q.quantize(1.0), 64);
+  EXPECT_EQ(q.quantize(-1.0), -64);
+  EXPECT_EQ(q.quantize(q.lsb()), 1);
+}
+
+TEST(QFormat, SaturatesAtRails) {
+  const QFormat q{8, 6};
+  EXPECT_EQ(q.quantize(100.0), 127);
+  EXPECT_EQ(q.quantize(-100.0), -128);
+  EXPECT_DOUBLE_EQ(q.dequantize(q.quantize(5.0)), q.max_value());
+}
+
+TEST(QFormat, RoundTripErrorBoundedByHalfLsb) {
+  const QFormat q{8, 5};
+  for (double v = q.min_value(); v <= q.max_value(); v += 0.013) {
+    EXPECT_LE(std::fabs(q.round_trip(v) - v), q.lsb() / 2 + 1e-12) << v;
+  }
+}
+
+TEST(QFormat, BitsRoundTripAllCodes) {
+  const QFormat q{8, 6};
+  for (std::int32_t code = -128; code <= 127; ++code) {
+    EXPECT_EQ(q.from_bits(q.to_bits(code)), code) << code;
+  }
+}
+
+TEST(QFormat, SignBitPattern) {
+  const QFormat q{8, 6};
+  EXPECT_EQ(q.to_bits(-1), 0xFFu);
+  EXPECT_EQ(q.to_bits(-128), 0x80u);
+  EXPECT_EQ(q.from_bits(0x80u), -128);
+  EXPECT_EQ(q.from_bits(0x7Fu), 127);
+}
+
+TEST(QFormat, BitFlipMagnitudes) {
+  const QFormat q{8, 6};
+  EXPECT_DOUBLE_EQ(q.bit_flip_magnitude(0), q.lsb());
+  EXPECT_DOUBLE_EQ(q.bit_flip_magnitude(6), 1.0);
+  EXPECT_DOUBLE_EQ(q.bit_flip_magnitude(7), 2.0);  // sign bit
+  EXPECT_THROW((void)q.bit_flip_magnitude(8), std::out_of_range);
+}
+
+TEST(QFormat, MsbFlipChangesValueMost) {
+  const QFormat q{8, 6};
+  const std::int32_t code = q.quantize(0.8);
+  double prev = 0.0;
+  for (int bit = 0; bit < 8; ++bit) {
+    const std::int32_t flipped = q.from_bits(flip_bit(q.to_bits(code), bit));
+    const double delta = std::fabs(q.dequantize(flipped) - q.dequantize(code));
+    EXPECT_GT(delta, prev) << "bit " << bit;
+    prev = delta;
+  }
+}
+
+TEST(ChooseFormat, PicksSmallestCoveringFormat) {
+  EXPECT_EQ(choose_format(0.9, 8).int_bits(), 1);   // |w| < 1 -> Q1.7
+  EXPECT_EQ(choose_format(1.5, 8).int_bits(), 2);   // Q2.6
+  EXPECT_EQ(choose_format(3.99, 8).int_bits(), 3);  // Q3.5
+  EXPECT_EQ(choose_format(0.0, 8).int_bits(), 1);
+}
+
+TEST(ChooseFormat, BoundaryGoesUp) {
+  // max_abs exactly a power of two cannot be represented by the smaller
+  // format's positive range, so the next format is chosen.
+  EXPECT_EQ(choose_format(1.0, 8).int_bits(), 2);
+  EXPECT_EQ(choose_format(2.0, 8).int_bits(), 3);
+}
+
+TEST(ChooseFormat, CoverageProperty) {
+  for (double m : {0.1, 0.5, 0.99, 1.3, 2.7, 6.2}) {
+    const QFormat q = choose_format(m, 8);
+    EXPECT_GE(q.max_value(), m * (1.0 - 1e-9)) << m;
+    EXPECT_LE(q.min_value(), -m) << m;
+  }
+}
+
+TEST(ChooseFormat, RejectsNonFinite) {
+  EXPECT_THROW((void)choose_format(std::nan(""), 8), std::invalid_argument);
+  EXPECT_THROW((void)choose_format(-1.0, 8), std::invalid_argument);
+}
+
+TEST(MaxAbs, Spans) {
+  const std::vector<double> v{-3.5, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs(std::span<const double>{v}), 3.5);
+  const std::vector<float> f{0.5f, -0.25f};
+  EXPECT_DOUBLE_EQ(max_abs(std::span<const float>{f}), 0.5);
+  EXPECT_DOUBLE_EQ(max_abs(std::span<const double>{}), 0.0);
+}
+
+TEST(IdealRmsError, MatchesLsbOverSqrt12) {
+  const QFormat q{8, 6};
+  EXPECT_NEAR(ideal_rms_error(q), q.lsb() / std::sqrt(12.0), 1e-15);
+}
+
+// Property sweep: quantization of a uniform cloud has RMS error close to
+// the ideal uniform-quantizer bound for every fractional width.
+class QuantErrorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantErrorSweep, RmsErrorNearIdeal) {
+  const int frac = GetParam();
+  const QFormat q{8, frac};
+  double sum2 = 0.0;
+  int n = 0;
+  for (double v = -0.99; v < 0.99; v += 0.001) {
+    const double scaled = v * q.max_value();
+    const double err = q.round_trip(scaled) - scaled;
+    sum2 += err * err;
+    ++n;
+  }
+  const double rms = std::sqrt(sum2 / n);
+  EXPECT_LT(rms, 1.2 * ideal_rms_error(q));
+  EXPECT_GT(rms, 0.5 * ideal_rms_error(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFracWidths, QuantErrorSweep,
+                         ::testing::Values(3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace hynapse::quant

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "circuit/reference.hpp"
+#include "sram/organization.hpp"
+#include "sram/periphery.hpp"
+#include "sram/power.hpp"
+
+namespace hynapse::sram {
+namespace {
+
+class PeripheryTest : public ::testing::Test {
+ protected:
+  circuit::Technology tech_ = circuit::ptm22();
+  SubArrayGeometry sub_;
+  SubArrayModel array_{tech_, sub_, circuit::reference_sizing_6t(tech_)};
+};
+
+TEST_F(PeripheryTest, DecoderRejectsBadRowCounts) {
+  EXPECT_THROW((RowDecoder{tech_, 3, 1e-14}), std::invalid_argument);
+  EXPECT_THROW((RowDecoder{tech_, 0, 1e-14}), std::invalid_argument);
+  EXPECT_THROW((RowDecoder{tech_, 100, 1e-14}), std::invalid_argument);
+}
+
+TEST_F(PeripheryTest, DecoderStagesGrowWithRowsDelayWithLoad) {
+  const RowDecoder small{tech_, 64, array_.c_wordline()};
+  const RowDecoder big{tech_, 1024, array_.c_wordline()};
+  // Logical effort balances the path: more rows add stages but keep the
+  // delay near-optimal for the same load...
+  EXPECT_GT(big.stages(), small.stages());
+  EXPECT_NEAR(big.delay(0.95) / small.delay(0.95), 1.0, 0.25);
+  // ...while a heavier wordline load genuinely slows the decode.
+  const RowDecoder loaded{tech_, 64, 3.0 * array_.c_wordline()};
+  EXPECT_GT(loaded.delay(0.95), small.delay(0.95));
+}
+
+TEST_F(PeripheryTest, DecoderDelayGrowsAsVoltageDrops) {
+  const RowDecoder dec{tech_, 256, array_.c_wordline()};
+  EXPECT_GT(dec.delay(0.65), dec.delay(0.95));
+}
+
+TEST_F(PeripheryTest, DecoderDelayIsPicosecondScale) {
+  const RowDecoder dec{tech_, 256, array_.c_wordline()};
+  EXPECT_GT(dec.delay(0.95), 1e-12);
+  EXPECT_LT(dec.delay(0.95), 1e-9);
+}
+
+TEST_F(PeripheryTest, DecoderEnergyScalesWithVddSquared) {
+  const RowDecoder dec{tech_, 256, array_.c_wordline()};
+  EXPECT_NEAR(dec.energy(0.95) / dec.energy(0.475), 4.0, 1e-9);
+}
+
+TEST_F(PeripheryTest, SenseAmpDifferentialMatchesCycleModelDefault) {
+  const SenseAmp amp;
+  // 6*0.008 + 0.055*VDD reproduces the TimingMargins constants
+  // (50 mV floor + slope).
+  EXPECT_NEAR(amp.required_differential(0.95), 0.048 + 0.055 * 0.95, 1e-12);
+  EXPECT_GT(amp.required_differential(0.95),
+            amp.required_differential(0.65));
+}
+
+TEST_F(PeripheryTest, PrechargeEnergyLinearInSwing) {
+  const double e1 = Precharge::energy(20e-15, 0.05, 0.95);
+  const double e2 = Precharge::energy(20e-15, 0.10, 0.95);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-12);
+}
+
+// --- bank organization ------------------------------------------------------
+
+TEST_F(PeripheryTest, BankTilingGeometry) {
+  // 256 cols / 8-bit words = 32 words per row; 100000 words -> 3125 rows ->
+  // 13 sub-arrays of 256 rows.
+  const BankOrganization bank{tech_, sub_, 100000, 8, 3};
+  EXPECT_EQ(bank.geometry().words_per_row, 32u);
+  EXPECT_EQ(bank.geometry().rows_used, 3125u);
+  EXPECT_EQ(bank.geometry().subarrays, 13u);
+}
+
+TEST_F(PeripheryTest, BankRejectsBadLayouts) {
+  EXPECT_THROW((BankOrganization{tech_, sub_, 0, 8, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((BankOrganization{tech_, sub_, 10, 8, 9}),
+               std::invalid_argument);
+  SubArrayGeometry narrow;
+  narrow.cols = 4;
+  EXPECT_THROW((BankOrganization{tech_, narrow, 10, 8, 0}),
+               std::invalid_argument);
+}
+
+TEST_F(PeripheryTest, HybridWordCostsMoreEnergyAndArea) {
+  const BankOrganization plain{tech_, sub_, 50000, 8, 0};
+  const BankOrganization hybrid{tech_, sub_, 50000, 8, 3};
+  EXPECT_GT(hybrid.read_energy(0.75), plain.read_energy(0.75));
+  EXPECT_GT(hybrid.leakage_power(0.75), plain.leakage_power(0.75));
+  EXPECT_GT(hybrid.area(), plain.area());
+}
+
+TEST_F(PeripheryTest, BankAreaRatioTracksCellRatio) {
+  // Periphery surcharge applies to both, so the hybrid/plain area ratio
+  // reduces to the cell-level ratio: (5 + 3*1.3667)/8.
+  const BankOrganization plain{tech_, sub_, 50000, 8, 0};
+  const BankOrganization hybrid{tech_, sub_, 50000, 8, 3};
+  EXPECT_NEAR(hybrid.area() / plain.area(), (5.0 + 3.0 * 1.3667) / 8.0,
+              1e-6);
+}
+
+TEST_F(PeripheryTest, ReadLatencyDominatedByArrayNotDecoder) {
+  const BankOrganization bank{tech_, sub_, 50000, 8, 0};
+  const RowDecoder dec{tech_, 256, array_.c_wordline()};
+  EXPECT_GT(bank.read_latency(0.95), dec.delay(0.95));
+  EXPECT_LT(bank.read_latency(0.95), 2e-9);
+}
+
+TEST_F(PeripheryTest, EnergiesScaleDownWithVoltage) {
+  const BankOrganization bank{tech_, sub_, 50000, 8, 2};
+  EXPECT_LT(bank.read_energy(0.65), bank.read_energy(0.95));
+  EXPECT_LT(bank.write_energy(0.65), bank.write_energy(0.95));
+}
+
+TEST_F(PeripheryTest, DetailedModelAgreesWithCellModelOnShape) {
+  // The organization model's read-energy voltage shape should track the
+  // paper-anchored per-cell model within a modest band (both are dominated
+  // by bitline swing terms).
+  const BankOrganization bank{tech_, sub_, 50000, 8, 0};
+  const CycleModel cycle{tech_, array_, circuit::reference_6t(tech_)};
+  const BitcellPowerModel cells{tech_, cycle, circuit::paper_constants()};
+  const double detailed_ratio =
+      bank.read_energy(0.65) / bank.read_energy(0.95);
+  const double cell_ratio =
+      cells.read_energy_6t(0.65) / cells.read_energy_6t(0.95);
+  EXPECT_NEAR(detailed_ratio, cell_ratio, 0.25 * cell_ratio);
+}
+
+}  // namespace
+}  // namespace hynapse::sram

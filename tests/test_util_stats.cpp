@@ -1,0 +1,144 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hynapse::util {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 3 + i * 0.01;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Wilson, CoversKnownValue) {
+  // 50/1000 at 95 %: interval roughly [0.038, 0.065].
+  const Interval iv = wilson_interval(50, 1000);
+  EXPECT_LT(iv.lo, 0.05);
+  EXPECT_GT(iv.hi, 0.05);
+  EXPECT_NEAR(iv.lo, 0.0382, 0.002);
+  EXPECT_NEAR(iv.hi, 0.0653, 0.002);
+}
+
+TEST(Wilson, ZeroSuccessesStillInformative) {
+  const Interval iv = wilson_interval(0, 1000);
+  EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+  EXPECT_GT(iv.hi, 0.0);
+  EXPECT_LT(iv.hi, 0.01);
+}
+
+TEST(Wilson, FullSuccesses) {
+  const Interval iv = wilson_interval(100, 100);
+  EXPECT_GT(iv.lo, 0.95);
+  EXPECT_DOUBLE_EQ(iv.hi, 1.0);
+}
+
+TEST(Wilson, RejectsBadInput) {
+  EXPECT_THROW((void)wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)wilson_interval(5, 4), std::invalid_argument);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(NormalCdf, KnownPoints) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(FailureSigma, KnownConversions) {
+  EXPECT_NEAR(failure_prob_to_sigma(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(failure_prob_to_sigma(1e-3), 3.09, 0.01);
+  EXPECT_TRUE(std::isinf(failure_prob_to_sigma(0.0)));
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+  EXPECT_THROW((Histogram{1.0, 0.0, 4}), std::invalid_argument);
+}
+
+TEST(SpanStats, MeanAndStddev) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_NEAR(stddev(v), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace hynapse::util
