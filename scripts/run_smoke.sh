@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Smoke-test the built tree: run the quickstart example and a fast pass of
+# the micro-kernel bench. Used by CI and handy after a local build.
+#
+# Usage: scripts/run_smoke.sh [build-dir]   (default: build/release)
+set -euo pipefail
+
+build_dir=${1:-build/release}
+
+if [[ ! -d "${build_dir}" ]]; then
+  echo "error: build dir '${build_dir}' not found (configure+build first)" >&2
+  exit 1
+fi
+
+echo "== quickstart =="
+"${build_dir}/examples/quickstart"
+
+if [[ -x "${build_dir}/bench/bench_micro_kernels" ]]; then
+  echo "== bench_micro_kernels (reduced iterations) =="
+  # Plain-double min_time works on both benchmark 1.7 (only form accepted)
+  # and 1.8+ (deprecated but accepted).
+  "${build_dir}/bench/bench_micro_kernels" --benchmark_min_time=0.01
+else
+  echo "== bench_micro_kernels not built (Google Benchmark missing); skipped =="
+fi
+
+echo "smoke OK"

@@ -188,7 +188,9 @@ TEST_P(BitcellVddSweep, VariationHurtsMoreAtLowVoltage) {
       weak.read_current(vdd) / nominal.read_current(vdd);
   const double degradation_nom =
       weak.read_current(0.95) / nominal.read_current(0.95);
-  if (vdd < 0.95) EXPECT_LT(degradation_here, degradation_nom + 1e-9);
+  if (vdd < 0.95) {
+    EXPECT_LT(degradation_here, degradation_nom + 1e-9);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperVoltages, BitcellVddSweep,
