@@ -1,20 +1,48 @@
 // Fig. 5 reproduction: 6T read-access and write failure rates versus supply
 // voltage from Monte-Carlo simulation of the 256x256 sub-array, plus the 8T
 // rates showing they are negligible in the voltage range of interest.
+//
+// Also the perf anchor for the engine's parallel FailureTable::build: with
+// --fresh the table is rebuilt from scratch and the wall-clock time printed
+// (and written to --json PATH), so scripts/run_bench.sh can record the
+// serial-vs-parallel build trajectory.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "common.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hynapse;
+  const bench::BenchOptions opts = bench::parse_bench_flags(argc, argv);
   bench::print_header(
       "Fig. 5: 6T SRAM failure rates vs supply voltage (Monte-Carlo)",
       "Fig. 5(a) read access, Fig. 5(b) write; Section IV/V 8T claims");
 
   const bench::Context ctx;
-  const mc::FailureTable& table = bench::failure_table(ctx);
+  const auto t0 = std::chrono::steady_clock::now();
+  const mc::FailureTable& table = bench::failure_table(ctx, opts);
+  const double build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::size_t threads =
+      opts.threads != 0 ? opts.threads : util::default_thread_count();
+  std::printf("[fig5] failure table ready in %.3f s (threads=%zu%s)\n",
+              build_seconds, threads, opts.fresh ? ", fresh build" : "");
+
+  if (!opts.json.empty()) {
+    std::ofstream json{opts.json, std::ios::app};
+    json.precision(6);
+    json << "{\"name\":\"fig5_failure_table_build\",\"fresh\":"
+         << (opts.fresh ? "true" : "false") << ",\"threads\":" << threads
+         << ",\"mc_samples\":"
+         << (opts.samples != 0 ? opts.samples : mc::AnalyzerOptions{}.mc_samples)
+         << ",\"grid_points\":" << table.rows().size()
+         << ",\"seconds\":" << build_seconds << "}\n";
+  }
 
   util::Table t{{"VDD [V]", "6T read access", "6T write", "6T read disturb",
                  "8T read access", "8T write"}};

@@ -8,17 +8,19 @@
 #include "core/memory_config.hpp"
 #include "core/power_area.hpp"
 #include "core/quantized_network.hpp"
+#include "engine/experiment_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hynapse;
+  const bench::BenchOptions bopts = bench::parse_bench_flags(argc, argv);
   bench::print_header(
       "Fig. 8: significance-driven hybrid 8T-6T SRAM (Configuration 1)",
       "Fig. 8(a) accuracy, 8(b) power reduction, 8(c) area overhead");
 
   const bench::Context ctx;
-  const mc::FailureTable& table = bench::failure_table(ctx);
+  const mc::FailureTable& table = bench::failure_table(ctx, bopts);
   const bench::Benchmark& bm = bench::benchmark_model();
   const core::QuantizedNetwork qnet{bm.net, 8};
   const data::Dataset test = bm.test.head(1500);
@@ -32,6 +34,20 @@ int main() {
   core::EvalOptions opt;
   opt.chips = 3;
 
+  // All (partition, voltage) points go through the runner as one sweep:
+  // 4 configs x 2 voltages x 3 chips = 24 jobs in flight on the pool.
+  const engine::ExperimentRunner runner{bopts.threads};
+  std::vector<engine::SweepPoint> points;
+  points.reserve(8);
+  for (int n = 1; n <= 4; ++n) {
+    const core::MemoryConfig cfg =
+        core::MemoryConfig::uniform_hybrid(words, n);
+    points.push_back({cfg, 0.65});
+    points.push_back({cfg, 0.70});
+  }
+  const std::vector<core::AccuracyResult> sweep =
+      runner.evaluate_sweep(qnet, points, table, test, opt);
+
   util::Table t{{"Config (#8T,#6T)", "Acc @0.65V", "Acc @0.70V",
                  "Access power red.", "Leakage red.", "Area increase"}};
   util::CsvWriter csv{bench::cache_dir() + "/fig8_hybrid.csv"};
@@ -41,12 +57,9 @@ int main() {
   double acc3 = 0.0;
   core::RelativeSavings s3;
   for (int n = 1; n <= 4; ++n) {
-    const core::MemoryConfig cfg =
-        core::MemoryConfig::uniform_hybrid(words, n);
-    const core::AccuracyResult a65 =
-        core::evaluate_accuracy(qnet, cfg, table, 0.65, test, opt);
-    const core::AccuracyResult a70 =
-        core::evaluate_accuracy(qnet, cfg, table, 0.70, test, opt);
+    const core::MemoryConfig& cfg = points[2 * (n - 1)].config;
+    const core::AccuracyResult& a65 = sweep[2 * (n - 1)];
+    const core::AccuracyResult& a70 = sweep[2 * (n - 1) + 1];
     const core::PowerAreaReport r =
         core::evaluate_power_area(cfg, 0.65, ctx.cells);
     const core::RelativeSavings s = core::compare(r, baseline);

@@ -13,17 +13,19 @@
 #include "core/memory_config.hpp"
 #include "core/power_area.hpp"
 #include "core/quantized_network.hpp"
+#include "engine/experiment_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hynapse;
+  const bench::BenchOptions bopts = bench::parse_bench_flags(argc, argv);
   bench::print_header(
       "Fig. 9: synaptic-sensitivity-driven architecture (Configuration 2)",
       "Fig. 9 + Section VI-C headline numbers");
 
   const bench::Context ctx;
-  const mc::FailureTable& table = bench::failure_table(ctx);
+  const mc::FailureTable& table = bench::failure_table(ctx, bopts);
   const bench::Benchmark& bm = bench::benchmark_model();
   const core::QuantizedNetwork qnet{bm.net, 8};
   const data::Dataset test = bm.test.head(1500);
@@ -49,18 +51,28 @@ int main() {
     const char* name;
     const std::vector<int>& msbs;
   };
+  const Row row_defs[] = {Row{"2-A (2,3,1,1,3)", config_a},
+                          Row{"2-B (1,2,1,1,2)", config_b}};
+
+  // Both configurations as one runner sweep: 2 points x 5 chips = 10 jobs.
+  const engine::ExperimentRunner runner{bopts.threads};
+  std::vector<engine::SweepPoint> points;
+  for (const Row& row : row_defs) {
+    points.push_back({core::MemoryConfig::per_layer(words, row.msbs), 0.65});
+  }
+  const std::vector<core::AccuracyResult> sweep =
+      runner.evaluate_sweep(qnet, points, table, test, opt);
+
   core::RelativeSavings sa;
   core::RelativeSavings sb;
   double drop_a = 0.0;
   double drop_b = 0.0;
   double area_a = 0.0;
   double area_b = 0.0;
-  for (const Row& row : {Row{"2-A (2,3,1,1,3)", config_a},
-                         Row{"2-B (1,2,1,1,2)", config_b}}) {
-    const core::MemoryConfig cfg =
-        core::MemoryConfig::per_layer(words, row.msbs);
-    const core::AccuracyResult acc =
-        core::evaluate_accuracy(qnet, cfg, table, 0.65, test, opt);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Row& row = row_defs[i];
+    const core::MemoryConfig& cfg = points[i].config;
+    const core::AccuracyResult& acc = sweep[i];
     const core::PowerAreaReport r =
         core::evaluate_power_area(cfg, 0.65, ctx.cells);
     const core::RelativeSavings s = core::compare(r, baseline);

@@ -1,16 +1,20 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "ann/serialize.hpp"
 #include "ann/trainer.hpp"
 #include "data/digits.hpp"
 #include "data/idx.hpp"
+#include "engine/table_cache.hpp"
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hynapse::bench {
 
@@ -21,6 +25,49 @@ std::string cache_dir() {
   return dir;
 }
 
+BenchOptions parse_bench_flags(int& argc, char** argv) {
+  BenchOptions opts;
+  // --threads is owned by the shared util parser (which also clamps the
+  // value and applies it process-wide); only the bench-specific flags are
+  // handled here.
+  opts.threads = util::strip_threads_flag(argc, argv);
+  const auto numeric = [](const char* s) -> long {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    return end != s && *end == '\0' ? v : 0;
+  };
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&](const char* flag,
+                           bool numeric_only) -> const char* {
+      // Accepts "--flag value" and "--flag=value". With numeric_only the
+      // separate-token form only consumes a numeric next token, so
+      // "--samples --fresh" cannot swallow the following flag.
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(arg, flag, len) != 0) return nullptr;
+      if (arg[len] == '=') return arg + len + 1;
+      if (arg[len] == '\0' && i + 1 < argc &&
+          (!numeric_only || numeric(argv[i + 1]) != 0)) {
+        return argv[++i];
+      }
+      return nullptr;
+    };
+    if (std::strcmp(arg, "--fresh") == 0) {
+      opts.fresh = true;
+    } else if (const char* v = value("--samples", true)) {
+      const long n = numeric(v);
+      opts.samples = n > 0 ? static_cast<std::size_t>(n) : 0;
+    } else if (const char* v = value("--json", false)) {
+      opts.json = v;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return opts;
+}
+
 Context::Context()
     : tech{circuit::ptm22()},
       constants{circuit::paper_constants()},
@@ -28,27 +75,45 @@ Context::Context()
       cycle{tech, array, circuit::reference_6t(tech)},
       cells{tech, cycle, constants} {}
 
-const mc::FailureTable& failure_table(const Context& ctx) {
-  static const mc::FailureTable table = [&ctx] {
-    const std::string path = cache_dir() + "/failure_table.csv";
-    if (auto cached = mc::FailureTable::load_csv(path)) {
-      std::printf("[common] failure table loaded from %s\n", path.c_str());
-      return *cached;
-    }
+const mc::FailureTable& failure_table(const Context& ctx,
+                                      const BenchOptions& opts) {
+  static engine::FailureTableCache cache{cache_dir()};
+  const circuit::Sizing6T s6 = circuit::reference_sizing_6t(ctx.tech);
+  const circuit::Sizing8T s8 = circuit::reference_sizing_8t(ctx.tech);
+  const mc::VariationSampler sampler{ctx.tech, s6, s8};
+  const mc::FailureCriteria criteria{ctx.tech, ctx.cycle, s6, s8};
+  mc::AnalyzerOptions ao;
+  if (opts.samples != 0) {
+    ao.mc_samples = opts.samples;
+    ao.is_samples = std::max<std::size_t>(opts.samples / 2, 1000);
+  }
+  ao.threads = opts.threads;
+  const mc::FailureAnalyzer analyzer{criteria, sampler, ao};
+  const engine::TableSpec spec{ctx.tech, s6, s8, ctx.array.geometry(),
+                               circuit::paper_voltage_grid(), 20160312};
+  const std::string path =
+      cache.csv_path(engine::table_fingerprint(spec, ao));
+  if (opts.fresh || !std::filesystem::exists(path)) {
+    // Progress heads-up only; the definitive source is reported below.
     std::printf(
         "[common] running bitcell Monte-Carlo over the VDD grid "
         "(cached afterwards)...\n");
-    const circuit::Sizing6T s6 = circuit::reference_sizing_6t(ctx.tech);
-    const circuit::Sizing8T s8 = circuit::reference_sizing_8t(ctx.tech);
-    const mc::VariationSampler sampler{ctx.tech, s6, s8};
-    const mc::FailureCriteria criteria{ctx.tech, ctx.cycle, s6, s8};
-    const mc::FailureAnalyzer analyzer{criteria, sampler};
-    const std::vector<double> grid = circuit::paper_voltage_grid();
-    mc::FailureTable table = mc::FailureTable::build(analyzer, grid, 20160312);
-    table.save_csv(path);
-    std::printf("[common] failure table cached to %s\n", path.c_str());
-    return table;
-  }();
+  }
+  engine::TableSource source{};
+  const mc::FailureTable& table =
+      cache.get(spec, analyzer, opts.fresh, &source);
+  switch (source) {
+    case engine::TableSource::memory:
+      break;  // same process, already reported once
+    case engine::TableSource::disk:
+      std::printf("[common] failure table loaded from %s\n", path.c_str());
+      break;
+    case engine::TableSource::built:
+      std::printf("[common] failure table built by bitcell Monte-Carlo and "
+                  "cached to %s\n",
+                  path.c_str());
+      break;
+  }
   return table;
 }
 

@@ -19,6 +19,23 @@ namespace hynapse::bench {
 /// Override with HYNAPSE_CACHE_DIR; created on demand.
 [[nodiscard]] std::string cache_dir();
 
+/// Flags every harness understands (parsed by parse_bench_flags):
+///   --threads N    pool participation cap (0 = hardware concurrency)
+///   --samples N    Monte-Carlo samples per mechanism (0 = paper default)
+///   --fresh        rebuild cached artifacts, ignoring the disk cache
+///   --json PATH    append machine-readable timing records to PATH
+struct BenchOptions {
+  std::size_t threads = 0;
+  std::size_t samples = 0;
+  bool fresh = false;
+  std::string json;
+};
+
+/// Parses and removes the flags above from argv (positional arguments keep
+/// their order) and applies --threads process-wide via
+/// util::set_default_thread_count.
+[[nodiscard]] BenchOptions parse_bench_flags(int& argc, char** argv);
+
 /// Everything the system-level experiments need, wired to the reference
 /// designs. Keep one instance per binary.
 struct Context {
@@ -31,9 +48,14 @@ struct Context {
   Context();
 };
 
-/// Monte-Carlo failure table over the paper's voltage grid; built once and
-/// cached as CSV in cache_dir().
-[[nodiscard]] const mc::FailureTable& failure_table(const Context& ctx);
+/// Monte-Carlo failure table over the paper's voltage grid, served by an
+/// engine::FailureTableCache in cache_dir(): memoized in-process and
+/// persisted as a fingerprinted CSV keyed by (tech, grid, analyzer options,
+/// seed), so changing any input builds a fresh table instead of loading a
+/// stale file. opts.samples shrinks the analyzer for quick runs; opts.fresh
+/// forces a rebuild; opts.threads caps pool participation.
+[[nodiscard]] const mc::FailureTable& failure_table(
+    const Context& ctx, const BenchOptions& opts = {});
 
 /// The trained Table-I benchmark network (784-1000-500-200-100-10) on the
 /// synthetic digit task, trained once and cached in cache_dir(). Loads real

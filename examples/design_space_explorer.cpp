@@ -4,22 +4,26 @@
 // the result is compared against the uniform (Config-1) alternatives of
 // equal or greater area.
 //
-// Usage: design_space_explorer [vdd=0.65] [max_drop_percent=1.0]
+// Usage: design_space_explorer [--threads N] [vdd=0.65] [max_drop_percent=1.0]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "ann/trainer.hpp"
 #include "core/experiments.hpp"
 #include "core/power_area.hpp"
 #include "core/sensitivity.hpp"
 #include "data/digits.hpp"
+#include "engine/experiment_runner.hpp"
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace hynapse;
+  const std::size_t threads = util::strip_threads_flag(argc, argv);
   const double vdd = argc > 1 ? std::atof(argv[1]) : 0.65;
   const double max_drop = (argc > 2 ? std::atof(argv[2]) : 1.0) / 100.0;
 
@@ -65,30 +69,37 @@ int main(int argc, char** argv) {
     std::printf("%sL%zu=%d", i ? ", " : "", i + 1, alloc.msbs_per_bank[i]);
   std::printf("  (%zu candidate evaluations)\n\n", alloc.evaluations);
 
-  // Compare on held-out test data against uniform configurations.
+  // Compare on held-out test data against uniform configurations: all four
+  // candidates go through the ExperimentRunner as one (config x chip) sweep.
   const std::vector<std::size_t> words = qnet.bank_words();
   const double nominal = core::quantized_accuracy(qnet, test);
   core::EvalOptions eo;
   eo.chips = 3;
+  const core::MemoryConfig optimized =
+      core::MemoryConfig::per_layer(words, alloc.msbs_per_bank);
+  const std::vector<std::string> names{
+      "all-6T", "optimizer " + optimized.describe(), "uniform (2,6)",
+      "uniform (3,5)"};
+  const std::vector<engine::SweepPoint> points{
+      {core::MemoryConfig::all_6t(words), vdd},
+      {optimized, vdd},
+      {core::MemoryConfig::uniform_hybrid(words, 2), vdd},
+      {core::MemoryConfig::uniform_hybrid(words, 3), vdd}};
+  const engine::ExperimentRunner runner{threads};
+  const std::vector<core::AccuracyResult> sweep =
+      runner.evaluate_sweep(qnet, points, table, test, eo);
+
   util::Table t{{"Configuration", "Test accuracy", "Acc. drop",
                  "Area overhead", "Leakage power [uW]"}};
-  const auto add = [&](const std::string& name,
-                       const core::MemoryConfig& cfg) {
-    const core::AccuracyResult acc =
-        core::evaluate_accuracy(qnet, cfg, table, vdd, test, eo);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const core::MemoryConfig& cfg = points[i].config;
     const core::PowerAreaReport r = core::evaluate_power_area(cfg, vdd, cells);
-    t.add_row({name, util::Table::pct(acc.mean),
-               util::Table::pct(nominal - acc.mean),
+    t.add_row({names[i], util::Table::pct(sweep[i].mean),
+               util::Table::pct(nominal - sweep[i].mean),
                util::Table::pct(cfg.area_overhead_vs_all_6t(
                    circuit::paper_constants())),
                util::Table::num(1e6 * r.leakage_power, 2)});
-  };
-  add("all-6T", core::MemoryConfig::all_6t(words));
-  add("optimizer " +
-          core::MemoryConfig::per_layer(words, alloc.msbs_per_bank).describe(),
-      core::MemoryConfig::per_layer(words, alloc.msbs_per_bank));
-  add("uniform (2,6)", core::MemoryConfig::uniform_hybrid(words, 2));
-  add("uniform (3,5)", core::MemoryConfig::uniform_hybrid(words, 3));
+  }
   t.print();
   std::printf(
       "\nThe per-layer allocation should match uniform protection's accuracy\n"

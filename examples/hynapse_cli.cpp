@@ -22,10 +22,12 @@
 #include "core/power_area.hpp"
 #include "core/sensitivity.hpp"
 #include "data/digits.hpp"
+#include "engine/experiment_runner.hpp"
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -126,8 +128,9 @@ int cmd_evaluate(const Stack& st, const std::string& config, double vdd) {
   const mc::FailureTable table = quick_table(st, vdd);
   core::EvalOptions opt;
   opt.chips = 3;
+  const engine::ExperimentRunner runner;
   const core::AccuracyResult acc =
-      core::evaluate_accuracy(qnet, cfg, table, vdd, test, opt);
+      runner.evaluate(qnet, cfg, table, vdd, test, opt);
   const core::PowerAreaReport power =
       core::evaluate_power_area(cfg, vdd, st.cells);
   std::printf("\nconfig %s at %.2f V:\n", cfg.describe().c_str(), vdd);
@@ -173,18 +176,21 @@ int cmd_retention(const Stack& st) {
 
 int usage() {
   std::printf(
-      "usage: hynapse_cli <command> [args]\n"
+      "usage: hynapse_cli [--threads N] <command> [args]\n"
       "  characterize [vdd=0.95]\n"
       "  failure-rates [samples=10000]\n"
       "  evaluate <all6t|hybridN|perlayer:a,b,..> [vdd=0.65]\n"
       "  optimize [vdd=0.65] [max_drop_percent=1.0]\n"
-      "  retention\n");
+      "  retention\n"
+      "global options:\n"
+      "  --threads N   thread-pool participation cap (0 = hardware)\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  (void)hynapse::util::strip_threads_flag(argc, argv);
   if (argc < 2) return usage();
   const std::string cmd{argv[1]};
   Stack st;

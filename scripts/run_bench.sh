@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Collect the perf-trajectory artifacts as BENCH_*.json:
+#   * bench_micro_kernels in Google-Benchmark JSON format
+#   * the fig5 Monte-Carlo failure-table build, from scratch, serial vs
+#     parallel -- the wall-clock anchor for the engine's thread pool.
+#
+# Usage: scripts/run_bench.sh [build-dir] [out-dir]
+#   (defaults: build/release bench-results)
+# Env: HYNAPSE_BENCH_SAMPLES  MC samples per mechanism for the fig5 timing
+#                             run (default 12000; the paper default 40000 is
+#                             too slow for a CI heartbeat).
+set -euo pipefail
+
+build_dir=${1:-build/release}
+out_dir=${2:-bench-results}
+mkdir -p "${out_dir}"
+
+if [[ ! -d "${build_dir}" ]]; then
+  echo "error: build dir '${build_dir}' not found (configure+build first)" >&2
+  exit 1
+fi
+
+echo "== bench_micro_kernels (JSON) =="
+if [[ -x "${build_dir}/bench/bench_micro_kernels" ]]; then
+  "${build_dir}/bench/bench_micro_kernels" \
+    --benchmark_format=json \
+    --benchmark_out="${out_dir}/BENCH_micro_kernels.json" \
+    --benchmark_min_time=0.05
+else
+  echo "bench_micro_kernels not built (Google Benchmark missing); skipped"
+fi
+
+echo "== fig5 failure-table build: serial vs parallel =="
+samples=${HYNAPSE_BENCH_SAMPLES:-12000}
+cache=$(mktemp -d)
+trap 'rm -rf "${cache}"' EXIT
+timing="${cache}/timing.json"
+
+HYNAPSE_CACHE_DIR="${cache}" "${build_dir}/bench/bench_fig5_failure_rates" \
+  --fresh --samples "${samples}" --threads 1 --json "${timing}" > /dev/null
+HYNAPSE_CACHE_DIR="${cache}" "${build_dir}/bench/bench_fig5_failure_rates" \
+  --fresh --samples "${samples}" --json "${timing}" > /dev/null
+
+# timing.json now holds two records (serial first, parallel second); merge
+# them into one BENCH_ file with the speedup computed.
+serial=$(sed -n '1s/.*"seconds":\([0-9.eE+-]*\)}.*/\1/p' "${timing}")
+parallel=$(sed -n '2s/.*"seconds":\([0-9.eE+-]*\)}.*/\1/p' "${timing}")
+threads=$(sed -n '2s/.*"threads":\([0-9]*\).*/\1/p' "${timing}")
+speedup=$(awk -v s="${serial}" -v p="${parallel}" 'BEGIN { printf "%.3f", s / p }')
+
+cat > "${out_dir}/BENCH_fig5_failure_rates.json" <<EOF
+{
+  "name": "fig5_failure_table_build",
+  "mc_samples": ${samples},
+  "serial_seconds": ${serial},
+  "parallel_seconds": ${parallel},
+  "parallel_threads": ${threads},
+  "speedup": ${speedup}
+}
+EOF
+
+echo "serial ${serial}s, parallel ${parallel}s (threads=${threads}), speedup ${speedup}x"
+echo "bench JSON written to ${out_dir}/"

@@ -1,9 +1,23 @@
 #include "core/experiments.hpp"
 
 #include "core/synaptic_memory.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace hynapse::core {
+
+double evaluate_chip(const QuantizedNetwork& qnet, const MemoryConfig& config,
+                     const FaultModel& model, const data::Dataset& test,
+                     std::uint64_t eval_seed, std::size_t chip) {
+  const std::uint64_t chip_seed =
+      eval_seed ^ (0x9e3779b97f4a7c15ull * (chip + 1));
+  SynapticMemory memory{config, model, chip_seed};
+  memory.store_network(qnet);
+  util::Rng read_rng{chip_seed ^ 0x5555aaaa5555aaaaull};
+  const QuantizedNetwork faulted = memory.load_network(qnet, read_rng);
+  const ann::Mlp net = faulted.dequantize();
+  return net.accuracy(test.images, test.labels);
+}
 
 AccuracyResult evaluate_accuracy(const QuantizedNetwork& qnet,
                                  const MemoryConfig& config,
@@ -12,17 +26,14 @@ AccuracyResult evaluate_accuracy(const QuantizedNetwork& qnet,
                                  const EvalOptions& options) {
   const FaultModel model{failures, vdd, options.policy};
   AccuracyResult result;
-  result.per_chip.reserve(options.chips);
-  for (std::size_t chip = 0; chip < options.chips; ++chip) {
-    const std::uint64_t chip_seed =
-        options.seed ^ (0x9e3779b97f4a7c15ull * (chip + 1));
-    SynapticMemory memory{config, model, chip_seed};
-    memory.store_network(qnet);
-    util::Rng read_rng{chip_seed ^ 0x5555aaaa5555aaaaull};
-    const QuantizedNetwork faulted = memory.load_network(qnet, read_rng);
-    const ann::Mlp net = faulted.dequantize();
-    result.per_chip.push_back(net.accuracy(test.images, test.labels));
-  }
+  result.per_chip.resize(options.chips);
+  util::parallel_for(
+      options.chips,
+      [&](std::size_t chip) {
+        result.per_chip[chip] =
+            evaluate_chip(qnet, config, model, test, options.seed, chip);
+      },
+      options.threads);
   result.mean = util::mean(result.per_chip);
   result.stddev = util::stddev(result.per_chip);
   return result;

@@ -25,10 +25,24 @@ struct EvalOptions {
   std::size_t chips = 5;           ///< independent chip instances
   std::uint64_t seed = 2024;
   ReadFaultPolicy policy = ReadFaultPolicy::random_per_read;
+  /// Parallelism cap for the chip loop (0 = util::default_thread_count(),
+  /// 1 = serial). Results are bit-identical for any value.
+  std::size_t threads = 0;
 };
 
+/// Accuracy of one simulated chip instance: chip index `chip` under
+/// `eval_seed`. The unit of parallelism for evaluate_accuracy and
+/// engine::ExperimentRunner -- a chip's result depends only on
+/// (qnet, config, model, test, eval_seed, chip), never on scheduling.
+[[nodiscard]] double evaluate_chip(const QuantizedNetwork& qnet,
+                                   const MemoryConfig& config,
+                                   const FaultModel& model,
+                                   const data::Dataset& test,
+                                   std::uint64_t eval_seed, std::size_t chip);
+
 /// Stores the network into `config` at `vdd` on each simulated chip, reads
-/// it back through the fault model and measures test accuracy.
+/// it back through the fault model and measures test accuracy. Chips are
+/// evaluated on the shared thread pool (see EvalOptions::threads).
 [[nodiscard]] AccuracyResult evaluate_accuracy(
     const QuantizedNetwork& qnet, const MemoryConfig& config,
     const mc::FailureTable& failures, double vdd, const data::Dataset& test,

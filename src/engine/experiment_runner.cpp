@@ -1,0 +1,52 @@
+#include "engine/experiment_runner.hpp"
+
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace hynapse::engine {
+
+core::AccuracyResult ExperimentRunner::evaluate(
+    const core::QuantizedNetwork& qnet, const core::MemoryConfig& config,
+    const mc::FailureTable& failures, double vdd, const data::Dataset& test,
+    core::EvalOptions options) const {
+  if (options.threads == 0) options.threads = threads_;
+  return core::evaluate_accuracy(qnet, config, failures, vdd, test, options);
+}
+
+std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
+    const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
+    const mc::FailureTable& failures, const data::Dataset& test,
+    core::EvalOptions options) const {
+  if (options.threads == 0) options.threads = threads_;
+
+  std::vector<core::AccuracyResult> results(points.size());
+  if (points.empty() || options.chips == 0) return results;
+
+  // Fault models are cheap to derive from the table; one per point, shared
+  // read-only by that point's chip jobs.
+  std::vector<core::FaultModel> models;
+  models.reserve(points.size());
+  for (const SweepPoint& pt : points) {
+    models.emplace_back(failures, pt.vdd, options.policy);
+    results[models.size() - 1].per_chip.resize(options.chips);
+  }
+
+  // Flat (point x chip) job matrix on the shared pool.
+  util::parallel_for(
+      points.size() * options.chips,
+      [&](std::size_t j) {
+        const std::size_t p = j / options.chips;
+        const std::size_t chip = j % options.chips;
+        results[p].per_chip[chip] = core::evaluate_chip(
+            qnet, points[p].config, models[p], test, options.seed, chip);
+      },
+      options.threads);
+
+  for (core::AccuracyResult& r : results) {
+    r.mean = util::mean(r.per_chip);
+    r.stddev = util::stddev(r.per_chip);
+  }
+  return results;
+}
+
+}  // namespace hynapse::engine

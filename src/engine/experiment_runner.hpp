@@ -1,0 +1,56 @@
+// ExperimentRunner: pool-backed driver for the ANN fault-injection stage of
+// the circuit-to-system pipeline (paper Section V). Where core::
+// evaluate_accuracy parallelizes over the chip instances of ONE
+// (configuration, voltage) point, the runner additionally fans a whole sweep
+// -- the unit of work of every figure bench and of design-space exploration
+// -- into a flat (sweep point x chip) job matrix, so a 4-configuration x
+// 2-voltage Fig. 8 sweep with 3 chips each keeps 24 jobs in flight instead
+// of 3.
+//
+// Determinism contract: a chip's accuracy depends only on (network, config,
+// vdd, dataset, seed, chip index); sweep results are bit-identical to
+// evaluating each point on its own, for any thread count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/experiments.hpp"
+
+namespace hynapse::engine {
+
+/// One (memory configuration, operating voltage) sweep point.
+struct SweepPoint {
+  core::MemoryConfig config;
+  double vdd = 0.0;
+};
+
+class ExperimentRunner {
+ public:
+  /// `threads` caps pool participation for this runner's calls
+  /// (0 = util::default_thread_count()); an explicit EvalOptions::threads
+  /// still wins for a given call.
+  explicit ExperimentRunner(std::size_t threads = 0) noexcept
+      : threads_{threads} {}
+
+  /// core::evaluate_accuracy with the runner's thread cap applied.
+  [[nodiscard]] core::AccuracyResult evaluate(
+      const core::QuantizedNetwork& qnet, const core::MemoryConfig& config,
+      const mc::FailureTable& failures, double vdd, const data::Dataset& test,
+      core::EvalOptions options = {}) const;
+
+  /// Evaluates every sweep point against the same failure table and test
+  /// set; result[i] corresponds to points[i] and is bit-identical to
+  /// evaluate() on that point alone.
+  [[nodiscard]] std::vector<core::AccuracyResult> evaluate_sweep(
+      const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
+      const mc::FailureTable& failures, const data::Dataset& test,
+      core::EvalOptions options = {}) const;
+
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace hynapse::engine

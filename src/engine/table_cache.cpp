@@ -1,0 +1,112 @@
+#include "engine/table_cache.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace hynapse::engine {
+
+namespace {
+
+void feed_card(util::Fnv1a& h, const circuit::TechCard& card) {
+  h.f64(card.vt0);
+  h.f64(card.b);
+  h.f64(card.alpha);
+  h.f64(card.n_sub);
+  h.f64(card.dibl);
+  h.f64(card.vdsat_k);
+  h.f64(card.lambda_clm);
+  h.f64(card.phi_t);
+  h.f64(card.sigma_vt0);
+}
+
+}  // namespace
+
+std::uint64_t table_fingerprint(const TableSpec& spec,
+                                const mc::AnalyzerOptions& opts) {
+  util::Fnv1a h;
+  h.str("hynapse-failure-table");
+  h.u64(2);  // CSV format version
+  feed_card(h, spec.tech.nmos);
+  feed_card(h, spec.tech.pmos);
+  h.f64(spec.tech.vdd_nominal);
+  h.f64(spec.tech.wmin);
+  h.f64(spec.tech.lmin);
+  h.f64(spec.tech.c_drain_per_width);
+  h.f64(spec.tech.c_gate_per_width);
+  h.f64(spec.tech.c_wire_per_length);
+  h.f64(spec.sizing6.w_pg);
+  h.f64(spec.sizing6.w_pd);
+  h.f64(spec.sizing6.w_pu);
+  h.f64(spec.sizing8.core.w_pg);
+  h.f64(spec.sizing8.core.w_pd);
+  h.f64(spec.sizing8.core.w_pu);
+  h.f64(spec.sizing8.w_rpg);
+  h.f64(spec.sizing8.w_rpd);
+  h.u64(spec.geometry.rows);
+  h.u64(spec.geometry.cols);
+  h.f64(spec.geometry.cell_height);
+  h.f64(spec.geometry.cell_width);
+  h.f64_span(spec.vdd_grid);
+  h.u64(opts.mc_samples);
+  h.u64(opts.is_samples);
+  h.u64(opts.min_hits_for_mc);
+  h.f64(opts.is_beta);
+  // opts.threads intentionally omitted: results are thread-count invariant.
+  h.u64(spec.seed);
+  return h.digest();
+}
+
+FailureTableCache::FailureTableCache(std::string dir) : dir_{std::move(dir)} {}
+
+std::string FailureTableCache::csv_path(std::uint64_t fingerprint) const {
+  if (dir_.empty()) return {};
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return dir_ + "/failure_table_" + hex + ".csv";
+}
+
+const mc::FailureTable& FailureTableCache::get(
+    const TableSpec& spec, const mc::FailureAnalyzer& analyzer, bool rebuild,
+    TableSource* source) {
+  const std::uint64_t fp = table_fingerprint(spec, analyzer.options());
+
+  // Find or create this fingerprint's entry under the map lock, then do the
+  // (possibly minutes-long) load/build under the entry's own lock so other
+  // fingerprints proceed concurrently.
+  std::shared_ptr<Entry> entry;
+  {
+    const std::scoped_lock lock{mutex_};
+    auto& slot = tables_[fp];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+
+  const std::scoped_lock lock{entry->mutex};
+  if (!rebuild) {
+    if (entry->table) {
+      if (source != nullptr) *source = TableSource::memory;
+      return *entry->table;
+    }
+    if (const std::string path = csv_path(fp); !path.empty()) {
+      if (auto loaded = mc::FailureTable::load_csv(path, fp)) {
+        if (source != nullptr) *source = TableSource::disk;
+        entry->table = std::make_unique<mc::FailureTable>(std::move(*loaded));
+        return *entry->table;
+      }
+    }
+  }
+
+  mc::FailureTable table =
+      mc::FailureTable::build(analyzer, spec.vdd_grid, spec.seed);
+  if (const std::string path = csv_path(fp); !path.empty()) {
+    table.save_csv(path, fp);
+  }
+  if (source != nullptr) *source = TableSource::built;
+  entry->table = std::make_unique<mc::FailureTable>(std::move(table));
+  return *entry->table;
+}
+
+}  // namespace hynapse::engine

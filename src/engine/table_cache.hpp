@@ -1,0 +1,82 @@
+// Failure-table cache shared by the bench/example harnesses.
+//
+// A Monte-Carlo failure table is an expensive artifact whose content is
+// fully determined by its provenance: technology card, bitcell sizings,
+// sub-array geometry, voltage grid, analyzer options and seed. The cache
+// memoizes tables in-process and persists them as fingerprinted CSVs (one
+// file per provenance hash), replacing the old single-filename cache that
+// silently served stale rates whenever any input changed. Thread count is
+// deliberately excluded from the fingerprint: FailureTable::build is
+// bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/bitcell.hpp"
+#include "circuit/tech.hpp"
+#include "mc/failure_table.hpp"
+#include "mc/montecarlo.hpp"
+#include "sram/array.hpp"
+
+namespace hynapse::engine {
+
+/// Everything that determines a failure table's content, minus the analyzer
+/// options (taken from the analyzer itself so spec and analyzer cannot
+/// disagree).
+struct TableSpec {
+  circuit::Technology tech;
+  circuit::Sizing6T sizing6;
+  circuit::Sizing8T sizing8;
+  sram::SubArrayGeometry geometry;
+  std::vector<double> vdd_grid;
+  std::uint64_t seed = 0;
+};
+
+/// Stable FNV-1a digest of the spec + analyzer options + CSV format version.
+[[nodiscard]] std::uint64_t table_fingerprint(const TableSpec& spec,
+                                              const mc::AnalyzerOptions& opts);
+
+/// Where FailureTableCache::get found the table.
+enum class TableSource { memory, disk, built };
+
+class FailureTableCache {
+ public:
+  /// `dir` holds the persisted CSVs; pass an empty string for a purely
+  /// in-memory cache.
+  explicit FailureTableCache(std::string dir);
+
+  /// Returns the table for (spec, analyzer.options()): from memory, else
+  /// from a fingerprint-matching CSV in the cache directory, else by
+  /// running `analyzer` over the grid (persisting the result). With
+  /// `rebuild` set, disk and memory are bypassed and the fresh table
+  /// overwrites both -- invalidating references previously returned for the
+  /// same fingerprint; otherwise references stay valid for the cache's
+  /// lifetime. `source`, when non-null, reports which of the three
+  /// happened. Thread-safe; concurrent callers of the same table build it
+  /// once (per-fingerprint lock), and callers of different tables build
+  /// concurrently.
+  const mc::FailureTable& get(const TableSpec& spec,
+                              const mc::FailureAnalyzer& analyzer,
+                              bool rebuild = false,
+                              TableSource* source = nullptr);
+
+  /// Path of the CSV backing a fingerprint ("" when the cache is in-memory).
+  [[nodiscard]] std::string csv_path(std::uint64_t fingerprint) const;
+
+ private:
+  struct Entry {
+    std::mutex mutex;  ///< serializes load/build of this one fingerprint
+    std::unique_ptr<mc::FailureTable> table;
+  };
+
+  std::string dir_;
+  std::mutex mutex_;  ///< guards the map only, never held across a build
+  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> tables_;
+};
+
+}  // namespace hynapse::engine

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+
+#include "util/parallel.hpp"
 
 namespace hynapse::mc {
 
@@ -17,6 +20,15 @@ double interp_prob(double p_lo, double p_hi, double t) {
     return std::exp(std::log(p_lo) + t * (std::log(p_hi) - std::log(p_lo)));
   }
   return p_lo + t * (p_hi - p_lo);
+}
+
+// CSV format v2: first line "# hynapse-failure-table v2 fp=<hex64>",
+// second line the column header, then one row per grid point.
+constexpr std::string_view kCsvMagic = "# hynapse-failure-table v2 fp=";
+constexpr std::string_view kCsvColumns = "vdd,ra6,wr6,rd6,ra8,wr8,rd8";
+
+bool valid_rate(double p) {
+  return std::isfinite(p) && p >= 0.0 && p <= 1.0;
 }
 
 }  // namespace
@@ -33,17 +45,49 @@ FailureTable::FailureTable(std::vector<FailureTableRow> rows)
 FailureTable FailureTable::build(const FailureAnalyzer& analyzer,
                                  std::span<const double> vdd_grid,
                                  std::uint64_t seed) {
-  std::vector<FailureTableRow> rows;
-  rows.reserve(vdd_grid.size());
-  for (double vdd : vdd_grid) {
-    FailureTableRow row;
-    row.vdd = vdd;
-    const CellFailureRates r6 = analyzer.analyze_6t(vdd, seed);
-    const CellFailureRates r8 = analyzer.analyze_8t(vdd, seed ^ 0xabcdefull);
-    row.cell6 = {r6.read_access.p, r6.write_fail.p, r6.read_disturb.p};
-    row.cell8 = {r8.read_access.p, r8.write_fail.p, r8.read_disturb.p};
-    rows.push_back(row);
-  }
+  std::vector<FailureTableRow> rows(vdd_grid.size());
+  for (std::size_t r = 0; r < vdd_grid.size(); ++r) rows[r].vdd = vdd_grid[r];
+
+  // Flat (voltage x cell-type x mechanism) job matrix. Every job's seeds are
+  // exactly those the serial per-voltage analyze_6t/analyze_8t calls derived,
+  // so the table is bit-identical for any thread count, and each job writes
+  // a distinct slot of its row.
+  constexpr std::size_t kSlots = 5;
+  const std::uint64_t seed8 = seed ^ 0xabcdefull;
+  util::parallel_for(
+      vdd_grid.size() * kSlots,
+      [&](std::size_t j) {
+        const std::size_t r = j / kSlots;
+        const double vdd = rows[r].vdd;
+        switch (j % kSlots) {
+          case 0:
+            rows[r].cell6.read_access =
+                analyzer.estimate_6t(Mechanism::read_access, vdd, seed,
+                                     seed + 777).p;
+            break;
+          case 1:
+            rows[r].cell6.write_fail =
+                analyzer.estimate_6t(Mechanism::write, vdd, seed + 101,
+                                     seed + 778).p;
+            break;
+          case 2:
+            rows[r].cell6.read_disturb =
+                analyzer.estimate_6t(Mechanism::read_disturb, vdd, seed + 202,
+                                     seed + 779).p;
+            break;
+          case 3:
+            rows[r].cell8.read_access =
+                analyzer.estimate_8t(Mechanism::read_access, vdd, seed8,
+                                     seed8 + 555).p;
+            break;
+          case 4:
+            rows[r].cell8.write_fail =
+                analyzer.estimate_8t(Mechanism::write, vdd, seed8 + 131,
+                                     seed8 + 556).p;
+            break;
+        }
+      },
+      analyzer.options().threads);
   return FailureTable{std::move(rows)};
 }
 
@@ -81,10 +125,12 @@ BitcellFailureRates FailureTable::rates_8t(double vdd) const {
   return interpolate(vdd, true);
 }
 
-void FailureTable::save_csv(const std::string& path) const {
+void FailureTable::save_csv(const std::string& path,
+                            std::uint64_t fingerprint) const {
   std::ofstream out{path};
   if (!out) throw std::runtime_error{"FailureTable: cannot open " + path};
-  out << "vdd,ra6,wr6,rd6,ra8,wr8,rd8\n";
+  out << kCsvMagic << std::hex << fingerprint << std::dec << '\n';
+  out << kCsvColumns << '\n';
   out.precision(17);  // exact double round-trip
   for (const auto& r : rows_) {
     out << r.vdd << ',' << r.cell6.read_access << ',' << r.cell6.write_fail
@@ -93,22 +139,54 @@ void FailureTable::save_csv(const std::string& path) const {
   }
 }
 
-std::optional<FailureTable> FailureTable::load_csv(const std::string& path) {
+std::optional<FailureTable> FailureTable::load_csv(
+    const std::string& path, std::uint64_t expected_fingerprint) {
   std::ifstream in{path};
   if (!in) return std::nullopt;
   std::string line;
-  if (!std::getline(in, line)) return std::nullopt;  // header
+
+  // Version/fingerprint header.
+  if (!std::getline(in, line) || line.rfind(kCsvMagic, 0) != 0) {
+    return std::nullopt;  // missing or pre-v2 header: treat as stale
+  }
+  std::uint64_t file_fp = 0;
+  {
+    std::istringstream fp{line.substr(kCsvMagic.size())};
+    fp >> std::hex >> file_fp;
+    if (fp.fail()) return std::nullopt;
+  }
+  if (expected_fingerprint != 0 && file_fp != expected_fingerprint) {
+    return std::nullopt;  // a different table (grid/options/seed changed)
+  }
+
+  if (!std::getline(in, line) || line != kCsvColumns) return std::nullopt;
+
   std::vector<FailureTableRow> rows;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream ss{line};
     FailureTableRow r;
-    char comma = 0;
-    ss >> r.vdd >> comma >> r.cell6.read_access >> comma >>
-        r.cell6.write_fail >> comma >> r.cell6.read_disturb >> comma >>
-        r.cell8.read_access >> comma >> r.cell8.write_fail >> comma >>
-        r.cell8.read_disturb;
-    if (!ss) return std::nullopt;
+    double* fields[] = {&r.vdd,
+                        &r.cell6.read_access,
+                        &r.cell6.write_fail,
+                        &r.cell6.read_disturb,
+                        &r.cell8.read_access,
+                        &r.cell8.write_fail,
+                        &r.cell8.read_disturb};
+    for (std::size_t f = 0; f < 7; ++f) {
+      if (f > 0) {
+        char comma = 0;
+        if (!(ss >> comma) || comma != ',') return std::nullopt;
+      }
+      if (!(ss >> *fields[f])) return std::nullopt;
+    }
+    if (!(ss >> std::ws).eof()) return std::nullopt;
+    if (!std::isfinite(r.vdd) || r.vdd <= 0.0) return std::nullopt;
+    for (double p : {r.cell6.read_access, r.cell6.write_fail,
+                     r.cell6.read_disturb, r.cell8.read_access,
+                     r.cell8.write_fail, r.cell8.read_disturb}) {
+      if (!valid_rate(p)) return std::nullopt;
+    }
     rows.push_back(r);
   }
   if (rows.empty()) return std::nullopt;

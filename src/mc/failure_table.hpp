@@ -37,7 +37,11 @@ class FailureTable {
   FailureTable() = default;
   explicit FailureTable(std::vector<FailureTableRow> rows);
 
-  /// Runs the analyzer over the voltage grid. Deterministic in `seed`.
+  /// Runs the analyzer over the voltage grid, scheduling the full
+  /// (voltage x cell-type x mechanism) job matrix on the shared thread pool
+  /// (participation capped by analyzer.options().threads). Each job uses the
+  /// per-mechanism seeds of the serial path, so the result is deterministic
+  /// in `seed` and bit-identical for any thread count.
   [[nodiscard]] static FailureTable build(const FailureAnalyzer& analyzer,
                                           std::span<const double> vdd_grid,
                                           std::uint64_t seed);
@@ -50,9 +54,16 @@ class FailureTable {
   }
 
   /// CSV round-trip so expensive tables can be cached between bench runs.
-  void save_csv(const std::string& path) const;
+  ///
+  /// The file starts with a format-version header that embeds `fingerprint`
+  /// (a provenance hash -- see engine::table_fingerprint). load_csv rejects
+  /// files with a missing/old header, a fingerprint differing from
+  /// `expected_fingerprint` (when non-zero), or malformed rows, so a stale
+  /// or foreign cache file can never be silently mistaken for the requested
+  /// table.
+  void save_csv(const std::string& path, std::uint64_t fingerprint = 0) const;
   [[nodiscard]] static std::optional<FailureTable> load_csv(
-      const std::string& path);
+      const std::string& path, std::uint64_t expected_fingerprint = 0);
 
  private:
   [[nodiscard]] BitcellFailureRates interpolate(double vdd, bool cell8) const;

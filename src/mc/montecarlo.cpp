@@ -1,9 +1,7 @@
 #include "mc/montecarlo.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <vector>
 
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -32,6 +30,15 @@ RateEstimate finish_mc(std::size_t hits, std::size_t n) {
   r.ci_hi = ci.hi;
   return r;
 }
+
+// Per-chunk partial of the weighted importance-sampling estimator. Partials
+// are folded in ascending chunk order by parallel_reduce, reproducing the
+// serial accumulation order bit-for-bit.
+struct IsPartial {
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  std::size_t hits = 0;
+};
 
 template <std::size_t D, typename MetricFn>
 RateEstimate importance_sample(const MetricFn& metric,
@@ -66,51 +73,49 @@ RateEstimate importance_sample(const MetricFn& metric,
   for (std::size_t i = 0; i < D; ++i) mu[i] = beta * grad[i] / norm;
   const double mu_sq = beta * beta;
 
-  std::vector<double> sum_w(kChunks, 0.0);
-  std::vector<double> sum_w2(kChunks, 0.0);
-  std::vector<std::size_t> raw_hits(kChunks, 0);
   const std::size_t per_chunk = (n + kChunks - 1) / kChunks;
-
-  util::parallel_for(
-      kChunks,
-      [&](std::size_t c) {
-        util::Rng rng{chunk_seed(seed, c)};
-        std::array<double, D> x{};
-        for (std::size_t s = 0; s < per_chunk; ++s) {
-          double dot = 0.0;
-          for (std::size_t i = 0; i < D; ++i) {
-            const double z = rng.normal();
-            const double xi = mu[i] + z;
-            dot += mu[i] * xi;
-            x[i] = xi * sigmas[i];  // back to volts
-          }
-          if (metric(x) > 0.0) {
-            const double w = std::exp(-dot + 0.5 * mu_sq);
-            sum_w[c] += w;
-            sum_w2[c] += w * w;
-            ++raw_hits[c];
+  const IsPartial sum = util::parallel_reduce(
+      kChunks, kChunks, IsPartial{},
+      [&](std::size_t begin, std::size_t end) {
+        IsPartial part;
+        for (std::size_t c = begin; c < end; ++c) {
+          util::Rng rng{chunk_seed(seed, c)};
+          std::array<double, D> x{};
+          for (std::size_t s = 0; s < per_chunk; ++s) {
+            double dot = 0.0;
+            for (std::size_t i = 0; i < D; ++i) {
+              const double z = rng.normal();
+              const double xi = mu[i] + z;
+              dot += mu[i] * xi;
+              x[i] = xi * sigmas[i];  // back to volts
+            }
+            if (metric(x) > 0.0) {
+              const double w = std::exp(-dot + 0.5 * mu_sq);
+              part.sum_w += w;
+              part.sum_w2 += w * w;
+              ++part.hits;
+            }
           }
         }
+        return part;
+      },
+      [](IsPartial a, IsPartial b) {
+        a.sum_w += b.sum_w;
+        a.sum_w2 += b.sum_w2;
+        a.hits += b.hits;
+        return a;
       },
       threads);
 
   const double total = static_cast<double>(per_chunk * kChunks);
-  double sw = 0.0;
-  double sw2 = 0.0;
-  std::size_t hits = 0;
-  for (std::size_t c = 0; c < kChunks; ++c) {
-    sw += sum_w[c];
-    sw2 += sum_w2[c];
-    hits += raw_hits[c];
-  }
-  const double p = sw / total;
-  const double var = std::max(0.0, sw2 / total - p * p) / total;
+  const double p = sum.sum_w / total;
+  const double var = std::max(0.0, sum.sum_w2 / total - p * p) / total;
   const double se = std::sqrt(var);
   r.p = p;
   r.ci_lo = std::max(0.0, p - 1.96 * se);
   r.ci_hi = std::min(1.0, p + 1.96 * se);
   r.trials = static_cast<std::size_t>(total);
-  r.hits = static_cast<double>(hits);
+  r.hits = static_cast<double>(sum.hits);
   return r;
 }
 
@@ -124,41 +129,43 @@ FailureAnalyzer::FailureAnalyzer(const FailureCriteria& criteria,
 RateEstimate FailureAnalyzer::plain_mc_6t(Mechanism m, double vdd,
                                           std::size_t n,
                                           std::uint64_t seed) const {
-  std::vector<std::size_t> hits(kChunks, 0);
   const std::size_t per_chunk = (n + kChunks - 1) / kChunks;
-  util::parallel_for(
-      kChunks,
-      [&](std::size_t c) {
-        util::Rng rng{chunk_seed(seed, c)};
-        for (std::size_t s = 0; s < per_chunk; ++s) {
-          const circuit::Variation6T var = sampler_->sample_6t(rng);
-          if (criteria_->metric_6t(m, var, vdd) > 0.0) ++hits[c];
+  const std::size_t hits = util::parallel_reduce(
+      kChunks, kChunks, std::size_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        std::size_t h = 0;
+        for (std::size_t c = begin; c < end; ++c) {
+          util::Rng rng{chunk_seed(seed, c)};
+          for (std::size_t s = 0; s < per_chunk; ++s) {
+            const circuit::Variation6T var = sampler_->sample_6t(rng);
+            if (criteria_->metric_6t(m, var, vdd) > 0.0) ++h;
+          }
         }
+        return h;
       },
-      opts_.threads);
-  std::size_t total_hits = 0;
-  for (auto h : hits) total_hits += h;
-  return finish_mc(total_hits, per_chunk * kChunks);
+      [](std::size_t a, std::size_t b) { return a + b; }, opts_.threads);
+  return finish_mc(hits, per_chunk * kChunks);
 }
 
 RateEstimate FailureAnalyzer::plain_mc_8t(Mechanism m, double vdd,
                                           std::size_t n,
                                           std::uint64_t seed) const {
-  std::vector<std::size_t> hits(kChunks, 0);
   const std::size_t per_chunk = (n + kChunks - 1) / kChunks;
-  util::parallel_for(
-      kChunks,
-      [&](std::size_t c) {
-        util::Rng rng{chunk_seed(seed, c)};
-        for (std::size_t s = 0; s < per_chunk; ++s) {
-          const circuit::Variation8T var = sampler_->sample_8t(rng);
-          if (criteria_->metric_8t(m, var, vdd) > 0.0) ++hits[c];
+  const std::size_t hits = util::parallel_reduce(
+      kChunks, kChunks, std::size_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        std::size_t h = 0;
+        for (std::size_t c = begin; c < end; ++c) {
+          util::Rng rng{chunk_seed(seed, c)};
+          for (std::size_t s = 0; s < per_chunk; ++s) {
+            const circuit::Variation8T var = sampler_->sample_8t(rng);
+            if (criteria_->metric_8t(m, var, vdd) > 0.0) ++h;
+          }
         }
+        return h;
       },
-      opts_.threads);
-  std::size_t total_hits = 0;
-  for (auto h : hits) total_hits += h;
-  return finish_mc(total_hits, per_chunk * kChunks);
+      [](std::size_t a, std::size_t b) { return a + b; }, opts_.threads);
+  return finish_mc(hits, per_chunk * kChunks);
 }
 
 RateEstimate FailureAnalyzer::importance_6t(Mechanism m, double vdd,
@@ -184,21 +191,22 @@ RateEstimate FailureAnalyzer::importance_8t(Mechanism m, double vdd,
 RateEstimate FailureAnalyzer::retention_6t(double v_standby,
                                            std::uint64_t seed) const {
   // Plain MC on the hold limit-state.
-  std::vector<std::size_t> hits(kChunks, 0);
   const std::size_t per_chunk = (opts_.mc_samples + kChunks - 1) / kChunks;
-  util::parallel_for(
-      kChunks,
-      [&](std::size_t c) {
-        util::Rng rng{chunk_seed(seed, c)};
-        for (std::size_t s = 0; s < per_chunk; ++s) {
-          const circuit::Variation6T var = sampler_->sample_6t(rng);
-          if (criteria_->hold_metric_6t(var, v_standby) > 0.0) ++hits[c];
+  const std::size_t hits = util::parallel_reduce(
+      kChunks, kChunks, std::size_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        std::size_t h = 0;
+        for (std::size_t c = begin; c < end; ++c) {
+          util::Rng rng{chunk_seed(seed, c)};
+          for (std::size_t s = 0; s < per_chunk; ++s) {
+            const circuit::Variation6T var = sampler_->sample_6t(rng);
+            if (criteria_->hold_metric_6t(var, v_standby) > 0.0) ++h;
+          }
         }
+        return h;
       },
-      opts_.threads);
-  std::size_t total_hits = 0;
-  for (auto h : hits) total_hits += h;
-  RateEstimate est = finish_mc(total_hits, per_chunk * kChunks);
+      [](std::size_t a, std::size_t b) { return a + b; }, opts_.threads);
+  RateEstimate est = finish_mc(hits, per_chunk * kChunks);
   if (est.hits >= static_cast<double>(opts_.min_hits_for_mc)) return est;
 
   const auto metric = [&](const std::array<double, k6t_devices>& dvt) {
@@ -210,6 +218,26 @@ RateEstimate FailureAnalyzer::retention_6t(double v_standby,
                                         seed ^ 0xfeedull, opts_.threads);
 }
 
+RateEstimate FailureAnalyzer::estimate_6t(Mechanism m, double vdd,
+                                          std::uint64_t mc_seed,
+                                          std::uint64_t is_seed) const {
+  RateEstimate est = plain_mc_6t(m, vdd, opts_.mc_samples, mc_seed);
+  if (est.hits < static_cast<double>(opts_.min_hits_for_mc)) {
+    est = importance_6t(m, vdd, opts_.is_samples, is_seed);
+  }
+  return est;
+}
+
+RateEstimate FailureAnalyzer::estimate_8t(Mechanism m, double vdd,
+                                          std::uint64_t mc_seed,
+                                          std::uint64_t is_seed) const {
+  RateEstimate est = plain_mc_8t(m, vdd, opts_.mc_samples, mc_seed);
+  if (est.hits < static_cast<double>(opts_.min_hits_for_mc)) {
+    est = importance_8t(m, vdd, opts_.is_samples, is_seed);
+  }
+  return est;
+}
+
 CellFailureRates FailureAnalyzer::analyze_6t(double vdd,
                                              std::uint64_t seed) const {
   CellFailureRates out;
@@ -217,13 +245,8 @@ CellFailureRates FailureAnalyzer::analyze_6t(double vdd,
                              Mechanism::read_disturb};
   RateEstimate* slots[] = {&out.read_access, &out.write_fail,
                            &out.read_disturb};
-  for (int i = 0; i < 3; ++i) {
-    RateEstimate est =
-        plain_mc_6t(mechs[i], vdd, opts_.mc_samples, seed + 101 * i);
-    if (est.hits < static_cast<double>(opts_.min_hits_for_mc)) {
-      est = importance_6t(mechs[i], vdd, opts_.is_samples, seed + 777 + i);
-    }
-    *slots[i] = est;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    *slots[i] = estimate_6t(mechs[i], vdd, seed + 101 * i, seed + 777 + i);
   }
   return out;
 }
@@ -233,13 +256,8 @@ CellFailureRates FailureAnalyzer::analyze_8t(double vdd,
   CellFailureRates out;
   const Mechanism mechs[] = {Mechanism::read_access, Mechanism::write};
   RateEstimate* slots[] = {&out.read_access, &out.write_fail};
-  for (int i = 0; i < 2; ++i) {
-    RateEstimate est =
-        plain_mc_8t(mechs[i], vdd, opts_.mc_samples, seed + 131 * i);
-    if (est.hits < static_cast<double>(opts_.min_hits_for_mc)) {
-      est = importance_8t(mechs[i], vdd, opts_.is_samples, seed + 555 + i);
-    }
-    *slots[i] = est;
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    *slots[i] = estimate_8t(mechs[i], vdd, seed + 131 * i, seed + 555 + i);
   }
   out.read_disturb = RateEstimate{};  // structurally impossible
   out.read_disturb.trials = opts_.mc_samples;

@@ -59,6 +59,17 @@ class FailureAnalyzer {
   [[nodiscard]] CellFailureRates analyze_8t(double vdd,
                                             std::uint64_t seed) const;
 
+  /// One mechanism with the plain-MC -> importance-sampling fallback used by
+  /// analyze_6t/analyze_8t. Exposed so FailureTable::build can schedule the
+  /// full (voltage x cell-type x mechanism) job matrix on the thread pool
+  /// with exactly the per-mechanism seeds the serial path used.
+  [[nodiscard]] RateEstimate estimate_6t(Mechanism m, double vdd,
+                                         std::uint64_t mc_seed,
+                                         std::uint64_t is_seed) const;
+  [[nodiscard]] RateEstimate estimate_8t(Mechanism m, double vdd,
+                                         std::uint64_t mc_seed,
+                                         std::uint64_t is_seed) const;
+
   // Exposed for validation tests (IS-vs-MC agreement).
   [[nodiscard]] RateEstimate plain_mc_6t(Mechanism m, double vdd,
                                          std::size_t n,

@@ -1,0 +1,45 @@
+// Stable 64-bit content fingerprinting (FNV-1a). Unlike std::hash, the
+// digest is identical across platforms, compilers and runs, so it is safe to
+// embed in on-disk cache artifacts (engine::FailureTableCache keys its CSV
+// files by it).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hynapse::util {
+
+class Fnv1a {
+ public:
+  void byte(std::uint8_t b) noexcept {
+    state_ ^= b;
+    state_ *= 1099511628211ull;
+  }
+
+  /// Feeds v as 8 explicit little-endian bytes (endianness-independent).
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// Feeds the IEEE-754 bit pattern of v.
+  void f64(double v) noexcept { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void f64_span(std::span<const double> vs) noexcept {
+    u64(vs.size());
+    for (double v : vs) f64(v);
+  }
+
+  void str(std::string_view s) noexcept {
+    u64(s.size());
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 14695981039346656037ull;
+};
+
+}  // namespace hynapse::util

@@ -1,60 +1,22 @@
 #include "util/parallel.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
 namespace hynapse::util {
 
-std::size_t default_thread_count() noexcept {
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : hc;
-}
+// Legacy type-erased wrappers: forward to the templated pool-backed
+// implementations (the lambda arguments select the template overloads).
 
-void parallel_for_chunks(std::size_t n,
-                         const std::function<void(std::size_t, std::size_t)>& fn,
-                         std::size_t threads) {
-  if (n == 0) return;
-  if (threads == 0) threads = default_thread_count();
-  threads = std::min(threads, n);
-  if (threads <= 1) {
-    fn(0, n);
-    return;
-  }
-
-  const std::size_t chunk = (n + threads - 1) / threads;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  for (std::size_t t = 0; t < threads; ++t) {
-    const std::size_t begin = t * chunk;
-    if (begin >= n) break;
-    const std::size_t end = std::min(begin + chunk, n);
-    workers.emplace_back([&, begin, end] {
-      try {
-        fn(begin, end);
-      } catch (...) {
-        const std::scoped_lock lock{error_mutex};
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-  if (first_error) std::rethrow_exception(first_error);
+void parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t threads) {
+  parallel_for_chunks(
+      n, [&fn](std::size_t begin, std::size_t end) { fn(begin, end); },
+      threads);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
-  parallel_for_chunks(
-      n,
-      [&fn](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      },
-      threads);
+  parallel_for(
+      n, [&fn](std::size_t i) { fn(i); }, threads);
 }
 
 }  // namespace hynapse::util

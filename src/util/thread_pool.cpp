@@ -1,0 +1,134 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hynapse::util {
+
+namespace {
+
+std::atomic<std::size_t> g_default_threads{0};  // 0 = auto
+
+// Upper bound on any configured thread count: far above real machines, low
+// enough that a mistyped --threads or HYNAPSE_THREADS value cannot make
+// pool construction throw.
+constexpr std::size_t kMaxThreads = 512;
+
+std::size_t hardware_threads() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+std::size_t env_threads() noexcept {
+  if (const char* s = std::getenv("HYNAPSE_THREADS")) {
+    const long v = std::atol(s);
+    if (v > 0) return std::min(static_cast<std::size_t>(v), kMaxThreads);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t default_thread_count() noexcept {
+  const std::size_t set = g_default_threads.load(std::memory_order_relaxed);
+  if (set != 0) return set;
+  static const std::size_t fallback = [] {
+    const std::size_t env = env_threads();
+    return env != 0 ? env : hardware_threads();
+  }();
+  return fallback;
+}
+
+void set_default_thread_count(std::size_t n) noexcept {
+  g_default_threads.store(std::min(n, kMaxThreads), std::memory_order_relaxed);
+}
+
+std::size_t strip_threads_flag(int& argc, char** argv) {
+  const auto parse = [](const char* s, long& v) -> bool {
+    char* end = nullptr;
+    v = std::strtol(s, &end, 10);
+    return end != s && *end == '\0';
+  };
+  std::size_t threads = 0;
+  const auto apply = [&threads](long v) {
+    // Non-positive values mean "auto"; a cap keeps hostile input from
+    // blowing up pool construction.
+    threads = v > 0 ? std::min(static_cast<std::size_t>(v), kMaxThreads) : 0;
+  };
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long v = 0;
+    if (std::strncmp(arg, "--threads", 9) == 0 && arg[9] == '=') {
+      if (parse(arg + 10, v)) apply(v);
+      continue;
+    }
+    if (std::strcmp(arg, "--threads") == 0) {
+      // Consume the next token only when it is numeric; "--threads evaluate"
+      // must not swallow the command.
+      if (i + 1 < argc && parse(argv[i + 1], v)) {
+        apply(v);
+        ++i;
+      }
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  set_default_thread_count(threads);
+  return threads;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock{mutex_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  // At least 3 workers so that the thread-count-invariance contract is
+  // genuinely exercised (and testable) even on 1-2 core machines; mild
+  // oversubscription is harmless for the throughput-bound simulation loops.
+  static ThreadPool pool{std::max<std::size_t>(default_thread_count(), 4) - 1};
+  return pool;
+}
+
+void ThreadPool::submit(const std::shared_ptr<Job>& job, std::size_t copies) {
+  if (copies == 0 || !job) return;
+  {
+    const std::scoped_lock lock{mutex_};
+    for (std::size_t i = 0; i < copies; ++i) queue_.push_back(job);
+  }
+  if (copies == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock{mutex_};
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job->run();
+    job.reset();  // release the control block before blocking on the queue
+  }
+}
+
+}  // namespace hynapse::util

@@ -1,0 +1,151 @@
+// Persistent worker pool behind util::parallel_for / parallel_reduce.
+//
+// The simulation stack issues many short parallel regions (Monte-Carlo
+// chunks, GEMM row blocks, chip instances); spawning threads per region is
+// pure overhead. One lazily-created shared pool serves every region instead:
+// a region enqueues a handful of "helper" tickets, the submitting thread
+// participates in the work itself, and per-chunk dispatch is a single atomic
+// increment on a shared control block -- no std::function, no per-chunk
+// allocation.
+//
+// Because the submitting thread always participates, a region completes even
+// when every worker is busy -- including when a worker itself reaches a
+// nested region -- so nested parallelism cannot deadlock.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hynapse::util {
+
+/// Default number of participants for a parallel region: the value set via
+/// set_default_thread_count(), else the HYNAPSE_THREADS environment
+/// variable, else hardware concurrency (at least 1).
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Process-wide override for default_thread_count() (0 = back to auto).
+/// Call before the first parallel region (e.g. from a --threads flag); later
+/// calls still cap participation of subsequent regions, but cannot grow the
+/// shared pool beyond its creation size. Values are clamped to a sane
+/// maximum so hostile input cannot blow up pool construction.
+void set_default_thread_count(std::size_t n) noexcept;
+
+/// Strips the first `--threads N` / `--threads=N` flag from argv, applies it
+/// via set_default_thread_count and returns the value (0 when absent or not
+/// a positive number). Shared by the example/bench front-ends.
+[[nodiscard]] std::size_t strip_threads_flag(int& argc, char** argv);
+
+class ThreadPool {
+ public:
+  /// A unit of queued work. run() must not throw; implementations catch and
+  /// store exceptions themselves.
+  struct Job {
+    virtual ~Job() = default;
+    virtual void run() noexcept = 0;
+  };
+
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// The process-wide pool, created on first use.
+  [[nodiscard]] static ThreadPool& shared();
+
+  /// Enqueues `copies` tickets for `job`; each dequeue calls job->run() once.
+  /// The queue holds shared ownership, so a ticket that is dequeued after
+  /// the submitting region already finished runs against a still-alive
+  /// control block (which makes it a no-op).
+  void submit(const std::shared_ptr<Job>& job, std::size_t copies);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace detail {
+
+/// Shared state of one chunked parallel region: claims chunk indices with an
+/// atomic counter, records the first exception, and signals completion once
+/// every chunk has been claimed and finished. Stale helper tickets (arriving
+/// after all chunks are claimed) fall straight through without touching the
+/// caller's stack frame.
+class ChunkRun final : public ThreadPool::Job {
+ public:
+  using Body = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+  ChunkRun(Body body, void* ctx, std::size_t n, std::size_t n_chunks) noexcept
+      : body_{body},
+        ctx_{ctx},
+        n_{n},
+        n_chunks_{n_chunks},
+        chunk_{(n + n_chunks - 1) / n_chunks},
+        remaining_{n_chunks} {}
+
+  void run() noexcept override {
+    for (;;) {
+      const std::size_t c = next_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks_) return;
+      if (!cancelled_.load(std::memory_order_relaxed)) {
+        const std::size_t begin = c * chunk_;
+        const std::size_t end = std::min(begin + chunk_, n_);
+        try {
+          if (begin < end) body_(ctx_, begin, end);
+        } catch (...) {
+          const std::scoped_lock lock{mutex_};
+          if (!error_) error_ = std::current_exception();
+          cancelled_.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Lock pairs with the waiter's predicate check, closing the window
+        // between its check and its sleep.
+        const std::scoped_lock lock{mutex_};
+        done_.notify_all();
+      }
+    }
+  }
+
+  /// Blocks until every chunk finished; rethrows the first body exception.
+  void wait() {
+    std::unique_lock lock{mutex_};
+    done_.wait(lock, [this] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  Body body_;
+  void* ctx_;
+  std::size_t n_;
+  std::size_t n_chunks_;
+  std::size_t chunk_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> cancelled_{false};
+  std::exception_ptr error_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+};
+
+}  // namespace detail
+
+}  // namespace hynapse::util

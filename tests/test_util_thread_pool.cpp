@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hynapse::util {
+namespace {
+
+TEST(ThreadPool, SharedPoolHasWorkers) {
+  // The shared pool guarantees at least 3 workers even on 1-2 core machines,
+  // so thread-count-invariance tests exercise real concurrency everywhere.
+  EXPECT_GE(ThreadPool::shared().worker_count(), 3u);
+}
+
+TEST(ThreadPool, ConstructDestructAcrossSizes) {
+  for (const std::size_t workers : {0u, 1u, 4u}) {
+    ThreadPool pool{workers};
+    EXPECT_EQ(pool.worker_count(), workers);
+  }
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  struct CountJob final : ThreadPool::Job {
+    std::atomic<int>* counter;
+    explicit CountJob(std::atomic<int>* c) : counter{c} {}
+    void run() noexcept override { ++*counter; }
+  };
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool{2};
+    pool.submit(std::make_shared<CountJob>(&runs), 32);
+  }  // destructor joins after the queue is drained
+  EXPECT_EQ(runs.load(), 32);
+}
+
+TEST(ThreadPool, SubmitZeroCopiesIsNoop) {
+  struct BoomJob final : ThreadPool::Job {
+    void run() noexcept override { std::abort(); }
+  };
+  ThreadPool pool{1};
+  pool.submit(std::make_shared<BoomJob>(), 0);
+  pool.submit(nullptr, 4);
+}
+
+TEST(ParallelPool, CoversAllIndicesExactlyOnceAtEightThreads) {
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for(
+      10000, [&](std::size_t i) { ++hits[i]; }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelPool, NestedSubmissionCompletes) {
+  // A pool task that itself opens a parallel region must not deadlock: the
+  // submitting thread participates in its own region.
+  std::vector<std::atomic<int>> hits(8 * 64);
+  parallel_for(8, [&](std::size_t outer) {
+    parallel_for(64, [&](std::size_t inner) { ++hits[outer * 64 + inner]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelPool, TriplyNestedSubmissionCompletes) {
+  std::atomic<std::size_t> total{0};
+  parallel_for(4, [&](std::size_t) {
+    parallel_for(4, [&](std::size_t) {
+      parallel_for(16, [&](std::size_t) { ++total; });
+    });
+  });
+  EXPECT_EQ(total.load(), 4u * 4u * 16u);
+}
+
+TEST(ParallelPool, ExceptionPropagatesFromPoolThreads) {
+  EXPECT_THROW(
+      parallel_for(
+          1000,
+          [](std::size_t i) {
+            if (i == 507) throw std::runtime_error{"boom"};
+          },
+          8),
+      std::runtime_error);
+}
+
+TEST(ParallelPool, ExceptionPropagatesThroughNestedRegions) {
+  EXPECT_THROW(parallel_for(4,
+                            [&](std::size_t) {
+                              parallel_for(64, [](std::size_t i) {
+                                if (i == 13)
+                                  throw std::invalid_argument{"inner"};
+                              });
+                            }),
+               std::invalid_argument);
+}
+
+TEST(ParallelPool, PoolUsableAfterException) {
+  try {
+    parallel_for(100, [](std::size_t) {
+      throw std::runtime_error{"first"};
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<std::size_t> total{0};
+  parallel_for(256, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 256u);
+}
+
+TEST(ParallelPool, ZeroTasksIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  parallel_for_chunks(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelPool, ManySmallRegionsStress) {
+  for (int round = 0; round < 300; ++round) {
+    std::atomic<int> total{0};
+    parallel_for(4, [&](std::size_t) { ++total; });
+    ASSERT_EQ(total.load(), 4);
+  }
+}
+
+TEST(ParallelReduce, SumsIntegersExactly) {
+  const std::size_t n = 123456;
+  const std::size_t sum = parallel_reduce(
+      n, 64, std::size_t{0},
+      [](std::size_t begin, std::size_t end) {
+        std::size_t s = 0;
+        for (std::size_t i = begin; i < end; ++i) s += i;
+        return s;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; }, 8);
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, ZeroElementsReturnsInit) {
+  const int r = parallel_reduce(
+      0, 16, 42, [](std::size_t, std::size_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(r, 42);
+}
+
+TEST(ParallelReduce, FloatingPointBitIdenticalAcrossThreadCounts) {
+  // The chunk grid and fold order are fixed by n_chunks, so the FP result
+  // must match bit-for-bit no matter how chunks are scheduled.
+  const auto run = [](std::size_t threads) {
+    return parallel_reduce(
+        100000, 64, 0.0,
+        [](std::size_t begin, std::size_t end) {
+          double s = 0.0;
+          for (std::size_t i = begin; i < end; ++i)
+            s += 1.0 / static_cast<double>(i + 1);
+          return s;
+        },
+        [](double a, double b) { return a + b; }, threads);
+  };
+  const double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelReduce, EmptyTrailingChunksContributeInit) {
+  // n=10 over 7 chunks of ceil size 2 leaves empty trailing chunks; they
+  // must contribute `init` (0) and not perturb the fold.
+  const int sum = parallel_reduce(
+      10, 7, 0,
+      [](std::size_t begin, std::size_t end) {
+        return static_cast<int>(end - begin);
+      },
+      [](int a, int b) { return a + b; }, 4);
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(ParallelLegacy, StdFunctionWrappersStillWork) {
+  std::vector<std::atomic<int>> hits(512);
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    ++hits[i];
+  };
+  parallel_for(512, fn);
+  std::atomic<std::size_t> total{0};
+  const std::function<void(std::size_t, std::size_t)> chunks =
+      [&](std::size_t b, std::size_t e) { total += e - b; };
+  parallel_for_chunks(4321, chunks);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(total.load(), 4321u);
+}
+
+TEST(ThreadCount, SetDefaultOverridesAndRestores) {
+  const std::size_t base = default_thread_count();
+  set_default_thread_count(5);
+  EXPECT_EQ(default_thread_count(), 5u);
+  set_default_thread_count(0);
+  EXPECT_EQ(default_thread_count(), base);
+}
+
+TEST(ThreadCount, HostileValuesAreClamped) {
+  set_default_thread_count(static_cast<std::size_t>(-1));
+  EXPECT_LE(default_thread_count(), 512u);  // sane cap, no crash on first use
+  set_default_thread_count(0);
+}
+
+class StripThreadsFlagTest : public ::testing::Test {
+ protected:
+  std::size_t run(std::vector<const char*> args) {
+    argv_.assign(args.begin(), args.end());
+    argv_.insert(argv_.begin(), "prog");
+    argc_ = static_cast<int>(argv_.size());
+    const std::size_t threads = strip_threads_flag(
+        argc_, const_cast<char**>(argv_.data()));
+    set_default_thread_count(0);  // don't leak state into other tests
+    return threads;
+  }
+  std::vector<const char*> remaining() const {
+    return {argv_.begin() + 1, argv_.begin() + argc_};
+  }
+  int argc_ = 0;
+  std::vector<const char*> argv_;
+};
+
+TEST_F(StripThreadsFlagTest, ParsesSeparateAndEqualsForms) {
+  EXPECT_EQ(run({"--threads", "4", "cmd"}), 4u);
+  EXPECT_EQ(remaining(), (std::vector<const char*>{"cmd"}));
+  EXPECT_EQ(run({"cmd", "--threads=7"}), 7u);
+  EXPECT_EQ(remaining(), (std::vector<const char*>{"cmd"}));
+}
+
+TEST_F(StripThreadsFlagTest, AbsentFlagLeavesArgvAlone) {
+  EXPECT_EQ(run({"evaluate", "all6t"}), 0u);
+  EXPECT_EQ(remaining(), (std::vector<const char*>{"evaluate", "all6t"}));
+}
+
+TEST_F(StripThreadsFlagTest, NonNumericValueIsNotConsumed) {
+  // "--threads evaluate" must not swallow the command.
+  EXPECT_EQ(run({"--threads", "evaluate", "all6t"}), 0u);
+  EXPECT_EQ(remaining(), (std::vector<const char*>{"evaluate", "all6t"}));
+}
+
+TEST_F(StripThreadsFlagTest, NegativeAndHugeValuesAreSanitized) {
+  EXPECT_EQ(run({"--threads", "-3", "cmd"}), 0u);  // non-positive -> auto
+  EXPECT_EQ(remaining(), (std::vector<const char*>{"cmd"}));
+  EXPECT_EQ(run({"--threads", "99999999"}), 512u);  // clamped
+}
+
+}  // namespace
+}  // namespace hynapse::util
