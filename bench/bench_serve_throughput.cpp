@@ -1,0 +1,183 @@
+// bench_serve_throughput: replays a mixed 200-request trace against
+// serve::EvalService twice -- naive mode (no request coalescing: every
+// dispatch builds its own failure table, no batch fusion) vs coalesced mode
+// (fingerprint single-flight + batch fusion) -- and reports wall time,
+// requests/sec and the number of Monte-Carlo table builds each mode paid
+// for. The trace mixes 4 table provenances, several configs/voltages,
+// priorities and sweep requests, mimicking interactive design-space
+// exploration where many small requests hit a few shared tables.
+//
+// Flags (bench::parse_bench_flags): --threads N, --samples N (per-mechanism
+// MC samples for every table build, default 300), --json PATH (write the
+// complete comparison as one JSON object to PATH, overwriting it -- the
+// BENCH_serve_throughput.json artifact collected by scripts/run_bench.sh).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ann/trainer.hpp"
+#include "common.hpp"
+#include "data/digits.hpp"
+#include "serve/eval_service.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hynapse;
+
+constexpr std::size_t kRequests = 200;
+constexpr std::uint64_t kProvenances = 4;  // distinct table fingerprints
+
+std::vector<serve::Request> build_trace() {
+  const char* const configs[] = {"all6t", "hybrid2", "hybrid3", "hybrid4"};
+  const double vdds[] = {0.60, 0.65, 0.70};
+  std::vector<serve::Request> trace;
+  trace.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    serve::Request r;
+    // Spread requests over a handful of shared tables -- the coalescing
+    // opportunity -- with config/voltage/priority churn on top.
+    r.table_seed = 1 + (i * 7 + i / 11) % kProvenances;
+    r.priority = static_cast<int>(i % 3);
+    r.chips = 2;
+    if (i % 10 == 9) {
+      r.kind = serve::RequestKind::sweep;
+      r.configs = {*serve::ConfigSpec::parse(configs[i % 4]),
+                   *serve::ConfigSpec::parse(configs[(i + 1) % 4])};
+      r.vdds = {vdds[i % 3], vdds[(i + 1) % 3]};
+    } else {
+      r.kind = serve::RequestKind::evaluate;
+      r.configs = {*serve::ConfigSpec::parse(configs[i % 4])};
+      r.vdds = {vdds[i % 3]};
+    }
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+struct ModeResult {
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  std::uint64_t table_builds = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced_requests = 0;
+  std::uint64_t failed = 0;
+};
+
+ModeResult run_mode(const core::QuantizedNetwork& qnet,
+                    const data::Dataset& test,
+                    const std::vector<serve::Request>& trace, bool coalesce,
+                    std::size_t samples, std::size_t threads) {
+  serve::ServiceOptions options;
+  options.coalesce = coalesce;
+  options.queue_capacity = kRequests + 8;
+  options.dispatchers = 2;
+  options.threads = threads;
+  options.vdd_grid = {0.60, 0.70};
+  options.default_samples = samples;
+  serve::EvalService service{qnet, test, options};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const serve::Request& r : trace) service.submit(r);
+  service.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const serve::EvalService::Totals totals = service.totals();
+  ModeResult out;
+  out.seconds = std::chrono::duration<double>{t1 - t0}.count();
+  out.requests_per_sec = static_cast<double>(kRequests) / out.seconds;
+  out.table_builds = totals.table_builds;
+  out.batches = totals.batches;
+  out.coalesced_requests = totals.coalesced_requests;
+  out.failed = totals.failed;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_bench_flags(argc, argv);
+  const std::size_t samples = opts.samples != 0 ? opts.samples : 300;
+
+  bench::print_header(
+      "Serving throughput: request coalescing vs naive dispatch",
+      "serve::EvalService over the PR-2 engine (not a paper figure)");
+
+  std::printf("training the served reference network...\n");
+  const data::Dataset train = data::generate_digits(900, 31);
+  ann::Mlp net{{784, 24, 10}, 13};
+  ann::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 50;
+  ann::train_sgd(net, train.images, train.labels, tc);
+  const core::QuantizedNetwork qnet{net, 8};
+  const data::Dataset test = data::generate_digits(300, 32);
+
+  const std::vector<serve::Request> trace = build_trace();
+  std::printf(
+      "replaying %zu requests (%llu distinct table provenances, "
+      "%zu MC samples/mechanism)...\n",
+      kRequests, static_cast<unsigned long long>(kProvenances), samples);
+
+  std::printf("  naive (no coalescing)...\n");
+  const ModeResult naive =
+      run_mode(qnet, test, trace, false, samples, opts.threads);
+  std::printf("  coalesced...\n");
+  const ModeResult coal =
+      run_mode(qnet, test, trace, true, samples, opts.threads);
+
+  util::Table t{{"mode", "seconds", "req/s", "table builds", "batches",
+                 "coalesced"}};
+  t.add_row({"naive", util::Table::num(naive.seconds, 2),
+             util::Table::num(naive.requests_per_sec, 1),
+             std::to_string(naive.table_builds),
+             std::to_string(naive.batches),
+             std::to_string(naive.coalesced_requests)});
+  t.add_row({"coalesced", util::Table::num(coal.seconds, 2),
+             util::Table::num(coal.requests_per_sec, 1),
+             std::to_string(coal.table_builds),
+             std::to_string(coal.batches),
+             std::to_string(coal.coalesced_requests)});
+  t.print();
+  std::printf("speedup %.2fx, table builds %llu -> %llu\n",
+              naive.seconds / coal.seconds,
+              static_cast<unsigned long long>(naive.table_builds),
+              static_cast<unsigned long long>(coal.table_builds));
+  if (naive.failed != 0 || coal.failed != 0) {
+    std::fprintf(stderr, "error: %llu requests failed\n",
+                 static_cast<unsigned long long>(naive.failed + coal.failed));
+    return 1;
+  }
+  if (coal.table_builds >= naive.table_builds) {
+    std::fprintf(stderr,
+                 "error: coalescing did not reduce table builds "
+                 "(%llu vs %llu)\n",
+                 static_cast<unsigned long long>(coal.table_builds),
+                 static_cast<unsigned long long>(naive.table_builds));
+    return 1;
+  }
+
+  if (!opts.json.empty()) {
+    std::ofstream out{opts.json, std::ios::trunc};
+    out << "{\n"
+        << "  \"name\": \"serve_throughput\",\n"
+        << "  \"requests\": " << kRequests << ",\n"
+        << "  \"distinct_tables\": " << kProvenances << ",\n"
+        << "  \"mc_samples\": " << samples << ",\n"
+        << "  \"naive_seconds\": " << naive.seconds << ",\n"
+        << "  \"naive_requests_per_sec\": " << naive.requests_per_sec
+        << ",\n"
+        << "  \"naive_table_builds\": " << naive.table_builds << ",\n"
+        << "  \"coalesced_seconds\": " << coal.seconds << ",\n"
+        << "  \"coalesced_requests_per_sec\": " << coal.requests_per_sec
+        << ",\n"
+        << "  \"coalesced_table_builds\": " << coal.table_builds << ",\n"
+        << "  \"coalesced_batches\": " << coal.batches << ",\n"
+        << "  \"speedup\": " << naive.seconds / coal.seconds << "\n"
+        << "}\n";
+    std::printf("JSON written to %s\n", opts.json.c_str());
+  }
+  return 0;
+}

@@ -19,8 +19,10 @@
 namespace hynapse::bench {
 
 std::string cache_dir() {
-  const char* env = std::getenv("HYNAPSE_CACHE_DIR");
-  const std::string dir = env != nullptr ? env : ".hynapse_cache";
+  // Shared convention (engine::default_cache_dir) so tables persisted by
+  // one binary are reused by the CLI/service front ends; created here
+  // because the trained-model cache writes into it too.
+  const std::string dir = engine::default_cache_dir();
   std::filesystem::create_directories(dir);
   return dir;
 }

@@ -7,12 +7,19 @@
 //                                  (config: all6t | hybridN | perlayer:a,b,..)
 //   optimize [vdd] [drop%]         greedy per-bank MSB allocation
 //   retention                      standby data-retention failure sweep
+//   cache-stats                    list cached failure tables (hit/miss
+//                                  counters print after evaluate/optimize)
 //
 // Everything runs on the small reference network so each command finishes
-// in seconds; the paper-scale reproductions live in bench/.
+// in seconds; the paper-scale reproductions live in bench/. Monte-Carlo
+// failure tables are served through engine::FailureTableCache in
+// $HYNAPSE_CACHE_DIR (default .hynapse_cache), so repeat invocations of
+// evaluate/optimize skip the table build.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -23,6 +30,7 @@
 #include "core/sensitivity.hpp"
 #include "data/digits.hpp"
 #include "engine/experiment_runner.hpp"
+#include "engine/table_cache.hpp"
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
@@ -42,6 +50,22 @@ struct Stack {
   sram::BitcellPowerModel cells{tech, cycle, circuit::paper_constants()};
   mc::VariationSampler sampler{tech, s6, s8};
   mc::FailureCriteria criteria{tech, cycle, s6, s8};
+
+  /// Created on first use so commands that never touch failure tables
+  /// (characterize, retention, cache-stats, usage) leave no cache
+  /// directory behind.
+  engine::FailureTableCache& cache() {
+    if (!cache_) cache_.emplace(engine::default_cache_dir());
+    return *cache_;
+  }
+
+  /// Counters without forcing cache (and cache-directory) creation.
+  [[nodiscard]] engine::CacheStats cache_stats() const {
+    return cache_ ? cache_->stats() : engine::CacheStats{};
+  }
+
+ private:
+  std::optional<engine::FailureTableCache> cache_;
 };
 
 int cmd_characterize(const Stack& st, double vdd) {
@@ -111,21 +135,66 @@ std::vector<int> parse_config(const std::string& arg, std::size_t banks) {
   throw std::invalid_argument{"bad config: " + arg};
 }
 
-mc::FailureTable quick_table(const Stack& st, double vdd) {
+const mc::FailureTable& quick_table(Stack& st, double vdd) {
   mc::AnalyzerOptions opts;
   opts.mc_samples = 8000;
   const mc::FailureAnalyzer analyzer{st.criteria, st.sampler, opts};
-  const std::vector<double> grid{vdd};
-  return mc::FailureTable::build(analyzer, grid, 9);
+  const engine::TableSpec spec{st.tech,           st.s6, st.s8,
+                               st.array.geometry(), {vdd}, 9};
+  engine::TableSource source{};
+  const mc::FailureTable& table =
+      st.cache().get(spec, analyzer, false, &source);
+  if (source == engine::TableSource::disk) {
+    std::printf("[cache] failure table loaded from %s\n",
+                st.cache().csv_path(engine::table_fingerprint(spec, opts))
+                    .c_str());
+  }
+  return table;
 }
 
-int cmd_evaluate(const Stack& st, const std::string& config, double vdd) {
+/// One-line cache-counter report, printed after commands that used the
+/// cache (a CLI process runs exactly one command, so printing these from
+/// cache-stats itself would always show zeros).
+void print_cache_counters(const Stack& st) {
+  const engine::CacheStats stats = st.cache_stats();
+  std::printf(
+      "[cache] %llu memory hits, %llu disk hits, %llu builds, "
+      "%llu coalesced this run\n",
+      static_cast<unsigned long long>(stats.memory_hits),
+      static_cast<unsigned long long>(stats.disk_hits),
+      static_cast<unsigned long long>(stats.builds),
+      static_cast<unsigned long long>(stats.coalesced));
+}
+
+int cmd_cache_stats() {
+  // Read-only inspection: never instantiate the cache (that would create
+  // the directory); list_cached_tables handles a missing one.
+  const std::string dir = engine::default_cache_dir();
+  std::printf("failure-table cache at %s:\n", dir.c_str());
+  const std::vector<engine::CachedTableInfo> infos =
+      engine::list_cached_tables(dir);
+  if (infos.empty()) {
+    std::printf("  (no cached tables)\n");
+  } else {
+    util::Table t{{"fingerprint", "rows", "bytes", "state", "file"}};
+    for (const engine::CachedTableInfo& info : infos) {
+      t.add_row({engine::fingerprint_hex(info.fingerprint),
+                 std::to_string(info.rows), std::to_string(info.bytes),
+                 info.valid ? "ok" : "INVALID",
+                 std::filesystem::path{info.path}.filename().string()});
+    }
+    t.print();
+  }
+  return 0;
+}
+
+int cmd_evaluate(Stack& st, const std::string& config, double vdd) {
   const core::QuantizedNetwork qnet = trained_reference();
   const data::Dataset test = data::generate_digits(700, 52);
   const std::vector<std::size_t> words = qnet.bank_words();
   const core::MemoryConfig cfg =
       core::MemoryConfig::per_layer(words, parse_config(config, words.size()));
-  const mc::FailureTable table = quick_table(st, vdd);
+  const mc::FailureTable& table = quick_table(st, vdd);
   core::EvalOptions opt;
   opt.chips = 3;
   const engine::ExperimentRunner runner;
@@ -141,13 +210,14 @@ int cmd_evaluate(const Stack& st, const std::string& config, double vdd) {
   std::printf("  leakage power      : %.2f uW\n", 1e6 * power.leakage_power);
   std::printf("  area overhead      : %.2f %%\n",
               100.0 * cfg.area_overhead_vs_all_6t(circuit::paper_constants()));
+  print_cache_counters(st);
   return 0;
 }
 
-int cmd_optimize(const Stack& st, double vdd, double drop_percent) {
+int cmd_optimize(Stack& st, double vdd, double drop_percent) {
   const core::QuantizedNetwork qnet = trained_reference();
   const data::Dataset val = data::generate_digits(500, 53);
-  const mc::FailureTable table = quick_table(st, vdd);
+  const mc::FailureTable& table = quick_table(st, vdd);
   core::AllocationOptions opt;
   opt.target_accuracy_drop = drop_percent / 100.0;
   opt.chips_per_eval = 2;
@@ -158,6 +228,7 @@ int cmd_optimize(const Stack& st, double vdd, double drop_percent) {
     std::printf("%sL%zu=%d", i ? ", " : "", i + 1, r.msbs_per_bank[i]);
   std::printf("\naccuracy %.2f %%, area overhead %.2f %%, %zu evaluations\n",
               100.0 * r.accuracy, 100.0 * r.area_overhead, r.evaluations);
+  print_cache_counters(st);
   return 0;
 }
 
@@ -182,6 +253,7 @@ int usage() {
       "  evaluate <all6t|hybridN|perlayer:a,b,..> [vdd=0.65]\n"
       "  optimize [vdd=0.65] [max_drop_percent=1.0]\n"
       "  retention\n"
+      "  cache-stats   (also as a flag: --cache-stats)\n"
       "global options:\n"
       "  --threads N   thread-pool participation cap (0 = hardware)\n");
   return 2;
@@ -207,6 +279,8 @@ int main(int argc, char** argv) {
       return cmd_optimize(st, argc > 2 ? std::atof(argv[2]) : 0.65,
                           argc > 3 ? std::atof(argv[3]) : 1.0);
     if (cmd == "retention") return cmd_retention(st);
+    if (cmd == "cache-stats" || cmd == "--cache-stats")
+      return cmd_cache_stats();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,255 @@
+// hynapse_served: JSONL front-end to serve::EvalService.
+//
+// Trains a small reference network once, then serves evaluation requests
+// against it -- either replaying a JSONL file (one request per line;
+// submits everything up front so coalescing can batch, then prints one
+// response line per request in submission order) or interactively from
+// stdin (REPL; one request per line, answered as it completes).
+//
+//   hynapse_served [options] [requests.jsonl]
+//     --threads N      thread-pool participation cap (0 = hardware)
+//     --chips N        default chip instances per evaluation   [3]
+//     --samples N      default Monte-Carlo samples per mechanism [4000]
+//     --dispatchers N  service dispatcher threads              [2]
+//     --cache DIR      failure-table CSV cache directory
+//                      [$HYNAPSE_CACHE_DIR, else .hynapse_cache]
+//     --naive          disable request coalescing (baseline mode)
+//     --per-chip       emit per-chip accuracies in responses
+//
+// Request lines (see docs/serving.md for the full schema):
+//   {"op":"evaluate","config":"hybrid3","vdd":0.65}
+//   {"op":"sweep","configs":["all6t","hybrid2"],"vdds":[0.6,0.7],"chips":2}
+//   {"op":"table_info"}
+// REPL extras: "eval <config> <vdd>", "stats", "help", "quit".
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ann/trainer.hpp"
+#include "data/digits.hpp"
+#include "engine/table_cache.hpp"
+#include "serve/eval_service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace hynapse;
+
+struct Cli {
+  std::size_t chips = 3;
+  std::size_t samples = 4000;
+  std::size_t dispatchers = 2;
+  std::string cache_dir;
+  bool naive = false;
+  bool per_chip = false;
+  std::string file;
+  bool ok = true;
+};
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  cli.cache_dir = engine::default_cache_dir();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_num = [&](std::size_t& out) {
+      if (i + 1 >= argc) return false;
+      const long v = std::atol(argv[++i]);
+      if (v <= 0) return false;
+      out = static_cast<std::size_t>(v);
+      return true;
+    };
+    if (arg == "--chips") {
+      cli.ok &= next_num(cli.chips);
+    } else if (arg == "--samples") {
+      cli.ok &= next_num(cli.samples);
+    } else if (arg == "--dispatchers") {
+      cli.ok &= next_num(cli.dispatchers);
+    } else if (arg == "--cache") {
+      cli.ok = cli.ok && i + 1 < argc;
+      if (cli.ok) cli.cache_dir = argv[++i];
+    } else if (arg == "--naive") {
+      cli.naive = true;
+    } else if (arg == "--per-chip") {
+      cli.per_chip = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      cli.ok = false;
+    } else if (cli.file.empty()) {
+      cli.file = arg;
+    } else {
+      cli.ok = false;
+    }
+  }
+  return cli;
+}
+
+core::QuantizedNetwork train_served_network() {
+  std::fprintf(stderr, "[served] training the reference network...\n");
+  const data::Dataset train = data::generate_digits(2500, 71);
+  ann::Mlp net{{784, 64, 32, 10}, 4};
+  ann::TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 50;
+  ann::train_sgd(net, train.images, train.labels, tc);
+  return core::QuantizedNetwork{net, 8};
+}
+
+void print_totals(const serve::EvalService& service) {
+  const serve::EvalService::Totals t = service.totals();
+  std::fprintf(stderr,
+               "[served] submitted %llu, done %llu, failed %llu, "
+               "cancelled %llu | batches %llu, coalesced %llu | table "
+               "builds %llu, memory hits %llu, disk hits %llu\n",
+               static_cast<unsigned long long>(t.submitted),
+               static_cast<unsigned long long>(t.completed),
+               static_cast<unsigned long long>(t.failed),
+               static_cast<unsigned long long>(t.cancelled),
+               static_cast<unsigned long long>(t.batches),
+               static_cast<unsigned long long>(t.coalesced_requests),
+               static_cast<unsigned long long>(t.table_builds),
+               static_cast<unsigned long long>(t.table_memory_hits),
+               static_cast<unsigned long long>(t.table_disk_hits));
+}
+
+/// Turns "eval <config> <vdd>" into a request line; everything else passes
+/// through untouched.
+std::string expand_shorthand(const std::string& line) {
+  if (line.rfind("eval ", 0) != 0) return line;
+  std::string config;
+  double vdd = 0.0;
+  char extra = '\0';
+  char buf[128] = {};
+  if (std::sscanf(line.c_str() + 5, "%127s %lf %c", buf, &vdd, &extra) == 2) {
+    config = buf;
+    char json[192];
+    std::snprintf(json, sizeof json,
+                  R"({"op":"evaluate","config":"%s","vdd":%g})",
+                  config.c_str(), vdd);
+    return json;
+  }
+  return line;
+}
+
+/// Parses the whole trace up front (so the service's response history can
+/// be sized to it), submits everything so same-provenance requests can
+/// coalesce, then answers in submission order.
+int replay_file(const core::QuantizedNetwork& qnet, const data::Dataset& test,
+                serve::ServiceOptions options, const std::string& path,
+                bool per_chip) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<serve::Request> trace;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::string error;
+    const auto request = serve::parse_request(line, &error);
+    if (!request) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", path.c_str(), lineno,
+                   error.c_str());
+      return 1;
+    }
+    trace.push_back(*request);
+  }
+
+  // Every response must still be retrievable after the whole trace ran;
+  // otherwise early responses of a long trace would be evicted before the
+  // replay loop reads them.
+  options.completed_history =
+      std::max(options.completed_history, trace.size());
+  serve::EvalService service{qnet, test, options};
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(trace.size());
+  for (serve::Request& request : trace) {
+    ids.push_back(service.submit(std::move(request)));
+  }
+  for (const std::uint64_t id : ids) {
+    const serve::Response response = service.wait(id);
+    std::printf("%s\n", serve::format_response(response, per_chip).c_str());
+  }
+  print_totals(service);
+  return 0;
+}
+
+int repl(const core::QuantizedNetwork& qnet, const data::Dataset& test,
+         const serve::ServiceOptions& options, bool per_chip) {
+  serve::EvalService service{qnet, test, options};
+  std::fprintf(stderr,
+               "[served] interactive mode; JSON requests, \"eval <config> "
+               "<vdd>\", \"stats\", \"help\" or \"quit\"\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit" || line == "exit") break;
+    if (line == "stats") {
+      print_totals(service);
+      continue;
+    }
+    if (line == "help") {
+      std::fprintf(stderr,
+                   "  {\"op\":\"evaluate\",\"config\":\"hybrid3\","
+                   "\"vdd\":0.65}\n"
+                   "  {\"op\":\"sweep\",\"configs\":[...],\"vdds\":[...]}\n"
+                   "  {\"op\":\"table_info\"}\n"
+                   "  eval <all6t|hybridN|perlayer:a,b,..> <vdd>\n"
+                   "  stats | help | quit\n");
+      continue;
+    }
+    std::string error;
+    const auto request = serve::parse_request(expand_shorthand(line), &error);
+    if (!request) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      continue;
+    }
+    const serve::Response response = service.wait(service.submit(*request));
+    std::printf("%s\n", serve::format_response(response, per_chip).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hynapse_served [--threads N] [--chips N] [--samples N]\n"
+      "                      [--dispatchers N] [--cache DIR] [--naive]\n"
+      "                      [--per-chip] [requests.jsonl]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)util::strip_threads_flag(argc, argv);
+  const Cli cli = parse_cli(argc, argv);
+  if (!cli.ok) return usage();
+
+  const core::QuantizedNetwork qnet = train_served_network();
+  const data::Dataset test = data::generate_digits(600, 72);
+
+  serve::ServiceOptions options;
+  options.default_chips = cli.chips;
+  options.default_samples = cli.samples;
+  options.dispatchers = cli.dispatchers;
+  options.cache_dir = cli.cache_dir;
+  options.coalesce = !cli.naive;
+  std::fprintf(stderr,
+               "[served] ready (chips=%zu samples=%zu dispatchers=%zu "
+               "coalesce=%s cache=%s)\n",
+               cli.chips, cli.samples, cli.dispatchers,
+               cli.naive ? "off" : "on", cli.cache_dir.c_str());
+
+  return cli.file.empty()
+             ? repl(qnet, test, options, cli.per_chip)
+             : replay_file(qnet, test, options, cli.file, cli.per_chip);
+}

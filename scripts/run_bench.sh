@@ -3,12 +3,17 @@
 #   * bench_micro_kernels in Google-Benchmark JSON format
 #   * the fig5 Monte-Carlo failure-table build, from scratch, serial vs
 #     parallel -- the wall-clock anchor for the engine's thread pool.
+#   * bench_serve_throughput: the 200-request mixed trace through
+#     serve::EvalService, naive vs coalesced (requests/sec + table builds).
 #
 # Usage: scripts/run_bench.sh [build-dir] [out-dir]
 #   (defaults: build/release bench-results)
-# Env: HYNAPSE_BENCH_SAMPLES  MC samples per mechanism for the fig5 timing
-#                             run (default 12000; the paper default 40000 is
-#                             too slow for a CI heartbeat).
+# Env: HYNAPSE_BENCH_SAMPLES        MC samples per mechanism for the fig5
+#                                   timing run (default 12000; the paper
+#                                   default 40000 is too slow for CI).
+#      HYNAPSE_SERVE_BENCH_SAMPLES  MC samples per table build in the serve
+#                                   trace (default 300: the trace pays for
+#                                   hundreds of builds in naive mode).
 set -euo pipefail
 
 build_dir=${1:-build/release}
@@ -60,4 +65,11 @@ cat > "${out_dir}/BENCH_fig5_failure_rates.json" <<EOF
 EOF
 
 echo "serial ${serial}s, parallel ${parallel}s (threads=${threads}), speedup ${speedup}x"
+
+echo "== bench_serve_throughput: naive vs coalesced =="
+serve_samples=${HYNAPSE_SERVE_BENCH_SAMPLES:-300}
+"${build_dir}/bench/bench_serve_throughput" \
+  --samples "${serve_samples}" \
+  --json "${out_dir}/BENCH_serve_throughput.json"
+
 echo "bench JSON written to ${out_dir}/"

@@ -1,5 +1,8 @@
 #include "engine/experiment_runner.hpp"
 
+#include <algorithm>
+#include <optional>
+
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -19,32 +22,59 @@ std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
     core::EvalOptions options) const {
   if (options.threads == 0) options.threads = threads_;
 
-  std::vector<core::AccuracyResult> results(points.size());
-  if (points.empty() || options.chips == 0) return results;
-
-  // Fault models are cheap to derive from the table; one per point, shared
-  // read-only by that point's chip jobs.
-  std::vector<core::FaultModel> models;
-  models.reserve(points.size());
+  // A homogeneous sweep is a batch where every point shares the same table
+  // and options; evaluate_batch keeps the flat job matrix bit-identical.
+  std::vector<BatchPoint> batch;
+  batch.reserve(points.size());
   for (const SweepPoint& pt : points) {
-    models.emplace_back(failures, pt.vdd, options.policy);
-    results[models.size() - 1].per_chip.resize(options.chips);
+    batch.push_back(BatchPoint{pt.config, pt.vdd, &failures, options});
+  }
+  return evaluate_batch(qnet, batch, test, options.threads);
+}
+
+std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
+    const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
+    const data::Dataset& test, std::size_t threads) const {
+  if (threads == 0) threads = threads_;
+
+  std::vector<core::AccuracyResult> results(points.size());
+
+  // Fault models are cheap to derive from a table; one per point, shared
+  // read-only by that point's chip jobs. `offsets` maps the flat job space
+  // onto (point, chip) -- points may request different chip counts.
+  std::vector<std::optional<core::FaultModel>> models(points.size());
+  std::vector<std::size_t> offsets(points.size() + 1, 0);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const BatchPoint& pt = points[p];
+    std::size_t chips = 0;
+    if (pt.failures != nullptr) {
+      chips = pt.options.chips;
+      models[p].emplace(*pt.failures, pt.vdd, pt.options.policy);
+    }
+    results[p].per_chip.resize(chips);
+    offsets[p + 1] = offsets[p] + chips;
   }
 
-  // Flat (point x chip) job matrix on the shared pool.
+  // One flat (point x chip) job matrix on the shared pool.
   util::parallel_for(
-      points.size() * options.chips,
+      offsets.back(),
       [&](std::size_t j) {
-        const std::size_t p = j / options.chips;
-        const std::size_t chip = j % options.chips;
-        results[p].per_chip[chip] = core::evaluate_chip(
-            qnet, points[p].config, models[p], test, options.seed, chip);
+        const std::size_t p =
+            static_cast<std::size_t>(
+                std::upper_bound(offsets.begin(), offsets.end(), j) -
+                offsets.begin()) -
+            1;
+        const std::size_t chip = j - offsets[p];
+        results[p].per_chip[chip] =
+            core::evaluate_chip(qnet, points[p].config, *models[p], test,
+                                points[p].options.seed, chip);
       },
-      options.threads);
+      threads);
 
-  for (core::AccuracyResult& r : results) {
-    r.mean = util::mean(r.per_chip);
-    r.stddev = util::stddev(r.per_chip);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (results[p].per_chip.empty()) continue;
+    results[p].mean = util::mean(results[p].per_chip);
+    results[p].stddev = util::stddev(results[p].per_chip);
   }
   return results;
 }

@@ -25,6 +25,17 @@ struct SweepPoint {
   double vdd = 0.0;
 };
 
+/// One evaluation in a heterogeneous batch: its own failure table and eval
+/// options, so requests against different provenances can still be fused
+/// into a single pool submission. `options.threads` is ignored -- the batch
+/// call's thread cap governs the whole fan-out.
+struct BatchPoint {
+  core::MemoryConfig config;
+  double vdd = 0.0;
+  const mc::FailureTable* failures = nullptr;
+  core::EvalOptions options;
+};
+
 class ExperimentRunner {
  public:
   /// `threads` caps pool participation for this runner's calls
@@ -46,6 +57,16 @@ class ExperimentRunner {
       const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
       const mc::FailureTable& failures, const data::Dataset& test,
       core::EvalOptions options = {}) const;
+
+  /// Evaluates a heterogeneous batch -- each point carries its own failure
+  /// table and options -- as ONE flat (point x chip) job matrix on the
+  /// shared pool, amortizing pool wake-ups across many small requests (the
+  /// serve::EvalService hot path). result[i] corresponds to points[i] and
+  /// is bit-identical to evaluate() on that point alone; a point with a
+  /// null table yields an empty result.
+  [[nodiscard]] std::vector<core::AccuracyResult> evaluate_batch(
+      const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
+      const data::Dataset& test, std::size_t threads = 0) const;
 
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 

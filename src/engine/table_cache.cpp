@@ -1,6 +1,9 @@
 #include "engine/table_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <utility>
 
 #include "util/hash.hpp"
@@ -58,14 +61,72 @@ std::uint64_t table_fingerprint(const TableSpec& spec,
   return h.digest();
 }
 
-FailureTableCache::FailureTableCache(std::string dir) : dir_{std::move(dir)} {}
+std::string default_cache_dir() {
+  const char* env = std::getenv("HYNAPSE_CACHE_DIR");
+  return env != nullptr ? env : ".hynapse_cache";
+}
 
-std::string FailureTableCache::csv_path(std::uint64_t fingerprint) const {
-  if (dir_.empty()) return {};
+std::string fingerprint_hex(std::uint64_t fingerprint) {
   char hex[17];
   std::snprintf(hex, sizeof hex, "%016llx",
                 static_cast<unsigned long long>(fingerprint));
-  return dir_ + "/failure_table_" + hex + ".csv";
+  return hex;
+}
+
+std::vector<CachedTableInfo> list_cached_tables(const std::string& dir) {
+  std::vector<CachedTableInfo> out;
+  if (dir.empty() || !std::filesystem::is_directory(dir)) return out;
+  for (const auto& entry : std::filesystem::directory_iterator{dir}) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("failure_table_", 0) != 0 ||
+        entry.path().extension() != ".csv") {
+      continue;
+    }
+    CachedTableInfo info;
+    info.path = entry.path().string();
+    std::error_code ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(entry.path(), ec);
+    info.bytes = ec ? 0 : bytes;
+    // The header carries the provenance fingerprint (the filename is just a
+    // rendering of it); load_csv parses the authoritative copy and reports
+    // it even when the file fails validation.
+    if (const auto table =
+            mc::FailureTable::load_csv(info.path, 0, &info.fingerprint)) {
+      info.valid = true;
+      info.rows = table->rows().size();
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CachedTableInfo& a, const CachedTableInfo& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+FailureTableCache::FailureTableCache(std::string dir) : dir_{std::move(dir)} {
+  if (!dir_.empty()) {
+    // Best effort: if creation fails, the first save_csv reports the error.
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+  }
+}
+
+std::string FailureTableCache::csv_path(std::uint64_t fingerprint) const {
+  if (dir_.empty()) return {};
+  return dir_ + "/failure_table_" + fingerprint_hex(fingerprint) + ".csv";
+}
+
+CacheStats FailureTableCache::stats() const {
+  const std::scoped_lock lock{mutex_};
+  return stats_;
+}
+
+bool FailureTableCache::in_memory(std::uint64_t fingerprint) const {
+  const std::scoped_lock lock{mutex_};
+  const auto it = tables_.find(fingerprint);
+  return it != tables_.end() && it->second != nullptr;
 }
 
 const mc::FailureTable& FailureTableCache::get(
@@ -73,40 +134,72 @@ const mc::FailureTable& FailureTableCache::get(
     TableSource* source) {
   const std::uint64_t fp = table_fingerprint(spec, analyzer.options());
 
-  // Find or create this fingerprint's entry under the map lock, then do the
-  // (possibly minutes-long) load/build under the entry's own lock so other
-  // fingerprints proceed concurrently.
-  std::shared_ptr<Entry> entry;
-  {
+  // Fast path: already memoized. Map references survive rehashing, so the
+  // returned table stays valid until a rebuild replaces this fingerprint.
+  if (!rebuild) {
     const std::scoped_lock lock{mutex_};
-    auto& slot = tables_[fp];
-    if (!slot) slot = std::make_shared<Entry>();
-    entry = slot;
+    const auto it = tables_.find(fp);
+    if (it != tables_.end() && it->second) {
+      ++stats_.memory_hits;
+      if (source != nullptr) *source = TableSource::memory;
+      return *it->second;
+    }
   }
 
-  const std::scoped_lock lock{entry->mutex};
-  if (!rebuild) {
-    if (entry->table) {
-      if (source != nullptr) *source = TableSource::memory;
-      return *entry->table;
-    }
-    if (const std::string path = csv_path(fp); !path.empty()) {
-      if (auto loaded = mc::FailureTable::load_csv(path, fp)) {
-        if (source != nullptr) *source = TableSource::disk;
-        entry->table = std::make_unique<mc::FailureTable>(std::move(*loaded));
-        return *entry->table;
+  // Slow path: one in-flight load/build per fingerprint; racing callers of
+  // the same table wait here and then hit the memo re-check below.
+  return flight_.run(fp, [&](bool coalesced) -> const mc::FailureTable& {
+    if (!rebuild) {
+      {
+        const std::scoped_lock lock{mutex_};
+        const auto it = tables_.find(fp);
+        if (it != tables_.end() && it->second) {
+          ++stats_.memory_hits;
+          if (coalesced) ++stats_.coalesced;
+          if (source != nullptr) *source = TableSource::memory;
+          return *it->second;
+        }
+      }
+      if (const std::string path = csv_path(fp); !path.empty()) {
+        if (auto loaded = mc::FailureTable::load_csv(path, fp)) {
+          const std::scoped_lock lock{mutex_};
+          ++stats_.disk_hits;
+          if (coalesced) ++stats_.coalesced;
+          if (source != nullptr) *source = TableSource::disk;
+          auto& slot = tables_[fp];
+          slot = std::make_unique<mc::FailureTable>(std::move(*loaded));
+          return *slot;
+        }
       }
     }
-  }
 
-  mc::FailureTable table =
-      mc::FailureTable::build(analyzer, spec.vdd_grid, spec.seed);
-  if (const std::string path = csv_path(fp); !path.empty()) {
-    table.save_csv(path, fp);
-  }
-  if (source != nullptr) *source = TableSource::built;
-  entry->table = std::make_unique<mc::FailureTable>(std::move(table));
-  return *entry->table;
+    mc::FailureTable table =
+        mc::FailureTable::build(analyzer, spec.vdd_grid, spec.seed);
+    // Memoize before persisting: a save failure (unwritable cache dir, full
+    // disk) must not discard minutes of Monte-Carlo work -- it only costs
+    // the disk cache.
+    const mc::FailureTable* stored = nullptr;
+    {
+      const std::scoped_lock lock{mutex_};
+      ++stats_.builds;
+      if (coalesced) ++stats_.coalesced;
+      if (source != nullptr) *source = TableSource::built;
+      auto& slot = tables_[fp];
+      slot = std::make_unique<mc::FailureTable>(std::move(table));
+      stored = slot.get();
+    }
+    if (const std::string path = csv_path(fp); !path.empty()) {
+      try {
+        stored->save_csv(path, fp);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "[engine] warning: failure table built but not "
+                     "persisted: %s\n",
+                     e.what());
+      }
+    }
+    return *stored;
+  });
 }
 
 }  // namespace hynapse::engine

@@ -1,4 +1,5 @@
-// Failure-table cache shared by the bench/example harnesses.
+// Failure-table cache shared by the bench/example harnesses and the
+// serve::EvalService front end.
 //
 // A Monte-Carlo failure table is an expensive artifact whose content is
 // fully determined by its provenance: technology card, bitcell sizings,
@@ -22,6 +23,7 @@
 #include "mc/failure_table.hpp"
 #include "mc/montecarlo.hpp"
 #include "sram/array.hpp"
+#include "util/single_flight.hpp"
 
 namespace hynapse::engine {
 
@@ -44,10 +46,43 @@ struct TableSpec {
 /// Where FailureTableCache::get found the table.
 enum class TableSource { memory, disk, built };
 
+/// Running counters over a cache's lifetime (one get() bumps exactly one of
+/// the first three; `coalesced` additionally counts callers that piggybacked
+/// on another caller's in-flight load/build instead of paying for their own).
+struct CacheStats {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t builds = 0;
+  std::uint64_t coalesced = 0;
+};
+
+/// One persisted failure-table CSV as found on disk by list_cached_tables.
+struct CachedTableInfo {
+  std::string path;
+  std::uint64_t fingerprint = 0;  ///< parsed from the v2 header (0 if absent)
+  std::uintmax_t bytes = 0;
+  std::size_t rows = 0;  ///< 0 when the file fails validation
+  bool valid = false;    ///< load_csv accepted the file
+};
+
+/// Scans `dir` for failure_table_*.csv files (the cache's on-disk layout)
+/// and validates each one; sorted by path. Missing directory -> empty.
+[[nodiscard]] std::vector<CachedTableInfo> list_cached_tables(
+    const std::string& dir);
+
+/// The conventional cache directory every front end shares (so tables
+/// persisted by one binary are reused by the others): $HYNAPSE_CACHE_DIR,
+/// else ".hynapse_cache".
+[[nodiscard]] std::string default_cache_dir();
+
+/// Canonical 16-digit zero-padded lowercase-hex rendering of a fingerprint
+/// -- the one format used in CSV filenames, headers and wire responses.
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fingerprint);
+
 class FailureTableCache {
  public:
-  /// `dir` holds the persisted CSVs; pass an empty string for a purely
-  /// in-memory cache.
+  /// `dir` holds the persisted CSVs (created if missing); pass an empty
+  /// string for a purely in-memory cache.
   explicit FailureTableCache(std::string dir);
 
   /// Returns the table for (spec, analyzer.options()): from memory, else
@@ -57,9 +92,11 @@ class FailureTableCache {
   /// overwrites both -- invalidating references previously returned for the
   /// same fingerprint; otherwise references stay valid for the cache's
   /// lifetime. `source`, when non-null, reports which of the three
-  /// happened. Thread-safe; concurrent callers of the same table build it
-  /// once (per-fingerprint lock), and callers of different tables build
-  /// concurrently.
+  /// happened. Thread-safe; concurrent callers of the same table coalesce
+  /// onto one load/build (single-flight keyed on the fingerprint), and
+  /// callers of different tables build concurrently. A freshly built table
+  /// is memoized even when persisting its CSV fails (warning to stderr) --
+  /// an unwritable cache directory only costs the disk cache.
   const mc::FailureTable& get(const TableSpec& spec,
                               const mc::FailureAnalyzer& analyzer,
                               bool rebuild = false,
@@ -68,15 +105,21 @@ class FailureTableCache {
   /// Path of the CSV backing a fingerprint ("" when the cache is in-memory).
   [[nodiscard]] std::string csv_path(std::uint64_t fingerprint) const;
 
- private:
-  struct Entry {
-    std::mutex mutex;  ///< serializes load/build of this one fingerprint
-    std::unique_ptr<mc::FailureTable> table;
-  };
+  /// The cache directory ("" when in-memory).
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
 
+  /// Snapshot of the hit/miss/build counters.
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Whether a fingerprint is currently memoized in-process.
+  [[nodiscard]] bool in_memory(std::uint64_t fingerprint) const;
+
+ private:
   std::string dir_;
-  std::mutex mutex_;  ///< guards the map only, never held across a build
-  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> tables_;
+  util::SingleFlight flight_;  ///< one in-flight load/build per fingerprint
+  mutable std::mutex mutex_;   ///< guards tables_ + stats_, never a build
+  std::unordered_map<std::uint64_t, std::unique_ptr<mc::FailureTable>> tables_;
+  CacheStats stats_;
 };
 
 }  // namespace hynapse::engine

@@ -1,7 +1,11 @@
 #include "mc/failure_table.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -127,20 +131,50 @@ BitcellFailureRates FailureTable::rates_8t(double vdd) const {
 
 void FailureTable::save_csv(const std::string& path,
                             std::uint64_t fingerprint) const {
-  std::ofstream out{path};
-  if (!out) throw std::runtime_error{"FailureTable: cannot open " + path};
-  out << kCsvMagic << std::hex << fingerprint << std::dec << '\n';
-  out << kCsvColumns << '\n';
-  out.precision(17);  // exact double round-trip
-  for (const auto& r : rows_) {
-    out << r.vdd << ',' << r.cell6.read_access << ',' << r.cell6.write_fail
-        << ',' << r.cell6.read_disturb << ',' << r.cell8.read_access << ','
-        << r.cell8.write_fail << ',' << r.cell8.read_disturb << '\n';
+  // Crash-safe persistence: write the full file to a sibling temp path,
+  // then atomically rename it over the destination. An interrupted run can
+  // leave a stale temp file behind, but never a truncated CSV at `path`
+  // that a later load would have to detect and reject. The temp name is
+  // unique per (process, call) so concurrent savers of the same path --
+  // whether threads or processes sharing a cache directory -- cannot
+  // interleave writes into one temp file (last rename wins, and every
+  // candidate is complete).
+  static std::atomic<unsigned long> save_seq{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) +
+                          "." + std::to_string(save_seq.fetch_add(1));
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    if (!out) throw std::runtime_error{"FailureTable: cannot open " + tmp};
+    out << kCsvMagic << std::hex << fingerprint << std::dec << '\n';
+    out << kCsvColumns << '\n';
+    out.precision(17);  // exact double round-trip
+    for (const auto& r : rows_) {
+      out << r.vdd << ',' << r.cell6.read_access << ',' << r.cell6.write_fail
+          << ',' << r.cell6.read_disturb << ',' << r.cell8.read_access << ','
+          << r.cell8.write_fail << ',' << r.cell8.read_disturb << '\n';
+    }
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error{"FailureTable: short write to " + tmp};
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    const std::string why = ec.message();
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error{"FailureTable: cannot rename " + tmp + " to " +
+                             path + ": " + why};
   }
 }
 
 std::optional<FailureTable> FailureTable::load_csv(
-    const std::string& path, std::uint64_t expected_fingerprint) {
+    const std::string& path, std::uint64_t expected_fingerprint,
+    std::uint64_t* file_fingerprint) {
+  if (file_fingerprint != nullptr) *file_fingerprint = 0;
   std::ifstream in{path};
   if (!in) return std::nullopt;
   std::string line;
@@ -155,6 +189,7 @@ std::optional<FailureTable> FailureTable::load_csv(
     fp >> std::hex >> file_fp;
     if (fp.fail()) return std::nullopt;
   }
+  if (file_fingerprint != nullptr) *file_fingerprint = file_fp;
   if (expected_fingerprint != 0 && file_fp != expected_fingerprint) {
     return std::nullopt;  // a different table (grid/options/seed changed)
   }

@@ -60,10 +60,13 @@ class FailureTable {
   /// files with a missing/old header, a fingerprint differing from
   /// `expected_fingerprint` (when non-zero), or malformed rows, so a stale
   /// or foreign cache file can never be silently mistaken for the requested
-  /// table.
+  /// table. `file_fingerprint`, when non-null, receives the header's
+  /// fingerprint as soon as it parses -- even if validation fails later
+  /// (0 when the header itself is missing/unreadable).
   void save_csv(const std::string& path, std::uint64_t fingerprint = 0) const;
   [[nodiscard]] static std::optional<FailureTable> load_csv(
-      const std::string& path, std::uint64_t expected_fingerprint = 0);
+      const std::string& path, std::uint64_t expected_fingerprint = 0,
+      std::uint64_t* file_fingerprint = nullptr);
 
  private:
   [[nodiscard]] BitcellFailureRates interpolate(double vdd, bool cell8) const;

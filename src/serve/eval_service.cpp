@@ -1,0 +1,446 @@
+#include "serve/eval_service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace hynapse::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>{to - from}.count();
+}
+
+}  // namespace
+
+EvalService::EvalService(const core::QuantizedNetwork& qnet,
+                         const data::Dataset& test, ServiceOptions options)
+    : qnet_{qnet},
+      test_{test},
+      options_{[&] {
+        if (options.vdd_grid.empty()) {
+          options.vdd_grid = circuit::paper_voltage_grid();
+        }
+        options.dispatchers = std::max<std::size_t>(options.dispatchers, 1);
+        options.max_batch = std::max<std::size_t>(options.max_batch, 1);
+        options.queue_capacity =
+            std::max<std::size_t>(options.queue_capacity, 1);
+        return std::move(options);
+      }()},
+      bank_words_{qnet.bank_words()},
+      tech_{circuit::ptm22()},
+      sizing6_{circuit::reference_sizing_6t(tech_)},
+      sizing8_{circuit::reference_sizing_8t(tech_)},
+      array_{tech_, sram::SubArrayGeometry{}, sizing6_},
+      cycle_{tech_, array_, circuit::Bitcell6T{tech_, sizing6_}},
+      sampler_{tech_, sizing6_, sizing8_},
+      criteria_{tech_, cycle_, sizing6_, sizing8_},
+      runner_{options_.threads},
+      cache_{options_.cache_dir},
+      paused_{options_.start_paused} {
+  dispatchers_.reserve(options_.dispatchers);
+  for (std::size_t d = 0; d < options_.dispatchers; ++d) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+EvalService::~EvalService() {
+  {
+    const std::scoped_lock lock{mutex_};
+    stop_ = true;
+    const std::deque<SlotPtr> queued = std::move(queue_);
+    queue_.clear();
+    for (const SlotPtr& slot : queued) {
+      finish_locked(slot, RequestStatus::cancelled, {});
+    }
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  cv_done_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+}
+
+mc::AnalyzerOptions EvalService::analyzer_options(
+    const Request& request) const {
+  mc::AnalyzerOptions ao;
+  ao.mc_samples = request.mc_samples != 0 ? request.mc_samples
+                                          : options_.default_samples;
+  ao.is_samples = std::max<std::size_t>(ao.mc_samples / 2, 200);
+  ao.threads = options_.threads;
+  return ao;
+}
+
+engine::TableSpec EvalService::table_spec(const Request& request) const {
+  engine::TableSpec spec;
+  spec.tech = tech_;
+  spec.sizing6 = sizing6_;
+  spec.sizing8 = sizing8_;
+  spec.geometry = array_.geometry();
+  spec.vdd_grid = options_.vdd_grid;
+  spec.seed = request.table_seed != 0 ? request.table_seed
+                                      : options_.default_table_seed;
+  return spec;
+}
+
+std::uint64_t EvalService::fingerprint(const Request& request) const {
+  return engine::table_fingerprint(table_spec(request),
+                                   analyzer_options(request));
+}
+
+std::uint64_t EvalService::enqueue_locked(
+    Request&& request, std::uint64_t fp, std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // caller holds mutex_
+  const std::uint64_t id = next_id_++;
+  auto slot = std::make_shared<Slot>();
+  slot->id = id;
+  slot->request = std::move(request);
+  slot->fp = fp;
+  slot->submitted_at = Clock::now();
+  slot->response.id = id;
+  slot->response.status = RequestStatus::queued;
+  slot->response.table_fingerprint = slot->fp;
+  slots_.emplace(id, slot);
+  queue_.push_back(std::move(slot));
+  ++totals_.submitted;
+  ++pending_;
+  totals_.max_queue_depth =
+      std::max<std::uint64_t>(totals_.max_queue_depth, queue_.size());
+  cv_work_.notify_one();
+  return id;
+}
+
+std::uint64_t EvalService::submit(Request request) {
+  // Fingerprinting hashes the whole circuit stack; it reads only immutable
+  // service state, so keep it outside the lock.
+  const std::uint64_t fp = fingerprint(request);
+  std::unique_lock lock{mutex_};
+  cv_space_.wait(lock, [this] {
+    return stop_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stop_) throw std::runtime_error{"EvalService: shutting down"};
+  return enqueue_locked(std::move(request), fp, lock);
+}
+
+std::optional<std::uint64_t> EvalService::try_submit(Request request) {
+  const std::uint64_t fp = fingerprint(request);
+  std::unique_lock lock{mutex_};
+  if (stop_) throw std::runtime_error{"EvalService: shutting down"};
+  if (queue_.size() >= options_.queue_capacity) {
+    ++totals_.rejected;
+    return std::nullopt;
+  }
+  return enqueue_locked(std::move(request), fp, lock);
+}
+
+std::optional<Response> EvalService::poll(std::uint64_t id) const {
+  const std::scoped_lock lock{mutex_};
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) return std::nullopt;
+  return it->second->response;
+}
+
+Response EvalService::wait(std::uint64_t id) {
+  std::unique_lock lock{mutex_};
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    if (id == 0 || id >= next_id_) {
+      throw std::invalid_argument{"EvalService: unknown request id " +
+                                  std::to_string(id)};
+    }
+    // Ids are only ever removed by completed-history eviction, so an
+    // absent-but-assigned id means the request finished and its response
+    // aged out before being collected.
+    Response evicted;
+    evicted.id = id;
+    evicted.status = RequestStatus::evicted;
+    return evicted;
+  }
+  const SlotPtr slot = it->second;
+  cv_done_.wait(lock, [&] {
+    return slot->status == RequestStatus::done ||
+           slot->status == RequestStatus::failed ||
+           slot->status == RequestStatus::cancelled;
+  });
+  return slot->response;
+}
+
+bool EvalService::cancel(std::uint64_t id) {
+  const std::scoped_lock lock{mutex_};
+  const auto it = slots_.find(id);
+  if (it == slots_.end() || it->second->status != RequestStatus::queued) {
+    return false;
+  }
+  const SlotPtr slot = it->second;
+  queue_.erase(std::find(queue_.begin(), queue_.end(), slot));
+  finish_locked(slot, RequestStatus::cancelled, {});
+  cv_space_.notify_one();
+  return true;
+}
+
+void EvalService::drain() {
+  std::unique_lock lock{mutex_};
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void EvalService::pause() {
+  const std::scoped_lock lock{mutex_};
+  paused_ = true;
+}
+
+void EvalService::resume() {
+  {
+    const std::scoped_lock lock{mutex_};
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+}
+
+EvalService::Totals EvalService::totals() const {
+  const engine::CacheStats cache = cache_.stats();
+  const std::scoped_lock lock{mutex_};
+  Totals t = totals_;
+  t.table_builds = cache.builds + naive_builds_;
+  t.table_memory_hits = cache.memory_hits;
+  t.table_disk_hits = cache.disk_hits;
+  return t;
+}
+
+std::vector<EvalService::SlotPtr> EvalService::next_batch() {
+  std::unique_lock lock{mutex_};
+  cv_work_.wait(lock, [this] {
+    return stop_ || (!paused_ && !queue_.empty());
+  });
+  if (queue_.empty()) return {};  // stop_ with nothing left
+
+  // Highest priority wins; FIFO among equals (stable first occurrence).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i]->request.priority > queue_[best]->request.priority) {
+      best = i;
+    }
+  }
+  std::vector<SlotPtr> batch{queue_[best]};
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+
+  // Coalescing: draft every queued request that shares the leader's table
+  // fingerprint (regardless of priority -- they ride for free on work that
+  // is about to happen anyway). table_info requests are answered alone.
+  if (options_.coalesce && batch[0]->request.kind != RequestKind::table_info) {
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < options_.max_batch;) {
+      if ((*it)->fp == batch[0]->fp &&
+          (*it)->request.kind != RequestKind::table_info) {
+        batch.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const std::uint64_t seq = ++dispatch_seq_;
+  ++totals_.batches;
+  const Clock::time_point now = Clock::now();
+  for (const SlotPtr& slot : batch) {
+    slot->status = RequestStatus::running;
+    slot->response.status = RequestStatus::running;
+    slot->response.stats.queue_ms = ms_between(slot->submitted_at, now);
+    slot->response.stats.batch_size = batch.size();
+    slot->response.stats.dispatch_seq = seq;
+  }
+  cv_space_.notify_all();
+  return batch;
+}
+
+void EvalService::finish_locked(const SlotPtr& slot, RequestStatus status,
+                                std::string error) {
+  if (slot->status == RequestStatus::done ||
+      slot->status == RequestStatus::failed ||
+      slot->status == RequestStatus::cancelled) {
+    return;  // already terminal
+  }
+  slot->status = status;
+  slot->response.status = status;
+  slot->response.error = std::move(error);
+  slot->response.stats.wall_ms =
+      ms_between(slot->submitted_at, Clock::now());
+  switch (status) {
+    case RequestStatus::failed:
+      ++totals_.failed;
+      break;
+    case RequestStatus::cancelled:
+      ++totals_.cancelled;
+      break;
+    default:
+      ++totals_.completed;
+      break;
+  }
+  // Headline metric counts only requests that actually benefited: riders
+  // that failed (bad config, eval error) shared a table but got nothing.
+  if (status == RequestStatus::done && slot->response.stats.coalesced) {
+    ++totals_.coalesced_requests;
+  }
+  --pending_;
+
+  // Bound the retained-response history: evict the oldest terminal slots.
+  // A concurrent wait() on an evicted slot still completes -- it holds its
+  // own SlotPtr -- but poll() forgets the id.
+  finished_.push_back(slot->id);
+  while (finished_.size() > options_.completed_history) {
+    slots_.erase(finished_.front());
+    finished_.pop_front();
+  }
+  cv_done_.notify_all();
+}
+
+void EvalService::answer_table_info(const SlotPtr& slot) {
+  // Gather outside the service lock (load_csv is IO), publish under it.
+  const std::string csv = cache_.csv_path(slot->fp);
+  const bool in_memory = cache_.in_memory(slot->fp);
+  std::size_t rows = 0;
+  if (!csv.empty()) {
+    if (const auto table = mc::FailureTable::load_csv(csv, slot->fp)) {
+      rows = table->rows().size();
+    }
+  }
+  const std::scoped_lock lock{mutex_};
+  Response& r = slot->response;
+  r.table_fingerprint = slot->fp;
+  r.table_csv = csv;
+  r.table_in_memory = in_memory;
+  r.table_rows = rows;
+  finish_locked(slot, RequestStatus::done, {});
+}
+
+void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
+  // Acquire the (shared) failure table once for the whole batch.
+  const mc::FailureAnalyzer analyzer{criteria_, sampler_,
+                                     analyzer_options(batch[0]->request)};
+  const engine::TableSpec spec = table_spec(batch[0]->request);
+
+  const Clock::time_point t0 = Clock::now();
+  engine::TableSource source = engine::TableSource::built;
+  const mc::FailureTable* table = nullptr;
+  mc::FailureTable private_table;  // naive mode: one build per dispatch
+  if (options_.coalesce) {
+    table = &cache_.get(spec, analyzer, false, &source);
+  } else {
+    private_table =
+        mc::FailureTable::build(analyzer, spec.vdd_grid, spec.seed);
+    table = &private_table;
+    const std::scoped_lock lock{mutex_};
+    ++naive_builds_;
+  }
+  const double table_ms = ms_between(t0, Clock::now());
+
+  // Fuse every request's (config x vdd) grid into one flat job list;
+  // requests whose config cannot bind to the served network fail alone.
+  std::vector<engine::BatchPoint> points;
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+    std::string error;
+  };
+  std::vector<Range> ranges(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& req = batch[i]->request;
+    ranges[i].begin = points.size();
+    try {
+      core::EvalOptions eval;
+      eval.chips = req.chips != 0 ? req.chips : options_.default_chips;
+      // Re-checked here (the codec already rejects this) so a hostile
+      // direct-API request fails alone instead of sinking its batch.
+      if (eval.chips > kMaxChipsPerRequest) {
+        throw std::invalid_argument{
+            "chips " + std::to_string(eval.chips) + " exceeds the limit of " +
+            std::to_string(kMaxChipsPerRequest)};
+      }
+      eval.seed =
+          req.eval_seed != 0 ? req.eval_seed : options_.default_eval_seed;
+      for (const ConfigSpec& cfg : req.configs) {
+        const core::MemoryConfig config = cfg.materialize(bank_words_);
+        for (const double vdd : req.vdds) {
+          points.push_back(engine::BatchPoint{config, vdd, table, eval});
+        }
+      }
+      ranges[i].count = points.size() - ranges[i].begin;
+    } catch (const std::exception& e) {
+      points.resize(ranges[i].begin);  // drop this request's partial grid
+      ranges[i].error = e.what();
+    }
+  }
+
+  const Clock::time_point t1 = Clock::now();
+  std::vector<core::AccuracyResult> results;
+  std::string batch_error;
+  try {
+    results = runner_.evaluate_batch(qnet_, points, test_, options_.threads);
+  } catch (const std::exception& e) {
+    batch_error = e.what();
+  }
+  const double run_ms = ms_between(t1, Clock::now());
+
+  // Publish: responses are only ever mutated under the service lock, so
+  // poll()/wait() snapshots cannot observe a response mid-write.
+  const std::scoped_lock lock{mutex_};
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const SlotPtr& slot = batch[i];
+    RequestStats& stats = slot->response.stats;
+    stats.table_ms = table_ms;
+    stats.run_ms = run_ms;
+    stats.table_source = source;
+    // A request "coalesced" when it reused table work someone else paid
+    // for: any batch rider, or a leader served from memory/disk.
+    stats.coalesced = i > 0 || source != engine::TableSource::built;
+    slot->response.table_in_memory = options_.coalesce;  // memoized by get()
+
+    if (!ranges[i].error.empty()) {
+      finish_locked(slot, RequestStatus::failed, std::move(ranges[i].error));
+      continue;
+    }
+    if (!batch_error.empty()) {
+      finish_locked(slot, RequestStatus::failed, batch_error);
+      continue;
+    }
+    const Request& req = slot->request;
+    std::vector<PointResult>& out = slot->response.results;
+    out.clear();
+    out.reserve(ranges[i].count);
+    std::size_t j = ranges[i].begin;
+    for (const ConfigSpec& cfg : req.configs) {
+      for (const double vdd : req.vdds) {
+        out.push_back(PointResult{cfg.str(), vdd, std::move(results[j])});
+        ++j;
+      }
+    }
+    finish_locked(slot, RequestStatus::done, {});
+  }
+}
+
+void EvalService::dispatcher_loop() {
+  for (;;) {
+    const std::vector<SlotPtr> batch = next_batch();
+    if (batch.empty()) return;  // shutdown
+    try {
+      if (batch[0]->request.kind == RequestKind::table_info) {
+        answer_table_info(batch[0]);
+      } else {
+        execute_batch(batch);
+      }
+    } catch (const std::exception& e) {
+      // Table build / IO failure: everything in the batch fails with the
+      // same reason; the service itself keeps running.
+      const std::scoped_lock lock{mutex_};
+      for (const SlotPtr& slot : batch) {
+        finish_locked(slot, RequestStatus::failed, e.what());
+      }
+    }
+  }
+}
+
+}  // namespace hynapse::serve

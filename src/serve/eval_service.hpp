@@ -1,0 +1,209 @@
+// serve::EvalService -- asynchronous evaluate-accuracy-as-a-service over the
+// PR-2 experiment engine.
+//
+// Clients submit typed requests (evaluate one (config, vdd) point, sweep a
+// config x vdd grid, query table provenance) into a bounded priority queue
+// and get back request ids to poll/wait/cancel. Dispatcher threads pull
+// requests and execute them on the shared util::ThreadPool via
+// engine::ExperimentRunner.
+//
+// The core win is request coalescing, in two layers:
+//  * TABLE single-flight: requests are keyed by their failure-table
+//    provenance fingerprint (engine::table_fingerprint). Concurrent
+//    requests with equal fingerprints share one in-flight Monte-Carlo build
+//    through engine::FailureTableCache + util::SingleFlight instead of each
+//    paying for its own.
+//  * BATCH fusion: when a dispatcher picks a request, it also drafts every
+//    queued request with the same fingerprint (up to max_batch) and fuses
+//    the whole group into ONE ExperimentRunner::evaluate_batch submission,
+//    amortizing pool wake-ups and quantized-network copies across many
+//    small requests.
+// `coalesce = false` disables both layers -- every request acquires a
+// private table build and dispatches alone, which is the naive baseline
+// bench_serve_throughput compares against.
+//
+// Determinism contract: results are bit-identical to calling
+// ExperimentRunner::evaluate directly with the same request parameters,
+// for any dispatcher count, thread count, queue order or batch shape (a
+// chip job depends only on (network, config, model, test, seed, chip)).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/reference.hpp"
+#include "core/experiments.hpp"
+#include "core/quantized_network.hpp"
+#include "data/dataset.hpp"
+#include "engine/experiment_runner.hpp"
+#include "engine/table_cache.hpp"
+#include "mc/criteria.hpp"
+#include "mc/montecarlo.hpp"
+#include "mc/variation.hpp"
+#include "serve/protocol.hpp"
+#include "sram/array.hpp"
+
+namespace hynapse::serve {
+
+struct ServiceOptions {
+  std::size_t queue_capacity = 256;  ///< bounded: submit blocks, try_submit rejects
+  std::size_t dispatchers = 2;       ///< service threads pulling request batches
+  /// Completed/failed/cancelled responses retained for poll()/wait(); when
+  /// exceeded, the oldest terminal response is evicted (poll then returns
+  /// nullopt for its id). Bounds memory on long-lived services.
+  std::size_t completed_history = 4096;
+  std::size_t threads = 0;           ///< pool participation cap (0 = default)
+  bool coalesce = true;              ///< table single-flight + batch fusion
+  std::size_t max_batch = 32;        ///< requests fused per dispatch
+  bool start_paused = false;         ///< hold dispatch until resume()
+  std::string cache_dir;             ///< table CSV dir ("" = in-memory only)
+  /// Failure tables are built over this grid and interpolated to request
+  /// voltages (defaults to circuit::paper_voltage_grid()).
+  std::vector<double> vdd_grid;
+  // Request-field defaults (used when the request passes 0):
+  std::size_t default_chips = 3;
+  std::uint64_t default_eval_seed = 2024;
+  std::size_t default_samples = 4000;
+  std::uint64_t default_table_seed = 20160312;
+};
+
+class EvalService {
+ public:
+  /// Serves `qnet` against `test`; both must outlive the service. The
+  /// circuit stack (reference 6T/8T sizings on ptm22) is fixed per service.
+  EvalService(const core::QuantizedNetwork& qnet, const data::Dataset& test,
+              ServiceOptions options = {});
+  /// Cancels everything still queued, finishes in-flight batches, joins.
+  ~EvalService();
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Enqueues a request and returns its id (ids start at 1). Blocks while
+  /// the queue is at capacity (backpressure). Throws std::runtime_error
+  /// after shutdown began.
+  std::uint64_t submit(Request request);
+
+  /// Non-blocking submit: nullopt when the queue is full.
+  std::optional<std::uint64_t> try_submit(Request request);
+
+  /// Snapshot of a request's current state; nullopt for ids that never
+  /// existed or whose response was already evicted (completed_history).
+  [[nodiscard]] std::optional<Response> poll(std::uint64_t id) const;
+
+  /// Blocks until the request reaches a terminal state (done / failed /
+  /// cancelled) and returns it. An assigned id whose response already aged
+  /// out of completed_history returns status `evicted` instead; an id that
+  /// was never assigned throws std::invalid_argument.
+  Response wait(std::uint64_t id);
+
+  /// Cancels a request that is still queued. Running or finished requests
+  /// are not interrupted (returns false).
+  bool cancel(std::uint64_t id);
+
+  /// Blocks until no request is queued or running.
+  void drain();
+
+  /// Dispatch gate, for deterministic queue shaping (tests, trace replay):
+  /// while paused, submits are accepted but nothing dispatches.
+  void pause();
+  void resume();
+
+  /// Service-lifetime counters. Table counters merge the shared cache's
+  /// stats with the naive-mode private builds.
+  struct Totals {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rejected = 0;        ///< try_submit refusals
+    std::uint64_t batches = 0;         ///< dispatches (>= 1 request each)
+    std::uint64_t coalesced_requests = 0;  ///< requests that reused a table
+    std::uint64_t table_builds = 0;
+    std::uint64_t table_memory_hits = 0;
+    std::uint64_t table_disk_hits = 0;
+    std::uint64_t max_queue_depth = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  /// The provenance a request's failure table is keyed by (also what
+  /// table_info answers from). Pure functions of (request, service config).
+  [[nodiscard]] engine::TableSpec table_spec(const Request& request) const;
+  [[nodiscard]] mc::AnalyzerOptions analyzer_options(
+      const Request& request) const;
+  [[nodiscard]] std::uint64_t fingerprint(const Request& request) const;
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t id = 0;
+    Request request;
+    std::uint64_t fp = 0;
+    RequestStatus status = RequestStatus::queued;
+    Response response;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+  using SlotPtr = std::shared_ptr<Slot>;
+
+  std::uint64_t enqueue_locked(Request&& request, std::uint64_t fp,
+                               std::unique_lock<std::mutex>& lock);
+  void dispatcher_loop();
+  /// Pops the next batch (same-fingerprint fusion when coalescing) or
+  /// returns empty when shutting down with an empty queue.
+  std::vector<SlotPtr> next_batch();
+  void execute_batch(const std::vector<SlotPtr>& batch);
+  void answer_table_info(const SlotPtr& slot);
+  /// Moves a running slot to a terminal state. Requires mutex_ held: slot
+  /// responses are only ever mutated under the lock (poll()/wait() copy
+  /// them under the same lock), and terminal slots beyond
+  /// completed_history are evicted oldest-first.
+  void finish_locked(const SlotPtr& slot, RequestStatus status,
+                     std::string error);
+
+  const core::QuantizedNetwork& qnet_;
+  const data::Dataset& test_;
+  const ServiceOptions options_;
+  const std::vector<std::size_t> bank_words_;
+
+  // Fixed circuit stack every table build runs against.
+  circuit::Technology tech_;
+  circuit::Sizing6T sizing6_;
+  circuit::Sizing8T sizing8_;
+  sram::SubArrayModel array_;
+  sram::CycleModel cycle_;
+  mc::VariationSampler sampler_;
+  mc::FailureCriteria criteria_;
+
+  engine::ExperimentRunner runner_;
+  engine::FailureTableCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   ///< queue gained work / unpaused / stop
+  std::condition_variable cv_space_;  ///< queue gained space
+  std::condition_variable cv_done_;   ///< some request reached a terminal state
+  std::deque<SlotPtr> queue_;
+  std::unordered_map<std::uint64_t, SlotPtr> slots_;
+  std::deque<std::uint64_t> finished_;  ///< terminal ids, oldest first
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dispatch_seq_ = 0;
+  std::uint64_t pending_ = 0;  ///< queued + running requests
+  bool paused_ = false;
+  bool stop_ = false;
+  Totals totals_;
+  std::uint64_t naive_builds_ = 0;
+
+  std::vector<std::thread> dispatchers_;  // last: started after all state
+};
+
+}  // namespace hynapse::serve

@@ -1,0 +1,312 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hynapse::serve {
+
+namespace {
+
+/// Strict recursive-descent parser over a string_view cursor. Depth-limited
+/// so hostile input cannot overflow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  std::optional<Json> parse_document() {
+    std::optional<Json> v = parse_value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n':
+        return literal("null") ? std::optional<Json>{Json{}} : std::nullopt;
+      case 't':
+        return literal("true") ? std::optional<Json>{Json{true}}
+                               : std::nullopt;
+      case 'f':
+        return literal("false") ? std::optional<Json>{Json{false}}
+                                : std::nullopt;
+      case '"':
+        return parse_string();
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || end != last) return std::nullopt;
+    return Json{value};
+  }
+
+  std::optional<Json> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Json{std::move(out)};
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return std::nullopt;
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences; the codec never emits them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_array(int depth) {
+    if (!consume('[')) return std::nullopt;
+    Json out = Json::array();
+    skip_ws();
+    if (consume(']')) return out;
+    for (;;) {
+      std::optional<Json> v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return out;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_object(int depth) {
+    if (!consume('{')) return std::nullopt;
+    Json out = Json::object();
+    skip_ws();
+    if (consume('}')) return out;
+    for (;;) {
+      skip_ws();
+      std::optional<Json> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      std::optional<Json> v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      out.set(key->as_string(), std::move(*v));
+      skip_ws();
+      if (consume('}')) return out;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan; null is the least-wrong rendering
+    return;
+  }
+  // Integers print without an exponent or trailing ".0"; everything else
+  // uses shortest-exact via %.17g.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+const Json* Json::get(std::string_view key) const noexcept {
+  if (type_ != Type::object) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::push_back(Json v) {
+  if (type_ == Type::null) type_ = Type::array;
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(std::string key, Json v) {
+  if (type_ == Type::null) type_ = Type::object;
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser{text}.parse_document();
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::null:
+      out += "null";
+      break;
+    case Type::boolean:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::number:
+      dump_number(number_, out);
+      break;
+    case Type::string:
+      dump_string(string_, out);
+      break;
+    case Type::array: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) out.push_back(',');
+        first = false;
+        v.dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::object: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(k, out);
+        out.push_back(':');
+        v.dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace hynapse::serve

@@ -1,0 +1,91 @@
+// Minimal JSON value type for the serve wire format (JSONL requests and
+// responses). Hand-rolled so the service has zero external dependencies:
+// a small DOM, a strict recursive-descent parser and a compact printer.
+// Object member order is preserved (vector of pairs, not a map) so dumped
+// responses keep a stable, diffable field order.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hynapse::serve {
+
+class Json {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(bool b) : type_{Type::boolean}, bool_{b} {}                   // NOLINT
+  Json(double v) : type_{Type::number}, number_{v} {}                // NOLINT
+  Json(int v) : Json{static_cast<double>(v)} {}                      // NOLINT
+  Json(std::string s) : type_{Type::string}, string_{std::move(s)} {}  // NOLINT
+  Json(const char* s) : Json{std::string{s}} {}                      // NOLINT
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::array;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::object;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::null; }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return type_ == Type::boolean;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::string;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::object;
+  }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_number() const noexcept { return number_; }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    return string_;
+  }
+  [[nodiscard]] const Array& items() const noexcept { return array_; }
+  [[nodiscard]] const Object& members() const noexcept { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* get(std::string_view key) const noexcept;
+
+  /// Appends to an array value (converts a null value into an array).
+  Json& push_back(Json v);
+  /// Sets an object member, replacing an existing key (converts null into
+  /// an object).
+  Json& set(std::string key, Json v);
+
+  /// Strict parse of a complete JSON document (trailing non-space rejected).
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text);
+
+  /// Compact single-line rendering; numbers round-trip doubles exactly.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace hynapse::serve

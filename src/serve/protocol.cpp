@@ -1,0 +1,288 @@
+#include "serve/protocol.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+#include "serve/json.hpp"
+
+namespace hynapse::serve {
+
+namespace {
+
+bool parse_int(std::string_view text, int& out) {
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && end == text.data() + text.size();
+}
+
+/// Reads a non-negative integer-valued JSON number. Returns false (and
+/// reports) on fractions, negatives, out-of-range values and non-numbers.
+/// The bound is 2^53, not 2^64: JSON numbers travel as doubles, and above
+/// the mantissa limit adjacent integers collapse -- two distinct seeds
+/// would silently map to the same value (and >= 2^64 the cast itself is
+/// undefined behavior). Rejecting makes the loss explicit.
+bool read_u64(const Json& v, std::string_view key, std::uint64_t& out,
+              std::string* error) {
+  constexpr double kTwoPow53 = 9007199254740992.0;
+  const double d = v.is_number() ? v.as_number() : -1.0;
+  if (!(d >= 0.0) || d != std::floor(d) || d > kTwoPow53) {
+    if (error != nullptr) {
+      *error = "\"" + std::string{key} +
+               "\" must be a non-negative integer <= 2^53";
+    }
+    return false;
+  }
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+Json accuracy_json(const PointResult& point, bool per_chip) {
+  Json j = Json::object();
+  j.set("config", point.config);
+  j.set("vdd", point.vdd);
+  j.set("mean", point.accuracy.mean);
+  j.set("stddev", point.accuracy.stddev);
+  j.set("chips", static_cast<double>(point.accuracy.per_chip.size()));
+  if (per_chip) {
+    Json chips = Json::array();
+    for (const double a : point.accuracy.per_chip) chips.push_back(a);
+    j.set("per_chip", std::move(chips));
+  }
+  return j;
+}
+
+}  // namespace
+
+std::optional<ConfigSpec> ConfigSpec::parse(std::string_view text) {
+  ConfigSpec spec;
+  if (text == "all6t") {
+    spec.kind = Kind::all_6t;
+    return spec;
+  }
+  if (text.rfind("hybrid", 0) == 0) {
+    int n = 0;
+    if (!parse_int(text.substr(6), n) || n < 0 || n > 64) return std::nullopt;
+    spec.kind = Kind::uniform;
+    spec.n_msb = n;
+    return spec;
+  }
+  if (text.rfind("perlayer:", 0) == 0) {
+    spec.kind = Kind::per_layer;
+    std::string_view rest = text.substr(9);
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view field = rest.substr(0, comma);
+      int n = 0;
+      if (!parse_int(field, n) || n < 0 || n > 64) return std::nullopt;
+      spec.msbs.push_back(n);
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+      if (rest.empty()) return std::nullopt;  // trailing comma
+    }
+    if (spec.msbs.empty()) return std::nullopt;
+    return spec;
+  }
+  return std::nullopt;
+}
+
+std::string ConfigSpec::str() const {
+  switch (kind) {
+    case Kind::all_6t:
+      return "all6t";
+    case Kind::uniform:
+      return "hybrid" + std::to_string(n_msb);
+    case Kind::per_layer: {
+      std::string out = "perlayer:";
+      for (std::size_t i = 0; i < msbs.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += std::to_string(msbs[i]);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+core::MemoryConfig ConfigSpec::materialize(
+    std::span<const std::size_t> bank_words) const {
+  switch (kind) {
+    case Kind::all_6t:
+      return core::MemoryConfig::all_6t(bank_words);
+    case Kind::uniform:
+      return core::MemoryConfig::uniform_hybrid(bank_words, n_msb);
+    case Kind::per_layer:
+      if (msbs.size() != bank_words.size()) {
+        throw std::invalid_argument{
+            "config \"" + str() + "\" names " + std::to_string(msbs.size()) +
+            " banks but the served network has " +
+            std::to_string(bank_words.size())};
+      }
+      return core::MemoryConfig::per_layer(bank_words, msbs);
+  }
+  throw std::invalid_argument{"bad ConfigSpec"};
+}
+
+const char* to_string(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::queued: return "queued";
+    case RequestStatus::running: return "running";
+    case RequestStatus::done: return "done";
+    case RequestStatus::failed: return "failed";
+    case RequestStatus::cancelled: return "cancelled";
+    case RequestStatus::evicted: return "evicted";
+  }
+  return "?";
+}
+
+const char* to_string(engine::TableSource source) noexcept {
+  switch (source) {
+    case engine::TableSource::memory: return "memory";
+    case engine::TableSource::disk: return "disk";
+    case engine::TableSource::built: return "built";
+  }
+  return "?";
+}
+
+std::optional<Request> parse_request(std::string_view line,
+                                     std::string* error) {
+  const auto fail = [&](std::string why) -> std::optional<Request> {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+  };
+
+  const std::optional<Json> doc = Json::parse(line);
+  if (!doc || !doc->is_object()) return fail("not a JSON object");
+
+  const Json* op = doc->get("op");
+  if (op == nullptr || !op->is_string()) {
+    return fail("missing string field \"op\"");
+  }
+
+  Request req;
+  if (op->as_string() == "evaluate") {
+    req.kind = RequestKind::evaluate;
+  } else if (op->as_string() == "sweep") {
+    req.kind = RequestKind::sweep;
+  } else if (op->as_string() == "table_info") {
+    req.kind = RequestKind::table_info;
+  } else {
+    return fail("unknown op \"" + op->as_string() + "\"");
+  }
+
+  for (const auto& [key, value] : doc->members()) {
+    if (key == "op") continue;
+    if (key == "priority") {
+      const double p = value.is_number() ? value.as_number() : 0.5;
+      if (p != std::floor(p) || p < -1e6 || p > 1e6) {
+        return fail("\"priority\" must be an integer in [-1e6, 1e6]");
+      }
+      req.priority = static_cast<int>(p);
+    } else if (key == "config" || key == "configs") {
+      const auto add = [&](const Json& v) {
+        if (!v.is_string()) return false;
+        const auto spec = ConfigSpec::parse(v.as_string());
+        if (!spec) return false;
+        req.configs.push_back(*spec);
+        return true;
+      };
+      if (value.is_array()) {
+        for (const Json& v : value.items()) {
+          if (!add(v)) return fail("bad config in \"" + key + "\"");
+        }
+      } else if (!add(value)) {
+        return fail("bad config in \"" + key + "\"");
+      }
+    } else if (key == "vdd" || key == "vdds") {
+      const auto add = [&](const Json& v) {
+        if (!v.is_number() || v.as_number() <= 0.0) return false;
+        req.vdds.push_back(v.as_number());
+        return true;
+      };
+      if (value.is_array()) {
+        for (const Json& v : value.items()) {
+          if (!add(v)) return fail("bad voltage in \"" + key + "\"");
+        }
+      } else if (!add(value)) {
+        return fail("bad voltage in \"" + key + "\"");
+      }
+    } else if (key == "chips") {
+      std::uint64_t n = 0;
+      if (!read_u64(value, key, n, error)) return std::nullopt;
+      if (n > kMaxChipsPerRequest) {
+        return fail("\"chips\" must be <= " +
+                    std::to_string(kMaxChipsPerRequest));
+      }
+      req.chips = static_cast<std::size_t>(n);
+    } else if (key == "eval_seed") {
+      if (!read_u64(value, key, req.eval_seed, error)) return std::nullopt;
+    } else if (key == "samples") {
+      std::uint64_t n = 0;
+      if (!read_u64(value, key, n, error)) return std::nullopt;
+      req.mc_samples = static_cast<std::size_t>(n);
+    } else if (key == "table_seed") {
+      if (!read_u64(value, key, req.table_seed, error)) return std::nullopt;
+    } else {
+      return fail("unknown field \"" + key + "\"");
+    }
+  }
+
+  if (req.kind != RequestKind::table_info) {
+    if (req.configs.empty()) return fail("missing \"config\"/\"configs\"");
+    if (req.vdds.empty()) return fail("missing \"vdd\"/\"vdds\"");
+    if (req.kind == RequestKind::evaluate &&
+        (req.configs.size() != 1 || req.vdds.size() != 1)) {
+      return fail("\"evaluate\" takes exactly one config and one vdd"
+                  " (use \"sweep\" for grids)");
+    }
+  }
+  return req;
+}
+
+std::string format_response(const Response& response, bool per_chip) {
+  Json j = Json::object();
+  j.set("id", static_cast<double>(response.id));
+  j.set("status", to_string(response.status));
+  if (!response.error.empty()) j.set("error", response.error);
+
+  if (!response.results.empty()) {
+    Json results = Json::array();
+    for (const PointResult& point : response.results) {
+      results.push_back(accuracy_json(point, per_chip));
+    }
+    j.set("results", std::move(results));
+  }
+
+  if (response.table_fingerprint != 0) {
+    Json table = Json::object();
+    table.set("fingerprint",
+              engine::fingerprint_hex(response.table_fingerprint));
+    if (response.status == RequestStatus::done &&
+        !response.results.empty()) {
+      table.set("source", to_string(response.stats.table_source));
+      table.set("coalesced", response.stats.coalesced);
+    }
+    if (!response.table_csv.empty()) table.set("csv", response.table_csv);
+    if (response.table_rows != 0) {
+      table.set("rows", static_cast<double>(response.table_rows));
+    }
+    table.set("in_memory", response.table_in_memory);
+    j.set("table", std::move(table));
+  }
+
+  if (response.status == RequestStatus::done ||
+      response.status == RequestStatus::failed) {
+    Json stats = Json::object();
+    stats.set("queue_ms", response.stats.queue_ms);
+    stats.set("table_ms", response.stats.table_ms);
+    stats.set("run_ms", response.stats.run_ms);
+    stats.set("wall_ms", response.stats.wall_ms);
+    stats.set("batch_size", static_cast<double>(response.stats.batch_size));
+    stats.set("dispatch_seq",
+              static_cast<double>(response.stats.dispatch_seq));
+    j.set("stats", std::move(stats));
+  }
+  return j.dump();
+}
+
+}  // namespace hynapse::serve

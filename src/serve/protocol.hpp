@@ -1,0 +1,122 @@
+// Wire protocol of the evaluation service: typed request/response structs
+// and their JSONL codec (one JSON document per line).
+//
+// Requests name memory configurations symbolically (ConfigSpec) rather than
+// carrying bank tables, so a request is meaningful independent of the
+// served network and the same trace can replay against any workload; the
+// service materializes specs against its network's bank layout at dispatch.
+//
+// Request lines (unknown keys are rejected; defaults in brackets):
+//   {"op":"evaluate","config":"hybrid3","vdd":0.65,
+//    "chips":N,"eval_seed":S,"samples":M,"table_seed":T,"priority":P}
+//   {"op":"sweep","configs":["all6t","hybrid2"],"vdds":[0.6,0.7], ...}
+//   {"op":"table_info","samples":M,"table_seed":T}
+// "evaluate" also accepts the plural keys; "sweep" evaluates the full
+// configs x vdds grid. chips/eval_seed/samples/table_seed default to the
+// service's configuration [0 = service default]; priority defaults to 0
+// (higher dispatches first).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/memory_config.hpp"
+#include "engine/table_cache.hpp"
+
+namespace hynapse::serve {
+
+/// Symbolic memory-configuration name: "all6t", "hybridN" (uniform N MSBs
+/// in 8T) or "perlayer:a,b,..." (per-bank MSB counts).
+struct ConfigSpec {
+  enum class Kind { all_6t, uniform, per_layer };
+  Kind kind = Kind::all_6t;
+  int n_msb = 0;           ///< uniform
+  std::vector<int> msbs;   ///< per_layer
+
+  [[nodiscard]] static std::optional<ConfigSpec> parse(std::string_view text);
+  [[nodiscard]] std::string str() const;
+
+  /// Binds the spec to a concrete bank layout. Throws std::invalid_argument
+  /// when a per-layer spec's bank count does not match.
+  [[nodiscard]] core::MemoryConfig materialize(
+      std::span<const std::size_t> bank_words) const;
+};
+
+enum class RequestKind { evaluate, sweep, table_info };
+
+/// Upper bound on per-request chip instances, enforced both by the codec
+/// and at dispatch: a hostile `chips` must fail that one request, never
+/// allocation-bomb a fused batch.
+inline constexpr std::size_t kMaxChipsPerRequest = 4096;
+
+struct Request {
+  RequestKind kind = RequestKind::evaluate;
+  int priority = 0;                  ///< higher dispatches first; FIFO within
+  std::vector<ConfigSpec> configs;   ///< >= 1 for evaluate/sweep
+  std::vector<double> vdds;          ///< >= 1 for evaluate/sweep
+  std::size_t chips = 0;             ///< 0 = service default
+  std::uint64_t eval_seed = 0;       ///< 0 = service default
+  /// Failure-table provenance overrides (0 = service default). Requests
+  /// with equal provenance share one table -- the coalescing key.
+  std::size_t mc_samples = 0;
+  std::uint64_t table_seed = 0;
+};
+
+/// `evicted` is a degenerate terminal state: the request finished, but its
+/// response aged out of the service's bounded completed-history before
+/// being collected, so the outcome is no longer known.
+enum class RequestStatus { queued, running, done, failed, cancelled, evicted };
+
+[[nodiscard]] const char* to_string(RequestStatus status) noexcept;
+[[nodiscard]] const char* to_string(engine::TableSource source) noexcept;
+
+/// Accuracy of one (config, vdd) grid point of a request.
+struct PointResult {
+  std::string config;  ///< ConfigSpec::str() of the evaluated spec
+  double vdd = 0.0;
+  core::AccuracyResult accuracy;
+};
+
+/// Per-request execution telemetry.
+struct RequestStats {
+  double queue_ms = 0.0;  ///< submit -> dispatch
+  double table_ms = 0.0;  ///< failure-table acquisition wall time
+  double run_ms = 0.0;    ///< chip-job fan-out wall time (whole batch)
+  double wall_ms = 0.0;   ///< submit -> completion
+  engine::TableSource table_source = engine::TableSource::built;
+  /// True when this request reused a table someone else produced (cache
+  /// memory/disk hit, an in-flight build, or riding a batch).
+  bool coalesced = false;
+  std::size_t batch_size = 1;    ///< requests fused into the same dispatch
+  std::uint64_t dispatch_seq = 0;  ///< service-wide dispatch order (from 1)
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  RequestStatus status = RequestStatus::queued;
+  std::string error;                  ///< non-empty iff status == failed
+  std::vector<PointResult> results;   ///< evaluate/sweep
+  std::uint64_t table_fingerprint = 0;
+  // table_info:
+  std::string table_csv;   ///< cache CSV path ("" when cache is in-memory)
+  std::size_t table_rows = 0;  ///< rows in the persisted CSV (0 = none/invalid)
+  bool table_in_memory = false;
+  RequestStats stats;
+};
+
+/// Parses one JSONL request line. On failure returns nullopt and, when
+/// `error` is non-null, a human-readable reason.
+[[nodiscard]] std::optional<Request> parse_request(std::string_view line,
+                                                   std::string* error);
+
+/// One-line JSON rendering. `per_chip` additionally emits the per-chip
+/// accuracy vectors (bitwise-exact doubles).
+[[nodiscard]] std::string format_response(const Response& response,
+                                          bool per_chip = false);
+
+}  // namespace hynapse::serve

@@ -1,0 +1,36 @@
+#include "util/single_flight.hpp"
+
+namespace hynapse::util {
+
+std::shared_ptr<SingleFlight::Call> SingleFlight::acquire(std::uint64_t key,
+                                                          bool& coalesced) {
+  std::unique_lock lock{mutex_};
+  auto& slot = calls_[key];
+  if (!slot) slot = std::make_shared<Call>();
+  const std::shared_ptr<Call> call = slot;
+  ++call->users;
+  while (call->running) {
+    coalesced = true;
+    call->cv.wait(lock);
+  }
+  call->running = true;
+  return call;
+}
+
+void SingleFlight::release(std::uint64_t key,
+                           std::shared_ptr<Call> call) noexcept {
+  const std::scoped_lock lock{mutex_};
+  call->running = false;
+  if (--call->users == 0) {
+    calls_.erase(key);  // no waiter left; GC the latch entry
+  } else {
+    call->cv.notify_all();
+  }
+}
+
+std::size_t SingleFlight::in_flight() const {
+  const std::scoped_lock lock{mutex_};
+  return calls_.size();
+}
+
+}  // namespace hynapse::util

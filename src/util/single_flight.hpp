@@ -1,0 +1,69 @@
+// Keyed single-flight latch: the concurrency primitive behind request
+// coalescing (engine::FailureTableCache, serve::EvalService).
+//
+// run(key, fn) serializes callers of the same key -- fn runs under that
+// key's exclusive latch while distinct keys proceed concurrently -- and
+// tells fn whether this caller arrived while another call for the key was
+// already in flight. That flag is what lets a memoizing caller distinguish
+// "I produced this artifact" from "I piggybacked on someone else's build":
+// fn re-checks its memo first, so of N concurrent same-key callers exactly
+// one pays for the expensive work and N-1 observe coalesced == true.
+//
+// Unlike a plain per-key mutex map, finished keys are garbage-collected:
+// the internal table holds entries only while callers are running or
+// waiting, so a long-lived cache touching many fingerprints does not grow
+// a latch per fingerprint forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace hynapse::util {
+
+class SingleFlight {
+ public:
+  /// Runs fn(coalesced) under `key`'s latch and returns its result
+  /// (references are forwarded, not copied). `coalesced` is true iff this
+  /// caller waited for an earlier in-flight call on the same key to finish.
+  /// Exceptions from fn release the latch and propagate. Re-entering run()
+  /// with the same key from inside fn deadlocks -- don't.
+  template <typename Fn>
+  decltype(auto) run(std::uint64_t key, Fn&& fn) {
+    bool coalesced = false;
+    Guard guard{this, key, acquire(key, coalesced)};
+    return std::forward<Fn>(fn)(coalesced);
+  }
+
+  /// Number of keys with callers currently running or waiting (test hook;
+  /// returns to 0 when the latch is idle).
+  [[nodiscard]] std::size_t in_flight() const;
+
+ private:
+  struct Call {
+    std::condition_variable cv;
+    bool running = false;
+    std::size_t users = 0;  ///< callers holding the entry (running + waiting)
+  };
+
+  struct Guard {
+    SingleFlight* self;
+    std::uint64_t key;
+    std::shared_ptr<Call> call;
+    ~Guard() { self->release(key, std::move(call)); }
+  };
+
+  /// Blocks until the key's latch is held by this caller; sets `coalesced`
+  /// when the wait was caused by an in-flight call.
+  std::shared_ptr<Call> acquire(std::uint64_t key, bool& coalesced);
+  void release(std::uint64_t key, std::shared_ptr<Call> call) noexcept;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Call>> calls_;
+};
+
+}  // namespace hynapse::util

@@ -147,6 +147,56 @@ TEST_F(EngineTest, RunnerSweepMatchesPointwiseEvaluate) {
   }
 }
 
+TEST_F(EngineTest, RunnerBatchMatchesPointwiseEvaluate) {
+  const ann::Mlp net{{784, 16, 10}, 11};
+  const core::QuantizedNetwork qnet{net, 8};
+  const data::Dataset test = data::generate_digits(100, 21);
+  const std::vector<std::size_t> words = qnet.bank_words();
+  const mc::FailureTable table_a = synthetic_table();
+  const mc::FailureTable table_b = [] {
+    std::vector<mc::FailureTableRow> rows(1);
+    rows[0].vdd = 0.70;
+    rows[0].cell6 = {0.05, 0.02, 0.002};
+    rows[0].cell8 = {1e-5, 0.0, 0.0};
+    return mc::FailureTable{std::move(rows)};
+  }();
+
+  // Heterogeneous batch: different tables, chip counts and seeds per point.
+  core::EvalOptions opt_a;
+  opt_a.chips = 3;
+  opt_a.seed = 41;
+  core::EvalOptions opt_b;
+  opt_b.chips = 5;
+  opt_b.seed = 99;
+  core::EvalOptions opt_none;
+  opt_none.chips = 2;
+  const std::vector<BatchPoint> batch{
+      {core::MemoryConfig::uniform_hybrid(words, 2), 0.65, &table_a, opt_a},
+      {core::MemoryConfig::all_6t(words), 0.70, &table_b, opt_b},
+      {core::MemoryConfig::uniform_hybrid(words, 4), 0.62, nullptr, opt_none},
+      {core::MemoryConfig::uniform_hybrid(words, 1), 0.66, &table_a, opt_b}};
+
+  const ExperimentRunner runner{8};
+  const std::vector<core::AccuracyResult> results =
+      runner.evaluate_batch(qnet, batch, test);
+  ASSERT_EQ(results.size(), batch.size());
+
+  EXPECT_TRUE(results[2].per_chip.empty());  // null table -> empty result
+  for (const std::size_t p : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    const core::AccuracyResult one =
+        core::evaluate_accuracy(qnet, batch[p].config, *batch[p].failures,
+                                batch[p].vdd, test, batch[p].options);
+    ASSERT_EQ(results[p].per_chip.size(), one.per_chip.size());
+    for (std::size_t c = 0; c < one.per_chip.size(); ++c) {
+      EXPECT_EQ(results[p].per_chip[c], one.per_chip[c]);
+    }
+    EXPECT_EQ(results[p].mean, one.mean);
+    EXPECT_EQ(results[p].stddev, one.stddev);
+  }
+
+  EXPECT_TRUE(runner.evaluate_batch(qnet, {}, test).empty());
+}
+
 TEST_F(EngineTest, RunnerSweepHandlesEmptyInput) {
   const ann::Mlp net{{784, 8, 10}, 3};
   const core::QuantizedNetwork qnet{net, 8};
@@ -294,6 +344,53 @@ TEST_F(TableCacheTest, LoadRejectsLegacyAndCorruptFiles) {
                    .has_value());
 }
 
+TEST_F(TableCacheTest, SaveIsAtomicAndLeavesNoTempFiles) {
+  std::vector<mc::FailureTableRow> rows(1);
+  rows[0].vdd = 0.7;
+  rows[0].cell6 = {0.01, 0.0, 0.0};
+  const mc::FailureTable table{std::move(rows)};
+  const std::string path = dir_ + "/t.csv";
+
+  // Seed the destination with garbage; save must replace it atomically.
+  {
+    std::ofstream out{path};
+    out << "half a row that a crash left beh";
+  }
+  table.save_csv(path, 0x77);
+  EXPECT_TRUE(mc::FailureTable::load_csv(path, 0x77).has_value());
+
+  // No .tmp droppings remain after a successful save.
+  for (const auto& entry : std::filesystem::directory_iterator{dir_}) {
+    EXPECT_EQ(entry.path().extension(), ".csv") << entry.path();
+  }
+}
+
+TEST_F(TableCacheTest, ListCachedTablesReportsFingerprintsAndValidity) {
+  std::vector<mc::FailureTableRow> rows(2);
+  rows[0].vdd = 0.65;
+  rows[1].vdd = 0.95;
+  const mc::FailureTable table{std::move(rows)};
+  FailureTableCache cache{dir_};
+  table.save_csv(cache.csv_path(0xbeef), 0xbeef);
+  {
+    std::ofstream out{dir_ + "/failure_table_corrupt.csv"};
+    out << "not a table\n";
+  }
+  std::ofstream{dir_ + "/unrelated.txt"} << "ignored";
+
+  const std::vector<CachedTableInfo> infos = list_cached_tables(dir_);
+  ASSERT_EQ(infos.size(), 2u);  // the unrelated file is skipped
+  EXPECT_TRUE(infos[0].valid);  // sorted by path: the 0xbeef file first
+  EXPECT_EQ(infos[0].fingerprint, 0xbeefu);
+  EXPECT_EQ(infos[0].rows, 2u);
+  EXPECT_GT(infos[0].bytes, 0u);
+  EXPECT_FALSE(infos[1].valid);
+  EXPECT_EQ(infos[1].rows, 0u);
+
+  EXPECT_TRUE(list_cached_tables("/nonexistent/dir").empty());
+  EXPECT_TRUE(list_cached_tables("").empty());
+}
+
 TEST_F(TableCacheTest, CacheBuildsOnceThenServesFromDisk) {
   const circuit::Technology tech = circuit::ptm22();
   const circuit::Sizing6T s6 = circuit::reference_sizing_6t(tech);
@@ -315,14 +412,21 @@ TEST_F(TableCacheTest, CacheBuildsOnceThenServesFromDisk) {
   const std::uint64_t fp = table_fingerprint(spec, o);
   ASSERT_TRUE(std::filesystem::exists(cache.csv_path(fp)));
 
-  // Same cache: memoized (same object).
+  // Same cache: memoized (same object), and the counters say so.
   EXPECT_EQ(&cache.get(spec, analyzer, false, &source), &built);
   EXPECT_EQ(source, TableSource::memory);
+  EXPECT_EQ(cache.stats().builds, 1u);
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+  EXPECT_EQ(cache.stats().coalesced, 0u);
 
   // New cache instance: loaded from disk, same numbers.
   FailureTableCache cache2{dir_};
   expect_rows_identical(cache2.get(spec, analyzer, false, &source), built);
   EXPECT_EQ(source, TableSource::disk);
+  EXPECT_EQ(cache2.stats().disk_hits, 1u);
+  EXPECT_TRUE(cache2.in_memory(fp));
+  EXPECT_FALSE(cache2.in_memory(fp + 1));
 
   // Tampering with the file -> rejected -> rebuilt with correct numbers.
   {

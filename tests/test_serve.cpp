@@ -1,0 +1,350 @@
+// serve::EvalService: coalescing semantics, priority/backpressure/cancel
+// queue behavior, and the determinism contract (service results bit-equal
+// to direct ExperimentRunner calls -- docs/serving.md).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ann/mlp.hpp"
+#include "circuit/reference.hpp"
+#include "core/quantized_network.hpp"
+#include "data/digits.hpp"
+#include "engine/experiment_runner.hpp"
+#include "mc/criteria.hpp"
+#include "mc/montecarlo.hpp"
+#include "mc/variation.hpp"
+#include "serve/eval_service.hpp"
+
+namespace hynapse::serve {
+namespace {
+
+/// Small fixed workload + low sample counts so each table build stays in
+/// the tens-of-milliseconds range.
+class EvalServiceTest : public ::testing::Test {
+ protected:
+  EvalServiceTest()
+      : qnet_{ann::Mlp{{784, 12, 10}, 17}, 8},
+        test_{data::generate_digits(60, 5)} {}
+
+  ServiceOptions fast_options() const {
+    ServiceOptions o;
+    o.vdd_grid = {0.65};
+    o.default_samples = 400;
+    o.default_chips = 2;
+    o.dispatchers = 2;
+    return o;
+  }
+
+  static Request evaluate_request(const char* config, double vdd) {
+    Request r;
+    r.kind = RequestKind::evaluate;
+    r.configs = {*ConfigSpec::parse(config)};
+    r.vdds = {vdd};
+    return r;
+  }
+
+  core::QuantizedNetwork qnet_;
+  data::Dataset test_;
+};
+
+TEST_F(EvalServiceTest, ResultsBitIdenticalToDirectRunner) {
+  ServiceOptions opts = fast_options();
+  EvalService service{qnet_, test_, opts};
+
+  std::vector<std::uint64_t> ids;
+  const std::vector<const char*> configs{"all6t", "hybrid2", "hybrid3"};
+  for (const char* cfg : configs) {
+    ids.push_back(service.submit(evaluate_request(cfg, 0.65)));
+  }
+
+  // Reference path: same provenance, built directly, evaluated directly.
+  const engine::TableSpec spec =
+      service.table_spec(evaluate_request("all6t", 0.65));
+  const mc::AnalyzerOptions ao =
+      service.analyzer_options(evaluate_request("all6t", 0.65));
+  const circuit::Technology tech = circuit::ptm22();
+  const circuit::Sizing6T s6 = circuit::reference_sizing_6t(tech);
+  const circuit::Sizing8T s8 = circuit::reference_sizing_8t(tech);
+  const sram::SubArrayModel array{tech, sram::SubArrayGeometry{}, s6};
+  const sram::CycleModel cycle{tech, array, circuit::Bitcell6T{tech, s6}};
+  const mc::VariationSampler sampler{tech, s6, s8};
+  const mc::FailureCriteria criteria{tech, cycle, s6, s8};
+  const mc::FailureAnalyzer analyzer{criteria, sampler, ao};
+  const mc::FailureTable table =
+      mc::FailureTable::build(analyzer, spec.vdd_grid, spec.seed);
+
+  const engine::ExperimentRunner runner;
+  core::EvalOptions eval;
+  eval.chips = opts.default_chips;
+  eval.seed = opts.default_eval_seed;
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Response r = service.wait(ids[i]);
+    ASSERT_EQ(r.status, RequestStatus::done) << r.error;
+    ASSERT_EQ(r.results.size(), 1u);
+    const core::MemoryConfig config =
+        ConfigSpec::parse(configs[i])->materialize(qnet_.bank_words());
+    const core::AccuracyResult direct =
+        runner.evaluate(qnet_, config, table, 0.65, test_, eval);
+    const core::AccuracyResult& served = r.results[0].accuracy;
+    ASSERT_EQ(served.per_chip.size(), direct.per_chip.size());
+    for (std::size_t c = 0; c < direct.per_chip.size(); ++c) {
+      EXPECT_EQ(served.per_chip[c], direct.per_chip[c]);  // bitwise
+    }
+    EXPECT_EQ(served.mean, direct.mean);
+    EXPECT_EQ(served.stddev, direct.stddev);
+  }
+}
+
+TEST_F(EvalServiceTest, SameProvenanceRequestsShareOneBuild) {
+  ServiceOptions opts = fast_options();
+  opts.start_paused = true;
+  EvalService service{qnet_, test_, opts};
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(service.submit(evaluate_request(i % 2 ? "all6t" : "hybrid2",
+                                                  0.60 + 0.01 * i)));
+  }
+  service.resume();
+  service.drain();
+
+  const EvalService::Totals totals = service.totals();
+  EXPECT_EQ(totals.submitted, 8u);
+  EXPECT_EQ(totals.completed, 8u);
+  EXPECT_EQ(totals.table_builds, 1u);  // one shared table for all 8
+  EXPECT_GE(totals.coalesced_requests, 7u);
+
+  bool saw_fused_batch = false;
+  for (const std::uint64_t id : ids) {
+    const Response r = service.wait(id);
+    EXPECT_EQ(r.status, RequestStatus::done) << r.error;
+    saw_fused_batch |= r.stats.batch_size > 1;
+  }
+  EXPECT_TRUE(saw_fused_batch);
+}
+
+TEST_F(EvalServiceTest, NaiveModeBuildsPerDispatch) {
+  ServiceOptions opts = fast_options();
+  opts.coalesce = false;
+  opts.start_paused = true;
+  EvalService service{qnet_, test_, opts};
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(service.submit(evaluate_request("hybrid2", 0.65)));
+  }
+  service.resume();
+  service.drain();
+
+  const EvalService::Totals totals = service.totals();
+  EXPECT_EQ(totals.completed, 4u);
+  EXPECT_EQ(totals.table_builds, 4u);  // no sharing: one build per request
+  EXPECT_EQ(totals.coalesced_requests, 0u);
+  for (const std::uint64_t id : ids) {
+    EXPECT_EQ(service.wait(id).stats.batch_size, 1u);
+  }
+}
+
+TEST_F(EvalServiceTest, HigherPriorityDispatchesFirst) {
+  ServiceOptions opts = fast_options();
+  opts.coalesce = false;  // keep each request its own dispatch
+  opts.dispatchers = 1;   // single consumer -> strict dispatch order
+  opts.start_paused = true;
+  EvalService service{qnet_, test_, opts};
+
+  const std::uint64_t low1 = service.submit(evaluate_request("all6t", 0.65));
+  Request urgent = evaluate_request("hybrid2", 0.65);
+  urgent.priority = 5;
+  const std::uint64_t high = service.submit(urgent);
+  const std::uint64_t low2 = service.submit(evaluate_request("all6t", 0.70));
+  service.resume();
+  service.drain();
+
+  const std::uint64_t seq_high = service.wait(high).stats.dispatch_seq;
+  const std::uint64_t seq_low1 = service.wait(low1).stats.dispatch_seq;
+  const std::uint64_t seq_low2 = service.wait(low2).stats.dispatch_seq;
+  EXPECT_LT(seq_high, seq_low1);  // priority wins
+  EXPECT_LT(seq_low1, seq_low2);  // FIFO among equals
+}
+
+TEST_F(EvalServiceTest, BackpressureCancelAndRejection) {
+  ServiceOptions opts = fast_options();
+  opts.queue_capacity = 2;
+  opts.dispatchers = 1;
+  opts.start_paused = true;
+  EvalService service{qnet_, test_, opts};
+
+  const std::uint64_t a = service.submit(evaluate_request("all6t", 0.65));
+  const std::uint64_t b = service.submit(evaluate_request("all6t", 0.66));
+  EXPECT_FALSE(service.try_submit(evaluate_request("all6t", 0.67))
+                   .has_value());  // full
+
+  EXPECT_TRUE(service.cancel(a));
+  EXPECT_FALSE(service.cancel(a));  // already cancelled
+  const Response cancelled = service.wait(a);
+  EXPECT_EQ(cancelled.status, RequestStatus::cancelled);
+
+  const auto c = service.try_submit(evaluate_request("all6t", 0.67));
+  ASSERT_TRUE(c.has_value());  // cancel freed a seat
+
+  service.resume();
+  service.drain();
+  EXPECT_EQ(service.wait(b).status, RequestStatus::done);
+  EXPECT_EQ(service.wait(*c).status, RequestStatus::done);
+  EXPECT_FALSE(service.cancel(b));  // finished requests cannot be cancelled
+
+  const EvalService::Totals totals = service.totals();
+  EXPECT_EQ(totals.rejected, 1u);
+  EXPECT_EQ(totals.cancelled, 1u);
+  EXPECT_EQ(totals.completed, 2u);
+  EXPECT_EQ(totals.max_queue_depth, 2u);
+}
+
+TEST_F(EvalServiceTest, SweepGridAndBadConfigFailAreIndependent) {
+  ServiceOptions opts = fast_options();
+  opts.start_paused = true;
+  EvalService service{qnet_, test_, opts};
+
+  Request sweep;
+  sweep.kind = RequestKind::sweep;
+  sweep.configs = {*ConfigSpec::parse("all6t"), *ConfigSpec::parse("hybrid2")};
+  sweep.vdds = {0.62, 0.68};
+  const std::uint64_t ok_id = service.submit(sweep);
+
+  // Same provenance -> same batch, but its per-layer spec cannot bind to
+  // the 2-bank network: it must fail alone without sinking the batch.
+  Request bad = evaluate_request("all6t", 0.62);
+  bad.configs = {*ConfigSpec::parse("perlayer:1,2,3,4,5")};
+  const std::uint64_t bad_id = service.submit(bad);
+
+  service.resume();
+  const Response ok = service.wait(ok_id);
+  ASSERT_EQ(ok.status, RequestStatus::done) << ok.error;
+  ASSERT_EQ(ok.results.size(), 4u);  // 2 configs x 2 vdds
+  EXPECT_EQ(ok.results[0].config, "all6t");
+  EXPECT_DOUBLE_EQ(ok.results[0].vdd, 0.62);
+  EXPECT_EQ(ok.results[3].config, "hybrid2");
+  EXPECT_DOUBLE_EQ(ok.results[3].vdd, 0.68);
+
+  const Response failed = service.wait(bad_id);
+  EXPECT_EQ(failed.status, RequestStatus::failed);
+  EXPECT_NE(failed.error.find("banks"), std::string::npos);
+  EXPECT_EQ(service.totals().failed, 1u);
+}
+
+TEST_F(EvalServiceTest, TableInfoReportsProvenanceAndPersistence) {
+  const std::string dir = "/tmp/hynapse_serve_test_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ServiceOptions opts = fast_options();
+  opts.cache_dir = dir;
+  EvalService service{qnet_, test_, opts};
+
+  Request info;
+  info.kind = RequestKind::table_info;
+  const Response before = service.wait(service.submit(info));
+  ASSERT_EQ(before.status, RequestStatus::done) << before.error;
+  EXPECT_EQ(before.table_fingerprint, service.fingerprint(info));
+  EXPECT_FALSE(before.table_in_memory);
+  EXPECT_EQ(before.table_rows, 0u);  // nothing persisted yet
+
+  const Response eval =
+      service.wait(service.submit(evaluate_request("hybrid2", 0.65)));
+  ASSERT_EQ(eval.status, RequestStatus::done) << eval.error;
+
+  const Response after = service.wait(service.submit(info));
+  EXPECT_TRUE(after.table_in_memory);
+  EXPECT_EQ(after.table_rows, 1u);  // the 1-point grid CSV on disk
+  EXPECT_TRUE(std::filesystem::exists(after.table_csv));
+  EXPECT_EQ(after.table_fingerprint, eval.table_fingerprint);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(EvalServiceTest, DistinctProvenancesDoNotCoalesce) {
+  ServiceOptions opts = fast_options();
+  opts.start_paused = true;
+  EvalService service{qnet_, test_, opts};
+
+  Request a = evaluate_request("all6t", 0.65);
+  a.table_seed = 1;
+  Request b = evaluate_request("all6t", 0.65);
+  b.table_seed = 2;
+  EXPECT_NE(service.fingerprint(a), service.fingerprint(b));
+  const std::uint64_t ia = service.submit(a);
+  const std::uint64_t ib = service.submit(b);
+  service.resume();
+  service.drain();
+
+  EXPECT_EQ(service.wait(ia).stats.batch_size, 1u);
+  EXPECT_EQ(service.wait(ib).stats.batch_size, 1u);
+  EXPECT_EQ(service.totals().table_builds, 2u);
+}
+
+TEST_F(EvalServiceTest, DestructorCancelsQueuedRequests) {
+  ServiceOptions opts = fast_options();
+  opts.start_paused = true;
+  std::uint64_t id = 0;
+  {
+    EvalService service{qnet_, test_, opts};
+    id = service.submit(evaluate_request("all6t", 0.65));
+    // Destructor runs with the request still queued: must not hang.
+  }
+  EXPECT_GT(id, 0u);
+}
+
+TEST_F(EvalServiceTest, CompletedHistoryIsBounded) {
+  ServiceOptions opts = fast_options();
+  opts.completed_history = 2;
+  opts.dispatchers = 1;  // deterministic finish order
+  opts.start_paused = true;
+  EvalService service{qnet_, test_, opts};
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(service.submit(evaluate_request("all6t", 0.65)));
+  }
+  service.resume();
+  service.drain();
+
+  // Only the 2 most recently finished responses are retained; older ids
+  // are evicted (but were completed -- the totals still count them).
+  EXPECT_EQ(service.totals().completed, 5u);
+  EXPECT_FALSE(service.poll(ids[0]).has_value());
+  EXPECT_FALSE(service.poll(ids[2]).has_value());
+  ASSERT_TRUE(service.poll(ids[3]).has_value());
+  ASSERT_TRUE(service.poll(ids[4]).has_value());
+  EXPECT_EQ(service.poll(ids[4])->status, RequestStatus::done);
+
+  // wait() on an evicted-but-assigned id reports eviction instead of
+  // throwing (only never-assigned ids are an error).
+  EXPECT_EQ(service.wait(ids[0]).status, RequestStatus::evicted);
+  EXPECT_EQ(service.wait(ids[4]).status, RequestStatus::done);
+  EXPECT_THROW((void)service.wait(ids[4] + 100), std::invalid_argument);
+}
+
+TEST_F(EvalServiceTest, PollTracksLifecycleAndUnknownIds) {
+  ServiceOptions opts = fast_options();
+  opts.start_paused = true;
+  EvalService service{qnet_, test_, opts};
+  EXPECT_FALSE(service.poll(999).has_value());
+  EXPECT_THROW((void)service.wait(999), std::invalid_argument);
+
+  const std::uint64_t id = service.submit(evaluate_request("all6t", 0.65));
+  const auto queued = service.poll(id);
+  ASSERT_TRUE(queued.has_value());
+  EXPECT_EQ(queued->status, RequestStatus::queued);
+
+  service.resume();
+  const Response done = service.wait(id);
+  EXPECT_EQ(done.status, RequestStatus::done);
+  EXPECT_GE(done.stats.wall_ms, 0.0);
+  EXPECT_GT(done.stats.dispatch_seq, 0u);
+}
+
+}  // namespace
+}  // namespace hynapse::serve

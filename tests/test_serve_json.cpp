@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace hynapse::serve {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.5")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-2e3")->as_number(), -2000.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto j = Json::parse(
+      R"({"op":"sweep","vdds":[0.6,0.7],"nested":{"a":[1,{"b":null}]}})");
+  ASSERT_TRUE(j.has_value());
+  ASSERT_TRUE(j->is_object());
+  EXPECT_EQ(j->get("op")->as_string(), "sweep");
+  const Json* vdds = j->get("vdds");
+  ASSERT_NE(vdds, nullptr);
+  ASSERT_EQ(vdds->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(vdds->items()[1].as_number(), 0.7);
+  EXPECT_TRUE(j->get("nested")->get("a")->items()[1].get("b")->is_null());
+  EXPECT_EQ(j->get("missing"), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  const auto j = Json::parse(R"("a\"b\\c\ndAe")");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->as_string(), "a\"b\\c\ndAe");
+
+  // \u escapes decode to UTF-8: A, e-acute, euro sign.
+  const auto u = Json::parse("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->as_string(), "A\xc3\xa9\xe2\x82\xac");
+  EXPECT_FALSE(Json::parse(R"("\u12g4")").has_value());
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+  EXPECT_FALSE(Json::parse("1 trailing").has_value());
+  EXPECT_FALSE(Json::parse("01a").has_value());
+  EXPECT_FALSE(Json::parse("\"bad\\q\"").has_value());
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+TEST(Json, DumpRoundTripsExactDoubles) {
+  Json j = Json::object();
+  j.set("exact", 0.1);
+  j.set("int", 42.0);
+  j.set("neg", -7.25);
+  const auto back = Json::parse(j.dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->get("exact")->as_number(), 0.1);  // bitwise round-trip
+  EXPECT_EQ(back->get("int")->as_number(), 42.0);
+  EXPECT_EQ(back->get("neg")->as_number(), -7.25);
+  EXPECT_EQ(j.dump(), "{\"exact\":0.10000000000000001,\"int\":42,"
+                      "\"neg\":-7.25}");
+}
+
+TEST(Json, DumpEscapesAndPreservesMemberOrder) {
+  Json j = Json::object();
+  j.set("z", "line\nbreak\"quote\"");
+  j.set("a", true);
+  j.set("z", "replaced\t");  // set() replaces in place, keeping order
+  EXPECT_EQ(j.dump(), "{\"z\":\"replaced\\t\",\"a\":true}");
+}
+
+TEST(Json, BuildersConvertNull) {
+  Json arr;
+  arr.push_back(1.0).push_back("two");
+  EXPECT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.items().size(), 2u);
+  Json obj;
+  obj.set("k", Json{});
+  EXPECT_TRUE(obj.is_object());
+}
+
+}  // namespace
+}  // namespace hynapse::serve

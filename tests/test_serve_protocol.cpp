@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace hynapse::serve {
+namespace {
+
+TEST(ConfigSpec, ParsesAndRoundTrips) {
+  const auto all6t = ConfigSpec::parse("all6t");
+  ASSERT_TRUE(all6t.has_value());
+  EXPECT_EQ(all6t->kind, ConfigSpec::Kind::all_6t);
+  EXPECT_EQ(all6t->str(), "all6t");
+
+  const auto hybrid = ConfigSpec::parse("hybrid3");
+  ASSERT_TRUE(hybrid.has_value());
+  EXPECT_EQ(hybrid->kind, ConfigSpec::Kind::uniform);
+  EXPECT_EQ(hybrid->n_msb, 3);
+  EXPECT_EQ(hybrid->str(), "hybrid3");
+
+  const auto per = ConfigSpec::parse("perlayer:1,2,0,4");
+  ASSERT_TRUE(per.has_value());
+  EXPECT_EQ(per->kind, ConfigSpec::Kind::per_layer);
+  EXPECT_EQ(per->msbs, (std::vector<int>{1, 2, 0, 4}));
+  EXPECT_EQ(per->str(), "perlayer:1,2,0,4");
+}
+
+TEST(ConfigSpec, RejectsMalformedNames) {
+  EXPECT_FALSE(ConfigSpec::parse("").has_value());
+  EXPECT_FALSE(ConfigSpec::parse("6t").has_value());
+  EXPECT_FALSE(ConfigSpec::parse("hybrid").has_value());
+  EXPECT_FALSE(ConfigSpec::parse("hybrid-1").has_value());
+  EXPECT_FALSE(ConfigSpec::parse("hybrid999").has_value());
+  EXPECT_FALSE(ConfigSpec::parse("hybrid3x").has_value());
+  EXPECT_FALSE(ConfigSpec::parse("perlayer:").has_value());
+  EXPECT_FALSE(ConfigSpec::parse("perlayer:1,,2").has_value());
+  EXPECT_FALSE(ConfigSpec::parse("perlayer:1,2,").has_value());
+  EXPECT_FALSE(ConfigSpec::parse("perlayer:1,a").has_value());
+}
+
+TEST(ConfigSpec, MaterializesAgainstBankLayout) {
+  const std::vector<std::size_t> words{100, 50};
+  const auto hybrid = ConfigSpec::parse("hybrid2");
+  const core::MemoryConfig cfg = hybrid->materialize(words);
+  ASSERT_EQ(cfg.num_banks(), 2u);
+  EXPECT_EQ(cfg.banks()[0].msbs_in_8t, 2);
+
+  const auto per = ConfigSpec::parse("perlayer:1,2,3");
+  EXPECT_THROW((void)per->materialize(words), std::invalid_argument);
+}
+
+TEST(ParseRequest, AcceptsEvaluateAndDefaults) {
+  std::string error;
+  const auto req = parse_request(
+      R"({"op":"evaluate","config":"hybrid3","vdd":0.65})", &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->kind, RequestKind::evaluate);
+  ASSERT_EQ(req->configs.size(), 1u);
+  EXPECT_EQ(req->configs[0].str(), "hybrid3");
+  ASSERT_EQ(req->vdds.size(), 1u);
+  EXPECT_DOUBLE_EQ(req->vdds[0], 0.65);
+  EXPECT_EQ(req->priority, 0);
+  EXPECT_EQ(req->chips, 0u);        // 0 = service default
+  EXPECT_EQ(req->mc_samples, 0u);
+  EXPECT_EQ(req->table_seed, 0u);
+}
+
+TEST(ParseRequest, AcceptsSweepGridAndOverrides) {
+  std::string error;
+  const auto req = parse_request(
+      R"({"op":"sweep","configs":["all6t","hybrid2"],"vdds":[0.6,0.7,0.8],)"
+      R"("chips":4,"eval_seed":9,"samples":2500,"table_seed":7,)"
+      R"("priority":2})",
+      &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->kind, RequestKind::sweep);
+  EXPECT_EQ(req->configs.size(), 2u);
+  EXPECT_EQ(req->vdds.size(), 3u);
+  EXPECT_EQ(req->chips, 4u);
+  EXPECT_EQ(req->eval_seed, 9u);
+  EXPECT_EQ(req->mc_samples, 2500u);
+  EXPECT_EQ(req->table_seed, 7u);
+  EXPECT_EQ(req->priority, 2);
+}
+
+TEST(ParseRequest, AcceptsTableInfoWithoutWorkload) {
+  std::string error;
+  const auto req =
+      parse_request(R"({"op":"table_info","samples":1000})", &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->kind, RequestKind::table_info);
+  EXPECT_TRUE(req->configs.empty());
+}
+
+TEST(ParseRequest, RejectsBadLinesWithReasons) {
+  const auto reject = [](const char* line) {
+    std::string error;
+    const auto req = parse_request(line, &error);
+    EXPECT_FALSE(req.has_value()) << line;
+    EXPECT_FALSE(error.empty()) << line;
+    return error;
+  };
+  reject("not json");
+  reject("[1,2]");
+  reject(R"({"config":"hybrid1","vdd":0.6})");             // missing op
+  reject(R"({"op":"destroy","config":"all6t","vdd":1})");  // unknown op
+  reject(R"({"op":"evaluate","vdd":0.6})");                // missing config
+  reject(R"({"op":"evaluate","config":"all6t"})");         // missing vdd
+  reject(R"({"op":"evaluate","config":"bogus","vdd":0.6})");
+  reject(R"({"op":"evaluate","config":"all6t","vdd":-0.5})");
+  reject(R"({"op":"evaluate","config":"all6t","vdd":0.6,"chips":-1})");
+  reject(R"({"op":"evaluate","config":"all6t","vdd":0.6,"chips":2.5})");
+  reject(R"({"op":"evaluate","config":"all6t","vdd":0.6,"chips":1e12})");
+  reject(R"({"op":"evaluate","config":"all6t","vdd":0.6,"frobnicate":1})");
+  // evaluate is strictly one point; grids must say "sweep".
+  reject(R"({"op":"evaluate","configs":["all6t","hybrid1"],"vdd":0.6})");
+  reject(R"({"op":"evaluate","config":"all6t","vdds":[0.6,0.7]})");
+  // Out-of-range numbers are rejected before any narrowing cast (a double
+  // >= 2^64 -> uint64 conversion would be undefined behavior, not clamping).
+  reject(R"({"op":"table_info","table_seed":1e20})");
+  reject(R"({"op":"table_info","table_seed":9007199254740994})");  // > 2^53
+  reject(R"({"op":"table_info","samples":1.5})");
+  reject(R"({"op":"evaluate","config":"all6t","vdd":0.6,"priority":1e300})");
+  reject(R"({"op":"evaluate","config":"all6t","vdd":0.6,"priority":0.5})");
+}
+
+TEST(FormatResponse, RendersDoneResponse) {
+  Response r;
+  r.id = 7;
+  r.status = RequestStatus::done;
+  r.table_fingerprint = 0xabc;
+  PointResult point;
+  point.config = "hybrid3";
+  point.vdd = 0.65;
+  point.accuracy.mean = 0.5;
+  point.accuracy.stddev = 0.25;
+  point.accuracy.per_chip = {0.25, 0.75};
+  r.results.push_back(point);
+  r.stats.table_source = engine::TableSource::memory;
+  r.stats.coalesced = true;
+  r.stats.batch_size = 3;
+  r.stats.dispatch_seq = 2;
+
+  const std::string line = format_response(r);
+  EXPECT_NE(line.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"done\""), std::string::npos);
+  EXPECT_NE(line.find("\"config\":\"hybrid3\""), std::string::npos);
+  EXPECT_NE(line.find("\"mean\":0.5"), std::string::npos);
+  EXPECT_NE(line.find("\"fingerprint\":\"0000000000000abc\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"source\":\"memory\""), std::string::npos);
+  EXPECT_NE(line.find("\"coalesced\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"batch_size\":3"), std::string::npos);
+  EXPECT_EQ(line.find("per_chip"), std::string::npos);  // off by default
+
+  const std::string with_chips = format_response(r, /*per_chip=*/true);
+  EXPECT_NE(with_chips.find("\"per_chip\":[0.25,0.75]"), std::string::npos);
+}
+
+TEST(FormatResponse, RendersFailureAndPendingStates) {
+  Response failed;
+  failed.id = 1;
+  failed.status = RequestStatus::failed;
+  failed.error = "bad config";
+  const std::string fline = format_response(failed);
+  EXPECT_NE(fline.find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_NE(fline.find("\"error\":\"bad config\""), std::string::npos);
+
+  Response queued;
+  queued.id = 2;
+  queued.status = RequestStatus::queued;
+  const std::string qline = format_response(queued);
+  EXPECT_NE(qline.find("\"status\":\"queued\""), std::string::npos);
+  EXPECT_EQ(qline.find("stats"), std::string::npos);  // not dispatched yet
+}
+
+}  // namespace
+}  // namespace hynapse::serve

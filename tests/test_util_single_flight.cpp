@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/single_flight.hpp"
+
+namespace hynapse::util {
+namespace {
+
+TEST(SingleFlight, LoneCallerIsNotCoalesced) {
+  SingleFlight flight;
+  bool saw = true;
+  const int r = flight.run(42, [&](bool coalesced) {
+    saw = coalesced;
+    return 7;
+  });
+  EXPECT_EQ(r, 7);
+  EXPECT_FALSE(saw);
+  EXPECT_EQ(flight.in_flight(), 0u);
+}
+
+TEST(SingleFlight, ReturnsReferencesWithoutCopying) {
+  SingleFlight flight;
+  int value = 5;
+  int& ref = flight.run(1, [&](bool) -> int& { return value; });
+  EXPECT_EQ(&ref, &value);
+}
+
+TEST(SingleFlight, SameKeyCallersNeverOverlapAndWaitersCoalesce) {
+  SingleFlight flight;
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::atomic<int> coalesced_count{0};
+  std::atomic<int> runs{0};
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      flight.run(99, [&](bool coalesced) {
+        const int now = ++inside;
+        int prev = max_inside.load();
+        while (now > prev && !max_inside.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ++runs;
+        if (coalesced) ++coalesced_count;
+        --inside;
+        return 0;
+      });
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(max_inside.load(), 1);       // the latch is exclusive per key
+  EXPECT_EQ(runs.load(), kThreads);      // every caller ran its own fn
+  EXPECT_GE(coalesced_count.load(), 1);  // someone piggybacked
+  EXPECT_EQ(flight.in_flight(), 0u);     // entries are GCed when idle
+}
+
+TEST(SingleFlight, DistinctKeysRunConcurrently) {
+  SingleFlight flight;
+  std::atomic<bool> a_inside{false};
+  std::atomic<bool> overlap_seen{false};
+
+  std::thread a{[&] {
+    flight.run(1, [&](bool) {
+      a_inside = true;
+      for (int i = 0; i < 200 && !overlap_seen; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      a_inside = false;
+      return 0;
+    });
+  }};
+  std::thread b{[&] {
+    while (!a_inside) std::this_thread::yield();
+    flight.run(2, [&](bool coalesced) {
+      EXPECT_FALSE(coalesced);  // different key: no wait
+      if (a_inside) overlap_seen = true;
+      return 0;
+    });
+    overlap_seen = true;  // unblock `a` even if the overlap window was missed
+  }};
+  a.join();
+  b.join();
+  EXPECT_EQ(flight.in_flight(), 0u);
+}
+
+TEST(SingleFlight, ExceptionReleasesLatch) {
+  SingleFlight flight;
+  EXPECT_THROW(flight.run(7,
+                          [](bool) -> int {
+                            throw std::runtime_error{"boom"};
+                          }),
+               std::runtime_error);
+  EXPECT_EQ(flight.in_flight(), 0u);
+  // The key is usable again and a fresh caller is not "coalesced".
+  const bool coalesced =
+      flight.run(7, [](bool c) { return c; });
+  EXPECT_FALSE(coalesced);
+}
+
+TEST(SingleFlight, MemoizePatternBuildsOnce) {
+  // The intended idiom: fn re-checks a memo under the latch, so N racing
+  // callers produce exactly one build.
+  SingleFlight flight;
+  std::atomic<int> builds{0};
+  std::atomic<int> memo{-1};
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const int got = flight.run(5, [&](bool) {
+        if (memo.load() < 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(3));
+          ++builds;
+          memo = 123;
+        }
+        return memo.load();
+      });
+      EXPECT_EQ(got, 123);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);
+}
+
+}  // namespace
+}  // namespace hynapse::util

@@ -175,6 +175,84 @@ TEST(ParallelReduce, EmptyTrailingChunksContributeInit) {
   EXPECT_EQ(sum, 10);
 }
 
+TEST(ParallelPool, SingleElementWithManyThreadsRunsOnce) {
+  // n == 1 with threads > n: participation is clamped to n, the region
+  // degrades to an inline call, and the body still runs exactly once.
+  std::atomic<int> calls{0};
+  parallel_for(
+      1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; }, 8);
+  EXPECT_EQ(calls.load(), 1);
+
+  std::atomic<int> chunk_calls{0};
+  parallel_for_chunks(
+      1,
+      [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 1u);
+        ++chunk_calls;
+      },
+      16);
+  EXPECT_EQ(chunk_calls.load(), 1);
+}
+
+TEST(ParallelPool, ChunksExceptionPropagatesFromChunkBody) {
+  EXPECT_THROW(parallel_for_chunks(
+                   4096,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin != 0) throw std::domain_error{"chunk"};
+                   },
+                   8),
+               std::domain_error);
+}
+
+TEST(ParallelReduce, FewerElementsThanChunksCoversEverything) {
+  // n < n_chunks: the chunk grid is clamped to n one-element chunks.
+  const int sum = parallel_reduce(
+      3, 64, 0,
+      [](std::size_t begin, std::size_t end) {
+        int s = 0;
+        for (std::size_t i = begin; i < end; ++i) s += static_cast<int>(i) + 1;
+        return s;
+      },
+      [](int a, int b) { return a + b; }, 8);
+  EXPECT_EQ(sum, 1 + 2 + 3);
+}
+
+TEST(ParallelReduce, SingleElementWithManyThreads) {
+  const double r = parallel_reduce(
+      1, 64, 0.5, [](std::size_t, std::size_t) { return 2.25; },
+      [](double a, double b) { return a + b; }, 8);
+  EXPECT_EQ(r, 0.5 + 2.25);  // one real chunk folded onto init
+}
+
+TEST(ParallelReduce, ZeroChunksReturnsInit) {
+  const int r = parallel_reduce(
+      100, 0, 7, [](std::size_t, std::size_t) { return 1000; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(r, 7);
+}
+
+TEST(ParallelReduce, ExceptionPropagatesFromWorkerTask) {
+  // A throw in the map fn must surface from the submitting thread even when
+  // the failing chunk ran on a pool worker, and must not corrupt the pool.
+  EXPECT_THROW(
+      (void)parallel_reduce(
+          10000, 64, 0,
+          [](std::size_t begin, std::size_t) -> int {
+            if (begin >= 5000) throw std::runtime_error{"map"};
+            return 1;
+          },
+          [](int a, int b) { return a + b; }, 8),
+      std::runtime_error);
+  const int after = parallel_reduce(
+      100, 4, 0,
+      [](std::size_t begin, std::size_t end) {
+        return static_cast<int>(end - begin);
+      },
+      [](int a, int b) { return a + b; }, 8);
+  EXPECT_EQ(after, 100);
+}
+
 TEST(ParallelLegacy, StdFunctionWrappersStillWork) {
   std::vector<std::atomic<int>> hits(512);
   const std::function<void(std::size_t)> fn = [&](std::size_t i) {
