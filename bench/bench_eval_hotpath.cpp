@@ -1,0 +1,281 @@
+// bench_eval_hotpath: chips/sec through the ANN fault-injection hot path,
+// A/B/C over one accuracy-vs-vdd sweep (the Fig. 8/9 workload shape) on the
+// Table-I topology:
+//
+//   * "pr3"    — frozen replica of the pipeline as it stood before the
+//                delta-fault rework: per chip, construct SynapticMemory,
+//                store/load the full ~1.4M-word image, dequantize into a
+//                fresh Mlp and run the pre-rework unblocked i-p-j GEMM
+//                forward over the test slice. This is the headline baseline
+//                ("legacy path"): the in-tree legacy path silently inherits
+//                the new blocked kernels, so only a frozen copy isolates
+//                what this PR actually changed end to end.
+//   * "legacy" — today's core::EvalPath::legacy (full rebuild per chip, but
+//                the shared blocked GEMM): isolates the delta/workspace
+//                contribution from the kernel contribution.
+//   * "delta"  — core::EvalPath::delta + ann::EvalWorkspace (the default).
+//
+// Every arm must produce bit-identical per-chip accuracies; the bench
+// aborts (exit 1) if any chip disagrees. The test slice defaults to 48
+// images — a design-space *screening* slice (ESAM/MCAIMem-scale sweeps run
+// thousands of (config, vdd) points x chips, and small eval slices are what
+// makes that tractable; the delta path's advantage grows as the forward
+// pass shrinks relative to the per-chip rebuild it eliminates). Use
+// --images 2000 for the full synthetic test set.
+//
+// Flags: --chips N (per sweep point, default 24), --images N (default 48),
+// plus the shared --threads/--json (bench::parse_bench_flags). --json
+// overwrites PATH with one JSON object (the BENCH_eval_hotpath.json
+// artifact collected by scripts/run_bench.sh).
+//
+// The failure table is synthetic (Fig. 5-shaped exponential falloff of the
+// 6T rates with vdd, 8T failure-free), so the bench measures the evaluation
+// hot path only — no Monte-Carlo, no model training, no disk cache.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/delta_eval.hpp"
+#include "core/synaptic_memory.hpp"
+#include "data/digits.hpp"
+#include "mc/failure_table.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hynapse;
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Frozen PR-3 forward pass (the pre-rework matrix.cpp gemm, verbatim loop
+// structure): i-p-j with a zero skip, no tiling, no restrict. Kept local to
+// the bench so the baseline cannot drift when the shared kernels improve.
+
+void gemm_pr3(const ann::Matrix& a, const ann::Matrix& b, ann::Matrix& c) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  const auto body = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* ci = c.row(i);
+      std::fill(ci, ci + n, 0.0f);
+      const float* ai = a.row(i);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float aip = ai[p];
+        if (aip == 0.0f) continue;
+        const float* bp = b.row(p);
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  };
+  if (m >= 64) {
+    util::parallel_for_chunks(m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+double accuracy_pr3(const ann::Mlp& net, const ann::Matrix& input,
+                    std::span<const std::uint8_t> labels) {
+  // PR-3 Mlp::accuracy: whole-set activations, freshly allocated per call.
+  std::vector<ann::Matrix> acts(net.layer_sizes().size());
+  acts[0] = input;
+  for (std::size_t l = 0; l + 1 < net.layer_sizes().size(); ++l) {
+    ann::Matrix& out = acts[l + 1];
+    out = ann::Matrix{input.rows(), net.layer_sizes()[l + 1]};
+    gemm_pr3(acts[l], net.weight(l), out);
+    ann::add_row_bias(out, net.bias(l));
+    if (l + 2 < net.layer_sizes().size()) {
+      ann::activate_inplace(out, net.hidden_activation());
+    } else {
+      ann::softmax_rows_inplace(out);
+    }
+  }
+  const ann::Matrix& out = acts.back();
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    const float* r = out.row(i);
+    const auto pred =
+        static_cast<std::uint8_t>(std::max_element(r, r + out.cols()) - r);
+    if (pred == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+double evaluate_chip_pr3(const core::QuantizedNetwork& qnet,
+                         const core::MemoryConfig& config,
+                         const core::FaultModel& model,
+                         const data::Dataset& test, std::uint64_t eval_seed,
+                         std::size_t chip) {
+  const std::uint64_t chip_seed =
+      eval_seed ^ (0x9e3779b97f4a7c15ull * (chip + 1));
+  core::SynapticMemory memory{config, model, chip_seed};
+  memory.store_network(qnet);
+  util::Rng read_rng{chip_seed ^ 0x5555aaaa5555aaaaull};
+  const core::QuantizedNetwork faulted = memory.load_network(qnet, read_rng);
+  const ann::Mlp net = faulted.dequantize();
+  return accuracy_pr3(net, test.images, test.labels);
+}
+
+// ---------------------------------------------------------------------------
+
+/// Fig. 5-shaped synthetic failure table: 6T rates fall off exponentially
+/// with vdd (read dominant, write ~1/3, disturb ~1/10), 8T cells are
+/// failure-free in the range of interest.
+mc::FailureTable synthetic_table() {
+  std::vector<mc::FailureTableRow> rows;
+  for (double vdd = 0.60; vdd <= 1.001; vdd += 0.05) {
+    mc::FailureTableRow row;
+    row.vdd = vdd;
+    const double read = 0.08 * std::exp(-(vdd - 0.55) / 0.035);
+    row.cell6 = {read, read / 3.0, read / 10.0};
+    row.cell8 = {0.0, 0.0, 0.0};
+    rows.push_back(row);
+  }
+  return mc::FailureTable{std::move(rows)};
+}
+
+struct ArmResult {
+  double seconds = 0.0;
+  double chips_per_sec = 0.0;
+  std::vector<std::vector<double>> per_point;  // [point][chip] accuracies
+};
+
+long parse_flag(int& argc, char** argv, const char* flag, long fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      const long v = std::strtol(argv[i + 1], nullptr, 10);
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return v > 0 ? v : fallback;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_bench_flags(argc, argv);
+  const auto chips = static_cast<std::size_t>(
+      parse_flag(argc, argv, "--chips", 24));
+  const auto images = static_cast<std::size_t>(
+      parse_flag(argc, argv, "--images", 48));
+
+  bench::print_header(
+      "Chip-evaluation hot path: legacy full-rebuild vs delta+workspace",
+      "Section V simulation framework; Fig. 8/9 sweep workload");
+
+  const ann::Mlp net{core::table1_layer_sizes(), 5};
+  const core::QuantizedNetwork qnet{net, 8};
+  const core::MemoryConfig config =
+      core::MemoryConfig::uniform_hybrid(qnet.bank_words(), 3);
+  const mc::FailureTable table = synthetic_table();
+  const data::Dataset test = data::generate_digits(2000, 77001).head(images);
+  const std::vector<double> vdds{0.65, 0.70, 0.75, 0.80, 0.85, 0.90};
+
+  std::printf("Table-I topology (784-1000-500-200-100-10), config %s\n",
+              config.describe().c_str());
+  std::printf("%zu vdd points x %zu chips, %zu test images\n\n", vdds.size(),
+              chips, images);
+
+  core::EvalOptions eval;
+  eval.chips = chips;
+  eval.seed = 20160312;
+  eval.threads = opts.threads;
+
+  const double total_chips = static_cast<double>(vdds.size() * chips);
+  const auto run_arm = [&](auto&& chip_fn) {
+    ArmResult arm;
+    arm.per_point.resize(vdds.size());
+    const Clock::time_point t0 = Clock::now();
+    for (std::size_t v = 0; v < vdds.size(); ++v) {
+      const core::FaultModel model{table, vdds[v], eval.policy};
+      arm.per_point[v].resize(chips);
+      util::parallel_for(
+          chips,
+          [&](std::size_t chip) {
+            arm.per_point[v][chip] = chip_fn(model, chip);
+          },
+          eval.threads);
+    }
+    arm.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    arm.chips_per_sec = total_chips / arm.seconds;
+    return arm;
+  };
+
+  std::printf("[pr3]    full rebuild + pre-rework unblocked GEMM...\n");
+  const ArmResult pr3 = run_arm([&](const core::FaultModel& model,
+                                    std::size_t chip) {
+    return evaluate_chip_pr3(qnet, config, model, test, eval.seed, chip);
+  });
+
+  std::printf("[legacy] full rebuild + blocked GEMM (EvalPath::legacy)...\n");
+  const ArmResult legacy = run_arm([&](const core::FaultModel& model,
+                                       std::size_t chip) {
+    return core::evaluate_chip(qnet, config, model, test, eval.seed, chip);
+  });
+
+  std::printf("[delta]  delta-fault + workspace (EvalPath::delta)...\n");
+  core::EvalContextPool contexts;
+  const std::uint64_t qnet_fp = core::network_fingerprint(qnet);
+  const ArmResult delta = run_arm([&](const core::FaultModel& model,
+                                      std::size_t chip) {
+    core::EvalContextPool::Lease lease{contexts};
+    return lease.context().evaluate_chip(qnet, qnet_fp, config, model, test,
+                                         eval.seed, chip);
+  });
+
+  bool identical = true;
+  for (std::size_t v = 0; v < vdds.size(); ++v) {
+    identical &= pr3.per_point[v] == delta.per_point[v];
+    identical &= legacy.per_point[v] == delta.per_point[v];
+  }
+
+  util::Table out{{"path", "wall [s]", "chips/sec", "speedup"}};
+  const auto row = [&](const char* name, const ArmResult& arm) {
+    out.add_row({name, util::Table::num(arm.seconds, 2),
+                 util::Table::num(arm.chips_per_sec, 1),
+                 util::Table::num(pr3.seconds / arm.seconds, 2) + "x"});
+  };
+  row("pr3 (pre-rework)", pr3);
+  row("legacy (rebuild, new kernels)", legacy);
+  row("delta+workspace", delta);
+  out.print();
+  std::printf("\nper-chip accuracies bit-identical across paths: %s\n",
+              identical ? "yes" : "NO -- BUG");
+
+  if (!opts.json.empty()) {
+    std::ofstream js{opts.json, std::ios::trunc};
+    js << "{\n"
+       << "  \"name\": \"eval_hotpath\",\n"
+       << "  \"vdd_points\": " << vdds.size() << ",\n"
+       << "  \"chips_per_point\": " << chips << ",\n"
+       << "  \"test_images\": " << images << ",\n"
+       << "  \"threads\": "
+       << (opts.threads == 0 ? util::default_thread_count() : opts.threads)
+       << ",\n"
+       << "  \"pr3_seconds\": " << pr3.seconds << ",\n"
+       << "  \"pr3_chips_per_sec\": " << pr3.chips_per_sec << ",\n"
+       << "  \"legacy_seconds\": " << legacy.seconds << ",\n"
+       << "  \"legacy_chips_per_sec\": " << legacy.chips_per_sec << ",\n"
+       << "  \"delta_seconds\": " << delta.seconds << ",\n"
+       << "  \"delta_chips_per_sec\": " << delta.chips_per_sec << ",\n"
+       << "  \"speedup_vs_pr3\": " << pr3.seconds / delta.seconds << ",\n"
+       << "  \"speedup_vs_legacy\": " << legacy.seconds / delta.seconds
+       << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+    std::printf("JSON written to %s\n", opts.json.c_str());
+  }
+  return identical ? 0 : 1;
+}

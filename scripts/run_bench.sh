@@ -5,6 +5,10 @@
 #     parallel -- the wall-clock anchor for the engine's thread pool.
 #   * bench_serve_throughput: the 200-request mixed trace through
 #     serve::EvalService, naive vs coalesced (requests/sec + table builds).
+#   * bench_eval_hotpath: chips/sec through the ANN fault-injection hot
+#     path, pre-rework baseline vs full-rebuild vs delta+workspace.
+#
+# scripts/plot_bench.py graphs these files across runs/PRs.
 #
 # Usage: scripts/run_bench.sh [build-dir] [out-dir]
 #   (defaults: build/release bench-results)
@@ -14,6 +18,8 @@
 #      HYNAPSE_SERVE_BENCH_SAMPLES  MC samples per table build in the serve
 #                                   trace (default 300: the trace pays for
 #                                   hundreds of builds in naive mode).
+#      HYNAPSE_EVAL_BENCH_CHIPS     chips per sweep point for the hot-path
+#                                   A/B (default 24).
 set -euo pipefail
 
 build_dir=${1:-build/release}
@@ -71,5 +77,11 @@ serve_samples=${HYNAPSE_SERVE_BENCH_SAMPLES:-300}
 "${build_dir}/bench/bench_serve_throughput" \
   --samples "${serve_samples}" \
   --json "${out_dir}/BENCH_serve_throughput.json"
+
+echo "== bench_eval_hotpath: legacy rebuild vs delta+workspace =="
+eval_chips=${HYNAPSE_EVAL_BENCH_CHIPS:-24}
+"${build_dir}/bench/bench_eval_hotpath" \
+  --chips "${eval_chips}" \
+  --json "${out_dir}/BENCH_eval_hotpath.json"
 
 echo "bench JSON written to ${out_dir}/"

@@ -1,8 +1,16 @@
 // Dense row-major float matrix with the handful of BLAS-like kernels the MLP
 // needs. Single precision is the right trade for the ANN level (weights are
 // ultimately quantized to 8 bits anyway); the circuit level uses doubles.
+//
+// Kernel determinism: every GEMM variant (including gemm_naive and the raw
+// gemm_block entry point) accumulates each output element c[i][j] over the
+// inner dimension in ascending p order, so all of them — and any row
+// partitioning across threads or mini-batches — produce bit-identical
+// results. Blocking/tiling only reorders which *elements* are computed when,
+// never the addition order within an element (docs/performance.md).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -17,7 +25,7 @@ class Matrix {
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
-  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_ * cols_; }
 
   [[nodiscard]] float& at(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
@@ -30,12 +38,33 @@ class Matrix {
     return data_.data() + r * cols_;
   }
 
-  [[nodiscard]] std::span<float> data() noexcept { return data_; }
-  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<float> data() noexcept {
+    return {data_.data(), size()};
+  }
+  [[nodiscard]] std::span<const float> data() const noexcept {
+    return {data_.data(), size()};
+  }
 
   void fill(float value);
 
-  friend bool operator==(const Matrix&, const Matrix&) = default;
+  /// Preallocates storage for a rows x cols shape without changing the
+  /// current dimensions (workspace warm-up; see reshape()).
+  void reserve(std::size_t rows, std::size_t cols);
+
+  /// Changes the dimensions in place, reusing the existing storage. The
+  /// backing vector only ever grows (shrinking just narrows the logical
+  /// extent), so a warmed-up scratch matrix can be reshaped inside a hot
+  /// loop with no allocation and no re-zeroing of grown elements. Element
+  /// values are unspecified after a reshape (kernels writing the full
+  /// output don't pay for zeroing).
+  void reshape(std::size_t rows, std::size_t cols);
+
+  friend bool operator==(const Matrix& a, const Matrix& b) noexcept {
+    // Compare the logical extent only: grow-only scratch storage may hold a
+    // stale tail beyond rows*cols.
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           std::equal(a.data().begin(), a.data().end(), b.data().begin());
+  }
 
  private:
   std::size_t rows_ = 0;
@@ -44,11 +73,21 @@ class Matrix {
 };
 
 /// c = a * b. Dimensions must agree (throws std::invalid_argument).
-/// Cache-blocked i-k-j loop order with a vectorizable inner loop; optionally
-/// multithreaded over row blocks.
+/// Register-tiled i-k-j kernel (4-row x 16-column micro-tiles held in
+/// accumulators, restrict-qualified row pointers) so the compiler
+/// vectorizes the inner loops; optionally multithreaded over row blocks.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool parallel = true);
 
-/// c = a * b^T (used by the backward pass).
+/// c = a_rows * b where `a_rows` points at `m` contiguous row-major rows of
+/// width b.rows(). Same kernel as gemm(); the workspace forward path feeds
+/// mini-batches straight out of the caller's input matrix through this
+/// overload, so no staging copy is needed. c must already be m x b.cols().
+void gemm_block(const float* a_rows, std::size_t m, const Matrix& b, Matrix& c,
+                bool parallel = false);
+
+/// c = a * b^T (used by the backward pass). Per-element accumulation stays
+/// in ascending p order (a strict-FP dot product cannot be vectorized, so
+/// this kernel takes its ILP from four independent output columns).
 void gemm_bt(const Matrix& a, const Matrix& b_transposed, Matrix& c,
              bool parallel = true);
 

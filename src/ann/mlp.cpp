@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ann/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace hynapse::ann {
@@ -139,6 +140,52 @@ double Mlp::accuracy(const Matrix& input,
   std::size_t hits = 0;
   for (std::size_t i = 0; i < labels.size(); ++i)
     if (pred[i] == labels[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+double Mlp::accuracy(const Matrix& input, std::span<const std::uint8_t> labels,
+                     EvalWorkspace& workspace) const {
+  if (labels.size() != input.rows())
+    throw std::invalid_argument{"Mlp::accuracy: label count mismatch"};
+  if (input.cols() != sizes_.front())
+    throw std::invalid_argument{"Mlp::forward: input width mismatch"};
+  workspace.bind(*this);
+  const std::size_t rows = input.rows();
+  const std::size_t batch = workspace.batch_rows();
+  Matrix* cur = &workspace.front_;
+  Matrix* nxt = &workspace.back_;
+  std::size_t hits = 0;
+  for (std::size_t r0 = 0; r0 < rows; r0 += batch) {
+    const std::size_t m = std::min(batch, rows - r0);
+    // The GEMMs run serially: the chip loop above this call is already
+    // data-parallel, and serial kernels keep each worker's batch resident
+    // in its own cache slice.
+    cur->reshape(m, sizes_[1]);
+    gemm_block(input.row(r0), m, weights_[0], *cur, /*parallel=*/false);
+    add_row_bias(*cur, biases_[0]);
+    if (weights_.size() == 1) {
+      softmax_rows_inplace(*cur);
+    } else {
+      activate_inplace(*cur, activation_);
+    }
+    for (std::size_t l = 1; l < weights_.size(); ++l) {
+      nxt->reshape(m, sizes_[l + 1]);
+      gemm(*cur, weights_[l], *nxt, /*parallel=*/false);
+      add_row_bias(*nxt, biases_[l]);
+      if (l + 1 < weights_.size()) {
+        activate_inplace(*nxt, activation_);
+      } else {
+        softmax_rows_inplace(*nxt);
+      }
+      std::swap(cur, nxt);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* r = cur->row(i);
+      const auto pred = static_cast<std::uint8_t>(
+          std::max_element(r, r + cur->cols()) - r);
+      if (pred == labels[r0 + i]) ++hits;
+    }
+  }
   return static_cast<double>(hits) / static_cast<double>(labels.size());
 }
 

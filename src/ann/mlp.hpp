@@ -13,6 +13,8 @@
 
 namespace hynapse::ann {
 
+class EvalWorkspace;
+
 /// Hidden-layer nonlinearity. The paper's text shows sigmoid neurons
 /// (Fig. 1); its simulator, the DeepLearnToolbox [22], defaults to LeCun's
 /// scaled tanh (1.7159*tanh(2x/3)), which is also what trains the deep
@@ -76,6 +78,15 @@ class Mlp {
   /// Fraction of rows whose argmax matches `labels`.
   [[nodiscard]] double accuracy(const Matrix& input,
                                 std::span<const std::uint8_t> labels) const;
+
+  /// Allocation-free accuracy for the chip-evaluation hot path: walks the
+  /// test set in mini-batches through the workspace's preallocated
+  /// ping-pong activation buffers instead of materializing whole-set
+  /// activations. Bit-identical to the overload above for any batch size
+  /// (every kernel is row-independent; see docs/performance.md).
+  [[nodiscard]] double accuracy(const Matrix& input,
+                                std::span<const std::uint8_t> labels,
+                                EvalWorkspace& workspace) const;
 
  private:
   std::vector<std::size_t> sizes_;

@@ -1,0 +1,46 @@
+// Preallocated scratch for repeated forward passes (the chip-evaluation hot
+// path). A forward pass only ever needs the current and the next layer's
+// activations, so the workspace holds two ping-pong matrices sized for one
+// mini-batch x the widest layer; Mlp::accuracy(input, labels, workspace)
+// walks the test set in mini-batches through them. After the first bind()
+// the per-batch loop performs no heap allocation (Matrix::reshape reuses
+// capacity), and because every kernel is row-independent the mini-batched
+// result is bit-identical to the whole-set overload for any batch size.
+#pragma once
+
+#include <cstddef>
+
+#include "ann/matrix.hpp"
+
+namespace hynapse::ann {
+
+class Mlp;
+
+class EvalWorkspace {
+ public:
+  /// Mini-batch row count: 256 rows x 1000 columns (the widest Table-I
+  /// layer) is a 1 MB activation panel — big enough to amortize streaming
+  /// the weight matrix, small enough to stay cache-resident.
+  static constexpr std::size_t kDefaultBatchRows = 256;
+
+  EvalWorkspace() = default;
+  explicit EvalWorkspace(std::size_t batch_rows)
+      : batch_rows_{batch_rows == 0 ? kDefaultBatchRows : batch_rows} {}
+
+  [[nodiscard]] std::size_t batch_rows() const noexcept { return batch_rows_; }
+
+  /// Grow-only: ensures both activation buffers can hold a batch_rows x
+  /// widest-layer block of `net`. Called by the accuracy overload itself;
+  /// explicit warm-up is only needed to move the allocation out of a timed
+  /// region.
+  void bind(const Mlp& net);
+
+ private:
+  friend class Mlp;
+
+  std::size_t batch_rows_ = kDefaultBatchRows;
+  Matrix front_;
+  Matrix back_;
+};
+
+}  // namespace hynapse::ann

@@ -1,0 +1,247 @@
+#include "core/delta_eval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace hynapse::core {
+
+std::uint64_t network_fingerprint(const QuantizedNetwork& qnet) {
+  // 64-bit multiply-xor lanes, not byte-wise FNV: this runs over ~1.4M codes
+  // once per evaluation call, so it must stay in the low-millisecond range
+  // for the Table-I network.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) noexcept {
+    h = (h ^ v) * 0x100000001b3ull;
+    h ^= h >> 29;
+  };
+  mix(static_cast<std::uint64_t>(qnet.weight_bits()));
+  mix(static_cast<std::uint64_t>(qnet.activation()));
+  mix(qnet.num_layers());
+  for (std::size_t l = 0; l < qnet.num_layers(); ++l) {
+    const QuantizedLayer& layer = qnet.layer(l);
+    mix(layer.fan_in);
+    mix(layer.fan_out);
+    mix(static_cast<std::uint64_t>(layer.weight_fmt.total_bits()) << 32 |
+        static_cast<std::uint32_t>(layer.weight_fmt.frac_bits()));
+    mix(static_cast<std::uint64_t>(layer.bias_fmt.total_bits()) << 32 |
+        static_cast<std::uint32_t>(layer.bias_fmt.frac_bits()));
+    for (std::int32_t code : layer.weight_codes)
+      mix(static_cast<std::uint32_t>(code));
+    for (std::int32_t code : layer.bias_codes)
+      mix(static_cast<std::uint32_t>(code));
+  }
+  return h;
+}
+
+namespace {
+
+/// Clean stored code of bank word `w` (weight words first, then biases).
+[[nodiscard]] std::int32_t clean_code(const QuantizedLayer& layer,
+                                      std::uint32_t w) noexcept {
+  const std::size_t nw = layer.weight_codes.size();
+  return w < nw ? layer.weight_codes[w] : layer.bias_codes[w - nw];
+}
+
+}  // namespace
+
+void EvalContext::bind(const QuantizedNetwork& qnet, std::uint64_t qnet_fp) {
+  if (baseline_.has_value() && qnet_fp_ == qnet_fp) return;
+  baseline_.emplace(qnet.dequantize());
+  workspace_.bind(*baseline_);
+  qnet_fp_ = qnet_fp;
+}
+
+void EvalContext::compute_deltas(const QuantizedNetwork& qnet,
+                                 const MemoryConfig& config,
+                                 const FaultModel& model,
+                                 std::uint64_t chip_seed) {
+  // Mirrors the legacy path draw for draw: the chip RNG splits one bank RNG
+  // per bank (SynapticMemory's constructor order), and read_rng is consumed
+  // bank-major, defect-major exactly as load_network's defect loop does.
+  util::Rng rng{chip_seed};
+  util::Rng read_rng{chip_seed ^ 0x5555aaaa5555aaaaull};
+  deltas_.clear();
+  maps_.resize(config.num_banks());
+  for (std::size_t b = 0; b < config.num_banks(); ++b) {
+    const BankConfig& bank = config.banks()[b];
+    const QuantizedLayer& layer = qnet.layer(b);
+    const quant::QFormat& fmt = layer.weight_fmt;
+    const std::size_t codes = layer.synapse_count();
+    util::Rng bank_rng = rng.split();
+    maps_[b].resample(bank, model, bank_rng);
+    const std::vector<Defect>& defects = maps_[b].defects();
+
+    // Power-up bits matter only to write-weak cells (store() keeps their
+    // power-up value) and, under stuck_at_powerup, to read-weak cells. The
+    // legacy constructor draws the whole bank image; drawing the same
+    // stream only up to the last consulted word yields identical bits for
+    // every observable cell, and the bank RNG is discarded afterwards.
+    powerup_words_.clear();
+    const bool stuck = model.policy() == ReadFaultPolicy::stuck_at_powerup;
+    for (const Defect& d : defects) {
+      if (d.word >= codes) continue;
+      if (d.condition == CellCondition::write_weak ||
+          (stuck && d.condition == CellCondition::read_weak)) {
+        powerup_words_.push_back(d.word);
+      }
+    }
+    std::sort(powerup_words_.begin(), powerup_words_.end());
+    powerup_words_.erase(
+        std::unique(powerup_words_.begin(), powerup_words_.end()),
+        powerup_words_.end());
+    powerup_bits_.resize(powerup_words_.size());
+    const std::uint16_t mask =
+        static_cast<std::uint16_t>((1u << bank.word_bits) - 1u);
+    std::uint32_t drawn = 0;  // words already consumed from the bank stream
+    for (std::size_t i = 0; i < powerup_words_.size(); ++i) {
+      const std::uint32_t w = powerup_words_[i];
+      bank_rng.discard(w - drawn);  // exact jump over unobserved words
+      powerup_bits_[i] =
+          static_cast<std::uint16_t>(bank_rng.next_u64()) & mask;
+      drawn = w + 1;
+    }
+    const auto powerup_bit = [&](std::uint32_t word, int bit) -> bool {
+      const auto it = std::lower_bound(powerup_words_.begin(),
+                                       powerup_words_.end(), word);
+      const auto idx =
+          static_cast<std::size_t>(it - powerup_words_.begin());
+      return (powerup_bits_[idx] >> bit) & 1u;
+    };
+
+    // Resolve every defect to its final read-back bit. Conditions are
+    // mutually exclusive per cell and defect cells are unique per
+    // (word, bit), so each defect is an independent bit assignment; only
+    // the read_rng draw order is shared state, and it is preserved above
+    // all else.
+    flips_.clear();
+    for (const Defect& d : defects) {
+      if (d.word >= codes) continue;  // legacy skips before drawing
+      const std::uint32_t bits = fmt.to_bits(clean_code(layer, d.word));
+      const bool stored = (bits >> d.bit) & 1u;
+      bool read_back = stored;
+      switch (d.condition) {
+        case CellCondition::read_weak:
+          switch (model.policy()) {
+            case ReadFaultPolicy::random_per_read:
+              read_back = read_rng.bernoulli(0.5);
+              break;
+            case ReadFaultPolicy::always_flip:
+              read_back = !stored;
+              break;
+            case ReadFaultPolicy::stuck_at_powerup:
+              read_back = powerup_bit(d.word, d.bit);
+              break;
+          }
+          break;
+        case CellCondition::write_weak:
+          read_back = powerup_bit(d.word, d.bit);
+          break;
+        case CellCondition::disturb_weak:
+          read_back = !stored;  // the single evaluation read upsets it
+          break;
+        case CellCondition::ok:
+          break;
+      }
+      if (read_back != stored)
+        flips_.emplace_back(d.word, std::uint32_t{1} << d.bit);
+    }
+
+    // Fold the flips into one delta per touched word (defects arrive in
+    // (bit, word) order, so same-word flips are scattered).
+    std::sort(flips_.begin(), flips_.end());
+    for (std::size_t i = 0; i < flips_.size();) {
+      const std::uint32_t word = flips_[i].first;
+      std::uint32_t flip_mask = 0;
+      for (; i < flips_.size() && flips_[i].first == word; ++i)
+        flip_mask |= flips_[i].second;
+      const std::int32_t code =
+          fmt.from_bits(fmt.to_bits(clean_code(layer, word)) ^ flip_mask);
+      deltas_.push_back(FaultDelta{static_cast<std::uint32_t>(b), word, code});
+    }
+  }
+}
+
+double EvalContext::evaluate_chip(const QuantizedNetwork& qnet,
+                                  std::uint64_t qnet_fp,
+                                  const MemoryConfig& config,
+                                  const FaultModel& model,
+                                  const data::Dataset& test,
+                                  std::uint64_t eval_seed, std::size_t chip) {
+  // Same shape validation (and messages) as the legacy SynapticMemory path.
+  if (config.num_banks() != qnet.num_layers())
+    throw std::invalid_argument{
+        "SynapticMemory::store_network: bank/layer count mismatch"};
+  for (std::size_t b = 0; b < config.num_banks(); ++b) {
+    if (qnet.layer(b).synapse_count() > config.banks()[b].words)
+      throw std::invalid_argument{"SynapticMemory::store: bank too small"};
+  }
+  bind(qnet, qnet_fp);
+  const std::uint64_t chip_seed =
+      eval_seed ^ (0x9e3779b97f4a7c15ull * (chip + 1));
+  compute_deltas(qnet, config, model, chip_seed);
+
+  // Apply the deltas to the shared baseline, evaluate, revert. Each delta
+  // touches a distinct (layer, word), so restore order doesn't matter.
+  saved_.clear();
+  saved_.reserve(deltas_.size());
+  for (const FaultDelta& d : deltas_) {
+    const QuantizedLayer& layer = qnet.layer(d.layer);
+    const std::size_t nw = layer.weight_codes.size();
+    float* slot = nullptr;
+    float value = 0.0f;
+    if (d.word < nw) {
+      slot = &baseline_->weight(d.layer).data()[d.word];
+      value = static_cast<float>(layer.weight_fmt.dequantize(d.code));
+    } else {
+      slot = &baseline_->bias(d.layer)[d.word - nw];
+      value = static_cast<float>(layer.bias_fmt.dequantize(d.code));
+    }
+    saved_.push_back(*slot);
+    *slot = value;
+  }
+  const auto revert = [this, &qnet] {
+    for (std::size_t i = 0; i < deltas_.size(); ++i) {
+      const FaultDelta& d = deltas_[i];
+      const std::size_t nw = qnet.layer(d.layer).weight_codes.size();
+      if (d.word < nw) {
+        baseline_->weight(d.layer).data()[d.word] = saved_[i];
+      } else {
+        baseline_->bias(d.layer)[d.word - nw] = saved_[i];
+      }
+    }
+  };
+  double accuracy = 0.0;
+  try {
+    accuracy = baseline_->accuracy(test.images, test.labels, workspace_);
+  } catch (...) {
+    revert();  // keep the baseline clean for the next chip on this context
+    throw;
+  }
+  revert();
+  return accuracy;
+}
+
+std::size_t EvalContextPool::idle_count() const {
+  const std::scoped_lock lock{mutex_};
+  return idle_.size();
+}
+
+std::unique_ptr<EvalContext> EvalContextPool::acquire() {
+  {
+    const std::scoped_lock lock{mutex_};
+    if (!idle_.empty()) {
+      std::unique_ptr<EvalContext> context = std::move(idle_.back());
+      idle_.pop_back();
+      return context;
+    }
+  }
+  return std::make_unique<EvalContext>();
+}
+
+void EvalContextPool::release(std::unique_ptr<EvalContext> context) {
+  const std::scoped_lock lock{mutex_};
+  idle_.push_back(std::move(context));
+}
+
+}  // namespace hynapse::core

@@ -1,0 +1,144 @@
+// Delta-fault chip evaluation: the allocation-free fast path behind
+// core::evaluate_accuracy (EvalPath::delta).
+//
+// A simulated chip's faulted network differs from the clean dequantized
+// baseline only at defect-touched words — every other synapse survives the
+// store/load round trip unchanged. So instead of rebuilding the full
+// ~1.4M-word memory image per chip (SynapticMemory construct ->
+// store_network -> load_network -> dequantize -> fresh Mlp), an EvalContext
+//  * samples each bank's FaultMap into reused storage,
+//  * resolves every defect to its final bit value, drawing the read RNG in
+//    exactly the legacy order (bank-major, defect-major) and the power-up
+//    RNG only as far as the last word a defect actually consults,
+//  * folds the per-defect bits into one (layer, word, new-code) delta per
+//    touched word,
+//  * applies the deltas to a shared clean baseline Mlp, runs the workspace
+//    forward pass, and reverts them.
+// Results are bit-identical to the legacy evaluate_chip for all three
+// ReadFaultPolicy modes (tests/test_core_delta_eval.cpp pins this); the
+// determinism contract (docs/engine.md) carries over unchanged because a
+// context is fully re-derived from (network, config, model, seed, chip) on
+// every call. After warm-up a context performs no heap allocation per chip
+// (docs/performance.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "ann/mlp.hpp"
+#include "ann/workspace.hpp"
+#include "core/fault_model.hpp"
+#include "core/memory_config.hpp"
+#include "core/quantized_network.hpp"
+#include "data/dataset.hpp"
+
+namespace hynapse::core {
+
+/// Cheap content key for a quantized network (codes, formats, topology).
+/// EvalContext caches its dequantized baseline under this key, so a pooled
+/// context held across calls can never serve a stale baseline for a
+/// different network that happens to live at the same address. Not a stable
+/// artifact fingerprint (see util::Fnv1a for those) — compute once per
+/// evaluation call, not per chip.
+[[nodiscard]] std::uint64_t network_fingerprint(const QuantizedNetwork& qnet);
+
+/// One faulted storage word: `word` indexes the bank layout (weight words
+/// first, then bias words) of `layer`.
+struct FaultDelta {
+  std::uint32_t layer = 0;
+  std::uint32_t word = 0;
+  std::int32_t code = 0;  ///< faulted signed code read back from the bank
+};
+
+/// Per-worker reusable state for delta-fault evaluation: the shared clean
+/// baseline network, the forward-pass workspace, and every scratch vector
+/// the per-chip loop needs. Not thread-safe; lease one per concurrent job
+/// from an EvalContextPool.
+class EvalContext {
+ public:
+  EvalContext() = default;
+
+  /// Accuracy of chip `chip` — same contract and bit-identical result as
+  /// the legacy core::evaluate_chip. `qnet_fp` must be
+  /// network_fingerprint(qnet) (precomputed by the caller once per call).
+  [[nodiscard]] double evaluate_chip(const QuantizedNetwork& qnet,
+                                     std::uint64_t qnet_fp,
+                                     const MemoryConfig& config,
+                                     const FaultModel& model,
+                                     const data::Dataset& test,
+                                     std::uint64_t eval_seed,
+                                     std::size_t chip);
+
+  /// The deltas computed by the most recent evaluate_chip (diagnostics /
+  /// tests).
+  [[nodiscard]] const std::vector<FaultDelta>& last_deltas() const noexcept {
+    return deltas_;
+  }
+
+ private:
+  void bind(const QuantizedNetwork& qnet, std::uint64_t qnet_fp);
+  void compute_deltas(const QuantizedNetwork& qnet, const MemoryConfig& config,
+                      const FaultModel& model, std::uint64_t chip_seed);
+
+  std::uint64_t qnet_fp_ = 0;
+  std::optional<ann::Mlp> baseline_;  ///< clean dequantized network
+  ann::EvalWorkspace workspace_;
+
+  // Scratch reused across chips (capacity persists, contents re-derived).
+  std::vector<FaultMap> maps_;
+  std::vector<FaultDelta> deltas_;
+  std::vector<float> saved_;  ///< baseline values shadowed by deltas_
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> flips_;  // (word, bits)
+  std::vector<std::uint32_t> powerup_words_;
+  std::vector<std::uint16_t> powerup_bits_;
+};
+
+/// Thread-safe free list of EvalContexts: one context per concurrently
+/// running chip job ("one workspace per pool worker"), reused across chips,
+/// calls and — when the pool lives in an engine::ExperimentRunner or
+/// serve::EvalService — across requests.
+class EvalContextPool {
+ public:
+  EvalContextPool() = default;
+  EvalContextPool(const EvalContextPool&) = delete;
+  EvalContextPool& operator=(const EvalContextPool&) = delete;
+
+  /// RAII lease: acquires an idle context (or creates one) on construction,
+  /// returns it on destruction.
+  class Lease {
+   public:
+    explicit Lease(EvalContextPool& pool)
+        : pool_{&pool}, context_{pool.acquire()} {}
+    ~Lease() {
+      // Returning the context can only fail on allocation; dropping it then
+      // is safe (the pool just re-creates one later).
+      try {
+        pool_->release(std::move(context_));
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] EvalContext& context() noexcept { return *context_; }
+
+   private:
+    EvalContextPool* pool_;
+    std::unique_ptr<EvalContext> context_;
+  };
+
+  /// Contexts currently idle in the pool (high-water mark of concurrency).
+  [[nodiscard]] std::size_t idle_count() const;
+
+ private:
+  std::unique_ptr<EvalContext> acquire();
+  void release(std::unique_ptr<EvalContext> context);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<EvalContext>> idle_;
+};
+
+}  // namespace hynapse::core

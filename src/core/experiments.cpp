@@ -1,5 +1,6 @@
 #include "core/experiments.hpp"
 
+#include "core/delta_eval.hpp"
 #include "core/synaptic_memory.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -23,17 +24,32 @@ AccuracyResult evaluate_accuracy(const QuantizedNetwork& qnet,
                                  const MemoryConfig& config,
                                  const mc::FailureTable& failures, double vdd,
                                  const data::Dataset& test,
-                                 const EvalOptions& options) {
+                                 const EvalOptions& options,
+                                 EvalContextPool* contexts) {
   const FaultModel model{failures, vdd, options.policy};
   AccuracyResult result;
   result.per_chip.resize(options.chips);
-  util::parallel_for(
-      options.chips,
-      [&](std::size_t chip) {
-        result.per_chip[chip] =
-            evaluate_chip(qnet, config, model, test, options.seed, chip);
-      },
-      options.threads);
+  if (options.path == EvalPath::legacy) {
+    util::parallel_for(
+        options.chips,
+        [&](std::size_t chip) {
+          result.per_chip[chip] =
+              evaluate_chip(qnet, config, model, test, options.seed, chip);
+        },
+        options.threads);
+  } else {
+    EvalContextPool local_pool;
+    EvalContextPool& pool = contexts != nullptr ? *contexts : local_pool;
+    const std::uint64_t qnet_fp = network_fingerprint(qnet);
+    util::parallel_for(
+        options.chips,
+        [&](std::size_t chip) {
+          EvalContextPool::Lease lease{pool};
+          result.per_chip[chip] = lease.context().evaluate_chip(
+              qnet, qnet_fp, config, model, test, options.seed, chip);
+        },
+        options.threads);
+  }
   result.mean = util::mean(result.per_chip);
   result.stddev = util::stddev(result.per_chip);
   return result;

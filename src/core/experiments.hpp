@@ -15,10 +15,25 @@
 
 namespace hynapse::core {
 
+class EvalContextPool;
+
 struct AccuracyResult {
   double mean = 0.0;
   double stddev = 0.0;
   std::vector<double> per_chip;
+};
+
+/// Chip-evaluation implementation. Both produce bit-identical results for
+/// every ReadFaultPolicy (pinned by tests/test_core_delta_eval.cpp).
+enum class EvalPath : std::uint8_t {
+  /// Sparse-delta fast path (default): chips are evaluated as per-defect
+  /// deltas over a shared clean baseline with preallocated forward-pass
+  /// workspaces — no per-chip memory-image rebuild (docs/performance.md).
+  delta,
+  /// Reference path: full SynapticMemory store/load round trip and a fresh
+  /// dequantized network per chip. Kept as the bit-exact oracle and the
+  /// bench_eval_hotpath baseline.
+  legacy,
 };
 
 struct EvalOptions {
@@ -28,6 +43,7 @@ struct EvalOptions {
   /// Parallelism cap for the chip loop (0 = util::default_thread_count(),
   /// 1 = serial). Results are bit-identical for any value.
   std::size_t threads = 0;
+  EvalPath path = EvalPath::delta;
 };
 
 /// Accuracy of one simulated chip instance: chip index `chip` under
@@ -42,11 +58,15 @@ struct EvalOptions {
 
 /// Stores the network into `config` at `vdd` on each simulated chip, reads
 /// it back through the fault model and measures test accuracy. Chips are
-/// evaluated on the shared thread pool (see EvalOptions::threads).
+/// evaluated on the shared thread pool (see EvalOptions::threads) via the
+/// path selected by EvalOptions::path. `contexts` optionally supplies a
+/// persistent EvalContextPool so the delta path's baselines/workspaces
+/// survive across calls (engine::ExperimentRunner passes its own); when
+/// null, a call-local pool is used.
 [[nodiscard]] AccuracyResult evaluate_accuracy(
     const QuantizedNetwork& qnet, const MemoryConfig& config,
     const mc::FailureTable& failures, double vdd, const data::Dataset& test,
-    const EvalOptions& options = {});
+    const EvalOptions& options = {}, EvalContextPool* contexts = nullptr);
 
 /// Fault-free accuracy of the quantized network (the "8-bit nominal" line).
 [[nodiscard]] double quantized_accuracy(const QuantizedNetwork& qnet,

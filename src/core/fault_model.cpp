@@ -32,15 +32,30 @@ CellCondition FaultModel::pick_mechanism(bool is_8t, util::Rng& rng) const {
 FaultMap FaultMap::sample(const BankConfig& bank, const FaultModel& model,
                           util::Rng& rng) {
   FaultMap map;
+  map.resample(bank, model, rng);
+  return map;
+}
+
+void FaultMap::resample(const BankConfig& bank, const FaultModel& model,
+                        util::Rng& rng) {
+  defects_.clear();
+  // Reserve for the expected defect count (plus slack for sampling noise)
+  // before drawing anything, so the push_back loop below almost never
+  // reallocates mid-chip. Reserving consumes no RNG draws, so the sampled
+  // stream is unchanged.
+  const double expected =
+      static_cast<double>(bank.bits_6t()) * model.total_rate(false) +
+      static_cast<double>(bank.bits_8t()) * model.total_rate(true);
+  defects_.reserve(static_cast<std::size_t>(expected * 1.25) + 16);
   for (int bit = 0; bit < bank.word_bits; ++bit) {
     const bool is_8t = bank.bit_is_8t(bit);
     const double p = model.total_rate(is_8t);
     if (p <= 0.0) continue;
     if (p >= 1.0) {
       for (std::size_t w = 0; w < bank.words; ++w) {
-        map.defects_.push_back(Defect{static_cast<std::uint32_t>(w),
-                                      static_cast<std::uint8_t>(bit),
-                                      model.pick_mechanism(is_8t, rng)});
+        defects_.push_back(Defect{static_cast<std::uint32_t>(w),
+                                  static_cast<std::uint8_t>(bit),
+                                  model.pick_mechanism(is_8t, rng)});
       }
       continue;
     }
@@ -53,13 +68,12 @@ FaultMap FaultMap::sample(const BankConfig& bank, const FaultModel& model,
       const double u = std::max(rng.uniform(), 1e-300);
       pos += std::floor(std::log(u) / log1mp);
       if (pos >= n) break;
-      map.defects_.push_back(Defect{static_cast<std::uint32_t>(pos),
-                                    static_cast<std::uint8_t>(bit),
-                                    model.pick_mechanism(is_8t, rng)});
+      defects_.push_back(Defect{static_cast<std::uint32_t>(pos),
+                                static_cast<std::uint8_t>(bit),
+                                model.pick_mechanism(is_8t, rng)});
       pos += 1.0;
     }
   }
-  return map;
 }
 
 std::size_t FaultMap::count(CellCondition c) const noexcept {

@@ -83,6 +83,13 @@ class FaultMap {
                                        const FaultModel& model,
                                        util::Rng& rng);
 
+  /// In-place variant of sample() for the per-chip hot loop: identical
+  /// defects and RNG draws, but the defect storage (and its capacity) is
+  /// reused across chips, so steady-state resampling performs no heap
+  /// allocation.
+  void resample(const BankConfig& bank, const FaultModel& model,
+                util::Rng& rng);
+
   [[nodiscard]] const std::vector<Defect>& defects() const noexcept {
     return defects_;
   }

@@ -16,13 +16,17 @@ SynapticMemory::SynapticMemory(MemoryConfig config, const FaultModel& model,
     const BankConfig& bank = config_.banks()[b];
     util::Rng bank_rng = rng.split();
     maps_.push_back(FaultMap::sample(bank, model, bank_rng));
-    // Power-up state: every cell wakes with random contents.
-    powerup_[b].resize(bank.words);
+    // Power-up state: every cell wakes with random contents. Bulk-fill
+    // through a raw pointer (one sized allocation, one pass), then seed the
+    // live array from it in a single bulk assign.
+    std::vector<std::uint16_t>& powerup = powerup_[b];
+    powerup.resize(bank.words);
     const std::uint16_t mask =
         static_cast<std::uint16_t>((1u << bank.word_bits) - 1u);
-    for (auto& w : powerup_[b])
-      w = static_cast<std::uint16_t>(bank_rng.next_u64()) & mask;
-    words_[b] = powerup_[b];
+    std::uint16_t* const cells = powerup.data();
+    for (std::size_t w = 0; w < bank.words; ++w)
+      cells[w] = static_cast<std::uint16_t>(bank_rng.next_u64()) & mask;
+    words_[b].assign(powerup.begin(), powerup.end());
     disturb_done_[b].assign(maps_[b].defects().size(), 0);
   }
 }
@@ -107,16 +111,19 @@ void SynapticMemory::store_network(const QuantizedNetwork& net) {
   for (std::size_t l = 0; l < net.num_layers(); ++l) {
     const QuantizedLayer& layer = net.layer(l);
     // Bank layout: weight words first, then bias words. Biases use their own
-    // Q-format but the same bit-significance partition.
-    std::vector<std::int32_t> all;
-    all.reserve(layer.synapse_count());
-    all.insert(all.end(), layer.weight_codes.begin(),
-               layer.weight_codes.end());
-    all.insert(all.end(), layer.bias_codes.begin(), layer.bias_codes.end());
+    // Q-format but the same bit-significance partition. The staging vector
+    // is a reused member, so repeated store/load cycles on one chip don't
+    // reallocate per layer.
+    io_scratch_.clear();
+    io_scratch_.reserve(layer.synapse_count());
+    io_scratch_.insert(io_scratch_.end(), layer.weight_codes.begin(),
+                       layer.weight_codes.end());
+    io_scratch_.insert(io_scratch_.end(), layer.bias_codes.begin(),
+                       layer.bias_codes.end());
     // Bits are raw two's-complement patterns; the format only matters for
     // code<->bits conversion, identical for weights and biases of equal
     // width, so store with the weight format.
-    store(l, all, layer.weight_fmt);
+    store(l, io_scratch_, layer.weight_fmt);
   }
 }
 
@@ -125,11 +132,12 @@ QuantizedNetwork SynapticMemory::load_network(
   QuantizedNetwork out = reference;
   for (std::size_t l = 0; l < out.num_layers(); ++l) {
     QuantizedLayer& layer = out.layer(l);
-    std::vector<std::int32_t> all(layer.synapse_count());
-    load(l, all, layer.weight_fmt, read_rng);
+    io_scratch_.clear();
+    io_scratch_.resize(layer.synapse_count());
+    load(l, io_scratch_, layer.weight_fmt, read_rng);
     const std::size_t nw = layer.weight_codes.size();
-    std::copy_n(all.begin(), nw, layer.weight_codes.begin());
-    std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(nw),
+    std::copy_n(io_scratch_.begin(), nw, layer.weight_codes.begin());
+    std::copy_n(io_scratch_.begin() + static_cast<std::ptrdiff_t>(nw),
                 layer.bias_codes.size(), layer.bias_codes.begin());
   }
   return out;

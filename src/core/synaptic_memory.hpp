@@ -59,6 +59,8 @@ class SynapticMemory {
   std::vector<std::vector<std::uint16_t>> powerup_;  // power-up patterns
   /// One flag per defect: a disturb-weak cell upsets only on its first read.
   std::vector<std::vector<std::uint8_t>> disturb_done_;
+  /// Reused staging buffer for store_network/load_network (one bank's codes).
+  std::vector<std::int32_t> io_scratch_;
 };
 
 }  // namespace hynapse::core

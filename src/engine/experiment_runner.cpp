@@ -13,7 +13,8 @@ core::AccuracyResult ExperimentRunner::evaluate(
     const mc::FailureTable& failures, double vdd, const data::Dataset& test,
     core::EvalOptions options) const {
   if (options.threads == 0) options.threads = threads_;
-  return core::evaluate_accuracy(qnet, config, failures, vdd, test, options);
+  return core::evaluate_accuracy(qnet, config, failures, vdd, test, options,
+                                 &contexts_);
 }
 
 std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
@@ -34,7 +35,8 @@ std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
 
 std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
     const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
-    const data::Dataset& test, std::size_t threads) const {
+    const data::Dataset& test, std::size_t threads,
+    std::uint64_t qnet_fp) const {
   if (threads == 0) threads = threads_;
 
   std::vector<core::AccuracyResult> results(points.size());
@@ -55,7 +57,18 @@ std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
     offsets[p + 1] = offsets[p] + chips;
   }
 
-  // One flat (point x chip) job matrix on the shared pool.
+  // One flat (point x chip) job matrix on the shared pool. The network
+  // fingerprint keys the per-worker delta baselines; one hash covers the
+  // whole batch since every point shares `qnet`, and an all-legacy batch
+  // (the A/B-comparison usage) skips it entirely.
+  const bool any_delta =
+      std::any_of(points.begin(), points.end(), [](const BatchPoint& pt) {
+        return pt.failures != nullptr &&
+               pt.options.path == core::EvalPath::delta;
+      });
+  if (any_delta && qnet_fp == 0) {
+    qnet_fp = core::network_fingerprint(qnet);
+  }
   util::parallel_for(
       offsets.back(),
       [&](std::size_t j) {
@@ -65,9 +78,16 @@ std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
                 offsets.begin()) -
             1;
         const std::size_t chip = j - offsets[p];
-        results[p].per_chip[chip] =
-            core::evaluate_chip(qnet, points[p].config, *models[p], test,
-                                points[p].options.seed, chip);
+        if (points[p].options.path == core::EvalPath::legacy) {
+          results[p].per_chip[chip] =
+              core::evaluate_chip(qnet, points[p].config, *models[p], test,
+                                  points[p].options.seed, chip);
+        } else {
+          core::EvalContextPool::Lease lease{contexts_};
+          results[p].per_chip[chip] = lease.context().evaluate_chip(
+              qnet, qnet_fp, points[p].config, *models[p], test,
+              points[p].options.seed, chip);
+        }
       },
       threads);
 

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "core/delta_eval.hpp"
 #include "core/experiments.hpp"
 
 namespace hynapse::engine {
@@ -64,14 +65,30 @@ class ExperimentRunner {
   /// serve::EvalService hot path). result[i] corresponds to points[i] and
   /// is bit-identical to evaluate() on that point alone; a point with a
   /// null table yields an empty result.
+  ///
+  /// `qnet_fp` optionally supplies a precomputed
+  /// core::network_fingerprint(qnet) so a caller serving one pinned network
+  /// (serve::EvalService) doesn't rehash ~1.4M codes per batch; 0 (the
+  /// default) computes it here. Passing a fingerprint of a *different*
+  /// network is undefined (pooled contexts would serve a stale baseline).
   [[nodiscard]] std::vector<core::AccuracyResult> evaluate_batch(
       const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
-      const data::Dataset& test, std::size_t threads = 0) const;
+      const data::Dataset& test, std::size_t threads = 0,
+      std::uint64_t qnet_fp = 0) const;
 
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
+  /// The runner's persistent delta-evaluation context pool: baselines and
+  /// forward-pass workspaces outlive individual evaluate/evaluate_batch
+  /// calls, so a long-lived runner (serve::EvalService) pays the baseline
+  /// dequantize once per worker instead of once per request.
+  [[nodiscard]] core::EvalContextPool& contexts() const noexcept {
+    return contexts_;
+  }
+
  private:
   std::size_t threads_;
+  mutable core::EvalContextPool contexts_;
 };
 
 }  // namespace hynapse::engine

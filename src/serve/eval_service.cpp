@@ -33,6 +33,7 @@ EvalService::EvalService(const core::QuantizedNetwork& qnet,
         return std::move(options);
       }()},
       bank_words_{qnet.bank_words()},
+      qnet_fp_{core::network_fingerprint(qnet)},
       tech_{circuit::ptm22()},
       sizing6_{circuit::reference_sizing_6t(tech_)},
       sizing8_{circuit::reference_sizing_8t(tech_)},
@@ -362,6 +363,7 @@ void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
       }
       eval.seed =
           req.eval_seed != 0 ? req.eval_seed : options_.default_eval_seed;
+      eval.path = options_.eval_path;
       for (const ConfigSpec& cfg : req.configs) {
         const core::MemoryConfig config = cfg.materialize(bank_words_);
         for (const double vdd : req.vdds) {
@@ -379,7 +381,8 @@ void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
   std::vector<core::AccuracyResult> results;
   std::string batch_error;
   try {
-    results = runner_.evaluate_batch(qnet_, points, test_, options_.threads);
+    results = runner_.evaluate_batch(qnet_, points, test_, options_.threads,
+                                     qnet_fp_);
   } catch (const std::exception& e) {
     batch_error = e.what();
   }

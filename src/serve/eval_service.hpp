@@ -63,6 +63,11 @@ struct ServiceOptions {
   std::size_t completed_history = 4096;
   std::size_t threads = 0;           ///< pool participation cap (0 = default)
   bool coalesce = true;              ///< table single-flight + batch fusion
+  /// Chip-evaluation path for every request. The default delta path reuses
+  /// the runner's persistent per-worker baselines/workspaces across
+  /// requests; legacy is the full-rebuild reference (bit-identical, for
+  /// A/B runs).
+  core::EvalPath eval_path = core::EvalPath::delta;
   std::size_t max_batch = 32;        ///< requests fused per dispatch
   bool start_paused = false;         ///< hold dispatch until resume()
   std::string cache_dir;             ///< table CSV dir ("" = in-memory only)
@@ -175,6 +180,10 @@ class EvalService {
   const data::Dataset& test_;
   const ServiceOptions options_;
   const std::vector<std::size_t> bank_words_;
+  /// Content fingerprint of qnet_, computed once (the served network is
+  /// pinned for the service lifetime) and passed to every evaluate_batch so
+  /// the hot path never rehashes the codes.
+  const std::uint64_t qnet_fp_;
 
   // Fixed circuit stack every table build runs against.
   circuit::Technology tech_;

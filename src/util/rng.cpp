@@ -1,6 +1,9 @@
 #include "util/rng.hpp"
 
+#include <array>
+#include <bit>
 #include <cmath>
+#include <vector>
 
 namespace hynapse::util {
 
@@ -8,6 +11,73 @@ namespace {
 
 [[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));
+}
+
+// --- discard() support -----------------------------------------------------
+// The xoshiro256** state transition (the part of next_u64 that mutates s_)
+// is built from XORs, shifts and rotates only, i.e. it is a linear map T
+// over the 256-bit state viewed as a GF(2) vector. discard(n) multiplies
+// the state by T^n, composed from lazily precomputed T^(2^i) tables.
+
+using State = std::array<std::uint64_t, 4>;
+
+/// One state transition, bit-exactly what next_u64() does to s_.
+void step(State& s) noexcept {
+  const std::uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = rotl(s[3], 45);
+}
+
+/// T^(2^i) stored column-major: col[k] is the image of basis vector e_k, so
+/// applying a matrix is an XOR-accumulation of the columns selected by the
+/// state's set bits (~128 on average) — a few hundred u64 XORs per apply.
+struct JumpMatrix {
+  State col[256];
+};
+
+State apply(const JumpMatrix& m, const State& s) noexcept {
+  State out{};
+  for (int word = 0; word < 4; ++word) {
+    std::uint64_t bits = s[static_cast<std::size_t>(word)];
+    while (bits != 0) {
+      const int k = std::countr_zero(bits);
+      bits &= bits - 1;
+      const State& c = m.col[word * 64 + k];
+      out[0] ^= c[0];
+      out[1] ^= c[1];
+      out[2] ^= c[2];
+      out[3] ^= c[3];
+    }
+  }
+  return out;
+}
+
+/// One table per bit of the 64-bit discard distance.
+constexpr int kJumpPowers = 64;
+
+const std::vector<JumpMatrix>& jump_table() {
+  static const std::vector<JumpMatrix> table = [] {
+    std::vector<JumpMatrix> t(kJumpPowers);
+    for (int k = 0; k < 256; ++k) {
+      State s{};
+      s[static_cast<std::size_t>(k / 64)] = 1ull << (k % 64);
+      step(s);
+      t[0].col[k] = s;
+    }
+    for (int i = 1; i < kJumpPowers; ++i) {
+      for (int k = 0; k < 256; ++k) {
+        t[static_cast<std::size_t>(i)].col[k] =
+            apply(t[static_cast<std::size_t>(i - 1)],
+                  t[static_cast<std::size_t>(i - 1)].col[k]);
+      }
+    }
+    return t;
+  }();
+  return table;
 }
 
 }  // namespace
@@ -84,6 +154,25 @@ bool Rng::bernoulli(double p) noexcept {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return uniform() < p;
+}
+
+void Rng::discard(std::uint64_t n) {
+  // Below the threshold, sequential stepping beats the ~popcount(n) matrix
+  // applications; above it, the jump is effectively O(1).
+  constexpr std::uint64_t kJumpThreshold = 4096;
+  if (n < kJumpThreshold) {
+    for (; n != 0; --n) (void)next_u64();
+    return;
+  }
+  const std::vector<JumpMatrix>& table = jump_table();
+  State s{s_[0], s_[1], s_[2], s_[3]};
+  for (int i = 0; n != 0; ++i, n >>= 1) {
+    if ((n & 1ull) != 0) s = apply(table[static_cast<std::size_t>(i)], s);
+  }
+  s_[0] = s[0];
+  s_[1] = s[1];
+  s_[2] = s[2];
+  s_[3] = s[3];
 }
 
 Rng Rng::split() noexcept {

@@ -48,6 +48,15 @@ class Rng {
   /// Bernoulli trial with probability p (clamped to [0,1]).
   [[nodiscard]] bool bernoulli(double p) noexcept;
 
+  /// Advances the generator exactly as `n` discarded next_u64() calls would
+  /// (same state, same subsequent stream), but in O(popcount(n)) 256-bit
+  /// GF(2) matrix applications once n is large: the xoshiro256** state
+  /// transition is linear over GF(2), so T^n is composed from lazily built
+  /// T^(2^i) tables. Small n falls back to sequential stepping. Lets sparse
+  /// consumers (core::EvalContext's power-up reads) skip millions of
+  /// unobserved draws without changing any observed value.
+  void discard(std::uint64_t n);
+
   /// Derives an independent child generator; used to give each thread or each
   /// Monte-Carlo chip sample its own stream without correlation.
   [[nodiscard]] Rng split() noexcept;

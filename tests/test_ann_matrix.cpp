@@ -117,5 +117,70 @@ TEST(AddRowBias, RejectsSizeMismatch) {
   EXPECT_THROW(add_row_bias(m, bias), std::invalid_argument);
 }
 
+TEST(Gemm, BitIdenticalToNaiveAcrossTileRemainders) {
+  // Shapes straddling the 4x16 micro-tile: full tiles, row remainders,
+  // column remainders, and sub-tile sizes. The kernels promise bitwise
+  // equality (per-element ascending-p accumulation), not just closeness.
+  const std::size_t shapes[][3] = {{4, 5, 16},  {8, 16, 32}, {5, 7, 17},
+                                   {3, 9, 15},  {9, 31, 23}, {64, 48, 10},
+                                   {1, 100, 1}, {6, 11, 100}};
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(s[0], s[1], s[0] * 131 + s[2]);
+    const Matrix b = random_matrix(s[1], s[2], s[1] * 17 + 1);
+    Matrix fast{s[0], s[2]};
+    Matrix slow{s[0], s[2]};
+    gemm(a, b, fast, /*parallel=*/false);
+    gemm_naive(a, b, slow);
+    EXPECT_EQ(fast, slow) << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(Gemm, ZeroEntriesDoNotPerturbResults) {
+  // The pre-rework kernel skipped a_ip == 0 terms; the tiled kernel keeps
+  // them. Both must agree bitwise (x + 0*b == x for finite b).
+  Matrix a = random_matrix(9, 24, 7);
+  for (std::size_t i = 0; i < a.size(); i += 3) a.data()[i] = 0.0f;
+  const Matrix b = random_matrix(24, 19, 8);
+  Matrix fast{9, 19};
+  Matrix slow{9, 19};
+  gemm(a, b, fast, /*parallel=*/false);
+  gemm_naive(a, b, slow);
+  EXPECT_EQ(fast, slow);
+}
+
+TEST(GemmBlock, MatchesGemmOnRowSlices) {
+  const Matrix a = random_matrix(20, 13, 11);
+  const Matrix b = random_matrix(13, 21, 12);
+  Matrix whole{20, 21};
+  gemm(a, b, whole, /*parallel=*/false);
+  // Evaluate rows [4, 11) straight out of a's storage.
+  Matrix slice{7, 21};
+  gemm_block(a.row(4), 7, b, slice);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 21; ++j)
+      EXPECT_EQ(slice.at(i, j), whole.at(i + 4, j));
+}
+
+TEST(GemmBlock, RejectsDimensionMismatch) {
+  const Matrix a = random_matrix(4, 6, 13);
+  const Matrix b = random_matrix(6, 5, 14);
+  Matrix wrong{4, 4};
+  EXPECT_THROW(gemm_block(a.row(0), 4, b, wrong), std::invalid_argument);
+}
+
+TEST(Matrix, ReshapeReusesCapacity) {
+  Matrix m{0, 0};
+  m.reserve(8, 16);
+  m.reshape(8, 16);
+  EXPECT_EQ(m.rows(), 8u);
+  EXPECT_EQ(m.cols(), 16u);
+  const float* storage = m.row(0);
+  m.reshape(4, 10);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.size(), 40u);
+  m.reshape(8, 16);
+  EXPECT_EQ(m.row(0), storage);  // no reallocation within reserved capacity
+}
+
 }  // namespace
 }  // namespace hynapse::ann

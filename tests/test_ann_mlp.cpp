@@ -8,6 +8,7 @@
 
 #include "ann/serialize.hpp"
 #include "ann/trainer.hpp"
+#include "ann/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace hynapse::ann {
@@ -196,6 +197,54 @@ TEST(Serialize, RejectsCorruptHeader) {
   }
   EXPECT_FALSE(load_mlp(path).has_value());
   std::filesystem::remove(path);
+}
+
+TEST(Workspace, AccuracyBitIdenticalToPlainOverload) {
+  // Odd row count and a batch size smaller than the input force multiple
+  // mini-batches including a short tail; the workspace overload promises
+  // the exact same accuracy as the whole-set path.
+  const Mlp net{{23, 31, 17, 5}, 77};
+  util::Rng rng{123};
+  Matrix input{103, 23};
+  for (float& x : input.data()) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+  std::vector<std::uint8_t> labels(input.rows());
+  for (auto& l : labels)
+    l = static_cast<std::uint8_t>(rng.uniform_index(5));
+
+  const double plain = net.accuracy(input, labels);
+  for (const std::size_t batch : {1u, 16u, 103u, 1000u}) {
+    EvalWorkspace ws{batch};
+    EXPECT_DOUBLE_EQ(net.accuracy(input, labels, ws), plain)
+        << "batch=" << batch;
+    // Reuse without rebinding must stay stable.
+    EXPECT_DOUBLE_EQ(net.accuracy(input, labels, ws), plain);
+  }
+}
+
+TEST(Workspace, AccuracyMatchesAcrossActivations) {
+  util::Rng rng{321};
+  Matrix input{40, 12};
+  for (float& x : input.data()) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<std::uint8_t> labels(input.rows());
+  for (auto& l : labels) l = static_cast<std::uint8_t>(rng.uniform_index(4));
+  for (const Activation act :
+       {Activation::sigmoid, Activation::tanh_lecun, Activation::relu}) {
+    const Mlp net{{12, 9, 4}, 55, act};
+    EvalWorkspace ws;
+    EXPECT_DOUBLE_EQ(net.accuracy(input, labels, ws),
+                     net.accuracy(input, labels));
+  }
+}
+
+TEST(Workspace, AccuracyValidatesShapes) {
+  const Mlp net{{8, 6, 3}, 1};
+  EvalWorkspace ws;
+  Matrix input{5, 8};
+  std::vector<std::uint8_t> labels(4);  // wrong count
+  EXPECT_THROW((void)net.accuracy(input, labels, ws), std::invalid_argument);
+  Matrix wrong{5, 7};
+  std::vector<std::uint8_t> ok(5);
+  EXPECT_THROW((void)net.accuracy(wrong, ok, ws), std::invalid_argument);
 }
 
 }  // namespace
