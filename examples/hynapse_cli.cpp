@@ -7,14 +7,24 @@
 //                                  (config: all6t | hybridN | perlayer:a,b,..)
 //   optimize [vdd] [drop%]         greedy per-bank MSB allocation
 //   retention                      standby data-retention failure sweep
-//   cache-stats                    list cached failure tables (hit/miss
-//                                  counters print after evaluate/optimize)
+//   cache-stats [--prune]          list cached failure tables (hit/miss
+//                                  counters print after evaluate/optimize);
+//                                  --prune deletes corrupt/partial CSVs
+//   shard-plan [count]             print the shard plan for the paper-grid
+//                                  failure table (fingerprints, CSV state)
+//   shard-build <shard> <count>    build ONE shard and persist its CSV --
+//                                  run in separate processes to scatter
+//   shard-merge <count>            merge the per-shard CSVs into the full
+//                                  fingerprinted table CSV
 //
 // Everything runs on the small reference network so each command finishes
 // in seconds; the paper-scale reproductions live in bench/. Monte-Carlo
 // failure tables are served through engine::FailureTableCache in
 // $HYNAPSE_CACHE_DIR (default .hynapse_cache), so repeat invocations of
-// evaluate/optimize skip the table build.
+// evaluate/optimize skip the table build. The shard-* subcommands are the
+// process-level face of the scatter/merge stack (docs/sharding.md): the
+// shard-build -> shard-merge round trip produces a CSV bit-identical to a
+// monolithic build.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,8 +34,13 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <chrono>
+
 #include "ann/trainer.hpp"
 #include "core/experiments.hpp"
+#include "engine/shard_coordinator.hpp"
+#include "engine/shard_plan.hpp"
 #include "core/power_area.hpp"
 #include "core/sensitivity.hpp"
 #include "data/digits.hpp"
@@ -166,7 +181,19 @@ void print_cache_counters(const Stack& st) {
       static_cast<unsigned long long>(stats.coalesced));
 }
 
-int cmd_cache_stats() {
+std::string age_string(std::filesystem::file_time_type mtime) {
+  if (mtime == std::filesystem::file_time_type{}) return "?";
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  const auto secs =
+      std::chrono::duration_cast<std::chrono::seconds>(age).count();
+  if (secs < 0) return "future";
+  if (secs < 120) return std::to_string(secs) + "s";
+  if (secs < 7200) return std::to_string(secs / 60) + "m";
+  if (secs < 172800) return std::to_string(secs / 3600) + "h";
+  return std::to_string(secs / 86400) + "d";
+}
+
+int cmd_cache_stats(bool prune) {
   // Read-only inspection: never instantiate the cache (that would create
   // the directory); list_cached_tables handles a missing one.
   const std::string dir = engine::default_cache_dir();
@@ -176,15 +203,154 @@ int cmd_cache_stats() {
   if (infos.empty()) {
     std::printf("  (no cached tables)\n");
   } else {
-    util::Table t{{"fingerprint", "rows", "bytes", "state", "file"}};
+    util::Table t{{"fingerprint", "rows", "bytes", "age", "state", "file"}};
     for (const engine::CachedTableInfo& info : infos) {
       t.add_row({engine::fingerprint_hex(info.fingerprint),
                  std::to_string(info.rows), std::to_string(info.bytes),
-                 info.valid ? "ok" : "INVALID",
+                 age_string(info.mtime), info.valid ? "ok" : "INVALID",
                  std::filesystem::path{info.path}.filename().string()});
     }
     t.print();
   }
+  if (prune) {
+    const engine::PruneResult result = engine::prune_cache_dir(dir);
+    if (result.removed.empty()) {
+      std::printf("prune: nothing to remove\n");
+    } else {
+      for (const std::string& path : result.removed) {
+        std::printf("prune: removed %s\n",
+                    std::filesystem::path{path}.filename().string().c_str());
+      }
+      std::printf("prune: %zu files, %llu bytes freed\n",
+                  result.removed.size(),
+                  static_cast<unsigned long long>(result.bytes_freed));
+    }
+  }
+  return 0;
+}
+
+/// The ONE paper-grid table provenance the shard-* subcommands operate on
+/// (matching spec -> matching fingerprints across processes).
+engine::TableSpec shard_spec(const Stack& st, std::uint64_t table_seed) {
+  return engine::TableSpec{st.tech,
+                           st.s6,
+                           st.s8,
+                           st.array.geometry(),
+                           circuit::paper_voltage_grid(),
+                           table_seed};
+}
+
+mc::AnalyzerOptions shard_analyzer_options(std::size_t samples) {
+  mc::AnalyzerOptions ao;
+  ao.mc_samples = samples;
+  ao.is_samples = std::max<std::size_t>(samples / 2, 200);
+  return ao;
+}
+
+constexpr std::size_t kShardDefaultSamples = 4000;
+constexpr std::uint64_t kShardDefaultSeed = 20160312;
+
+int cmd_shard_plan(Stack& st, std::size_t count, std::size_t samples,
+                   std::uint64_t table_seed) {
+  const engine::TableSpec spec = shard_spec(st, table_seed);
+  const mc::AnalyzerOptions ao = shard_analyzer_options(samples);
+  engine::ShardPlanOptions po;
+  po.shard_count = count;
+  const engine::ShardPlan plan = engine::ShardPlanner::plan(spec, ao, po);
+
+  std::printf("table fingerprint %s (%zu voltages, %zu samples, seed %llu)\n",
+              engine::fingerprint_hex(plan.table_fingerprint).c_str(),
+              spec.vdd_grid.size(), samples,
+              static_cast<unsigned long long>(table_seed));
+  const std::string merged = st.cache().csv_path(plan.table_fingerprint);
+  std::printf("merged CSV %s: %s\n", merged.c_str(),
+              mc::FailureTable::load_csv(merged, plan.table_fingerprint)
+                  ? "present"
+                  : "absent");
+  util::Table t{{"shard", "vdd range", "rows", "fingerprint", "state"}};
+  for (const engine::TableShard& shard : plan.shards) {
+    const std::string path = st.cache().shard_csv_path(
+        plan.table_fingerprint, shard.index, plan.shard_count());
+    const bool cached =
+        mc::FailureTable::load_csv(path, shard.fingerprint).has_value();
+    t.add_row({std::to_string(shard.index) + "/" +
+                   std::to_string(plan.shard_count()),
+               util::Table::num(shard.vdd_grid.front(), 2) + " .. " +
+                   util::Table::num(shard.vdd_grid.back(), 2),
+               std::to_string(shard.vdd_grid.size()),
+               engine::fingerprint_hex(shard.fingerprint),
+               cached ? "cached" : "missing"});
+  }
+  t.print();
+  std::printf(
+      "build shards (any order, any process):  hynapse_cli shard-build "
+      "<shard> %zu\nthen merge:                             hynapse_cli "
+      "shard-merge %zu\n",
+      plan.shard_count(), plan.shard_count());
+  return 0;
+}
+
+int cmd_shard_build(Stack& st, std::size_t shard, std::size_t count,
+                    std::size_t samples, std::uint64_t table_seed) {
+  const engine::TableSpec spec = shard_spec(st, table_seed);
+  const mc::AnalyzerOptions ao = shard_analyzer_options(samples);
+  engine::ShardPlanOptions po;
+  po.shard_count = count;
+  const engine::ShardPlan plan = engine::ShardPlanner::plan(spec, ao, po);
+  if (shard >= plan.shard_count()) {
+    std::fprintf(stderr, "error: shard %zu out of range (plan has %zu)\n",
+                 shard, plan.shard_count());
+    return 1;
+  }
+  const mc::FailureAnalyzer analyzer{st.criteria, st.sampler, ao};
+  engine::ShardCoordinator coordinator{st.cache()};
+  bool replayed = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  const mc::FailureTable table =
+      coordinator.build_shard(plan, shard, analyzer, false, &replayed);
+  const double secs =
+      std::chrono::duration<double>{std::chrono::steady_clock::now() - t0}
+          .count();
+  std::printf("shard %zu/%zu (%zu rows) %s in %.2f s -> %s\n", shard,
+              plan.shard_count(), table.rows().size(),
+              replayed ? "replayed from CSV" : "built", secs,
+              st.cache()
+                  .shard_csv_path(plan.table_fingerprint, shard,
+                                  plan.shard_count())
+                  .c_str());
+  return 0;
+}
+
+int cmd_shard_merge(Stack& st, std::size_t count, std::size_t samples,
+                    std::uint64_t table_seed) {
+  const engine::TableSpec spec = shard_spec(st, table_seed);
+  const mc::AnalyzerOptions ao = shard_analyzer_options(samples);
+  engine::ShardPlanOptions po;
+  po.shard_count = count;
+  const engine::ShardPlan plan = engine::ShardPlanner::plan(spec, ao, po);
+  engine::ShardCoordinator coordinator{st.cache()};
+  std::vector<std::size_t> missing;
+  const std::optional<mc::FailureTable> merged =
+      coordinator.merge_from_disk(plan, &missing);
+  if (!merged) {
+    std::fprintf(stderr, "error: missing/invalid shard CSVs:");
+    for (const std::size_t s : missing) std::fprintf(stderr, " %zu", s);
+    std::fprintf(stderr, "\n(build them with: hynapse_cli shard-build "
+                         "<shard> %zu)\n",
+                 plan.shard_count());
+    return 1;
+  }
+  const std::string path = st.cache().csv_path(plan.table_fingerprint);
+  merged->save_csv(path, plan.table_fingerprint);
+  // The round-trip guarantee: the merged artifact must re-load under its
+  // own fingerprint (strictly increasing grid, v2 header, valid rates).
+  if (!mc::FailureTable::load_csv(path, plan.table_fingerprint)) {
+    std::fprintf(stderr, "error: merged CSV failed validation: %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("merged %zu shards -> %zu rows -> %s\n", plan.shard_count(),
+              merged->rows().size(), path.c_str());
   return 0;
 }
 
@@ -253,7 +419,10 @@ int usage() {
       "  evaluate <all6t|hybridN|perlayer:a,b,..> [vdd=0.65]\n"
       "  optimize [vdd=0.65] [max_drop_percent=1.0]\n"
       "  retention\n"
-      "  cache-stats   (also as a flag: --cache-stats)\n"
+      "  cache-stats [--prune]   (also as a flag: --cache-stats)\n"
+      "  shard-plan [count=0(per-voltage)] [samples=4000] [seed=20160312]\n"
+      "  shard-build <shard> <count> [samples=4000] [seed=20160312]\n"
+      "  shard-merge <count> [samples=4000] [seed=20160312]\n"
       "global options:\n"
       "  --threads N   thread-pool participation cap (0 = hardware)\n");
   return 2;
@@ -279,8 +448,30 @@ int main(int argc, char** argv) {
       return cmd_optimize(st, argc > 2 ? std::atof(argv[2]) : 0.65,
                           argc > 3 ? std::atof(argv[3]) : 1.0);
     if (cmd == "retention") return cmd_retention(st);
-    if (cmd == "cache-stats" || cmd == "--cache-stats")
-      return cmd_cache_stats();
+    if (cmd == "cache-stats" || cmd == "--cache-stats") {
+      return cmd_cache_stats(argc > 2 &&
+                             std::strcmp(argv[2], "--prune") == 0);
+    }
+    const auto num_arg = [&](int i, std::size_t fallback) -> std::size_t {
+      return argc > i ? static_cast<std::size_t>(std::atol(argv[i]))
+                      : fallback;
+    };
+    if (cmd == "shard-plan") {
+      return cmd_shard_plan(st, num_arg(2, 0), num_arg(3, kShardDefaultSamples),
+                            num_arg(4, kShardDefaultSeed));
+    }
+    if (cmd == "shard-build") {
+      if (argc < 4) return usage();
+      return cmd_shard_build(st, num_arg(2, 0), num_arg(3, 0),
+                             num_arg(4, kShardDefaultSamples),
+                             num_arg(5, kShardDefaultSeed));
+    }
+    if (cmd == "shard-merge") {
+      if (argc < 3) return usage();
+      return cmd_shard_merge(st, num_arg(2, 0),
+                             num_arg(3, kShardDefaultSamples),
+                             num_arg(4, kShardDefaultSeed));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

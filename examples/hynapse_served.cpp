@@ -20,6 +20,7 @@
 //   {"op":"evaluate","config":"hybrid3","vdd":0.65}
 //   {"op":"sweep","configs":["all6t","hybrid2"],"vdds":[0.6,0.7],"chips":2}
 //   {"op":"table_info"}
+//   {"op":"table_shard","shard":0,"shard_count":4}
 // REPL extras: "eval <config> <vdd>", "stats", "help", "quit".
 #include <algorithm>
 #include <cstdio>
@@ -201,6 +202,7 @@ int repl(const core::QuantizedNetwork& qnet, const data::Dataset& test,
                    "\"vdd\":0.65}\n"
                    "  {\"op\":\"sweep\",\"configs\":[...],\"vdds\":[...]}\n"
                    "  {\"op\":\"table_info\"}\n"
+                   "  {\"op\":\"table_shard\",\"shard\":0,\"shard_count\":4}\n"
                    "  eval <all6t|hybridN|perlayer:a,b,..> <vdd>\n"
                    "  stats | help | quit\n");
       continue;

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Download the BENCH_*.json artifacts of the last N successful CI runs into
+# per-run directories that scripts/plot_bench.py can graph as a multi-run
+# history:
+#
+#   scripts/fetch_bench_history.sh [N] [out-dir]     # defaults: 10 bench-history
+#   scripts/plot_bench.py --history bench-history -o bench_trend.svg
+#
+# Run directories are named <run_number>-<short_sha> so a lexicographic sort
+# is chronological (plot_bench.py --history relies on that). Requires the
+# GitHub CLI (`gh`) authenticated for the repository, which CI's GITHUB_TOKEN
+# provides out of the box. Runs whose artifact already expired are skipped.
+set -euo pipefail
+
+limit=${1:-10}
+out_dir=${2:-bench-history}
+
+if ! command -v gh > /dev/null; then
+  echo "error: the GitHub CLI (gh) is required" >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+
+# Successful CI runs on main, oldest of the window first.
+runs=$(gh run list --workflow CI --branch main --status success \
+         --limit "${limit}" \
+         --json databaseId,number,headSha \
+         --template '{{range .}}{{.databaseId}} {{.number}} {{.headSha}}{{"\n"}}{{end}}' \
+       | tac)
+
+if [[ -z "${runs}" ]]; then
+  echo "no successful CI runs found" >&2
+  exit 1
+fi
+
+fetched=0
+while read -r run_id run_number sha; do
+  [[ -z "${run_id}" ]] && continue
+  run_dir="${out_dir}/$(printf '%06d' "${run_number}")-${sha:0:8}"
+  if [[ -d "${run_dir}" ]] && compgen -G "${run_dir}/BENCH_*.json" > /dev/null; then
+    echo "cached:  ${run_dir}"
+    fetched=$((fetched + 1))
+    continue
+  fi
+  mkdir -p "${run_dir}"
+  if gh run download "${run_id}" --name "bench-json-${sha}" --dir "${run_dir}" \
+       2> /dev/null; then
+    echo "fetched: ${run_dir}"
+    fetched=$((fetched + 1))
+  else
+    echo "skipped: run ${run_number} (${sha:0:8}) -- artifact missing/expired"
+    rmdir "${run_dir}" 2> /dev/null || true
+  fi
+done <<< "${runs}"
+
+if [[ "${fetched}" -eq 0 ]]; then
+  echo "no bench artifacts could be downloaded" >&2
+  exit 1
+fi
+echo "${fetched} run(s) in ${out_dir}/; plot with:"
+echo "  scripts/plot_bench.py --history ${out_dir}"

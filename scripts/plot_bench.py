@@ -9,6 +9,13 @@ per metric so regressions stand out at a glance.
 
     scripts/plot_bench.py bench-results                      # single run
     scripts/plot_bench.py -o trend.svg run-pr2 run-pr3 run-pr4
+    scripts/plot_bench.py --history bench-history            # multi-run dir
+
+--history treats the argument as a directory of per-run subdirectories
+(sorted lexicographically = chronologically when produced by
+scripts/fetch_bench_history.sh, which downloads the last N CI runs'
+artifacts) and may be combined with positional run dirs, which are appended
+after the history (e.g. the current working tree's fresh bench-results).
 
 Stdlib only (CI friendly): no matplotlib, no numpy.
 """
@@ -58,6 +65,18 @@ EXTRACTORS = {
         lambda d: d.get("speedup_vs_pr3"),
         "x",
         True,
+    ),
+    "shard scatter/merge (best)": (
+        "BENCH_shard_scaling",
+        lambda d: d.get("best_sharded_seconds"),
+        "s",
+        False,
+    ),
+    "shard overhead vs monolithic": (
+        "BENCH_shard_scaling",
+        lambda d: d.get("overhead_vs_monolithic"),
+        "x",
+        False,
     ),
 }
 
@@ -176,17 +195,32 @@ def render_svg(runs: list[str], table: dict[str, list[float | None]],
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Plot BENCH_*.json metrics across runs")
-    parser.add_argument("runs", nargs="+", type=Path,
+    parser.add_argument("runs", nargs="*", type=Path,
                         help="bench-result directories, oldest first")
+    parser.add_argument("--history", type=Path,
+                        help="directory of per-run subdirectories (e.g. from "
+                             "scripts/fetch_bench_history.sh); sorted by name "
+                             "and prepended to the positional runs")
     parser.add_argument("-o", "--out", type=Path,
                         help="output SVG path (default: <last-run>/bench_trend.svg)")
     args = parser.parse_args()
 
-    for run in args.runs:
+    runs: list[Path] = []
+    if args.history:
+        if not args.history.is_dir():
+            parser.error(f"not a directory: {args.history}")
+        runs.extend(sorted(p for p in args.history.iterdir() if p.is_dir()))
+        if not runs:
+            parser.error(f"no run subdirectories in {args.history}")
+    runs.extend(args.runs)
+    if not runs:
+        parser.error("no run directories given (positional or --history)")
+
+    for run in runs:
         if not run.is_dir():
             parser.error(f"not a directory: {run}")
-    labels = [run.name or str(run) for run in args.runs]
-    per_run = [load_run(run) for run in args.runs]
+    labels = [run.name or str(run) for run in runs]
+    per_run = [load_run(run) for run in runs]
 
     metrics: list[str] = []
     for run_metrics in per_run:
@@ -209,7 +243,7 @@ def main() -> int:
         print(f"{metric:<{name_w}}  " + "  ".join(cells) +
               f"  [{unit_of(metric)}]")
 
-    out = args.out or (args.runs[-1] / "bench_trend.svg")
+    out = args.out or (runs[-1] / "bench_trend.svg")
     render_svg(labels, table, out)
     print(f"\nSVG written to {out}")
     return 0

@@ -7,8 +7,12 @@
 #     serve::EvalService, naive vs coalesced (requests/sec + table builds).
 #   * bench_eval_hotpath: chips/sec through the ANN fault-injection hot
 #     path, pre-rework baseline vs full-rebuild vs delta+workspace.
+#   * bench_shard_scaling: monolithic vs sharded (scatter/merge) failure-
+#     table builds over the {1,2,5} shard x {1,3,8} thread matrix, with
+#     bit-identity asserted.
 #
-# scripts/plot_bench.py graphs these files across runs/PRs.
+# scripts/plot_bench.py graphs these files across runs/PRs
+# (scripts/fetch_bench_history.sh downloads past CI runs' artifacts).
 #
 # Usage: scripts/run_bench.sh [build-dir] [out-dir]
 #   (defaults: build/release bench-results)
@@ -20,6 +24,9 @@
 #                                   hundreds of builds in naive mode).
 #      HYNAPSE_EVAL_BENCH_CHIPS     chips per sweep point for the hot-path
 #                                   A/B (default 24).
+#      HYNAPSE_SHARD_BENCH_SAMPLES  MC samples per mechanism for the shard
+#                                   scaling matrix (default 2000: it pays
+#                                   for 10 table builds).
 set -euo pipefail
 
 build_dir=${1:-build/release}
@@ -83,5 +90,11 @@ eval_chips=${HYNAPSE_EVAL_BENCH_CHIPS:-24}
 "${build_dir}/bench/bench_eval_hotpath" \
   --chips "${eval_chips}" \
   --json "${out_dir}/BENCH_eval_hotpath.json"
+
+echo "== bench_shard_scaling: monolithic vs scatter/merge =="
+shard_samples=${HYNAPSE_SHARD_BENCH_SAMPLES:-2000}
+"${build_dir}/bench/bench_shard_scaling" \
+  --samples "${shard_samples}" \
+  --json "${out_dir}/BENCH_shard_scaling.json"
 
 echo "bench JSON written to ${out_dir}/"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "engine/shard_coordinator.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -31,6 +32,28 @@ std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
     batch.push_back(BatchPoint{pt.config, pt.vdd, &failures, options});
   }
   return evaluate_batch(qnet, batch, test, options.threads);
+}
+
+std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
+    const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
+    const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
+    ShardCoordinator& coordinator, const data::Dataset& test,
+    core::EvalOptions options) const {
+  const mc::FailureTable& table = coordinator.acquire(plan, analyzer);
+  return evaluate_sweep(qnet, points, table, test, options);
+}
+
+std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
+    const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
+    const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
+    ShardCoordinator& coordinator, const data::Dataset& test,
+    std::size_t threads, std::uint64_t qnet_fp) const {
+  const mc::FailureTable& table = coordinator.acquire(plan, analyzer);
+  std::vector<BatchPoint> bound{points.begin(), points.end()};
+  for (BatchPoint& pt : bound) {
+    if (pt.failures == nullptr) pt.failures = &table;
+  }
+  return evaluate_batch(qnet, bound, test, threads, qnet_fp);
 }
 
 std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(

@@ -20,6 +20,9 @@
 
 namespace hynapse::engine {
 
+class ShardCoordinator;
+struct ShardPlan;
+
 /// One (memory configuration, operating voltage) sweep point.
 struct SweepPoint {
   core::MemoryConfig config;
@@ -75,6 +78,26 @@ class ExperimentRunner {
       const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
       const data::Dataset& test, std::size_t threads = 0,
       std::uint64_t qnet_fp = 0) const;
+
+  /// Sweep against a shard plan instead of a prebuilt table: the failure
+  /// table is acquired through `coordinator` (merged-CSV hit, shard-CSV
+  /// replay, or pool-scattered shard builds -- see shard_coordinator.hpp)
+  /// and the sweep then runs exactly as the prebuilt-table overload.
+  /// Bit-identical to building the table monolithically first.
+  [[nodiscard]] std::vector<core::AccuracyResult> evaluate_sweep(
+      const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
+      const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
+      ShardCoordinator& coordinator, const data::Dataset& test,
+      core::EvalOptions options = {}) const;
+
+  /// Batch against a shard plan: points whose `failures` is null evaluate
+  /// against the plan's (coordinator-acquired) table; points that already
+  /// carry a table keep it. Otherwise identical to the plain evaluate_batch.
+  [[nodiscard]] std::vector<core::AccuracyResult> evaluate_batch(
+      const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
+      const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
+      ShardCoordinator& coordinator, const data::Dataset& test,
+      std::size_t threads = 0, std::uint64_t qnet_fp = 0) const;
 
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 

@@ -1,0 +1,184 @@
+#include "engine/shard_coordinator.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/parallel.hpp"
+
+namespace hynapse::engine {
+
+const mc::FailureTable& ShardCoordinator::acquire(
+    const ShardPlan& plan, const mc::FailureAnalyzer& analyzer, bool rebuild) {
+  const std::uint64_t fp = plan.table_fingerprint;
+
+  // Fast path outside the latch; memoized references stay valid until a
+  // rebuild replaces the fingerprint.
+  if (!rebuild) {
+    if (const mc::FailureTable* memoized = cache_.lookup(fp)) {
+      const std::scoped_lock lock{mutex_};
+      ++stats_.table_hits;
+      return *memoized;
+    }
+  }
+
+  // One in-flight merge per table fingerprint. Without this latch, two
+  // concurrent same-plan callers would both merge and both put(): the
+  // second put would destroy the table the first caller just received a
+  // reference to. Coalesced callers re-check the memo and return the
+  // winner's table instead.
+  return table_flight_.run(fp, [&](bool) -> const mc::FailureTable& {
+    if (!rebuild) {
+      if (const mc::FailureTable* memoized = cache_.lookup(fp)) {
+        const std::scoped_lock lock{mutex_};
+        ++stats_.table_hits;
+        return *memoized;
+      }
+      if (const std::string path = cache_.csv_path(fp); !path.empty()) {
+        if (auto loaded = mc::FailureTable::load_csv(path, fp)) {
+          {
+            const std::scoped_lock lock{mutex_};
+            ++stats_.table_hits;
+          }
+          // Already persisted at this very path; memoize only.
+          return cache_.put(fp, std::move(*loaded), /*persist=*/false);
+        }
+      }
+    }
+
+    // Scatter: every shard is independent -- replayed from its CSV when
+    // one exists, built on the pool otherwise. The outer loop fans shards
+    // out; each shard build fans its (row x mechanism) jobs out underneath
+    // (the pool supports nested regions), so a single-shard plan still
+    // uses every thread.
+    const std::size_t total = plan.shard_count();
+    std::vector<std::optional<mc::FailureTable>> shards(total);
+    std::atomic<std::size_t> done{0};
+    util::parallel_for(
+        total,
+        [&](std::size_t s) {
+          shards[s] = obtain_shard(plan, s, analyzer, rebuild, nullptr);
+          report_progress(done.fetch_add(1) + 1, total);
+        },
+        threads_);
+
+    std::vector<mc::FailureTable> parts;
+    parts.reserve(total);
+    for (std::optional<mc::FailureTable>& shard : shards) {
+      parts.push_back(std::move(*shard));
+    }
+    mc::FailureTable merged = mc::FailureTable::merge(parts);
+    {
+      const std::scoped_lock lock{mutex_};
+      ++stats_.merges;
+      stats_.merged_rows += merged.rows().size();
+    }
+    return cache_.put(fp, std::move(merged));
+  });
+}
+
+mc::FailureTable ShardCoordinator::build_shard(
+    const ShardPlan& plan, std::size_t shard,
+    const mc::FailureAnalyzer& analyzer, bool rebuild, bool* replayed) {
+  if (shard >= plan.shard_count()) {
+    throw std::invalid_argument{
+        "ShardCoordinator: shard " + std::to_string(shard) +
+        " out of range for a " + std::to_string(plan.shard_count()) +
+        "-shard plan"};
+  }
+  return obtain_shard(plan, shard, analyzer, rebuild, replayed);
+}
+
+mc::FailureTable ShardCoordinator::obtain_shard(
+    const ShardPlan& plan, std::size_t shard,
+    const mc::FailureAnalyzer& analyzer, bool rebuild, bool* replayed) {
+  const TableShard& planned = plan.shards[shard];
+  const std::string path =
+      cache_.shard_csv_path(plan.table_fingerprint, shard, plan.shard_count());
+
+  // One in-flight build per shard fingerprint: of N concurrent callers
+  // (other acquire() scatters, serve-layer table_shard requests) one pays
+  // for the Monte-Carlo, the rest wait and replay the CSV it persisted.
+  return shard_flight_.run(
+      planned.fingerprint, [&](bool coalesced) -> mc::FailureTable {
+        if ((!rebuild || coalesced) && !path.empty()) {
+          if (auto loaded =
+                  mc::FailureTable::load_csv(path, planned.fingerprint)) {
+            const std::scoped_lock lock{mutex_};
+            ++stats_.shards_replayed;
+            if (coalesced) ++stats_.shards_coalesced;
+            if (replayed != nullptr) *replayed = true;
+            return std::move(*loaded);
+          }
+        }
+        mc::FailureTable built = mc::FailureTable::build_shard(
+            analyzer, plan.spec.vdd_grid, plan.spec.seed, shard,
+            plan.shard_count());
+        {
+          const std::scoped_lock lock{mutex_};
+          ++stats_.shards_built;
+          if (coalesced) ++stats_.shards_coalesced;
+        }
+        if (replayed != nullptr) *replayed = false;
+        if (!path.empty()) {
+          try {
+            built.save_csv(path, planned.fingerprint);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr,
+                         "[engine] warning: shard built but not persisted: "
+                         "%s\n",
+                         e.what());
+          }
+        }
+        return built;
+      });
+}
+
+std::optional<mc::FailureTable> ShardCoordinator::merge_from_disk(
+    const ShardPlan& plan, std::vector<std::size_t>* missing) {
+  if (missing != nullptr) missing->clear();
+  std::vector<mc::FailureTable> parts;
+  parts.reserve(plan.shard_count());
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const std::string path =
+        cache_.shard_csv_path(plan.table_fingerprint, s, plan.shard_count());
+    std::optional<mc::FailureTable> loaded;
+    if (!path.empty()) {
+      loaded = mc::FailureTable::load_csv(path, plan.shards[s].fingerprint);
+    }
+    if (!loaded) {
+      if (missing != nullptr) {
+        missing->push_back(s);
+        continue;  // keep collecting so the caller can report all gaps
+      }
+      return std::nullopt;
+    }
+    parts.push_back(std::move(*loaded));
+  }
+  if (parts.size() != plan.shard_count()) return std::nullopt;
+  mc::FailureTable merged = mc::FailureTable::merge(parts);
+  const std::scoped_lock lock{mutex_};
+  stats_.shards_replayed += plan.shard_count();
+  ++stats_.merges;
+  stats_.merged_rows += merged.rows().size();
+  return merged;
+}
+
+ShardStats ShardCoordinator::stats() const {
+  const std::scoped_lock lock{mutex_};
+  return stats_;
+}
+
+void ShardCoordinator::report_progress(std::size_t done, std::size_t total) {
+  ShardProgress progress;
+  {
+    const std::scoped_lock lock{mutex_};
+    progress = progress_;
+  }
+  if (progress) progress(done, total);
+}
+
+}  // namespace hynapse::engine

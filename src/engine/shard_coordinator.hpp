@@ -1,0 +1,112 @@
+// ShardCoordinator: executes a ShardPlan -- scatter the shards onto the
+// shared thread pool (or replay shard CSVs produced by other processes),
+// merge the per-shard artifacts, and memoize/persist the merged table
+// through the FailureTableCache.
+//
+// The coordinator is the seam between "one process builds the whole table"
+// and "shards are built anywhere and meet in a cache directory": acquire()
+// is a drop-in for FailureTableCache::get that transparently prefers
+// merged-CSV hits, then shard-CSV replay, then pool-scattered builds of
+// whatever is missing. Shard builds of the same shard coalesce through a
+// util::SingleFlight keyed on the shard-extended fingerprint, mirroring the
+// table-level single-flight one layer down.
+//
+// Determinism contract: the merged table is bit-identical to a monolithic
+// FailureTable::build for any shard count, any thread count, any mix of
+// replayed and freshly built shards, and any completion order
+// (docs/sharding.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "engine/shard_plan.hpp"
+#include "engine/table_cache.hpp"
+#include "util/single_flight.hpp"
+
+namespace hynapse::engine {
+
+/// CacheStats-style counters over a coordinator's lifetime.
+struct ShardStats {
+  std::uint64_t shards_built = 0;     ///< shards built by Monte-Carlo here
+  std::uint64_t shards_replayed = 0;  ///< shard CSVs loaded from disk
+  std::uint64_t shards_coalesced = 0; ///< callers that rode an in-flight shard
+  std::uint64_t merges = 0;           ///< merged-table assemblies
+  std::uint64_t merged_rows = 0;      ///< grid rows across all merges
+  std::uint64_t table_hits = 0;       ///< acquire() served before any shard work
+};
+
+/// Progress callback: (shards done, shards total) after each shard of an
+/// acquire()/build_all() scatter completes. Invoked from pool threads;
+/// must be thread-safe.
+using ShardProgress = std::function<void(std::size_t, std::size_t)>;
+
+class ShardCoordinator {
+ public:
+  /// `cache` outlives the coordinator and provides the artifact directory,
+  /// the merged-table memo and the CacheStats counters; `threads` caps pool
+  /// participation for shard scatters (0 = default).
+  explicit ShardCoordinator(FailureTableCache& cache,
+                            std::size_t threads = 0) noexcept
+      : cache_{cache}, threads_{threads} {}
+
+  void set_progress(ShardProgress progress) {
+    const std::scoped_lock lock{mutex_};
+    progress_ = std::move(progress);
+  }
+
+  /// The sharded analogue of FailureTableCache::get: returns the plan's
+  /// merged table from the cache memo, else from the merged CSV, else by
+  /// replaying existing shard CSVs and scattering builds of the missing
+  /// shards onto the pool, merging, persisting and memoizing the result.
+  /// With `rebuild`, every shard is rebuilt and all artifacts rewritten --
+  /// invalidating references previously returned for the same plan (the
+  /// same caveat as FailureTableCache::get). Thread-safe; concurrent
+  /// callers of the same plan coalesce on one merge (table-level
+  /// single-flight, so a racing caller can never replace -- and free -- a
+  /// table another caller just received), and on each shard underneath.
+  const mc::FailureTable& acquire(const ShardPlan& plan,
+                                  const mc::FailureAnalyzer& analyzer,
+                                  bool rebuild = false);
+
+  /// Builds (or replays) ONE shard and persists its CSV -- the per-process
+  /// work unit behind `hynapse_cli shard-build` and the serve layer's
+  /// table_shard requests. Returns the shard table; `replayed`, when
+  /// non-null, reports whether the CSV was reused instead of built.
+  mc::FailureTable build_shard(const ShardPlan& plan, std::size_t shard,
+                               const mc::FailureAnalyzer& analyzer,
+                               bool rebuild = false,
+                               bool* replayed = nullptr);
+
+  /// Merge-only: loads every per-shard CSV of the plan (validated against
+  /// its shard-extended fingerprint) and merges. nullopt when any shard CSV
+  /// is missing or invalid -- `missing`, when non-null, lists those shard
+  /// indices. Never builds; the replay path for shards produced elsewhere.
+  [[nodiscard]] std::optional<mc::FailureTable> merge_from_disk(
+      const ShardPlan& plan, std::vector<std::size_t>* missing = nullptr);
+
+  [[nodiscard]] ShardStats stats() const;
+
+  [[nodiscard]] FailureTableCache& cache() const noexcept { return cache_; }
+
+ private:
+  /// Loads shard CSV if allowed, else builds; bumps counters, persists new
+  /// builds (best effort), reports progress.
+  mc::FailureTable obtain_shard(const ShardPlan& plan, std::size_t shard,
+                                const mc::FailureAnalyzer& analyzer,
+                                bool rebuild, bool* replayed);
+  void report_progress(std::size_t done, std::size_t total);
+
+  FailureTableCache& cache_;
+  std::size_t threads_;
+  util::SingleFlight table_flight_;  ///< one in-flight merge per table fp
+  util::SingleFlight shard_flight_;  ///< one in-flight build per shard fp
+  mutable std::mutex mutex_;         ///< guards stats_ + progress_
+  ShardStats stats_;
+  ShardProgress progress_;
+};
+
+}  // namespace hynapse::engine

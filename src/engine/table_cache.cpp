@@ -1,6 +1,7 @@
 #include "engine/table_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -96,6 +97,9 @@ std::vector<CachedTableInfo> list_cached_tables(const std::string& dir) {
       info.valid = true;
       info.rows = table->rows().size();
     }
+    std::error_code mtime_ec;
+    const auto mtime = std::filesystem::last_write_time(entry.path(), mtime_ec);
+    if (!mtime_ec) info.mtime = mtime;
     out.push_back(std::move(info));
   }
   std::sort(out.begin(), out.end(),
@@ -103,6 +107,42 @@ std::vector<CachedTableInfo> list_cached_tables(const std::string& dir) {
               return a.path < b.path;
             });
   return out;
+}
+
+PruneResult prune_cache_dir(const std::string& dir, bool dry_run) {
+  PruneResult result;
+  if (dir.empty() || !std::filesystem::is_directory(dir)) return result;
+
+  // Corrupt / partial failure-table CSVs (interrupted shard builds that
+  // somehow bypassed the atomic rename, hand-edited files, stale formats).
+  for (const CachedTableInfo& info : list_cached_tables(dir)) {
+    if (!info.valid) result.removed.push_back(info.path);
+  }
+  // Temp files an interrupted atomic save left behind (save_csv writes
+  // "<name>.tmp.<pid>.<seq>" then renames). Only STALE ones: the cache dir
+  // is shared across processes (the cross-process scatter workflow), so a
+  // fresh temp file may be another process's save in flight -- deleting it
+  // would make that save's rename fail. One hour is far beyond any save's
+  // lifetime and far below "interrupted yesterday".
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (const auto& entry : std::filesystem::directory_iterator{dir}) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") == std::string::npos) continue;
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(entry.path(), ec);
+    if (ec || now - mtime < std::chrono::hours{1}) continue;
+    result.removed.push_back(entry.path().string());
+  }
+
+  std::sort(result.removed.begin(), result.removed.end());
+  for (const std::string& path : result.removed) {
+    std::error_code ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(path, ec);
+    if (!ec) result.bytes_freed += bytes;
+    if (!dry_run) std::filesystem::remove(path, ec);
+  }
+  return result;
 }
 
 FailureTableCache::FailureTableCache(std::string dir) : dir_{std::move(dir)} {
@@ -116,6 +156,48 @@ FailureTableCache::FailureTableCache(std::string dir) : dir_{std::move(dir)} {
 std::string FailureTableCache::csv_path(std::uint64_t fingerprint) const {
   if (dir_.empty()) return {};
   return dir_ + "/failure_table_" + fingerprint_hex(fingerprint) + ".csv";
+}
+
+std::string FailureTableCache::shard_csv_path(std::uint64_t parent_fingerprint,
+                                              std::size_t shard,
+                                              std::size_t shard_count) const {
+  if (dir_.empty()) return {};
+  return dir_ + "/failure_table_" + fingerprint_hex(parent_fingerprint) +
+         "_shard" + std::to_string(shard) + "of" +
+         std::to_string(shard_count) + ".csv";
+}
+
+const mc::FailureTable& FailureTableCache::put(std::uint64_t fingerprint,
+                                               mc::FailureTable table,
+                                               bool persist) {
+  const mc::FailureTable* stored = nullptr;
+  {
+    const std::scoped_lock lock{mutex_};
+    auto& slot = tables_[fingerprint];
+    slot = std::make_unique<mc::FailureTable>(std::move(table));
+    stored = slot.get();
+  }
+  if (persist) {
+    if (const std::string path = csv_path(fingerprint); !path.empty()) {
+      try {
+        stored->save_csv(path, fingerprint);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "[engine] warning: table memoized but not persisted: "
+                     "%s\n",
+                     e.what());
+      }
+    }
+  }
+  return *stored;
+}
+
+const mc::FailureTable* FailureTableCache::lookup(std::uint64_t fingerprint) {
+  const std::scoped_lock lock{mutex_};
+  const auto it = tables_.find(fingerprint);
+  if (it == tables_.end() || !it->second) return nullptr;
+  ++stats_.memory_hits;
+  return it->second.get();
 }
 
 CacheStats FailureTableCache::stats() const {

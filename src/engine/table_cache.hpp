@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -63,12 +64,30 @@ struct CachedTableInfo {
   std::uintmax_t bytes = 0;
   std::size_t rows = 0;  ///< 0 when the file fails validation
   bool valid = false;    ///< load_csv accepted the file
+  std::filesystem::file_time_type mtime{};  ///< last write time (epoch if unknown)
 };
 
 /// Scans `dir` for failure_table_*.csv files (the cache's on-disk layout)
 /// and validates each one; sorted by path. Missing directory -> empty.
 [[nodiscard]] std::vector<CachedTableInfo> list_cached_tables(
     const std::string& dir);
+
+/// What prune() removed (or would remove, with dry_run).
+struct PruneResult {
+  std::vector<std::string> removed;  ///< paths, sorted
+  std::uintmax_t bytes_freed = 0;
+};
+
+/// Deletes the droppings interrupted or crashed runs leave in a cache
+/// directory: failure_table_*.csv files that fail load_csv validation
+/// (truncated or corrupt partial-shard artifacts) and *.tmp.* files
+/// abandoned by an interrupted atomic save -- the latter only when older
+/// than an hour, since a fresh temp file may be another process's save_csv
+/// in flight (the cache dir is shared in the cross-process scatter
+/// workflow). Valid tables -- merged or per-shard -- are never touched.
+/// With dry_run, reports without deleting.
+[[nodiscard]] PruneResult prune_cache_dir(const std::string& dir,
+                                          bool dry_run = false);
 
 /// The conventional cache directory every front end shares (so tables
 /// persisted by one binary are reused by the others): $HYNAPSE_CACHE_DIR,
@@ -104,6 +123,27 @@ class FailureTableCache {
 
   /// Path of the CSV backing a fingerprint ("" when the cache is in-memory).
   [[nodiscard]] std::string csv_path(std::uint64_t fingerprint) const;
+
+  /// Path of the per-shard CSV for shard `shard` of `shard_count` of the
+  /// parent fingerprint ("" when the cache is in-memory). The embedded
+  /// header fingerprint of the file is the shard-extended fingerprint
+  /// (engine::shard_fingerprint); the filename keeps the parent hex so the
+  /// shards of one table sort together in listings.
+  [[nodiscard]] std::string shard_csv_path(std::uint64_t parent_fingerprint,
+                                           std::size_t shard,
+                                           std::size_t shard_count) const;
+
+  /// Memoizes an externally produced table (a ShardCoordinator merge, a CSV
+  /// replayed from another process) under `fingerprint`, replacing any
+  /// previous entry for it, and persists its CSV when `persist` is set
+  /// (best effort, like get()). Returns the memoized table; the reference
+  /// stays valid until the fingerprint is replaced again.
+  const mc::FailureTable& put(std::uint64_t fingerprint,
+                              mc::FailureTable table, bool persist = true);
+
+  /// The memoized table for a fingerprint, or nullptr (no disk probe, no
+  /// build; counts as a memory hit only when found).
+  [[nodiscard]] const mc::FailureTable* lookup(std::uint64_t fingerprint);
 
   /// The cache directory ("" when in-memory).
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }

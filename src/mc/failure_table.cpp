@@ -37,6 +37,17 @@ bool valid_rate(double p) {
 
 }  // namespace
 
+std::pair<std::size_t, std::size_t> shard_bounds(std::size_t n,
+                                                 std::size_t shard,
+                                                 std::size_t shard_count) {
+  if (shard_count == 0 || shard >= shard_count) {
+    throw std::invalid_argument{"shard_bounds: shard " + std::to_string(shard) +
+                                " of " + std::to_string(shard_count)};
+  }
+  // i*n/count boundaries: contiguous, exhaustive, sizes differ by <= 1.
+  return {shard * n / shard_count, (shard + 1) * n / shard_count};
+}
+
 FailureTable::FailureTable(std::vector<FailureTableRow> rows)
     : rows_{std::move(rows)} {
   if (rows_.empty()) throw std::invalid_argument{"FailureTable: no rows"};
@@ -44,6 +55,12 @@ FailureTable::FailureTable(std::vector<FailureTableRow> rows)
             [](const FailureTableRow& a, const FailureTableRow& b) {
               return a.vdd < b.vdd;
             });
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i].vdd == rows_[i - 1].vdd) {
+      throw std::invalid_argument{"FailureTable: duplicate vdd " +
+                                  std::to_string(rows_[i].vdd)};
+    }
+  }
 }
 
 FailureTable FailureTable::build(const FailureAnalyzer& analyzer,
@@ -92,6 +109,38 @@ FailureTable FailureTable::build(const FailureAnalyzer& analyzer,
         }
       },
       analyzer.options().threads);
+  return FailureTable{std::move(rows)};
+}
+
+FailureTable FailureTable::build_shard(const FailureAnalyzer& analyzer,
+                                       std::span<const double> vdd_grid,
+                                       std::uint64_t seed, std::size_t shard,
+                                       std::size_t shard_count) {
+  const auto [begin, end] = shard_bounds(vdd_grid.size(), shard, shard_count);
+  if (begin == end) {
+    throw std::invalid_argument{
+        "FailureTable::build_shard: shard " + std::to_string(shard) + " of " +
+        std::to_string(shard_count) + " is empty over a " +
+        std::to_string(vdd_grid.size()) + "-point grid"};
+  }
+  // The per-mechanism seeds are functions of `seed` alone, so building the
+  // sub-grid directly reproduces the monolithic rows bit-for-bit.
+  return build(analyzer, vdd_grid.subspan(begin, end - begin), seed);
+}
+
+FailureTable FailureTable::merge(std::span<const FailureTable> shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument{"FailureTable::merge: no shards"};
+  }
+  std::vector<FailureTableRow> rows;
+  std::size_t total = 0;
+  for (const FailureTable& shard : shards) total += shard.rows().size();
+  rows.reserve(total);
+  for (const FailureTable& shard : shards) {
+    rows.insert(rows.end(), shard.rows().begin(), shard.rows().end());
+  }
+  // The constructor sorts by vdd and rejects duplicates, which makes the
+  // merge order-invariant and double-merge-safe in one step.
   return FailureTable{std::move(rows)};
 }
 
@@ -217,6 +266,12 @@ std::optional<FailureTable> FailureTable::load_csv(
     }
     if (!(ss >> std::ws).eof()) return std::nullopt;
     if (!std::isfinite(r.vdd) || r.vdd <= 0.0) return std::nullopt;
+    // The grid must be strictly increasing: save_csv writes sorted rows, so
+    // a duplicate or out-of-order vdd means the file was hand-edited or two
+    // shards were concatenated -- accepting it would corrupt shard merges
+    // (FailureTable's constructor only catches the duplicate case, throwing
+    // instead of reporting a load failure).
+    if (!rows.empty() && r.vdd <= rows.back().vdd) return std::nullopt;
     for (double p : {r.cell6.read_access, r.cell6.write_fail,
                      r.cell6.read_disturb, r.cell8.read_access,
                      r.cell8.write_fail, r.cell8.read_disturb}) {

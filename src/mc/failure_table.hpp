@@ -7,6 +7,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mc/montecarlo.hpp"
@@ -30,6 +31,14 @@ struct FailureTableRow {
   BitcellFailureRates cell8;
 };
 
+/// Contiguous near-equal partition of [0, n) into `shard_count` slices:
+/// the [begin, end) row range of shard `shard`. This is THE partition used
+/// everywhere a voltage grid is sharded (FailureTable::build_shard,
+/// engine::ShardPlanner), so independently computed plans agree on which
+/// rows a shard owns. Requires shard < shard_count.
+[[nodiscard]] std::pair<std::size_t, std::size_t> shard_bounds(
+    std::size_t n, std::size_t shard, std::size_t shard_count);
+
 /// Failure rates over a VDD grid with log-linear interpolation between grid
 /// points (failure probability is near-exponential in voltage).
 class FailureTable {
@@ -46,6 +55,26 @@ class FailureTable {
                                           std::span<const double> vdd_grid,
                                           std::uint64_t seed);
 
+  /// Builds only shard `shard` of `shard_count` -- the shard_bounds() slice
+  /// of `vdd_grid`. Because every row's per-mechanism seeds derive from
+  /// `seed` alone (not the row index), a shard's rows are bit-identical to
+  /// the same rows of a monolithic build(), for any shard count and any
+  /// thread count; merge() reassembles the full table exactly.
+  [[nodiscard]] static FailureTable build_shard(const FailureAnalyzer& analyzer,
+                                                std::span<const double> vdd_grid,
+                                                std::uint64_t seed,
+                                                std::size_t shard,
+                                                std::size_t shard_count);
+
+  /// Reassembles a table from per-shard tables. Order-invariant: rows are
+  /// sorted by vdd, so any shard arrival order yields the same table --
+  /// bit-identical to a monolithic build() over the union grid when the
+  /// shards came from build_shard() with one seed. Throws
+  /// std::invalid_argument on an empty shard list or overlapping shards
+  /// (duplicate vdd -- merging the same shard twice, or shards of two
+  /// different plans, must never silently corrupt the grid).
+  [[nodiscard]] static FailureTable merge(std::span<const FailureTable> shards);
+
   [[nodiscard]] BitcellFailureRates rates_6t(double vdd) const;
   [[nodiscard]] BitcellFailureRates rates_8t(double vdd) const;
 
@@ -60,7 +89,10 @@ class FailureTable {
   /// files with a missing/old header, a fingerprint differing from
   /// `expected_fingerprint` (when non-zero), or malformed rows, so a stale
   /// or foreign cache file can never be silently mistaken for the requested
-  /// table. `file_fingerprint`, when non-null, receives the header's
+  /// table. Data rows must form a strictly increasing vdd grid: duplicate
+  /// or out-of-order voltages are rejected (a doctored or double-merged
+  /// shard CSV would otherwise corrupt later merges and interpolation).
+  /// `file_fingerprint`, when non-null, receives the header's
   /// fingerprint as soon as it parses -- even if validation fails later
   /// (0 when the header itself is missing/unreadable).
   void save_csv(const std::string& path, std::uint64_t fingerprint = 0) const;

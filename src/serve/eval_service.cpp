@@ -43,6 +43,7 @@ EvalService::EvalService(const core::QuantizedNetwork& qnet,
       criteria_{tech_, cycle_, sizing6_, sizing8_},
       runner_{options_.threads},
       cache_{options_.cache_dir},
+      coordinator_{cache_, options_.threads},
       paused_{options_.start_paused} {
   dispatchers_.reserve(options_.dispatchers);
   for (std::size_t d = 0; d < options_.dispatchers; ++d) {
@@ -89,8 +90,25 @@ engine::TableSpec EvalService::table_spec(const Request& request) const {
 }
 
 std::uint64_t EvalService::fingerprint(const Request& request) const {
-  return engine::table_fingerprint(table_spec(request),
-                                   analyzer_options(request));
+  const std::uint64_t table_fp = engine::table_fingerprint(
+      table_spec(request), analyzer_options(request));
+  if (request.kind != RequestKind::table_shard) return table_fp;
+  // Shard-aware coalescing key: only the SAME shard of the same provenance
+  // coalesces. The count runs through the planner's own clamp rule
+  // (engine::clamp_shard_count), so the key always matches a plan shard
+  // (or dispatch rejects the index). A direct-API shard_count of 0 (the
+  // codec rejects it) is treated as 1, matching shard_plan() below.
+  const std::size_t count = engine::clamp_shard_count(
+      std::max<std::size_t>(request.shard_count, 1),
+      options_.vdd_grid.size());
+  return engine::shard_fingerprint(table_fp, request.shard, count);
+}
+
+engine::ShardPlan EvalService::shard_plan(const Request& request) const {
+  engine::ShardPlanOptions opts;
+  opts.shard_count = std::max<std::size_t>(request.shard_count, 1);
+  return engine::ShardPlanner::plan(table_spec(request),
+                                    analyzer_options(request), opts);
 }
 
 std::uint64_t EvalService::enqueue_locked(
@@ -203,11 +221,14 @@ void EvalService::resume() {
 
 EvalService::Totals EvalService::totals() const {
   const engine::CacheStats cache = cache_.stats();
+  const engine::ShardStats shards = coordinator_.stats();
   const std::scoped_lock lock{mutex_};
   Totals t = totals_;
   t.table_builds = cache.builds + naive_builds_;
   t.table_memory_hits = cache.memory_hits;
   t.table_disk_hits = cache.disk_hits;
+  t.shard_builds = shards.shards_built;
+  t.shard_replays = shards.shards_replayed;
   return t;
 }
 
@@ -231,11 +252,17 @@ std::vector<EvalService::SlotPtr> EvalService::next_batch() {
   // Coalescing: draft every queued request that shares the leader's table
   // fingerprint (regardless of priority -- they ride for free on work that
   // is about to happen anyway). table_info requests are answered alone.
+  // table_shard requests only fuse with other table_shard requests: their
+  // fp is the shard-extended fingerprint, so a fused shard batch is a set
+  // of identical shard requests answered by one build.
   if (options_.coalesce && batch[0]->request.kind != RequestKind::table_info) {
+    const bool shard_leader =
+        batch[0]->request.kind == RequestKind::table_shard;
     for (auto it = queue_.begin();
          it != queue_.end() && batch.size() < options_.max_batch;) {
       if ((*it)->fp == batch[0]->fp &&
-          (*it)->request.kind != RequestKind::table_info) {
+          (*it)->request.kind != RequestKind::table_info &&
+          ((*it)->request.kind == RequestKind::table_shard) == shard_leader) {
         batch.push_back(*it);
         it = queue_.erase(it);
       } else {
@@ -316,6 +343,69 @@ void EvalService::answer_table_info(const SlotPtr& slot) {
   r.table_in_memory = in_memory;
   r.table_rows = rows;
   finish_locked(slot, RequestStatus::done, {});
+}
+
+void EvalService::answer_table_shard(const std::vector<SlotPtr>& batch) {
+  const Request& req = batch[0]->request;
+  const engine::ShardPlan plan = shard_plan(req);
+
+  // The codec guarantees shard < shard_count, but the planner clamps the
+  // count to the grid size, so an oversharded request can still name a
+  // shard that does not exist for this service's grid.
+  if (req.shard >= plan.shard_count()) {
+    const std::string error =
+        "shard " + std::to_string(req.shard) + " out of range: the " +
+        std::to_string(plan.spec.vdd_grid.size()) +
+        "-point voltage grid yields " + std::to_string(plan.shard_count()) +
+        " shards";
+    const std::scoped_lock lock{mutex_};
+    for (const SlotPtr& slot : batch) {
+      finish_locked(slot, RequestStatus::failed, error);
+    }
+    return;
+  }
+
+  const mc::FailureAnalyzer analyzer{criteria_, sampler_,
+                                     analyzer_options(req)};
+  const Clock::time_point t0 = Clock::now();
+  bool replayed = false;
+  const mc::FailureTable shard =
+      coordinator_.build_shard(plan, req.shard, analyzer, false, &replayed);
+  const double table_ms = ms_between(t0, Clock::now());
+
+  const engine::TableShard& planned = plan.shards[req.shard];
+  const std::string csv =
+      cache_.shard_csv_path(plan.table_fingerprint, req.shard,
+                            plan.shard_count());
+  // The whole point of a table_shard request is the persisted artifact; a
+  // swallowed save failure (unwritable/full cache dir) must surface as a
+  // failed request, not a "done" that shard-merge later contradicts.
+  const bool persisted = csv.empty() || std::filesystem::exists(csv);
+
+  const std::scoped_lock lock{mutex_};
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const SlotPtr& slot = batch[i];
+    Response& r = slot->response;
+    r.table_fingerprint = plan.table_fingerprint;
+    r.shard_index = req.shard;
+    r.shard_count = plan.shard_count();
+    r.shard_fingerprint = planned.fingerprint;
+    r.table_csv = csv;
+    r.table_rows = shard.rows().size();
+    r.table_in_memory = false;  // shards are disk artifacts, never memoized
+    r.stats.table_ms = table_ms;
+    r.stats.table_source =
+        replayed ? engine::TableSource::disk : engine::TableSource::built;
+    r.stats.coalesced = i > 0 || replayed;
+    if (!persisted) {
+      r.table_csv.clear();
+      finish_locked(slot, RequestStatus::failed,
+                    "shard built but its CSV could not be persisted to " +
+                        csv);
+      continue;
+    }
+    finish_locked(slot, RequestStatus::done, {});
+  }
 }
 
 void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
@@ -432,6 +522,8 @@ void EvalService::dispatcher_loop() {
     try {
       if (batch[0]->request.kind == RequestKind::table_info) {
         answer_table_info(batch[0]);
+      } else if (batch[0]->request.kind == RequestKind::table_shard) {
+        answer_table_shard(batch);
       } else {
         execute_batch(batch);
       }

@@ -2,10 +2,18 @@
 // PR-2 experiment engine.
 //
 // Clients submit typed requests (evaluate one (config, vdd) point, sweep a
-// config x vdd grid, query table provenance) into a bounded priority queue
-// and get back request ids to poll/wait/cancel. Dispatcher threads pull
-// requests and execute them on the shared util::ThreadPool via
-// engine::ExperimentRunner.
+// config x vdd grid, query table provenance, build one failure-table shard)
+// into a bounded priority queue and get back request ids to poll/wait/
+// cancel. Dispatcher threads pull requests and execute them on the shared
+// util::ThreadPool via engine::ExperimentRunner.
+//
+// table_shard requests are the serving face of the shard scatter/merge
+// stack (docs/sharding.md): each builds (or replays) one per-voltage-sub-
+// grid shard through the engine::ShardCoordinator and persists its CSV, so
+// a fleet of clients can scatter a table build across services/processes
+// and merge the artifacts anywhere. Their coalescing key is the
+// shard-extended fingerprint: identical shards fuse into one dispatch and
+// coalesce through the coordinator's per-shard single-flight.
 //
 // The core win is request coalescing, in two layers:
 //  * TABLE single-flight: requests are keyed by their failure-table
@@ -45,6 +53,8 @@
 #include "core/quantized_network.hpp"
 #include "data/dataset.hpp"
 #include "engine/experiment_runner.hpp"
+#include "engine/shard_coordinator.hpp"
+#include "engine/shard_plan.hpp"
 #include "engine/table_cache.hpp"
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
@@ -135,16 +145,25 @@ class EvalService {
     std::uint64_t table_builds = 0;
     std::uint64_t table_memory_hits = 0;
     std::uint64_t table_disk_hits = 0;
+    std::uint64_t shard_builds = 0;    ///< table_shard requests that built
+    std::uint64_t shard_replays = 0;   ///< table_shard requests served from CSV
     std::uint64_t max_queue_depth = 0;
   };
   [[nodiscard]] Totals totals() const;
 
   /// The provenance a request's failure table is keyed by (also what
   /// table_info answers from). Pure functions of (request, service config).
+  /// For table_shard requests, fingerprint() returns the shard-extended
+  /// fingerprint (with shard_count clamped to the grid size), so only
+  /// identical shards of the same provenance coalesce.
   [[nodiscard]] engine::TableSpec table_spec(const Request& request) const;
   [[nodiscard]] mc::AnalyzerOptions analyzer_options(
       const Request& request) const;
   [[nodiscard]] std::uint64_t fingerprint(const Request& request) const;
+
+  /// The shard plan a table_shard request resolves against (shard_count
+  /// clamped to the service's voltage grid).
+  [[nodiscard]] engine::ShardPlan shard_plan(const Request& request) const;
 
   [[nodiscard]] const ServiceOptions& options() const noexcept {
     return options_;
@@ -169,6 +188,10 @@ class EvalService {
   std::vector<SlotPtr> next_batch();
   void execute_batch(const std::vector<SlotPtr>& batch);
   void answer_table_info(const SlotPtr& slot);
+  /// Builds/replays one table shard for a (same-shard-fingerprint) batch of
+  /// table_shard requests: the work happens once, every rider gets the
+  /// same response.
+  void answer_table_shard(const std::vector<SlotPtr>& batch);
   /// Moves a running slot to a terminal state. Requires mutex_ held: slot
   /// responses are only ever mutated under the lock (poll()/wait() copy
   /// them under the same lock), and terminal slots beyond
@@ -196,6 +219,7 @@ class EvalService {
 
   engine::ExperimentRunner runner_;
   engine::FailureTableCache cache_;
+  engine::ShardCoordinator coordinator_;  ///< shard scatter over cache_
 
   mutable std::mutex mutex_;
   std::condition_variable cv_work_;   ///< queue gained work / unpaused / stop

@@ -166,6 +166,8 @@ std::optional<Request> parse_request(std::string_view line,
     req.kind = RequestKind::sweep;
   } else if (op->as_string() == "table_info") {
     req.kind = RequestKind::table_info;
+  } else if (op->as_string() == "table_shard") {
+    req.kind = RequestKind::table_shard;
   } else {
     return fail("unknown op \"" + op->as_string() + "\"");
   }
@@ -222,12 +224,28 @@ std::optional<Request> parse_request(std::string_view line,
       req.mc_samples = static_cast<std::size_t>(n);
     } else if (key == "table_seed") {
       if (!read_u64(value, key, req.table_seed, error)) return std::nullopt;
+    } else if (key == "shard" || key == "shard_count") {
+      if (req.kind != RequestKind::table_shard) {
+        return fail("\"" + key + "\" is only valid for op \"table_shard\"");
+      }
+      std::uint64_t n = 0;
+      if (!read_u64(value, key, n, error)) return std::nullopt;
+      (key == "shard" ? req.shard : req.shard_count) =
+          static_cast<std::size_t>(n);
     } else {
       return fail("unknown field \"" + key + "\"");
     }
   }
 
-  if (req.kind != RequestKind::table_info) {
+  if (req.kind == RequestKind::table_shard) {
+    if (req.shard_count == 0) {
+      return fail("\"table_shard\" requires \"shard_count\" >= 1");
+    }
+    if (req.shard >= req.shard_count) {
+      return fail("\"shard\" must be < \"shard_count\"");
+    }
+  }
+  if (req.kind == RequestKind::evaluate || req.kind == RequestKind::sweep) {
     if (req.configs.empty()) return fail("missing \"config\"/\"configs\"");
     if (req.vdds.empty()) return fail("missing \"vdd\"/\"vdds\"");
     if (req.kind == RequestKind::evaluate &&
@@ -268,6 +286,20 @@ std::string format_response(const Response& response, bool per_chip) {
     }
     table.set("in_memory", response.table_in_memory);
     j.set("table", std::move(table));
+  }
+
+  if (response.shard_count != 0) {
+    Json shard = Json::object();
+    shard.set("index", static_cast<double>(response.shard_index));
+    shard.set("count", static_cast<double>(response.shard_count));
+    shard.set("fingerprint",
+              engine::fingerprint_hex(response.shard_fingerprint));
+    if (response.status == RequestStatus::done) {
+      // built = this request paid for the Monte-Carlo; disk = replayed the
+      // persisted shard CSV (possibly produced by another process).
+      shard.set("source", to_string(response.stats.table_source));
+    }
+    j.set("shard", std::move(shard));
   }
 
   if (response.status == RequestStatus::done ||

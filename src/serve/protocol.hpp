@@ -11,10 +11,15 @@
 //    "chips":N,"eval_seed":S,"samples":M,"table_seed":T,"priority":P}
 //   {"op":"sweep","configs":["all6t","hybrid2"],"vdds":[0.6,0.7], ...}
 //   {"op":"table_info","samples":M,"table_seed":T}
+//   {"op":"table_shard","shard":K,"shard_count":N,"samples":M,
+//    "table_seed":T,"priority":P}
 // "evaluate" also accepts the plural keys; "sweep" evaluates the full
 // configs x vdds grid. chips/eval_seed/samples/table_seed default to the
 // service's configuration [0 = service default]; priority defaults to 0
-// (higher dispatches first).
+// (higher dispatches first). "table_shard" builds (or replays) one shard of
+// the table's voltage grid and persists its CSV -- the cross-process
+// scatter primitive (docs/sharding.md); shard_count is clamped to the
+// grid size by the service.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +52,7 @@ struct ConfigSpec {
       std::span<const std::size_t> bank_words) const;
 };
 
-enum class RequestKind { evaluate, sweep, table_info };
+enum class RequestKind { evaluate, sweep, table_info, table_shard };
 
 /// Upper bound on per-request chip instances, enforced both by the codec
 /// and at dispatch: a hostile `chips` must fail that one request, never
@@ -62,9 +67,14 @@ struct Request {
   std::size_t chips = 0;             ///< 0 = service default
   std::uint64_t eval_seed = 0;       ///< 0 = service default
   /// Failure-table provenance overrides (0 = service default). Requests
-  /// with equal provenance share one table -- the coalescing key.
+  /// with equal provenance share one table -- the coalescing key (for
+  /// table_shard, the shard-extended fingerprint: only identical shards of
+  /// the same provenance coalesce).
   std::size_t mc_samples = 0;
   std::uint64_t table_seed = 0;
+  // table_shard only: build shard `shard` of `shard_count`.
+  std::size_t shard = 0;
+  std::size_t shard_count = 0;
 };
 
 /// `evicted` is a degenerate terminal state: the request finished, but its
@@ -106,6 +116,10 @@ struct Response {
   std::string table_csv;   ///< cache CSV path ("" when cache is in-memory)
   std::size_t table_rows = 0;  ///< rows in the persisted CSV (0 = none/invalid)
   bool table_in_memory = false;
+  // table_shard (table_csv/table_rows then describe the shard artifact):
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 0;           ///< 0 for non-shard responses
+  std::uint64_t shard_fingerprint = 0;   ///< shard-extended provenance
   RequestStats stats;
 };
 

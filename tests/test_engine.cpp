@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 
 #include "circuit/reference.hpp"
 #include "core/experiments.hpp"
@@ -342,6 +343,48 @@ TEST_F(TableCacheTest, LoadRejectsLegacyAndCorruptFiles) {
                          "# hynapse-failure-table v2 fp=0\n"
                          "vdd,ra6,wr6,rd6,ra8,wr8,rd8\n"))
                    .has_value());
+  // NaN rate (whether the parser reads "nan" or chokes on it, the row must
+  // be rejected -- a NaN would poison every interpolation downstream).
+  EXPECT_FALSE(mc::FailureTable::load_csv(
+                   write("nan.csv",
+                         "# hynapse-failure-table v2 fp=0\n"
+                         "vdd,ra6,wr6,rd6,ra8,wr8,rd8\n"
+                         "0.65,nan,0.005,0.0005,1e-6,1e-6,0\n"))
+                   .has_value());
+  // Reordered columns: the header must match the v2 layout exactly, or the
+  // fields would silently land in the wrong mechanisms.
+  EXPECT_FALSE(mc::FailureTable::load_csv(
+                   write("reordered.csv",
+                         "# hynapse-failure-table v2 fp=0\n"
+                         "vdd,wr6,ra6,rd6,ra8,wr8,rd8\n"
+                         "0.65,0.01,0.005,0.0005,1e-6,1e-6,0\n"))
+                   .has_value());
+  // Duplicate-vdd rows: would corrupt a shard merge (the same grid point
+  // contributed twice) -- previously accepted silently.
+  EXPECT_FALSE(mc::FailureTable::load_csv(
+                   write("dup.csv",
+                         "# hynapse-failure-table v2 fp=0\n"
+                         "vdd,ra6,wr6,rd6,ra8,wr8,rd8\n"
+                         "0.65,0.01,0.005,0.0005,1e-6,1e-6,0\n"
+                         "0.65,0.02,0.005,0.0005,1e-6,1e-6,0\n"))
+                   .has_value());
+  // Non-monotonic grid: save_csv always writes ascending vdd, so an
+  // out-of-order file is tampered or mis-assembled.
+  EXPECT_FALSE(mc::FailureTable::load_csv(
+                   write("unsorted.csv",
+                         "# hynapse-failure-table v2 fp=0\n"
+                         "vdd,ra6,wr6,rd6,ra8,wr8,rd8\n"
+                         "0.75,0.01,0.005,0.0005,1e-6,1e-6,0\n"
+                         "0.65,0.02,0.005,0.0005,1e-6,1e-6,0\n"))
+                   .has_value());
+}
+
+TEST(FailureTableRows, ConstructorRejectsDuplicateVdd) {
+  std::vector<mc::FailureTableRow> rows(2);
+  rows[0].vdd = 0.65;
+  rows[1].vdd = 0.65;
+  EXPECT_THROW((void)mc::FailureTable{std::move(rows)},
+               std::invalid_argument);
 }
 
 TEST_F(TableCacheTest, SaveIsAtomicAndLeavesNoTempFiles) {

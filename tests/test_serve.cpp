@@ -265,6 +265,106 @@ TEST_F(EvalServiceTest, TableInfoReportsProvenanceAndPersistence) {
   std::filesystem::remove_all(dir);
 }
 
+TEST_F(EvalServiceTest, TableShardBuildsPersistsAndReplays) {
+  const std::string dir = "/tmp/hynapse_serve_shard_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ServiceOptions opts = fast_options();
+  opts.cache_dir = dir;
+  opts.vdd_grid = {0.65, 0.75, 0.85};  // 3 voltages -> up to 3 shards
+  EvalService service{qnet_, test_, opts};
+
+  Request shard;
+  shard.kind = RequestKind::table_shard;
+  shard.shard = 1;
+  shard.shard_count = 3;
+
+  const Response built = service.wait(service.submit(shard));
+  ASSERT_EQ(built.status, RequestStatus::done) << built.error;
+  EXPECT_EQ(built.shard_index, 1u);
+  EXPECT_EQ(built.shard_count, 3u);
+  EXPECT_EQ(built.table_rows, 1u);  // one voltage of the 3-point grid
+  EXPECT_EQ(built.stats.table_source, engine::TableSource::built);
+  EXPECT_FALSE(built.stats.coalesced);
+  // The coalescing key is the shard-extended fingerprint.
+  EXPECT_EQ(built.shard_fingerprint, service.fingerprint(shard));
+  EXPECT_NE(built.shard_fingerprint, built.table_fingerprint);
+  // The artifact is on disk, validated by its shard fingerprint.
+  ASSERT_FALSE(built.table_csv.empty());
+  EXPECT_TRUE(std::filesystem::exists(built.table_csv));
+  EXPECT_TRUE(
+      mc::FailureTable::load_csv(built.table_csv, built.shard_fingerprint)
+          .has_value());
+
+  // The same shard again: replayed from the CSV, counted as coalesced.
+  const Response replayed = service.wait(service.submit(shard));
+  ASSERT_EQ(replayed.status, RequestStatus::done) << replayed.error;
+  EXPECT_EQ(replayed.stats.table_source, engine::TableSource::disk);
+  EXPECT_TRUE(replayed.stats.coalesced);
+
+  // A different shard has a different fingerprint and its own artifact.
+  Request other = shard;
+  other.shard = 0;
+  EXPECT_NE(service.fingerprint(other), service.fingerprint(shard));
+  const Response built0 = service.wait(service.submit(other));
+  ASSERT_EQ(built0.status, RequestStatus::done) << built0.error;
+  EXPECT_NE(built0.table_csv, built.table_csv);
+
+  const EvalService::Totals totals = service.totals();
+  EXPECT_EQ(totals.shard_builds, 2u);
+  EXPECT_EQ(totals.shard_replays, 1u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(EvalServiceTest, TableShardOutOfRangeFailsCleanly) {
+  ServiceOptions opts = fast_options();  // 1-voltage grid -> 1 shard max
+  EvalService service{qnet_, test_, opts};
+
+  Request shard;
+  shard.kind = RequestKind::table_shard;
+  shard.shard = 2;
+  shard.shard_count = 5;  // clamped to 1 by the grid; shard 2 cannot exist
+  const Response r = service.wait(service.submit(shard));
+  EXPECT_EQ(r.status, RequestStatus::failed);
+  EXPECT_NE(r.error.find("out of range"), std::string::npos) << r.error;
+}
+
+TEST_F(EvalServiceTest, IdenticalTableShardsFuseIntoOneDispatch) {
+  ServiceOptions opts = fast_options();
+  opts.vdd_grid = {0.65, 0.75};
+  opts.start_paused = true;
+  opts.dispatchers = 1;  // one dispatcher -> queued requests must fuse
+  EvalService service{qnet_, test_, opts};
+
+  Request shard;
+  shard.kind = RequestKind::table_shard;
+  shard.shard = 0;
+  shard.shard_count = 2;
+  const std::uint64_t a = service.submit(shard);
+  const std::uint64_t b = service.submit(shard);
+  // An evaluate request must NOT ride a shard batch even if enqueued
+  // between the two shard requests.
+  const std::uint64_t c = service.submit(evaluate_request("all6t", 0.65));
+  service.resume();
+  service.drain();
+
+  const Response ra = service.wait(a);
+  const Response rb = service.wait(b);
+  const Response rc = service.wait(c);
+  ASSERT_EQ(ra.status, RequestStatus::done) << ra.error;
+  ASSERT_EQ(rb.status, RequestStatus::done) << rb.error;
+  ASSERT_EQ(rc.status, RequestStatus::done) << rc.error;
+  EXPECT_EQ(ra.stats.batch_size, 2u);  // the two identical shards fused
+  EXPECT_EQ(rb.stats.batch_size, 2u);
+  EXPECT_EQ(rb.stats.dispatch_seq, ra.stats.dispatch_seq);
+  EXPECT_TRUE(rb.stats.coalesced);  // the rider
+  EXPECT_EQ(rc.stats.batch_size, 1u);
+  EXPECT_NE(rc.stats.dispatch_seq, ra.stats.dispatch_seq);
+  EXPECT_EQ(service.totals().shard_builds, 1u);  // one build served both
+}
+
 TEST_F(EvalServiceTest, DistinctProvenancesDoNotCoalesce) {
   ServiceOptions opts = fast_options();
   opts.start_paused = true;

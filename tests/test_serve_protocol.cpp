@@ -94,6 +94,37 @@ TEST(ParseRequest, AcceptsTableInfoWithoutWorkload) {
   EXPECT_TRUE(req->configs.empty());
 }
 
+TEST(ParseRequest, AcceptsTableShard) {
+  std::string error;
+  const auto req = parse_request(
+      R"({"op":"table_shard","shard":2,"shard_count":5,"samples":1500,)"
+      R"("table_seed":7,"priority":1})",
+      &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->kind, RequestKind::table_shard);
+  EXPECT_EQ(req->shard, 2u);
+  EXPECT_EQ(req->shard_count, 5u);
+  EXPECT_EQ(req->mc_samples, 1500u);
+  EXPECT_EQ(req->table_seed, 7u);
+  EXPECT_EQ(req->priority, 1);
+}
+
+TEST(ParseRequest, RejectsMalformedTableShard) {
+  const auto reject = [](const char* line) {
+    std::string error;
+    EXPECT_FALSE(parse_request(line, &error).has_value()) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  };
+  reject(R"({"op":"table_shard","shard":0})");          // missing count
+  reject(R"({"op":"table_shard","shard_count":0})");    // count must be >= 1
+  reject(R"({"op":"table_shard","shard":3,"shard_count":3})");  // shard >= count
+  reject(R"({"op":"table_shard","shard":-1,"shard_count":2})");
+  reject(R"({"op":"table_shard","shard":0.5,"shard_count":2})");
+  // shard keys are meaningless on other ops -- reject, don't ignore.
+  reject(R"({"op":"evaluate","config":"all6t","vdd":0.6,"shard":0})");
+  reject(R"({"op":"table_info","shard_count":2})");
+}
+
 TEST(ParseRequest, RejectsBadLinesWithReasons) {
   const auto reject = [](const char* line) {
     std::string error;
@@ -157,6 +188,34 @@ TEST(FormatResponse, RendersDoneResponse) {
 
   const std::string with_chips = format_response(r, /*per_chip=*/true);
   EXPECT_NE(with_chips.find("\"per_chip\":[0.25,0.75]"), std::string::npos);
+}
+
+TEST(FormatResponse, RendersTableShardResponse) {
+  Response r;
+  r.id = 9;
+  r.status = RequestStatus::done;
+  r.table_fingerprint = 0xabc;
+  r.shard_index = 1;
+  r.shard_count = 4;
+  r.shard_fingerprint = 0xdef;
+  r.table_csv = "/cache/failure_table_x_shard1of4.csv";
+  r.table_rows = 2;
+  r.stats.table_source = engine::TableSource::built;
+
+  const std::string line = format_response(r);
+  EXPECT_NE(line.find("\"shard\":{"), std::string::npos);
+  EXPECT_NE(line.find("\"index\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"count\":4"), std::string::npos);
+  EXPECT_NE(line.find("\"fingerprint\":\"0000000000000def\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"source\":\"built\""), std::string::npos);
+  EXPECT_NE(line.find("\"rows\":2"), std::string::npos);
+
+  // Non-shard responses never emit the shard block.
+  Response plain;
+  plain.id = 1;
+  plain.status = RequestStatus::done;
+  EXPECT_EQ(format_response(plain).find("\"shard\""), std::string::npos);
 }
 
 TEST(FormatResponse, RendersFailureAndPendingStates) {
