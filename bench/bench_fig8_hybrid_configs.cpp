@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
     points.push_back({cfg, 0.70});
   }
   const std::vector<core::AccuracyResult> sweep =
-      runner.evaluate_sweep(qnet, points, table, test, opt);
+      runner.run(qnet, engine::EvalJob::sweep(points, opt).against(table),
+                 test);
 
   util::Table t{{"Config (#8T,#6T)", "Acc @0.65V", "Acc @0.70V",
                  "Access power red.", "Leakage red.", "Area increase"}};

@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
     points.push_back({core::MemoryConfig::per_layer(words, row.msbs), 0.65});
   }
   const std::vector<core::AccuracyResult> sweep =
-      runner.evaluate_sweep(qnet, points, table, test, opt);
+      runner.run(qnet, engine::EvalJob::sweep(points, opt).against(table),
+                 test);
 
   core::RelativeSavings sa;
   core::RelativeSavings sb;

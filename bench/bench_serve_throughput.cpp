@@ -1,11 +1,15 @@
 // bench_serve_throughput: replays a mixed 200-request trace against
-// serve::EvalService twice -- naive mode (no request coalescing: every
-// dispatch builds its own failure table, no batch fusion) vs coalesced mode
-// (fingerprint single-flight + batch fusion) -- and reports wall time,
-// requests/sec and the number of Monte-Carlo table builds each mode paid
-// for. The trace mixes 4 table provenances, several configs/voltages,
-// priorities and sweep requests, mimicking interactive design-space
-// exploration where many small requests hit a few shared tables.
+// serve::EvalService three ways -- naive mode (no request coalescing: every
+// dispatch builds its own failure table, no batch fusion), coalesced mode
+// (fingerprint single-flight + batch fusion), and socket mode (the same
+// coalesced service behind serve::TcpServer, the trace sent as JSONL over
+// loopback TCP by serve::TcpClient) -- and reports wall time, requests/sec
+// and the number of Monte-Carlo table builds each mode paid for. The socket
+// arm prices the transport: codec + TCP + per-connection session on top of
+// the coalesced in-process path. The trace mixes 4 table provenances,
+// several configs/voltages, priorities and sweep requests, mimicking
+// interactive design-space exploration where many small requests hit a few
+// shared tables.
 //
 // Flags (bench::parse_bench_flags): --threads N, --samples N (per-mechanism
 // MC samples for every table build, default 300), --json PATH (write the
@@ -14,13 +18,17 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ann/trainer.hpp"
 #include "common.hpp"
 #include "data/digits.hpp"
 #include "serve/eval_service.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -95,6 +103,63 @@ ModeResult run_mode(const core::QuantizedNetwork& qnet,
   return out;
 }
 
+/// Socket arm: the coalesced service behind a TcpServer, the whole trace
+/// pipelined as JSONL over one loopback connection. A writer thread streams
+/// the 200 request lines while the main thread reads the 200 response lines
+/// (completion order), so the measurement includes codec + transport but no
+/// artificial request-response lockstep.
+ModeResult run_socket_mode(const core::QuantizedNetwork& qnet,
+                           const data::Dataset& test,
+                           const std::vector<serve::Request>& trace,
+                           std::size_t samples, std::size_t threads) {
+  serve::ServiceOptions options;
+  options.coalesce = true;
+  options.queue_capacity = kRequests + 8;
+  options.dispatchers = 2;
+  options.threads = threads;
+  options.vdd_grid = {0.60, 0.70};
+  options.default_samples = samples;
+  serve::EvalService service{qnet, test, options};
+  serve::TcpServer server{service};  // ephemeral loopback port
+
+  std::optional<serve::TcpClient> client =
+      serve::TcpClient::connect("127.0.0.1", server.port());
+  ModeResult out;
+  if (!client) {
+    std::fprintf(stderr, "error: cannot connect to loopback server\n");
+    out.failed = kRequests;
+    return out;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread writer{[&] {
+    for (const serve::Request& r : trace) {
+      if (!client->send_line(serve::format_request(r))) return;
+    }
+  }};
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const std::optional<std::string> line = client->read_line(600.0);
+    if (!line) {
+      out.failed += kRequests - i;
+      break;
+    }
+    const std::optional<serve::Response> r =
+        serve::parse_response(*line, nullptr);
+    if (!r || r->status != serve::RequestStatus::done) ++out.failed;
+  }
+  writer.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  server.stop();
+
+  const serve::EvalService::Totals totals = service.totals();
+  out.seconds = std::chrono::duration<double>{t1 - t0}.count();
+  out.requests_per_sec = static_cast<double>(kRequests) / out.seconds;
+  out.table_builds = totals.table_builds;
+  out.batches = totals.batches;
+  out.coalesced_requests = totals.coalesced_requests;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,6 +192,9 @@ int main(int argc, char** argv) {
   std::printf("  coalesced...\n");
   const ModeResult coal =
       run_mode(qnet, test, trace, true, samples, opts.threads);
+  std::printf("  socket (coalesced over loopback TCP)...\n");
+  const ModeResult socket =
+      run_socket_mode(qnet, test, trace, samples, opts.threads);
 
   util::Table t{{"mode", "seconds", "req/s", "table builds", "batches",
                  "coalesced"}};
@@ -140,14 +208,22 @@ int main(int argc, char** argv) {
              std::to_string(coal.table_builds),
              std::to_string(coal.batches),
              std::to_string(coal.coalesced_requests)});
+  t.add_row({"socket", util::Table::num(socket.seconds, 2),
+             util::Table::num(socket.requests_per_sec, 1),
+             std::to_string(socket.table_builds),
+             std::to_string(socket.batches),
+             std::to_string(socket.coalesced_requests)});
   t.print();
   std::printf("speedup %.2fx, table builds %llu -> %llu\n",
               naive.seconds / coal.seconds,
               static_cast<unsigned long long>(naive.table_builds),
               static_cast<unsigned long long>(coal.table_builds));
-  if (naive.failed != 0 || coal.failed != 0) {
+  std::printf("socket transport overhead %.2fx vs in-process coalesced\n",
+              socket.seconds / coal.seconds);
+  if (naive.failed != 0 || coal.failed != 0 || socket.failed != 0) {
     std::fprintf(stderr, "error: %llu requests failed\n",
-                 static_cast<unsigned long long>(naive.failed + coal.failed));
+                 static_cast<unsigned long long>(naive.failed + coal.failed +
+                                                 socket.failed));
     return 1;
   }
   if (coal.table_builds >= naive.table_builds) {
@@ -175,7 +251,12 @@ int main(int argc, char** argv) {
         << ",\n"
         << "  \"coalesced_table_builds\": " << coal.table_builds << ",\n"
         << "  \"coalesced_batches\": " << coal.batches << ",\n"
-        << "  \"speedup\": " << naive.seconds / coal.seconds << "\n"
+        << "  \"socket_seconds\": " << socket.seconds << ",\n"
+        << "  \"socket_requests_per_sec\": " << socket.requests_per_sec
+        << ",\n"
+        << "  \"socket_table_builds\": " << socket.table_builds << ",\n"
+        << "  \"speedup\": " << naive.seconds / coal.seconds << ",\n"
+        << "  \"socket_overhead\": " << socket.seconds / coal.seconds << "\n"
         << "}\n";
     std::printf("JSON written to %s\n", opts.json.c_str());
   }

@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
       {core::MemoryConfig::uniform_hybrid(words, 3), vdd}};
   const engine::ExperimentRunner runner{threads};
   const std::vector<core::AccuracyResult> sweep =
-      runner.evaluate_sweep(qnet, points, table, test, eo);
+      runner.run(qnet, engine::EvalJob::sweep(points, eo).against(table), test);
 
   util::Table t{{"Configuration", "Test accuracy", "Acc. drop",
                  "Area overhead", "Leakage power [uW]"}};

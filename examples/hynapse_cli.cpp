@@ -16,6 +16,12 @@
 //                                  run in separate processes to scatter
 //   shard-merge <count>            merge the per-shard CSVs into the full
 //                                  fingerprinted table CSV
+//   fleet-worker [port]            serve table-shard builds over TCP (the
+//                                  remote end of fleet-build); Ctrl-C stops
+//   fleet-build <count> --workers host:port,..
+//                                  scatter a shard plan across fleet
+//                                  workers and merge, bit-identical to a
+//                                  monolithic build (docs/distributed.md)
 //
 // Everything runs on the small reference network so each command finishes
 // in seconds; the paper-scale reproductions live in bench/. Monte-Carlo
@@ -25,6 +31,7 @@
 // process-level face of the scatter/merge stack (docs/sharding.md): the
 // shard-build -> shard-merge round trip produces a CSV bit-identical to a
 // monolithic build.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +39,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <algorithm>
@@ -39,6 +47,7 @@
 
 #include "ann/trainer.hpp"
 #include "core/experiments.hpp"
+#include "engine/fleet.hpp"
 #include "engine/shard_coordinator.hpp"
 #include "engine/shard_plan.hpp"
 #include "core/power_area.hpp"
@@ -49,6 +58,8 @@
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
+#include "serve/eval_service.hpp"
+#include "serve/net.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -354,6 +365,116 @@ int cmd_shard_merge(Stack& st, std::size_t count, std::size_t samples,
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_fleet_worker(std::uint16_t port, std::size_t samples,
+                     std::uint64_t table_seed) {
+  // The served network is a placeholder: a fleet worker answers
+  // table_shard requests only (evaluate is disabled below), and failure
+  // tables depend on the circuit stack, never on the network.
+  const data::Dataset tiny = data::generate_digits(20, 7);
+  ann::Mlp net{{784, 8, 10}, 3};
+  const core::QuantizedNetwork qnet{net, 8};
+
+  serve::ServiceOptions so;
+  so.cache_dir = engine::default_cache_dir();
+  so.default_samples = samples;
+  so.default_table_seed = table_seed;
+  serve::EvalService service{qnet, tiny, so};
+
+  serve::TcpServerOptions to;
+  to.port = port;
+  to.session.allow_evaluate = false;
+  serve::TcpServer server{service, to};
+
+  std::printf("fleet-worker listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  server.stop();
+  const serve::TcpServer::Stats stats = server.stats();
+  const serve::EvalService::Totals totals = service.totals();
+  std::printf("fleet-worker stopped: %llu connections, %llu requests, "
+              "%llu responses, %llu shard builds, %llu shard replays\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.lines),
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(totals.shard_builds),
+              static_cast<unsigned long long>(totals.shard_replays));
+  return 0;
+}
+
+int cmd_fleet_build(Stack& st, std::size_t count, const std::string& workers,
+                    std::size_t samples, std::uint64_t table_seed) {
+  engine::FleetOptions fo;
+  for (std::size_t start = 0; start <= workers.size();) {
+    std::size_t comma = workers.find(',', start);
+    if (comma == std::string::npos) comma = workers.size();
+    const std::string item = workers.substr(start, comma - start);
+    if (!item.empty()) {
+      const std::optional<engine::FleetEndpoint> ep =
+          engine::parse_endpoint(item);
+      if (!ep) {
+        std::fprintf(stderr, "error: bad worker endpoint '%s' "
+                             "(expected host:port)\n", item.c_str());
+        return 2;
+      }
+      fo.workers.push_back(*ep);
+    }
+    start = comma + 1;
+  }
+  if (fo.workers.empty()) {
+    std::fprintf(stderr,
+                 "error: fleet-build needs --workers host:port[,host:port..]\n");
+    return 2;
+  }
+
+  const engine::TableSpec spec = shard_spec(st, table_seed);
+  const mc::AnalyzerOptions ao = shard_analyzer_options(samples);
+  engine::ShardPlanOptions po;
+  po.shard_count = count;
+  const engine::ShardPlan plan = engine::ShardPlanner::plan(spec, ao, po);
+  const mc::FailureAnalyzer analyzer{st.criteria, st.sampler, ao};
+  engine::ShardCoordinator local{st.cache()};
+  engine::FleetCoordinator fleet{local, fo};
+
+  std::printf("scattering %zu shards across %zu worker(s)...\n",
+              plan.shard_count(), fo.workers.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const mc::FailureTable& table = fleet.build(plan, analyzer);
+  const double secs =
+      std::chrono::duration<double>{std::chrono::steady_clock::now() - t0}
+          .count();
+
+  // Same round-trip guarantee as shard-merge: the persisted merged CSV
+  // must re-load under the plan's fingerprint.
+  const std::string path = st.cache().csv_path(plan.table_fingerprint);
+  if (!mc::FailureTable::load_csv(path, plan.table_fingerprint)) {
+    std::fprintf(stderr, "error: merged CSV failed validation: %s\n",
+                 path.c_str());
+    return 1;
+  }
+  const engine::FleetStats fs = fleet.stats();
+  std::printf("fleet build: %zu shards -> %zu rows in %.2f s -> %s\n",
+              plan.shard_count(), table.rows().size(), secs, path.c_str());
+  std::printf("  %llu remote (from %llu worker(s)), %llu local fallback, "
+              "%llu worker failures, %llu retries\n",
+              static_cast<unsigned long long>(fs.shards_remote),
+              static_cast<unsigned long long>(fs.workers_used),
+              static_cast<unsigned long long>(fs.shards_local),
+              static_cast<unsigned long long>(fs.worker_failures),
+              static_cast<unsigned long long>(fs.retries));
+  return 0;
+}
+
 int cmd_evaluate(Stack& st, const std::string& config, double vdd) {
   const core::QuantizedNetwork qnet = trained_reference();
   const data::Dataset test = data::generate_digits(700, 52);
@@ -423,6 +544,9 @@ int usage() {
       "  shard-plan [count=0(per-voltage)] [samples=4000] [seed=20160312]\n"
       "  shard-build <shard> <count> [samples=4000] [seed=20160312]\n"
       "  shard-merge <count> [samples=4000] [seed=20160312]\n"
+      "  fleet-worker [port=0(ephemeral)] [samples=4000] [seed=20160312]\n"
+      "  fleet-build <count> --workers host:port[,host:port..] "
+      "[samples=4000] [seed=20160312]\n"
       "global options:\n"
       "  --threads N   thread-pool participation cap (0 = hardware)\n");
   return 2;
@@ -471,6 +595,32 @@ int main(int argc, char** argv) {
       return cmd_shard_merge(st, num_arg(2, 0),
                              num_arg(3, kShardDefaultSamples),
                              num_arg(4, kShardDefaultSeed));
+    }
+    if (cmd == "fleet-worker") {
+      return cmd_fleet_worker(
+          static_cast<std::uint16_t>(num_arg(2, 0)),
+          num_arg(3, kShardDefaultSamples), num_arg(4, kShardDefaultSeed));
+    }
+    if (cmd == "fleet-build") {
+      // Positional args around an optional "--workers <list>" pair.
+      std::string workers;
+      std::vector<const char*> positional;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+          workers = argv[++i];
+        } else {
+          positional.push_back(argv[i]);
+        }
+      }
+      if (positional.empty()) return usage();
+      const auto pos_num = [&](std::size_t i, std::size_t fallback) {
+        return i < positional.size()
+                   ? static_cast<std::size_t>(std::atol(positional[i]))
+                   : fallback;
+      };
+      return cmd_fleet_build(st, pos_num(0, 0), workers,
+                             pos_num(1, kShardDefaultSamples),
+                             pos_num(2, kShardDefaultSeed));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,10 +1,13 @@
 // hynapse_served: JSONL front-end to serve::EvalService.
 //
 // Trains a small reference network once, then serves evaluation requests
-// against it -- either replaying a JSONL file (one request per line;
-// submits everything up front so coalescing can batch, then prints one
-// response line per request in submission order) or interactively from
-// stdin (REPL; one request per line, answered as it completes).
+// against it -- replaying a JSONL file (one request per line; submits
+// everything up front so coalescing can batch, then prints one response
+// line per request in submission order), interactively from stdin (a
+// serve::Session over stdin/stdout: responses stream back in COMPLETION
+// order, correlated by "id"/"tag"), or over TCP (--listen: a
+// serve::TcpServer runs one Session per connection; see
+// docs/distributed.md).
 //
 //   hynapse_served [options] [requests.jsonl]
 //     --threads N      thread-pool participation cap (0 = hardware)
@@ -15,6 +18,8 @@
 //                      [$HYNAPSE_CACHE_DIR, else .hynapse_cache]
 //     --naive          disable request coalescing (baseline mode)
 //     --per-chip       emit per-chip accuracies in responses
+//     --listen [PORT]  serve the JSONL protocol over TCP instead of stdin
+//                      (PORT 0/omitted = ephemeral; Ctrl-C stops)
 //
 // Request lines (see docs/serving.md for the full schema):
 //   {"op":"evaluate","config":"hybrid3","vdd":0.65}
@@ -23,18 +28,23 @@
 //   {"op":"table_shard","shard":0,"shard_count":4}
 // REPL extras: "eval <config> <vdd>", "stats", "help", "quit".
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ann/trainer.hpp"
 #include "data/digits.hpp"
 #include "engine/table_cache.hpp"
 #include "serve/eval_service.hpp"
+#include "serve/net.hpp"
+#include "serve/session.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -48,6 +58,8 @@ struct Cli {
   std::string cache_dir;
   bool naive = false;
   bool per_chip = false;
+  bool listen = false;
+  std::size_t listen_port = 0;
   std::string file;
   bool ok = true;
 };
@@ -77,6 +89,13 @@ Cli parse_cli(int argc, char** argv) {
       cli.naive = true;
     } else if (arg == "--per-chip") {
       cli.per_chip = true;
+    } else if (arg == "--listen") {
+      cli.listen = true;
+      // Optional port (0/omitted = ephemeral, printed once bound).
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        cli.listen_port = static_cast<std::size_t>(std::atol(argv[++i]));
+        cli.ok &= cli.listen_port <= 65535;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       cli.ok = false;
     } else if (cli.file.empty()) {
@@ -182,9 +201,24 @@ int replay_file(const core::QuantizedNetwork& qnet, const data::Dataset& test,
   return 0;
 }
 
+/// The stdin/stdout transport: one serve::Session whose sink is stdout.
+/// Responses stream back in completion order (submit several requests and
+/// the cheap ones answer first); parse errors and refusals come back as
+/// failed response lines with structured codes, exactly like the TCP path.
 int repl(const core::QuantizedNetwork& qnet, const data::Dataset& test,
          const serve::ServiceOptions& options, bool per_chip) {
   serve::EvalService service{qnet, test, options};
+  serve::SessionOptions so;
+  so.per_chip = per_chip;
+  so.reject_when_full = false;  // stdin can block: backpressure over errors
+  serve::Session session{service,
+                         [](std::string_view response_line) {
+                           std::printf("%.*s\n",
+                                       static_cast<int>(response_line.size()),
+                                       response_line.data());
+                           std::fflush(stdout);
+                         },
+                         so};
   std::fprintf(stderr,
                "[served] interactive mode; JSON requests, \"eval <config> "
                "<vdd>\", \"stats\", \"help\" or \"quit\"\n");
@@ -207,16 +241,45 @@ int repl(const core::QuantizedNetwork& qnet, const data::Dataset& test,
                    "  stats | help | quit\n");
       continue;
     }
-    std::string error;
-    const auto request = serve::parse_request(expand_shorthand(line), &error);
-    if (!request) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
-      continue;
-    }
-    const serve::Response response = service.wait(service.submit(*request));
-    std::printf("%s\n", serve::format_response(response, per_chip).c_str());
-    std::fflush(stdout);
+    session.handle_line(expand_shorthand(line));
   }
+  session.drain();  // answer everything still in flight before exiting
+  return 0;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// The TCP transport: a serve::TcpServer runs one Session per connection
+/// against the same service. Blocks until SIGINT/SIGTERM, then drains.
+int serve_tcp(const core::QuantizedNetwork& qnet, const data::Dataset& test,
+              const serve::ServiceOptions& options, std::uint16_t port,
+              bool per_chip) {
+  serve::EvalService service{qnet, test, options};
+  serve::TcpServerOptions to;
+  to.port = port;
+  to.session.per_chip = per_chip;
+  serve::TcpServer server{service, to};
+  std::fprintf(stderr, "[served] listening on 127.0.0.1:%u (Ctrl-C stops)\n",
+               static_cast<unsigned>(server.port()));
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  server.stop();
+  const serve::TcpServer::Stats stats = server.stats();
+  std::fprintf(stderr,
+               "[served] stopped: %llu connections, %llu request lines, "
+               "%llu responses, %llu cancelled on disconnect\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.lines),
+               static_cast<unsigned long long>(stats.responses),
+               static_cast<unsigned long long>(stats.cancelled_on_disconnect));
+  print_totals(service);
   return 0;
 }
 
@@ -225,7 +288,8 @@ int usage() {
       stderr,
       "usage: hynapse_served [--threads N] [--chips N] [--samples N]\n"
       "                      [--dispatchers N] [--cache DIR] [--naive]\n"
-      "                      [--per-chip] [requests.jsonl]\n");
+      "                      [--per-chip] [--listen [PORT]] "
+      "[requests.jsonl]\n");
   return 2;
 }
 
@@ -251,6 +315,11 @@ int main(int argc, char** argv) {
                cli.chips, cli.samples, cli.dispatchers,
                cli.naive ? "off" : "on", cli.cache_dir.c_str());
 
+  if (cli.listen) {
+    return serve_tcp(qnet, test, options,
+                     static_cast<std::uint16_t>(cli.listen_port),
+                     cli.per_chip);
+  }
   return cli.file.empty()
              ? repl(qnet, test, options, cli.per_chip)
              : replay_file(qnet, test, options, cli.file, cli.per_chip);

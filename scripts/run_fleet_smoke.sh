@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Fleet smoke test: start two `hynapse_cli fleet-worker` processes on
+# loopback, scatter a table build across them with `fleet-build`, build the
+# same provenance single-process, and byte-compare the two merged CSVs --
+# the distributed build must be bit-identical (docs/distributed.md). Used
+# by CI and handy after a local build.
+#
+# Usage: scripts/run_fleet_smoke.sh [build-dir]   (default: build/release)
+set -euo pipefail
+
+build_dir=${1:-build/release}
+cli="${build_dir}/examples/hynapse_cli"
+
+if [[ ! -x "${cli}" ]]; then
+  echo "error: ${cli} not found (configure+build first)" >&2
+  exit 1
+fi
+
+# Small enough for a smoke run, big enough that every shard does real
+# Monte-Carlo work. Three shards over two workers forces at least one
+# worker to build more than one shard.
+samples=600
+seed=20160312
+shards=3
+
+work=$(mktemp -d)
+worker_pids=()
+cleanup() {
+  for pid in "${worker_pids[@]}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "${work}"
+}
+trap cleanup EXIT
+
+# Starts one fleet worker on an ephemeral port (isolated cache dir) and
+# echoes the port it reports on stdout.
+start_worker() {
+  local cache_dir=$1 log=$2 port
+  HYNAPSE_CACHE_DIR="${cache_dir}" "${cli}" fleet-worker 0 "${samples}" \
+    "${seed}" >"${log}" 2>&1 &
+  worker_pids+=($!)
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^fleet-worker listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "${log}")
+    if [[ -n "${port}" ]]; then
+      echo "${port}"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "error: fleet worker did not come up; log:" >&2
+  cat "${log}" >&2
+  return 1
+}
+
+echo "== starting 2 fleet workers on loopback =="
+p1=$(start_worker "${work}/worker1" "${work}/worker1.log")
+p2=$(start_worker "${work}/worker2" "${work}/worker2.log")
+echo "workers listening on ports ${p1} and ${p2}"
+
+echo "== fleet build: ${shards} shards over 2 workers =="
+HYNAPSE_CACHE_DIR="${work}/fleet" "${cli}" fleet-build "${shards}" \
+  --workers "127.0.0.1:${p1},127.0.0.1:${p2}" "${samples}" "${seed}"
+
+echo "== single-process build of the same provenance =="
+HYNAPSE_CACHE_DIR="${work}/solo" "${cli}" shard-build 0 1 "${samples}" "${seed}"
+HYNAPSE_CACHE_DIR="${work}/solo" "${cli}" shard-merge 1 "${samples}" "${seed}"
+
+# Merged CSVs are keyed by the (spec, analyzer) fingerprint, which is
+# independent of the shard count, so both runs produce the same file name.
+fleet_csv=$(find "${work}/fleet" -name 'failure_table_*.csv' ! -name '*_shard*' | head -1)
+solo_csv=$(find "${work}/solo" -name 'failure_table_*.csv' ! -name '*_shard*' | head -1)
+if [[ -z "${fleet_csv}" || -z "${solo_csv}" ]]; then
+  echo "error: merged CSV missing (fleet='${fleet_csv}' solo='${solo_csv}')" >&2
+  exit 1
+fi
+if [[ "$(basename "${fleet_csv}")" != "$(basename "${solo_csv}")" ]]; then
+  echo "error: fingerprint mismatch: $(basename "${fleet_csv}") vs $(basename "${solo_csv}")" >&2
+  exit 1
+fi
+
+echo "== comparing merged CSVs =="
+if ! cmp "${fleet_csv}" "${solo_csv}"; then
+  echo "error: fleet-built table differs from single-process build" >&2
+  exit 1
+fi
+echo "fleet CSV is byte-identical to the single-process build ($(wc -l <"${fleet_csv}") lines)"
+
+# Graceful worker shutdown: SIGTERM, then collect their stats lines.
+for pid in "${worker_pids[@]}"; do
+  kill -TERM "${pid}" 2>/dev/null || true
+done
+for pid in "${worker_pids[@]}"; do
+  wait "${pid}" || true
+done
+worker_pids=()
+grep -h "fleet-worker stopped" "${work}"/worker*.log || true
+
+echo "fleet smoke OK"

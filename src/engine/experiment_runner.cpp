@@ -18,63 +18,33 @@ core::AccuracyResult ExperimentRunner::evaluate(
                                  &contexts_);
 }
 
-std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
-    const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
-    const mc::FailureTable& failures, const data::Dataset& test,
-    core::EvalOptions options) const {
-  if (options.threads == 0) options.threads = threads_;
+std::vector<core::AccuracyResult> ExperimentRunner::run(
+    const core::QuantizedNetwork& qnet, const EvalJob& job,
+    const data::Dataset& test) const {
+  std::size_t threads = job.threads != 0 ? job.threads : threads_;
 
-  // A homogeneous sweep is a batch where every point shares the same table
-  // and options; evaluate_batch keeps the flat job matrix bit-identical.
-  std::vector<BatchPoint> batch;
-  batch.reserve(points.size());
-  for (const SweepPoint& pt : points) {
-    batch.push_back(BatchPoint{pt.config, pt.vdd, &failures, options});
+  // Resolve each point's failure table: its own pointer, else the plan's
+  // coordinator-acquired table, else the job-shared table, else none.
+  const mc::FailureTable* shared = job.failures;
+  if (job.plan != nullptr) {
+    shared = &job.coordinator->acquire(*job.plan, *job.analyzer);
   }
-  return evaluate_batch(qnet, batch, test, options.threads);
-}
 
-std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
-    const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
-    const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
-    ShardCoordinator& coordinator, const data::Dataset& test,
-    core::EvalOptions options) const {
-  const mc::FailureTable& table = coordinator.acquire(plan, analyzer);
-  return evaluate_sweep(qnet, points, table, test, options);
-}
-
-std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
-    const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
-    const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
-    ShardCoordinator& coordinator, const data::Dataset& test,
-    std::size_t threads, std::uint64_t qnet_fp) const {
-  const mc::FailureTable& table = coordinator.acquire(plan, analyzer);
-  std::vector<BatchPoint> bound{points.begin(), points.end()};
-  for (BatchPoint& pt : bound) {
-    if (pt.failures == nullptr) pt.failures = &table;
-  }
-  return evaluate_batch(qnet, bound, test, threads, qnet_fp);
-}
-
-std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
-    const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
-    const data::Dataset& test, std::size_t threads,
-    std::uint64_t qnet_fp) const {
-  if (threads == 0) threads = threads_;
-
-  std::vector<core::AccuracyResult> results(points.size());
+  std::vector<core::AccuracyResult> results(job.points.size());
 
   // Fault models are cheap to derive from a table; one per point, shared
   // read-only by that point's chip jobs. `offsets` maps the flat job space
   // onto (point, chip) -- points may request different chip counts.
-  std::vector<std::optional<core::FaultModel>> models(points.size());
-  std::vector<std::size_t> offsets(points.size() + 1, 0);
-  for (std::size_t p = 0; p < points.size(); ++p) {
-    const BatchPoint& pt = points[p];
+  std::vector<const mc::FailureTable*> tables(job.points.size(), nullptr);
+  std::vector<std::optional<core::FaultModel>> models(job.points.size());
+  std::vector<std::size_t> offsets(job.points.size() + 1, 0);
+  for (std::size_t p = 0; p < job.points.size(); ++p) {
+    const BatchPoint& pt = job.points[p];
+    tables[p] = pt.failures != nullptr ? pt.failures : shared;
     std::size_t chips = 0;
-    if (pt.failures != nullptr) {
+    if (tables[p] != nullptr) {
       chips = pt.options.chips;
-      models[p].emplace(*pt.failures, pt.vdd, pt.options.policy);
+      models[p].emplace(*tables[p], pt.vdd, pt.options.policy);
     }
     results[p].per_chip.resize(chips);
     offsets[p + 1] = offsets[p] + chips;
@@ -84,9 +54,10 @@ std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
   // fingerprint keys the per-worker delta baselines; one hash covers the
   // whole batch since every point shares `qnet`, and an all-legacy batch
   // (the A/B-comparison usage) skips it entirely.
-  const bool any_delta =
-      std::any_of(points.begin(), points.end(), [](const BatchPoint& pt) {
-        return pt.failures != nullptr &&
+  std::uint64_t qnet_fp = job.qnet_fp;
+  const bool any_delta = std::any_of(
+      job.points.begin(), job.points.end(), [&](const BatchPoint& pt) {
+        return (pt.failures != nullptr || shared != nullptr) &&
                pt.options.path == core::EvalPath::delta;
       });
   if (any_delta && qnet_fp == 0) {
@@ -101,25 +72,66 @@ std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
                 offsets.begin()) -
             1;
         const std::size_t chip = j - offsets[p];
-        if (points[p].options.path == core::EvalPath::legacy) {
-          results[p].per_chip[chip] =
-              core::evaluate_chip(qnet, points[p].config, *models[p], test,
-                                  points[p].options.seed, chip);
+        const BatchPoint& pt = job.points[p];
+        if (pt.options.path == core::EvalPath::legacy) {
+          results[p].per_chip[chip] = core::evaluate_chip(
+              qnet, pt.config, *models[p], test, pt.options.seed, chip);
         } else {
           core::EvalContextPool::Lease lease{contexts_};
           results[p].per_chip[chip] = lease.context().evaluate_chip(
-              qnet, qnet_fp, points[p].config, *models[p], test,
-              points[p].options.seed, chip);
+              qnet, qnet_fp, pt.config, *models[p], test, pt.options.seed,
+              chip);
         }
       },
       threads);
 
-  for (std::size_t p = 0; p < points.size(); ++p) {
+  for (std::size_t p = 0; p < job.points.size(); ++p) {
     if (results[p].per_chip.empty()) continue;
     results[p].mean = util::mean(results[p].per_chip);
     results[p].stddev = util::stddev(results[p].per_chip);
   }
   return results;
+}
+
+std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
+    const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
+    const mc::FailureTable& failures, const data::Dataset& test,
+    core::EvalOptions options) const {
+  return run(qnet, EvalJob::sweep(points, options).against(failures), test);
+}
+
+std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
+    const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
+    const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
+    ShardCoordinator& coordinator, const data::Dataset& test,
+    core::EvalOptions options) const {
+  return run(qnet,
+             EvalJob::sweep(points, options).via(plan, analyzer, coordinator),
+             test);
+}
+
+std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
+    const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
+    const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
+    ShardCoordinator& coordinator, const data::Dataset& test,
+    std::size_t threads, std::uint64_t qnet_fp) const {
+  return run(qnet,
+             EvalJob::batch({points.begin(), points.end()})
+                 .via(plan, analyzer, coordinator)
+                 .with_threads(threads)
+                 .with_network_fingerprint(qnet_fp),
+             test);
+}
+
+std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
+    const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
+    const data::Dataset& test, std::size_t threads,
+    std::uint64_t qnet_fp) const {
+  return run(qnet,
+             EvalJob::batch({points.begin(), points.end()})
+                 .with_threads(threads)
+                 .with_network_fingerprint(qnet_fp),
+             test);
 }
 
 }  // namespace hynapse::engine

@@ -40,6 +40,88 @@ struct BatchPoint {
   core::EvalOptions options;
 };
 
+/// One runner submission, replacing the old evaluate_sweep/evaluate_batch
+/// overload matrix: WHAT to evaluate (a heterogeneous vector of
+/// BatchPoints), WHERE failure tables come from (each point's own table, a
+/// shared table via against(), or a shard plan acquired through via()),
+/// and HOW to run it (thread cap, precomputed network fingerprint). Named
+/// constructors plus chainable setters:
+///
+///   runner.run(qnet, EvalJob::sweep(points, opt).against(table), test);
+///   runner.run(qnet, EvalJob::batch(std::move(pts))
+///                        .via(plan, analyzer, coordinator)
+///                        .with_network_fingerprint(fp),
+///              test);
+///
+/// Table resolution, per point: a point's own `failures` pointer wins;
+/// a null pointer resolves to the via() plan's coordinator-acquired table
+/// when one was given, else to the against() table, else the point yields
+/// an empty result. Everything referenced (tables, plan, analyzer,
+/// coordinator, configs) must outlive the run() call; the job itself is a
+/// value and can be stored or replayed.
+struct EvalJob {
+  std::vector<BatchPoint> points;
+  const mc::FailureTable* failures = nullptr;  ///< against(): shared table
+  const ShardPlan* plan = nullptr;             ///< via(): plan source...
+  const mc::FailureAnalyzer* analyzer = nullptr;
+  ShardCoordinator* coordinator = nullptr;     ///< ...acquired through this
+  /// Pool participation cap for this job (0 = the runner's own cap).
+  std::size_t threads = 0;
+  /// Precomputed core::network_fingerprint of the evaluated network, so a
+  /// caller serving one pinned network doesn't rehash per job; 0 = compute
+  /// when needed. A fingerprint of a DIFFERENT network is undefined.
+  std::uint64_t qnet_fp = 0;
+
+  /// A heterogeneous batch: every point carries its own table/options.
+  [[nodiscard]] static EvalJob batch(std::vector<BatchPoint> pts) {
+    EvalJob job;
+    job.points = std::move(pts);
+    return job;
+  }
+
+  /// A homogeneous sweep: every point shares `options` and whatever table
+  /// against()/via() later supplies. `options.threads`, when set, becomes
+  /// the job's thread cap (preserving the old sweep-overload contract).
+  [[nodiscard]] static EvalJob sweep(std::span<const SweepPoint> pts,
+                                     core::EvalOptions options = {}) {
+    EvalJob job;
+    job.points.reserve(pts.size());
+    for (const SweepPoint& pt : pts) {
+      job.points.push_back(BatchPoint{pt.config, pt.vdd, nullptr, options});
+    }
+    job.threads = options.threads;
+    return job;
+  }
+
+  /// Shared failure table for points that don't carry their own.
+  EvalJob& against(const mc::FailureTable& table) {
+    failures = &table;
+    return *this;
+  }
+
+  /// Shard-plan table source for points that don't carry their own: run()
+  /// acquires the plan's table through the coordinator (merged-CSV hit,
+  /// shard replay, or pool-scattered build -- see shard_coordinator.hpp).
+  EvalJob& via(const ShardPlan& shard_plan,
+               const mc::FailureAnalyzer& shard_analyzer,
+               ShardCoordinator& shard_coordinator) {
+    plan = &shard_plan;
+    analyzer = &shard_analyzer;
+    coordinator = &shard_coordinator;
+    return *this;
+  }
+
+  EvalJob& with_threads(std::size_t n) {
+    threads = n;
+    return *this;
+  }
+
+  EvalJob& with_network_fingerprint(std::uint64_t fp) {
+    qnet_fp = fp;
+    return *this;
+  }
+};
+
 class ExperimentRunner {
  public:
   /// `threads` caps pool participation for this runner's calls
@@ -54,46 +136,44 @@ class ExperimentRunner {
       const mc::FailureTable& failures, double vdd, const data::Dataset& test,
       core::EvalOptions options = {}) const;
 
-  /// Evaluates every sweep point against the same failure table and test
-  /// set; result[i] corresponds to points[i] and is bit-identical to
-  /// evaluate() on that point alone.
-  [[nodiscard]] std::vector<core::AccuracyResult> evaluate_sweep(
+  /// Runs one EvalJob as a single flat (point x chip) job matrix on the
+  /// shared pool, amortizing pool wake-ups across many small requests (the
+  /// serve::EvalService hot path). result[i] corresponds to job.points[i]
+  /// and is bit-identical to evaluate() on that point alone, for any
+  /// thread count or batch shape; a point whose table resolves to nothing
+  /// (see EvalJob) yields an empty result. When the job carries a shard
+  /// plan, the table is coordinator-acquired first and results are
+  /// bit-identical to building it monolithically.
+  [[nodiscard]] std::vector<core::AccuracyResult> run(
+      const core::QuantizedNetwork& qnet, const EvalJob& job,
+      const data::Dataset& test) const;
+
+  /// Deprecated wrappers for the pre-EvalJob overload matrix; each is a
+  /// thin spelling of run() and stays bit-identical to it.
+  [[deprecated("use run(qnet, EvalJob::sweep(points, options).against("
+               "failures), test)")]] [[nodiscard]]
+  std::vector<core::AccuracyResult> evaluate_sweep(
       const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
       const mc::FailureTable& failures, const data::Dataset& test,
       core::EvalOptions options = {}) const;
 
-  /// Evaluates a heterogeneous batch -- each point carries its own failure
-  /// table and options -- as ONE flat (point x chip) job matrix on the
-  /// shared pool, amortizing pool wake-ups across many small requests (the
-  /// serve::EvalService hot path). result[i] corresponds to points[i] and
-  /// is bit-identical to evaluate() on that point alone; a point with a
-  /// null table yields an empty result.
-  ///
-  /// `qnet_fp` optionally supplies a precomputed
-  /// core::network_fingerprint(qnet) so a caller serving one pinned network
-  /// (serve::EvalService) doesn't rehash ~1.4M codes per batch; 0 (the
-  /// default) computes it here. Passing a fingerprint of a *different*
-  /// network is undefined (pooled contexts would serve a stale baseline).
-  [[nodiscard]] std::vector<core::AccuracyResult> evaluate_batch(
+  [[deprecated("use run(qnet, EvalJob::batch(points), test)")]] [[nodiscard]]
+  std::vector<core::AccuracyResult> evaluate_batch(
       const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
       const data::Dataset& test, std::size_t threads = 0,
       std::uint64_t qnet_fp = 0) const;
 
-  /// Sweep against a shard plan instead of a prebuilt table: the failure
-  /// table is acquired through `coordinator` (merged-CSV hit, shard-CSV
-  /// replay, or pool-scattered shard builds -- see shard_coordinator.hpp)
-  /// and the sweep then runs exactly as the prebuilt-table overload.
-  /// Bit-identical to building the table monolithically first.
-  [[nodiscard]] std::vector<core::AccuracyResult> evaluate_sweep(
+  [[deprecated("use run(qnet, EvalJob::sweep(points, options).via(plan, "
+               "analyzer, coordinator), test)")]] [[nodiscard]]
+  std::vector<core::AccuracyResult> evaluate_sweep(
       const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
       const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
       ShardCoordinator& coordinator, const data::Dataset& test,
       core::EvalOptions options = {}) const;
 
-  /// Batch against a shard plan: points whose `failures` is null evaluate
-  /// against the plan's (coordinator-acquired) table; points that already
-  /// carry a table keep it. Otherwise identical to the plain evaluate_batch.
-  [[nodiscard]] std::vector<core::AccuracyResult> evaluate_batch(
+  [[deprecated("use run(qnet, EvalJob::batch(points).via(plan, analyzer, "
+               "coordinator), test)")]] [[nodiscard]]
+  std::vector<core::AccuracyResult> evaluate_batch(
       const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
       const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
       ShardCoordinator& coordinator, const data::Dataset& test,

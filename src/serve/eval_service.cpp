@@ -52,19 +52,27 @@ EvalService::EvalService(const core::QuantizedNetwork& qnet,
 }
 
 EvalService::~EvalService() {
+  FiredCallbacks fired;
   {
     const std::scoped_lock lock{mutex_};
     stop_ = true;
     const std::deque<SlotPtr> queued = std::move(queue_);
     queue_.clear();
     for (const SlotPtr& slot : queued) {
-      finish_locked(slot, RequestStatus::cancelled, {});
+      finish_locked(slot, RequestStatus::cancelled, {}, ErrorCode::none,
+                    fired);
     }
   }
+  run_callbacks(fired);
   cv_work_.notify_all();
   cv_space_.notify_all();
   cv_done_.notify_all();
   for (std::thread& t : dispatchers_) t.join();
+}
+
+void EvalService::run_callbacks(FiredCallbacks& fired) {
+  for (auto& [fn, response] : fired) fn(response);
+  fired.clear();
 }
 
 mc::AnalyzerOptions EvalService::analyzer_options(
@@ -112,17 +120,20 @@ engine::ShardPlan EvalService::shard_plan(const Request& request) const {
 }
 
 std::uint64_t EvalService::enqueue_locked(
-    Request&& request, std::uint64_t fp, std::unique_lock<std::mutex>& lock) {
+    Request&& request, std::uint64_t fp, Completion on_complete,
+    std::unique_lock<std::mutex>& lock) {
   (void)lock;  // caller holds mutex_
   const std::uint64_t id = next_id_++;
   auto slot = std::make_shared<Slot>();
   slot->id = id;
   slot->request = std::move(request);
   slot->fp = fp;
+  slot->on_complete = std::move(on_complete);
   slot->submitted_at = Clock::now();
   slot->response.id = id;
   slot->response.status = RequestStatus::queued;
   slot->response.table_fingerprint = slot->fp;
+  slot->response.tag = slot->request.tag;
   slots_.emplace(id, slot);
   queue_.push_back(std::move(slot));
   ++totals_.submitted;
@@ -133,7 +144,7 @@ std::uint64_t EvalService::enqueue_locked(
   return id;
 }
 
-std::uint64_t EvalService::submit(Request request) {
+std::uint64_t EvalService::submit(Request request, Completion on_complete) {
   // Fingerprinting hashes the whole circuit stack; it reads only immutable
   // service state, so keep it outside the lock.
   const std::uint64_t fp = fingerprint(request);
@@ -142,10 +153,11 @@ std::uint64_t EvalService::submit(Request request) {
     return stop_ || queue_.size() < options_.queue_capacity;
   });
   if (stop_) throw std::runtime_error{"EvalService: shutting down"};
-  return enqueue_locked(std::move(request), fp, lock);
+  return enqueue_locked(std::move(request), fp, std::move(on_complete), lock);
 }
 
-std::optional<std::uint64_t> EvalService::try_submit(Request request) {
+std::optional<std::uint64_t> EvalService::try_submit(Request request,
+                                                     Completion on_complete) {
   const std::uint64_t fp = fingerprint(request);
   std::unique_lock lock{mutex_};
   if (stop_) throw std::runtime_error{"EvalService: shutting down"};
@@ -153,31 +165,48 @@ std::optional<std::uint64_t> EvalService::try_submit(Request request) {
     ++totals_.rejected;
     return std::nullopt;
   }
-  return enqueue_locked(std::move(request), fp, lock);
+  return enqueue_locked(std::move(request), fp, std::move(on_complete), lock);
 }
 
-std::optional<Response> EvalService::poll(std::uint64_t id) const {
+namespace {
+
+/// Terminal answer for an id the service never issued.
+Response not_found_response(std::uint64_t id) {
+  Response r;
+  r.id = id;
+  r.status = RequestStatus::not_found;
+  r.code = ErrorCode::not_found;
+  r.error = "unknown request id " + std::to_string(id);
+  return r;
+}
+
+Response evicted_response(std::uint64_t id) {
+  Response r;
+  r.id = id;
+  r.status = RequestStatus::evicted;
+  return r;
+}
+
+}  // namespace
+
+Response EvalService::poll(std::uint64_t id) const {
   const std::scoped_lock lock{mutex_};
   const auto it = slots_.find(id);
-  if (it == slots_.end()) return std::nullopt;
-  return it->second->response;
+  if (it != slots_.end()) return it->second->response;
+  // Ids are only ever removed by completed-history eviction, so an
+  // absent-but-assigned id means the request finished and its response
+  // aged out before being collected; anything else was never issued.
+  if (id == 0 || id >= next_id_) return not_found_response(id);
+  return evicted_response(id);
 }
 
 Response EvalService::wait(std::uint64_t id) {
   std::unique_lock lock{mutex_};
   const auto it = slots_.find(id);
   if (it == slots_.end()) {
-    if (id == 0 || id >= next_id_) {
-      throw std::invalid_argument{"EvalService: unknown request id " +
-                                  std::to_string(id)};
-    }
-    // Ids are only ever removed by completed-history eviction, so an
-    // absent-but-assigned id means the request finished and its response
-    // aged out before being collected.
-    Response evicted;
-    evicted.id = id;
-    evicted.status = RequestStatus::evicted;
-    return evicted;
+    if (id == 0 || id >= next_id_) return not_found_response(id);
+    // See poll(): absent-but-assigned means evicted, not unknown.
+    return evicted_response(id);
   }
   const SlotPtr slot = it->second;
   cv_done_.wait(lock, [&] {
@@ -189,15 +218,19 @@ Response EvalService::wait(std::uint64_t id) {
 }
 
 bool EvalService::cancel(std::uint64_t id) {
-  const std::scoped_lock lock{mutex_};
-  const auto it = slots_.find(id);
-  if (it == slots_.end() || it->second->status != RequestStatus::queued) {
-    return false;
+  FiredCallbacks fired;
+  {
+    const std::scoped_lock lock{mutex_};
+    const auto it = slots_.find(id);
+    if (it == slots_.end() || it->second->status != RequestStatus::queued) {
+      return false;
+    }
+    const SlotPtr slot = it->second;
+    queue_.erase(std::find(queue_.begin(), queue_.end(), slot));
+    finish_locked(slot, RequestStatus::cancelled, {}, ErrorCode::none, fired);
+    cv_space_.notify_one();
   }
-  const SlotPtr slot = it->second;
-  queue_.erase(std::find(queue_.begin(), queue_.end(), slot));
-  finish_locked(slot, RequestStatus::cancelled, {});
-  cv_space_.notify_one();
+  run_callbacks(fired);
   return true;
 }
 
@@ -286,7 +319,8 @@ std::vector<EvalService::SlotPtr> EvalService::next_batch() {
 }
 
 void EvalService::finish_locked(const SlotPtr& slot, RequestStatus status,
-                                std::string error) {
+                                std::string error, ErrorCode code,
+                                FiredCallbacks& fired) {
   if (slot->status == RequestStatus::done ||
       slot->status == RequestStatus::failed ||
       slot->status == RequestStatus::cancelled) {
@@ -295,6 +329,7 @@ void EvalService::finish_locked(const SlotPtr& slot, RequestStatus status,
   slot->status = status;
   slot->response.status = status;
   slot->response.error = std::move(error);
+  slot->response.code = code;
   slot->response.stats.wall_ms =
       ms_between(slot->submitted_at, Clock::now());
   switch (status) {
@@ -323,6 +358,10 @@ void EvalService::finish_locked(const SlotPtr& slot, RequestStatus status,
     slots_.erase(finished_.front());
     finished_.pop_front();
   }
+  if (slot->on_complete) {
+    fired.emplace_back(std::move(slot->on_complete), slot->response);
+    slot->on_complete = nullptr;
+  }
   cv_done_.notify_all();
 }
 
@@ -336,13 +375,17 @@ void EvalService::answer_table_info(const SlotPtr& slot) {
       rows = table->rows().size();
     }
   }
-  const std::scoped_lock lock{mutex_};
-  Response& r = slot->response;
-  r.table_fingerprint = slot->fp;
-  r.table_csv = csv;
-  r.table_in_memory = in_memory;
-  r.table_rows = rows;
-  finish_locked(slot, RequestStatus::done, {});
+  FiredCallbacks fired;
+  {
+    const std::scoped_lock lock{mutex_};
+    Response& r = slot->response;
+    r.table_fingerprint = slot->fp;
+    r.table_csv = csv;
+    r.table_in_memory = in_memory;
+    r.table_rows = rows;
+    finish_locked(slot, RequestStatus::done, {}, ErrorCode::none, fired);
+  }
+  run_callbacks(fired);
 }
 
 void EvalService::answer_table_shard(const std::vector<SlotPtr>& batch) {
@@ -358,10 +401,15 @@ void EvalService::answer_table_shard(const std::vector<SlotPtr>& batch) {
         std::to_string(plan.spec.vdd_grid.size()) +
         "-point voltage grid yields " + std::to_string(plan.shard_count()) +
         " shards";
-    const std::scoped_lock lock{mutex_};
-    for (const SlotPtr& slot : batch) {
-      finish_locked(slot, RequestStatus::failed, error);
+    FiredCallbacks fired;
+    {
+      const std::scoped_lock lock{mutex_};
+      for (const SlotPtr& slot : batch) {
+        finish_locked(slot, RequestStatus::failed, error,
+                      ErrorCode::shard_out_of_range, fired);
+      }
     }
+    run_callbacks(fired);
     return;
   }
 
@@ -382,30 +430,36 @@ void EvalService::answer_table_shard(const std::vector<SlotPtr>& batch) {
   // failed request, not a "done" that shard-merge later contradicts.
   const bool persisted = csv.empty() || std::filesystem::exists(csv);
 
-  const std::scoped_lock lock{mutex_};
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const SlotPtr& slot = batch[i];
-    Response& r = slot->response;
-    r.table_fingerprint = plan.table_fingerprint;
-    r.shard_index = req.shard;
-    r.shard_count = plan.shard_count();
-    r.shard_fingerprint = planned.fingerprint;
-    r.table_csv = csv;
-    r.table_rows = shard.rows().size();
-    r.table_in_memory = false;  // shards are disk artifacts, never memoized
-    r.stats.table_ms = table_ms;
-    r.stats.table_source =
-        replayed ? engine::TableSource::disk : engine::TableSource::built;
-    r.stats.coalesced = i > 0 || replayed;
-    if (!persisted) {
-      r.table_csv.clear();
-      finish_locked(slot, RequestStatus::failed,
-                    "shard built but its CSV could not be persisted to " +
-                        csv);
-      continue;
+  FiredCallbacks fired;
+  {
+    const std::scoped_lock lock{mutex_};
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const SlotPtr& slot = batch[i];
+      Response& r = slot->response;
+      r.table_fingerprint = plan.table_fingerprint;
+      r.shard_index = req.shard;
+      r.shard_count = plan.shard_count();
+      r.shard_fingerprint = planned.fingerprint;
+      r.table_csv = csv;
+      r.table_rows = shard.rows().size();
+      r.table_in_memory = false;  // shards are disk artifacts, never memoized
+      r.stats.table_ms = table_ms;
+      r.stats.table_source =
+          replayed ? engine::TableSource::disk : engine::TableSource::built;
+      r.stats.coalesced = i > 0 || replayed;
+      if (slot->request.inline_rows) r.shard_rows = shard.rows();
+      if (!persisted) {
+        r.table_csv.clear();
+        finish_locked(slot, RequestStatus::failed,
+                      "shard built but its CSV could not be persisted to " +
+                          csv,
+                      ErrorCode::internal, fired);
+        continue;
+      }
+      finish_locked(slot, RequestStatus::done, {}, ErrorCode::none, fired);
     }
-    finish_locked(slot, RequestStatus::done, {});
   }
+  run_callbacks(fired);
 }
 
 void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
@@ -471,8 +525,11 @@ void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
   std::vector<core::AccuracyResult> results;
   std::string batch_error;
   try {
-    results = runner_.evaluate_batch(qnet_, points, test_, options_.threads,
-                                     qnet_fp_);
+    results = runner_.run(qnet_,
+                          engine::EvalJob::batch(std::move(points))
+                              .with_threads(options_.threads)
+                              .with_network_fingerprint(qnet_fp_),
+                          test_);
   } catch (const std::exception& e) {
     batch_error = e.what();
   }
@@ -480,39 +537,45 @@ void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
 
   // Publish: responses are only ever mutated under the service lock, so
   // poll()/wait() snapshots cannot observe a response mid-write.
-  const std::scoped_lock lock{mutex_};
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const SlotPtr& slot = batch[i];
-    RequestStats& stats = slot->response.stats;
-    stats.table_ms = table_ms;
-    stats.run_ms = run_ms;
-    stats.table_source = source;
-    // A request "coalesced" when it reused table work someone else paid
-    // for: any batch rider, or a leader served from memory/disk.
-    stats.coalesced = i > 0 || source != engine::TableSource::built;
-    slot->response.table_in_memory = options_.coalesce;  // memoized by get()
+  FiredCallbacks fired;
+  {
+    const std::scoped_lock lock{mutex_};
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const SlotPtr& slot = batch[i];
+      RequestStats& stats = slot->response.stats;
+      stats.table_ms = table_ms;
+      stats.run_ms = run_ms;
+      stats.table_source = source;
+      // A request "coalesced" when it reused table work someone else paid
+      // for: any batch rider, or a leader served from memory/disk.
+      stats.coalesced = i > 0 || source != engine::TableSource::built;
+      slot->response.table_in_memory = options_.coalesce;  // memoized by get()
 
-    if (!ranges[i].error.empty()) {
-      finish_locked(slot, RequestStatus::failed, std::move(ranges[i].error));
-      continue;
-    }
-    if (!batch_error.empty()) {
-      finish_locked(slot, RequestStatus::failed, batch_error);
-      continue;
-    }
-    const Request& req = slot->request;
-    std::vector<PointResult>& out = slot->response.results;
-    out.clear();
-    out.reserve(ranges[i].count);
-    std::size_t j = ranges[i].begin;
-    for (const ConfigSpec& cfg : req.configs) {
-      for (const double vdd : req.vdds) {
-        out.push_back(PointResult{cfg.str(), vdd, std::move(results[j])});
-        ++j;
+      if (!ranges[i].error.empty()) {
+        finish_locked(slot, RequestStatus::failed, std::move(ranges[i].error),
+                      ErrorCode::bad_request, fired);
+        continue;
       }
+      if (!batch_error.empty()) {
+        finish_locked(slot, RequestStatus::failed, batch_error,
+                      ErrorCode::internal, fired);
+        continue;
+      }
+      const Request& req = slot->request;
+      std::vector<PointResult>& out = slot->response.results;
+      out.clear();
+      out.reserve(ranges[i].count);
+      std::size_t j = ranges[i].begin;
+      for (const ConfigSpec& cfg : req.configs) {
+        for (const double vdd : req.vdds) {
+          out.push_back(PointResult{cfg.str(), vdd, std::move(results[j])});
+          ++j;
+        }
+      }
+      finish_locked(slot, RequestStatus::done, {}, ErrorCode::none, fired);
     }
-    finish_locked(slot, RequestStatus::done, {});
   }
+  run_callbacks(fired);
 }
 
 void EvalService::dispatcher_loop() {
@@ -530,10 +593,15 @@ void EvalService::dispatcher_loop() {
     } catch (const std::exception& e) {
       // Table build / IO failure: everything in the batch fails with the
       // same reason; the service itself keeps running.
-      const std::scoped_lock lock{mutex_};
-      for (const SlotPtr& slot : batch) {
-        finish_locked(slot, RequestStatus::failed, e.what());
+      FiredCallbacks fired;
+      {
+        const std::scoped_lock lock{mutex_};
+        for (const SlotPtr& slot : batch) {
+          finish_locked(slot, RequestStatus::failed, e.what(),
+                        ErrorCode::internal, fired);
+        }
       }
+      run_callbacks(fired);
     }
   }
 }

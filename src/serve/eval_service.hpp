@@ -23,7 +23,7 @@
 //    paying for its own.
 //  * BATCH fusion: when a dispatcher picks a request, it also drafts every
 //    queued request with the same fingerprint (up to max_batch) and fuses
-//    the whole group into ONE ExperimentRunner::evaluate_batch submission,
+//    the whole group into ONE ExperimentRunner::run (EvalJob) submission,
 //    amortizing pool wake-ups and quantized-network copies across many
 //    small requests.
 // `coalesce = false` disables both layers -- every request acquires a
@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -102,22 +103,38 @@ class EvalService {
   EvalService(const EvalService&) = delete;
   EvalService& operator=(const EvalService&) = delete;
 
+  /// Completion subscription: invoked exactly once when the request reaches
+  /// a terminal state (done / failed / cancelled), with the final response.
+  /// Runs on a dispatcher thread (or the canceller's thread) with no
+  /// service lock held -- the callback may call back into the service, but
+  /// must not block for long (it delays that dispatcher). This is how
+  /// transports stream completions without polling.
+  using Completion = std::function<void(const Response&)>;
+
   /// Enqueues a request and returns its id (ids start at 1). Blocks while
   /// the queue is at capacity (backpressure). Throws std::runtime_error
-  /// after shutdown began.
-  std::uint64_t submit(Request request);
+  /// after shutdown began. `on_complete`, when non-null, fires once at the
+  /// terminal transition (possibly before submit returns the id -- a
+  /// callback that needs the id must capture correlation state itself, e.g.
+  /// via Request::tag).
+  std::uint64_t submit(Request request, Completion on_complete = {});
 
-  /// Non-blocking submit: nullopt when the queue is full.
-  std::optional<std::uint64_t> try_submit(Request request);
+  /// Non-blocking submit: nullopt when the queue is full (`on_complete` is
+  /// then never invoked).
+  std::optional<std::uint64_t> try_submit(Request request,
+                                          Completion on_complete = {});
 
-  /// Snapshot of a request's current state; nullopt for ids that never
-  /// existed or whose response was already evicted (completed_history).
-  [[nodiscard]] std::optional<Response> poll(std::uint64_t id) const;
+  /// Snapshot of a request's current state. Total over ids: an id this
+  /// service never issued yields status `not_found` (code not_found); an
+  /// issued id whose response aged out of completed_history yields
+  /// `evicted`; otherwise the request's current response. Never throws.
+  [[nodiscard]] Response poll(std::uint64_t id) const;
 
   /// Blocks until the request reaches a terminal state (done / failed /
-  /// cancelled) and returns it. An assigned id whose response already aged
-  /// out of completed_history returns status `evicted` instead; an id that
-  /// was never assigned throws std::invalid_argument.
+  /// cancelled) and returns it. Total over ids, like poll(): a never-issued
+  /// id returns status `not_found` (code not_found) immediately, an
+  /// already-evicted id returns `evicted` -- callers need no out-of-band
+  /// discipline about which ids exist. Never throws.
   Response wait(std::uint64_t id);
 
   /// Cancels a request that is still queued. Running or finished requests
@@ -176,12 +193,20 @@ class EvalService {
     std::uint64_t fp = 0;
     RequestStatus status = RequestStatus::queued;
     Response response;
+    Completion on_complete;  ///< moved out at the terminal transition
     std::chrono::steady_clock::time_point submitted_at;
   };
   using SlotPtr = std::shared_ptr<Slot>;
+  /// Completion callbacks armed under mutex_ but fired outside it (a
+  /// callback may re-enter the service): finish_locked moves the callback
+  /// and a snapshot of the final response here, the unlocking caller runs
+  /// them.
+  using FiredCallbacks = std::vector<std::pair<Completion, Response>>;
 
   std::uint64_t enqueue_locked(Request&& request, std::uint64_t fp,
+                               Completion on_complete,
                                std::unique_lock<std::mutex>& lock);
+  static void run_callbacks(FiredCallbacks& fired);
   void dispatcher_loop();
   /// Pops the next batch (same-fingerprint fusion when coalescing) or
   /// returns empty when shutting down with an empty queue.
@@ -195,16 +220,19 @@ class EvalService {
   /// Moves a running slot to a terminal state. Requires mutex_ held: slot
   /// responses are only ever mutated under the lock (poll()/wait() copy
   /// them under the same lock), and terminal slots beyond
-  /// completed_history are evicted oldest-first.
+  /// completed_history are evicted oldest-first. The slot's completion
+  /// callback (if any) is appended to `fired`; the caller MUST run
+  /// run_callbacks(fired) after releasing mutex_.
   void finish_locked(const SlotPtr& slot, RequestStatus status,
-                     std::string error);
+                     std::string error, ErrorCode code,
+                     FiredCallbacks& fired);
 
   const core::QuantizedNetwork& qnet_;
   const data::Dataset& test_;
   const ServiceOptions options_;
   const std::vector<std::size_t> bank_words_;
   /// Content fingerprint of qnet_, computed once (the served network is
-  /// pinned for the service lifetime) and passed to every evaluate_batch so
+  /// pinned for the service lifetime) and passed to every EvalJob so
   /// the hot path never rehashes the codes.
   const std::uint64_t qnet_fp_;
 

@@ -11,7 +11,8 @@ namespace hynapse::serve {
 namespace {
 
 /// Strict recursive-descent parser over a string_view cursor. Depth-limited
-/// so hostile input cannot overflow the stack.
+/// so hostile input cannot overflow the stack. The first (innermost) failure
+/// records its cursor position and reason; propagating frames leave it alone.
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_{text} {}
@@ -20,12 +21,36 @@ class Parser {
     std::optional<Json> v = parse_value(0);
     if (!v) return std::nullopt;
     skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    if (pos_ != text_.size()) return fail("trailing characters after document");
     return v;
+  }
+
+  void fill_error(ParseError& error) const {
+    error.offset = err_pos_;
+    error.message = err_msg_ != nullptr ? err_msg_ : "invalid JSON";
+    error.line = 1;
+    error.column = 1;
+    for (std::size_t i = 0; i < err_pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++error.line;
+        error.column = 1;
+      } else {
+        ++error.column;
+      }
+    }
   }
 
  private:
   static constexpr int kMaxDepth = 64;
+
+  /// Records the first failure's position + reason, then reads as nullopt.
+  std::optional<Json> fail(const char* msg) {
+    if (err_msg_ == nullptr) {
+      err_msg_ = msg;
+      err_pos_ = pos_;
+    }
+    return std::nullopt;
+  }
 
   void skip_ws() {
     while (pos_ < text_.size() &&
@@ -50,18 +75,19 @@ class Parser {
   }
 
   std::optional<Json> parse_value(int depth) {
-    if (depth > kMaxDepth) return std::nullopt;
+    if (depth > kMaxDepth) return fail("nesting depth limit exceeded");
     skip_ws();
-    if (pos_ >= text_.size()) return std::nullopt;
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
     switch (text_[pos_]) {
       case 'n':
-        return literal("null") ? std::optional<Json>{Json{}} : std::nullopt;
+        return literal("null") ? std::optional<Json>{Json{}}
+                               : fail("invalid literal");
       case 't':
         return literal("true") ? std::optional<Json>{Json{true}}
-                               : std::nullopt;
+                               : fail("invalid literal");
       case 'f':
         return literal("false") ? std::optional<Json>{Json{false}}
-                                : std::nullopt;
+                                : fail("invalid literal");
       case '"':
         return parse_string();
       case '[':
@@ -82,27 +108,33 @@ class Parser {
             text_[pos_] == '+' || text_[pos_] == '-')) {
       ++pos_;
     }
-    if (pos_ == start) return std::nullopt;
+    if (pos_ == start) return fail("expected a value");
     double value = 0.0;
     const char* first = text_.data() + start;
     const char* last = text_.data() + pos_;
     const auto [end, ec] = std::from_chars(first, last, value);
-    if (ec != std::errc{} || end != last) return std::nullopt;
+    if (ec != std::errc{} || end != last) {
+      pos_ = start;
+      return fail("malformed number");
+    }
     return Json{value};
   }
 
   std::optional<Json> parse_string() {
-    if (!consume('"')) return std::nullopt;
+    if (!consume('"')) return fail("expected a string");
     std::string out;
     while (pos_ < text_.size()) {
       const char c = text_[pos_++];
       if (c == '"') return Json{std::move(out)};
-      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
       if (c != '\\') {
         out.push_back(c);
         continue;
       }
-      if (pos_ >= text_.size()) return std::nullopt;
+      if (pos_ >= text_.size()) return fail("unterminated string");
       const char esc = text_[pos_++];
       switch (esc) {
         case '"': out.push_back('"'); break;
@@ -114,7 +146,7 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return std::nullopt;
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
           unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             const char h = text_[pos_++];
@@ -124,8 +156,10 @@ class Parser {
               code |= static_cast<unsigned>(h - 'a' + 10);
             else if (h >= 'A' && h <= 'F')
               code |= static_cast<unsigned>(h - 'A' + 10);
-            else
-              return std::nullopt;
+            else {
+              --pos_;
+              return fail("invalid hex digit in \\u escape");
+            }
           }
           // Encode the BMP code point as UTF-8 (surrogate pairs are passed
           // through as two 3-byte sequences; the codec never emits them).
@@ -142,14 +176,15 @@ class Parser {
           break;
         }
         default:
-          return std::nullopt;
+          --pos_;
+          return fail("invalid escape sequence");
       }
     }
-    return std::nullopt;  // unterminated
+    return fail("unterminated string");
   }
 
   std::optional<Json> parse_array(int depth) {
-    if (!consume('[')) return std::nullopt;
+    if (!consume('[')) return fail("expected an array");
     Json out = Json::array();
     skip_ws();
     if (consume(']')) return out;
@@ -159,12 +194,12 @@ class Parser {
       out.push_back(std::move(*v));
       skip_ws();
       if (consume(']')) return out;
-      if (!consume(',')) return std::nullopt;
+      if (!consume(',')) return fail("expected ',' or ']' in array");
     }
   }
 
   std::optional<Json> parse_object(int depth) {
-    if (!consume('{')) return std::nullopt;
+    if (!consume('{')) return fail("expected an object");
     Json out = Json::object();
     skip_ws();
     if (consume('}')) return out;
@@ -173,18 +208,20 @@ class Parser {
       std::optional<Json> key = parse_string();
       if (!key) return std::nullopt;
       skip_ws();
-      if (!consume(':')) return std::nullopt;
+      if (!consume(':')) return fail("expected ':' after object key");
       std::optional<Json> v = parse_value(depth + 1);
       if (!v) return std::nullopt;
       out.set(key->as_string(), std::move(*v));
       skip_ws();
       if (consume('}')) return out;
-      if (!consume(',')) return std::nullopt;
+      if (!consume(',')) return fail("expected ',' or '}' in object");
     }
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t err_pos_ = 0;
+  const char* err_msg_ = nullptr;
 };
 
 void dump_string(const std::string& s, std::string& out) {
@@ -258,8 +295,27 @@ Json& Json::set(std::string key, Json v) {
   return *this;
 }
 
+std::string ParseError::str() const {
+  std::string out = message.empty() ? std::string{"invalid JSON"} : message;
+  out += " at line ";
+  out += std::to_string(line);
+  out += ", column ";
+  out += std::to_string(column);
+  out += " (offset ";
+  out += std::to_string(offset);
+  out += ")";
+  return out;
+}
+
 std::optional<Json> Json::parse(std::string_view text) {
-  return Parser{text}.parse_document();
+  return parse(text, nullptr);
+}
+
+std::optional<Json> Json::parse(std::string_view text, ParseError* error) {
+  Parser parser{text};
+  std::optional<Json> v = parser.parse_document();
+  if (!v && error != nullptr) parser.fill_error(*error);
+  return v;
 }
 
 std::string Json::dump() const {

@@ -14,6 +14,20 @@
 
 namespace hynapse::serve {
 
+/// Where and why a parse failed. `offset` is the byte offset of the first
+/// error in the input; `line`/`column` are 1-based and derived from it
+/// (JSONL payloads are single lines, so `line` is almost always 1, but
+/// multi-line documents report real positions).
+struct ParseError {
+  std::size_t offset = 0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::string message;
+
+  /// "<message> at line L, column C (offset O)" -- for logs and wire errors.
+  [[nodiscard]] std::string str() const;
+};
+
 class Json {
  public:
   enum class Type { null, boolean, number, string, array, object };
@@ -73,6 +87,11 @@ class Json {
 
   /// Strict parse of a complete JSON document (trailing non-space rejected).
   [[nodiscard]] static std::optional<Json> parse(std::string_view text);
+
+  /// As above, but on failure fills `error` (when non-null) with the byte
+  /// offset, line/column and reason of the first syntax error.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text,
+                                                 ParseError* error);
 
   /// Compact single-line rendering; numbers round-trip doubles exactly.
   [[nodiscard]] std::string dump() const;

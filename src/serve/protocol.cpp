@@ -23,13 +23,14 @@ bool parse_int(std::string_view text, int& out) {
 /// would silently map to the same value (and >= 2^64 the cast itself is
 /// undefined behavior). Rejecting makes the loss explicit.
 bool read_u64(const Json& v, std::string_view key, std::uint64_t& out,
-              std::string* error) {
+              RequestError* error) {
   constexpr double kTwoPow53 = 9007199254740992.0;
   const double d = v.is_number() ? v.as_number() : -1.0;
   if (!(d >= 0.0) || d != std::floor(d) || d > kTwoPow53) {
     if (error != nullptr) {
-      *error = "\"" + std::string{key} +
-               "\" must be a non-negative integer <= 2^53";
+      error->code = ErrorCode::bad_request;
+      error->message = "\"" + std::string{key} +
+                       "\" must be a non-negative integer <= 2^53";
     }
     return false;
   }
@@ -50,6 +51,43 @@ Json accuracy_json(const PointResult& point, bool per_chip) {
     j.set("per_chip", std::move(chips));
   }
   return j;
+}
+
+std::optional<RequestStatus> parse_status(std::string_view text) noexcept {
+  if (text == "queued") return RequestStatus::queued;
+  if (text == "running") return RequestStatus::running;
+  if (text == "done") return RequestStatus::done;
+  if (text == "failed") return RequestStatus::failed;
+  if (text == "cancelled") return RequestStatus::cancelled;
+  if (text == "evicted") return RequestStatus::evicted;
+  if (text == "not_found") return RequestStatus::not_found;
+  return std::nullopt;
+}
+
+std::optional<engine::TableSource> parse_table_source(
+    std::string_view text) noexcept {
+  if (text == "memory") return engine::TableSource::memory;
+  if (text == "disk") return engine::TableSource::disk;
+  if (text == "built") return engine::TableSource::built;
+  return std::nullopt;
+}
+
+/// Fingerprints travel as the 16-hex-digit string of fingerprint_hex().
+bool parse_fingerprint(const Json* v, std::uint64_t& out) {
+  if (v == nullptr || !v->is_string()) return false;
+  const std::string& s = v->as_string();
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return false;
+  }
+  out = value;
+  return true;
 }
 
 }  // namespace
@@ -131,6 +169,7 @@ const char* to_string(RequestStatus status) noexcept {
     case RequestStatus::failed: return "failed";
     case RequestStatus::cancelled: return "cancelled";
     case RequestStatus::evicted: return "evicted";
+    case RequestStatus::not_found: return "not_found";
   }
   return "?";
 }
@@ -144,15 +183,48 @@ const char* to_string(engine::TableSource source) noexcept {
   return "?";
 }
 
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::none: return "none";
+    case ErrorCode::bad_request: return "bad_request";
+    case ErrorCode::queue_full: return "queue_full";
+    case ErrorCode::shard_out_of_range: return "shard_out_of_range";
+    case ErrorCode::shutting_down: return "shutting_down";
+    case ErrorCode::not_found: return "not_found";
+    case ErrorCode::unsupported_version: return "unsupported_version";
+    case ErrorCode::internal: return "internal";
+  }
+  return "?";
+}
+
+std::optional<ErrorCode> parse_error_code(std::string_view text) noexcept {
+  if (text == "none") return ErrorCode::none;
+  if (text == "bad_request") return ErrorCode::bad_request;
+  if (text == "queue_full") return ErrorCode::queue_full;
+  if (text == "shard_out_of_range") return ErrorCode::shard_out_of_range;
+  if (text == "shutting_down") return ErrorCode::shutting_down;
+  if (text == "not_found") return ErrorCode::not_found;
+  if (text == "unsupported_version") return ErrorCode::unsupported_version;
+  if (text == "internal") return ErrorCode::internal;
+  return std::nullopt;
+}
+
 std::optional<Request> parse_request(std::string_view line,
-                                     std::string* error) {
-  const auto fail = [&](std::string why) -> std::optional<Request> {
-    if (error != nullptr) *error = std::move(why);
+                                     RequestError* error) {
+  const auto fail = [&](std::string why,
+                        ErrorCode code =
+                            ErrorCode::bad_request) -> std::optional<Request> {
+    if (error != nullptr) {
+      error->code = code;
+      error->message = std::move(why);
+    }
     return std::nullopt;
   };
 
-  const std::optional<Json> doc = Json::parse(line);
-  if (!doc || !doc->is_object()) return fail("not a JSON object");
+  ParseError syntax;
+  const std::optional<Json> doc = Json::parse(line, &syntax);
+  if (!doc) return fail("invalid JSON: " + syntax.str());
+  if (!doc->is_object()) return fail("not a JSON object");
 
   const Json* op = doc->get("op");
   if (op == nullptr || !op->is_string()) {
@@ -174,7 +246,23 @@ std::optional<Request> parse_request(std::string_view line,
 
   for (const auto& [key, value] : doc->members()) {
     if (key == "op") continue;
-    if (key == "priority") {
+    if (key == "v") {
+      const double v = value.is_number() ? value.as_number() : -1.0;
+      if (v != static_cast<double>(kProtocolVersion)) {
+        return fail("unsupported protocol version (server speaks v" +
+                        std::to_string(kProtocolVersion) + ")",
+                    ErrorCode::unsupported_version);
+      }
+    } else if (key == "tag") {
+      if (!value.is_string()) return fail("\"tag\" must be a string");
+      req.tag = value.as_string();
+    } else if (key == "inline_rows") {
+      if (req.kind != RequestKind::table_shard) {
+        return fail("\"inline_rows\" is only valid for op \"table_shard\"");
+      }
+      if (!value.is_bool()) return fail("\"inline_rows\" must be a boolean");
+      req.inline_rows = value.as_bool();
+    } else if (key == "priority") {
       const double p = value.is_number() ? value.as_number() : 0.5;
       if (p != std::floor(p) || p < -1e6 || p > 1e6) {
         return fail("\"priority\" must be an integer in [-1e6, 1e6]");
@@ -257,11 +345,65 @@ std::optional<Request> parse_request(std::string_view line,
   return req;
 }
 
+std::optional<Request> parse_request(std::string_view line,
+                                     std::string* error) {
+  RequestError structured;
+  std::optional<Request> req =
+      parse_request(line, error != nullptr ? &structured : nullptr);
+  if (!req && error != nullptr) *error = std::move(structured.message);
+  return req;
+}
+
+std::string format_request(const Request& request) {
+  Json j = Json::object();
+  j.set("v", kProtocolVersion);
+  switch (request.kind) {
+    case RequestKind::evaluate: j.set("op", "evaluate"); break;
+    case RequestKind::sweep: j.set("op", "sweep"); break;
+    case RequestKind::table_info: j.set("op", "table_info"); break;
+    case RequestKind::table_shard: j.set("op", "table_shard"); break;
+  }
+  if (request.kind == RequestKind::evaluate ||
+      request.kind == RequestKind::sweep) {
+    Json configs = Json::array();
+    for (const ConfigSpec& spec : request.configs) {
+      configs.push_back(spec.str());
+    }
+    Json vdds = Json::array();
+    for (const double v : request.vdds) vdds.push_back(v);
+    j.set("configs", std::move(configs));
+    j.set("vdds", std::move(vdds));
+  }
+  if (request.kind == RequestKind::table_shard) {
+    j.set("shard", static_cast<double>(request.shard));
+    j.set("shard_count", static_cast<double>(request.shard_count));
+    if (request.inline_rows) j.set("inline_rows", true);
+  }
+  if (request.priority != 0) j.set("priority", request.priority);
+  if (request.chips != 0) j.set("chips", static_cast<double>(request.chips));
+  if (request.eval_seed != 0) {
+    j.set("eval_seed", static_cast<double>(request.eval_seed));
+  }
+  if (request.mc_samples != 0) {
+    j.set("samples", static_cast<double>(request.mc_samples));
+  }
+  if (request.table_seed != 0) {
+    j.set("table_seed", static_cast<double>(request.table_seed));
+  }
+  if (!request.tag.empty()) j.set("tag", request.tag);
+  return j.dump();
+}
+
 std::string format_response(const Response& response, bool per_chip) {
   Json j = Json::object();
+  j.set("v", kProtocolVersion);
   j.set("id", static_cast<double>(response.id));
   j.set("status", to_string(response.status));
   if (!response.error.empty()) j.set("error", response.error);
+  if (response.code != ErrorCode::none) {
+    j.set("code", to_string(response.code));
+  }
+  if (!response.tag.empty()) j.set("tag", response.tag);
 
   if (!response.results.empty()) {
     Json results = Json::array();
@@ -299,6 +441,23 @@ std::string format_response(const Response& response, bool per_chip) {
       // persisted shard CSV (possibly produced by another process).
       shard.set("source", to_string(response.stats.table_source));
     }
+    if (!response.shard_rows.empty()) {
+      // [vdd, ra6, wf6, rd6, ra8, wf8, rd8] per row; doubles travel as
+      // %.17g so a remote merge is bit-identical to a local one.
+      Json rows = Json::array();
+      for (const mc::FailureTableRow& row : response.shard_rows) {
+        Json r = Json::array();
+        r.push_back(row.vdd);
+        r.push_back(row.cell6.read_access);
+        r.push_back(row.cell6.write_fail);
+        r.push_back(row.cell6.read_disturb);
+        r.push_back(row.cell8.read_access);
+        r.push_back(row.cell8.write_fail);
+        r.push_back(row.cell8.read_disturb);
+        rows.push_back(std::move(r));
+      }
+      shard.set("rows_data", std::move(rows));
+    }
     j.set("shard", std::move(shard));
   }
 
@@ -315,6 +474,172 @@ std::string format_response(const Response& response, bool per_chip) {
     j.set("stats", std::move(stats));
   }
   return j.dump();
+}
+
+std::optional<Response> parse_response(std::string_view line,
+                                       std::string* error) {
+  const auto fail = [&](std::string why) -> std::optional<Response> {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+  };
+
+  ParseError syntax;
+  const std::optional<Json> doc = Json::parse(line, &syntax);
+  if (!doc) return fail("invalid JSON: " + syntax.str());
+  if (!doc->is_object()) return fail("not a JSON object");
+
+  Response r;
+  const Json* id = doc->get("id");
+  if (id == nullptr || !id->is_number()) {
+    return fail("missing numeric field \"id\"");
+  }
+  r.id = static_cast<std::uint64_t>(id->as_number());
+
+  const Json* status = doc->get("status");
+  if (status == nullptr || !status->is_string()) {
+    return fail("missing string field \"status\"");
+  }
+  const auto parsed_status = parse_status(status->as_string());
+  if (!parsed_status) {
+    return fail("unknown status \"" + status->as_string() + "\"");
+  }
+  r.status = *parsed_status;
+
+  // Unknown top-level keys are tolerated: a newer server may annotate
+  // responses, and a client must not choke on that.
+  if (const Json* err = doc->get("error"); err != nullptr && err->is_string()) {
+    r.error = err->as_string();
+  }
+  if (const Json* code = doc->get("code");
+      code != nullptr && code->is_string()) {
+    const auto parsed = parse_error_code(code->as_string());
+    if (!parsed) return fail("unknown code \"" + code->as_string() + "\"");
+    r.code = *parsed;
+  }
+  if (const Json* tag = doc->get("tag"); tag != nullptr && tag->is_string()) {
+    r.tag = tag->as_string();
+  }
+
+  if (const Json* results = doc->get("results");
+      results != nullptr && results->is_array()) {
+    for (const Json& item : results->items()) {
+      if (!item.is_object()) return fail("bad entry in \"results\"");
+      PointResult point;
+      const Json* config = item.get("config");
+      const Json* vdd = item.get("vdd");
+      const Json* mean = item.get("mean");
+      const Json* stddev = item.get("stddev");
+      if (config == nullptr || !config->is_string() || vdd == nullptr ||
+          !vdd->is_number() || mean == nullptr || !mean->is_number() ||
+          stddev == nullptr || !stddev->is_number()) {
+        return fail("bad entry in \"results\"");
+      }
+      point.config = config->as_string();
+      point.vdd = vdd->as_number();
+      point.accuracy.mean = mean->as_number();
+      point.accuracy.stddev = stddev->as_number();
+      if (const Json* chips = item.get("per_chip");
+          chips != nullptr && chips->is_array()) {
+        for (const Json& a : chips->items()) {
+          if (!a.is_number()) return fail("bad \"per_chip\" entry");
+          point.accuracy.per_chip.push_back(a.as_number());
+        }
+      }
+      r.results.push_back(std::move(point));
+    }
+  }
+
+  if (const Json* table = doc->get("table");
+      table != nullptr && table->is_object()) {
+    if (!parse_fingerprint(table->get("fingerprint"), r.table_fingerprint)) {
+      return fail("bad \"table.fingerprint\"");
+    }
+    if (const Json* source = table->get("source");
+        source != nullptr && source->is_string()) {
+      const auto parsed = parse_table_source(source->as_string());
+      if (!parsed) return fail("unknown table source");
+      r.stats.table_source = *parsed;
+    }
+    if (const Json* coalesced = table->get("coalesced");
+        coalesced != nullptr && coalesced->is_bool()) {
+      r.stats.coalesced = coalesced->as_bool();
+    }
+    if (const Json* csv = table->get("csv");
+        csv != nullptr && csv->is_string()) {
+      r.table_csv = csv->as_string();
+    }
+    if (const Json* rows = table->get("rows");
+        rows != nullptr && rows->is_number()) {
+      r.table_rows = static_cast<std::size_t>(rows->as_number());
+    }
+    if (const Json* in_memory = table->get("in_memory");
+        in_memory != nullptr && in_memory->is_bool()) {
+      r.table_in_memory = in_memory->as_bool();
+    }
+  }
+
+  if (const Json* shard = doc->get("shard");
+      shard != nullptr && shard->is_object()) {
+    const Json* index = shard->get("index");
+    const Json* count = shard->get("count");
+    if (index == nullptr || !index->is_number() || count == nullptr ||
+        !count->is_number()) {
+      return fail("bad \"shard\" block");
+    }
+    r.shard_index = static_cast<std::size_t>(index->as_number());
+    r.shard_count = static_cast<std::size_t>(count->as_number());
+    if (!parse_fingerprint(shard->get("fingerprint"), r.shard_fingerprint)) {
+      return fail("bad \"shard.fingerprint\"");
+    }
+    if (const Json* source = shard->get("source");
+        source != nullptr && source->is_string()) {
+      const auto parsed = parse_table_source(source->as_string());
+      if (!parsed) return fail("unknown shard source");
+      r.stats.table_source = *parsed;
+    }
+    if (const Json* rows = shard->get("rows_data");
+        rows != nullptr && rows->is_array()) {
+      for (const Json& row : rows->items()) {
+        if (!row.is_array() || row.items().size() != 7) {
+          return fail("bad \"rows_data\" entry");
+        }
+        for (const Json& v : row.items()) {
+          if (!v.is_number()) return fail("bad \"rows_data\" entry");
+        }
+        mc::FailureTableRow out;
+        out.vdd = row.items()[0].as_number();
+        out.cell6.read_access = row.items()[1].as_number();
+        out.cell6.write_fail = row.items()[2].as_number();
+        out.cell6.read_disturb = row.items()[3].as_number();
+        out.cell8.read_access = row.items()[4].as_number();
+        out.cell8.write_fail = row.items()[5].as_number();
+        out.cell8.read_disturb = row.items()[6].as_number();
+        r.shard_rows.push_back(out);
+      }
+    }
+  }
+
+  if (const Json* stats = doc->get("stats");
+      stats != nullptr && stats->is_object()) {
+    const auto number = [&](const char* key, double& out) {
+      if (const Json* v = stats->get(key); v != nullptr && v->is_number()) {
+        out = v->as_number();
+      }
+    };
+    number("queue_ms", r.stats.queue_ms);
+    number("table_ms", r.stats.table_ms);
+    number("run_ms", r.stats.run_ms);
+    number("wall_ms", r.stats.wall_ms);
+    if (const Json* v = stats->get("batch_size");
+        v != nullptr && v->is_number()) {
+      r.stats.batch_size = static_cast<std::size_t>(v->as_number());
+    }
+    if (const Json* v = stats->get("dispatch_seq");
+        v != nullptr && v->is_number()) {
+      r.stats.dispatch_seq = static_cast<std::uint64_t>(v->as_number());
+    }
+  }
+  return r;
 }
 
 }  // namespace hynapse::serve

@@ -12,14 +12,22 @@
 //   {"op":"sweep","configs":["all6t","hybrid2"],"vdds":[0.6,0.7], ...}
 //   {"op":"table_info","samples":M,"table_seed":T}
 //   {"op":"table_shard","shard":K,"shard_count":N,"samples":M,
-//    "table_seed":T,"priority":P}
-// "evaluate" also accepts the plural keys; "sweep" evaluates the full
-// configs x vdds grid. chips/eval_seed/samples/table_seed default to the
-// service's configuration [0 = service default]; priority defaults to 0
-// (higher dispatches first). "table_shard" builds (or replays) one shard of
-// the table's voltage grid and persists its CSV -- the cross-process
-// scatter primitive (docs/sharding.md); shard_count is clamped to the
-// grid size by the service.
+//    "table_seed":T,"priority":P,"inline_rows":true}
+// Every request additionally accepts "v" (protocol version; omitted means
+// kProtocolVersion) and "tag" (an opaque string echoed verbatim in the
+// response -- correlation for pipelined clients). "evaluate" also accepts
+// the plural keys; "sweep" evaluates the full configs x vdds grid.
+// chips/eval_seed/samples/table_seed default to the service's configuration
+// [0 = service default]; priority defaults to 0 (higher dispatches first).
+// "table_shard" builds (or replays) one shard of the table's voltage grid
+// and persists its CSV -- the cross-process scatter primitive
+// (docs/sharding.md, docs/distributed.md); shard_count is clamped to the
+// grid size by the service. With "inline_rows":true the response carries
+// the shard's rows inline ("rows_data", bit-exact doubles), so a remote
+// coordinator can merge without a shared filesystem.
+//
+// Responses always carry "v" (protocol version) and, on failure, a
+// machine-readable "code" alongside the human-readable "error" string.
 #pragma once
 
 #include <cstdint>
@@ -32,8 +40,38 @@
 #include "core/experiments.hpp"
 #include "core/memory_config.hpp"
 #include "engine/table_cache.hpp"
+#include "mc/failure_table.hpp"
 
 namespace hynapse::serve {
+
+/// Version of the JSONL wire protocol. Bumped on incompatible changes;
+/// requests carrying a different "v" are rejected with
+/// ErrorCode::unsupported_version.
+inline constexpr int kProtocolVersion = 1;
+
+/// Machine-readable failure categories, carried as "code" in failed
+/// responses so clients can branch without parsing error prose.
+enum class ErrorCode {
+  none,                 ///< not an error (never emitted on the wire)
+  bad_request,          ///< malformed line, unknown field, invalid value
+  queue_full,           ///< service queue at capacity (try_submit rejection)
+  shard_out_of_range,   ///< shard index >= clamped shard count
+  shutting_down,        ///< service is draining; no new work accepted
+  not_found,            ///< unknown request id (poll/wait on a bogus id)
+  unsupported_version,  ///< request "v" != kProtocolVersion
+  internal,             ///< table build / evaluation failure server-side
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code) noexcept;
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<ErrorCode> parse_error_code(
+    std::string_view text) noexcept;
+
+/// A structured parse failure: the category plus a human-readable reason.
+struct RequestError {
+  ErrorCode code = ErrorCode::bad_request;
+  std::string message;
+};
 
 /// Symbolic memory-configuration name: "all6t", "hybridN" (uniform N MSBs
 /// in 8T) or "perlayer:a,b,..." (per-bank MSB counts).
@@ -75,12 +113,21 @@ struct Request {
   // table_shard only: build shard `shard` of `shard_count`.
   std::size_t shard = 0;
   std::size_t shard_count = 0;
+  /// table_shard only: return the shard's rows inline in the response
+  /// ("rows_data") instead of relying on a shared cache directory.
+  bool inline_rows = false;
+  /// Opaque client correlation string, echoed in the response. Not part of
+  /// the coalescing fingerprint.
+  std::string tag;
 };
 
 /// `evicted` is a degenerate terminal state: the request finished, but its
 /// response aged out of the service's bounded completed-history before
-/// being collected, so the outcome is no longer known.
-enum class RequestStatus { queued, running, done, failed, cancelled, evicted };
+/// being collected, so the outcome is no longer known. `not_found` is the
+/// typed answer to polling an id the service never issued.
+enum class RequestStatus {
+  queued, running, done, failed, cancelled, evicted, not_found
+};
 
 [[nodiscard]] const char* to_string(RequestStatus status) noexcept;
 [[nodiscard]] const char* to_string(engine::TableSource source) noexcept;
@@ -110,6 +157,8 @@ struct Response {
   std::uint64_t id = 0;
   RequestStatus status = RequestStatus::queued;
   std::string error;                  ///< non-empty iff status == failed
+  ErrorCode code = ErrorCode::none;   ///< set iff status is failed/not_found
+  std::string tag;                    ///< echo of Request::tag
   std::vector<PointResult> results;   ///< evaluate/sweep
   std::uint64_t table_fingerprint = 0;
   // table_info:
@@ -120,17 +169,36 @@ struct Response {
   std::size_t shard_index = 0;
   std::size_t shard_count = 0;           ///< 0 for non-shard responses
   std::uint64_t shard_fingerprint = 0;   ///< shard-extended provenance
+  /// Inline shard rows (Request::inline_rows); round-trips bit-exactly.
+  std::vector<mc::FailureTableRow> shard_rows;
   RequestStats stats;
 };
 
 /// Parses one JSONL request line. On failure returns nullopt and, when
-/// `error` is non-null, a human-readable reason.
+/// `error` is non-null, the error category (bad_request or
+/// unsupported_version) plus a human-readable reason with the JSON syntax
+/// position when the line was not valid JSON.
+[[nodiscard]] std::optional<Request> parse_request(std::string_view line,
+                                                   RequestError* error);
+
+/// Convenience overload keeping the pre-versioning signature: only the
+/// human-readable reason, no category.
 [[nodiscard]] std::optional<Request> parse_request(std::string_view line,
                                                    std::string* error);
+
+/// One-line JSON rendering of a request -- the client half of the codec.
+/// parse_request(format_request(r)) reproduces `r` exactly.
+[[nodiscard]] std::string format_request(const Request& request);
 
 /// One-line JSON rendering. `per_chip` additionally emits the per-chip
 /// accuracy vectors (bitwise-exact doubles).
 [[nodiscard]] std::string format_response(const Response& response,
                                           bool per_chip = false);
+
+/// Parses one JSONL response line -- the client half of the codec. Numeric
+/// fields round-trip bit-exactly (doubles travel as %.17g). On failure
+/// returns nullopt and, when `error` is non-null, a reason.
+[[nodiscard]] std::optional<Response> parse_response(std::string_view line,
+                                                     std::string* error);
 
 }  // namespace hynapse::serve

@@ -1,0 +1,173 @@
+#include "serve/session.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace hynapse::serve {
+
+// Lives behind a shared_ptr because completion callbacks can outlive the
+// Session object: a request still running when the session closes completes
+// later, and its callback must find valid state (and a detached sink).
+struct Session::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  Sink sink;
+  bool open = true;
+  std::uint64_t outstanding = 0;  ///< submitted, completion not yet observed
+  /// Ids submitted and not yet completed -- what close() cancels. A
+  /// completion can beat submit()'s return (the callback fires before the
+  /// id is known here); such ids park in completed_early until handle_line
+  /// reconciles them.
+  std::unordered_set<std::uint64_t> inflight;
+  std::unordered_set<std::uint64_t> completed_early;
+  Stats stats;
+};
+
+Session::Session(EvalService& service, Sink sink, SessionOptions options)
+    : service_{service},
+      options_{options},
+      state_{std::make_shared<State>()} {
+  state_->sink = std::move(sink);
+}
+
+Session::~Session() { close(); }
+
+void Session::emit_error(const std::string& tag, ErrorCode code,
+                         std::string message) {
+  Response r;
+  r.id = 0;  // no id was assigned; clients correlate by tag (if any)
+  r.status = RequestStatus::failed;
+  r.code = code;
+  r.error = std::move(message);
+  r.tag = tag;
+  const std::lock_guard lock{state_->mutex};
+  if (state_->open && state_->sink) {
+    state_->sink(format_response(r, options_.per_chip));
+    ++state_->stats.responses;
+  }
+}
+
+std::uint64_t Session::handle_line(std::string_view line) {
+  {
+    const std::lock_guard lock{state_->mutex};
+    ++state_->stats.lines;
+  }
+
+  RequestError error;
+  std::optional<Request> request = parse_request(line, &error);
+  if (!request) {
+    {
+      const std::lock_guard lock{state_->mutex};
+      ++state_->stats.parse_errors;
+    }
+    emit_error({}, error.code, std::move(error.message));
+    return 0;
+  }
+  if (!options_.allow_evaluate && (request->kind == RequestKind::evaluate ||
+                                   request->kind == RequestKind::sweep)) {
+    {
+      const std::lock_guard lock{state_->mutex};
+      ++state_->stats.rejected;
+    }
+    emit_error(request->tag, ErrorCode::bad_request,
+               "this endpoint serves table builds only"
+               " (evaluate/sweep disabled)");
+    return 0;
+  }
+
+  // The callback may fire on a dispatcher thread before submit() returns,
+  // so outstanding is counted up front and the id reconciled afterwards.
+  const std::shared_ptr<State> state = state_;
+  {
+    const std::lock_guard lock{state->mutex};
+    ++state->outstanding;
+  }
+  const bool per_chip = options_.per_chip;
+  EvalService::Completion on_complete = [state,
+                                         per_chip](const Response& response) {
+    const std::lock_guard lock{state->mutex};
+    if (state->inflight.erase(response.id) == 0) {
+      state->completed_early.insert(response.id);
+    }
+    if (state->open && state->sink) {
+      state->sink(format_response(response, per_chip));
+      ++state->stats.responses;
+    }
+    --state->outstanding;
+    state->cv.notify_all();
+  };
+
+  const std::string tag = request->tag;
+  Request to_submit = std::move(*request);
+  std::uint64_t id = 0;
+  try {
+    if (options_.reject_when_full) {
+      const std::optional<std::uint64_t> assigned =
+          service_.try_submit(std::move(to_submit), std::move(on_complete));
+      if (!assigned) {
+        {
+          const std::lock_guard lock{state->mutex};
+          --state->outstanding;
+          ++state->stats.rejected;
+        }
+        emit_error(tag, ErrorCode::queue_full,
+                   "service queue is at capacity");
+        return 0;
+      }
+      id = *assigned;
+    } else {
+      id = service_.submit(std::move(to_submit), std::move(on_complete));
+    }
+  } catch (const std::exception& e) {
+    {
+      const std::lock_guard lock{state->mutex};
+      --state->outstanding;
+      ++state->stats.rejected;
+      state->cv.notify_all();
+    }
+    emit_error(tag, ErrorCode::shutting_down, e.what());
+    return 0;
+  }
+
+  {
+    const std::lock_guard lock{state->mutex};
+    if (state->completed_early.erase(id) == 0) state->inflight.insert(id);
+  }
+  return id;
+}
+
+void Session::drain() {
+  std::unique_lock lock{state_->mutex};
+  state_->cv.wait(lock, [this] { return state_->outstanding == 0; });
+}
+
+void Session::close() {
+  std::vector<std::uint64_t> to_cancel;
+  {
+    const std::lock_guard lock{state_->mutex};
+    if (!state_->open) return;
+    state_->open = false;
+    state_->sink = nullptr;
+    to_cancel.assign(state_->inflight.begin(), state_->inflight.end());
+  }
+  // cancel() fires completion callbacks synchronously (without the state
+  // lock held here), which reconciles inflight/outstanding; requests
+  // already running finish server-side and their responses are dropped.
+  std::uint64_t cancelled = 0;
+  for (const std::uint64_t id : to_cancel) {
+    if (service_.cancel(id)) ++cancelled;
+  }
+  const std::lock_guard lock{state_->mutex};
+  state_->stats.cancelled_on_close += cancelled;
+}
+
+Session::Stats Session::stats() const {
+  const std::lock_guard lock{state_->mutex};
+  return state_->stats;
+}
+
+}  // namespace hynapse::serve

@@ -138,7 +138,7 @@ TEST(DeltaEval, ContextRebindsAcrossNetworks) {
 }
 
 TEST(DeltaEval, MixedPathBatchIsBitIdentical) {
-  // evaluate_batch with per-point paths: legacy and delta points in one
+  // An EvalJob batch with per-point paths: legacy and delta points in one
   // fused submission agree with each other point-for-point.
   const QuantizedNetwork& qnet = test_qnet();
   const data::Dataset test = small_test_set().head(150);
@@ -158,7 +158,7 @@ TEST(DeltaEval, MixedPathBatchIsBitIdentical) {
   points.push_back(engine::BatchPoint{config, 0.70, &table, delta_options});
   points.push_back(engine::BatchPoint{config, 0.70, &table, legacy_options});
   const std::vector<AccuracyResult> results =
-      runner.evaluate_batch(qnet, points, test);
+      runner.run(qnet, engine::EvalJob::batch(std::move(points)), test);
   ASSERT_EQ(results.size(), 4u);
   EXPECT_EQ(results[0].per_chip, results[1].per_chip);
   EXPECT_EQ(results[2].per_chip, results[3].per_chip);

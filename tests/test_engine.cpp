@@ -135,7 +135,7 @@ TEST_F(EngineTest, RunnerSweepMatchesPointwiseEvaluate) {
 
   const ExperimentRunner runner{8};
   const std::vector<core::AccuracyResult> sweep =
-      runner.evaluate_sweep(qnet, points, table, test, opt);
+      runner.run(qnet, EvalJob::sweep(points, opt).against(table), test);
   ASSERT_EQ(sweep.size(), points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
     const core::AccuracyResult one = core::evaluate_accuracy(
@@ -179,7 +179,7 @@ TEST_F(EngineTest, RunnerBatchMatchesPointwiseEvaluate) {
 
   const ExperimentRunner runner{8};
   const std::vector<core::AccuracyResult> results =
-      runner.evaluate_batch(qnet, batch, test);
+      runner.run(qnet, EvalJob::batch(batch), test);
   ASSERT_EQ(results.size(), batch.size());
 
   EXPECT_TRUE(results[2].per_chip.empty());  // null table -> empty result
@@ -195,7 +195,7 @@ TEST_F(EngineTest, RunnerBatchMatchesPointwiseEvaluate) {
     EXPECT_EQ(results[p].stddev, one.stddev);
   }
 
-  EXPECT_TRUE(runner.evaluate_batch(qnet, {}, test).empty());
+  EXPECT_TRUE(runner.run(qnet, EvalJob::batch({}), test).empty());
 }
 
 TEST_F(EngineTest, RunnerSweepHandlesEmptyInput) {
@@ -203,11 +203,46 @@ TEST_F(EngineTest, RunnerSweepHandlesEmptyInput) {
   const core::QuantizedNetwork qnet{net, 8};
   const data::Dataset test = data::generate_digits(20, 5);
   const ExperimentRunner runner;
-  EXPECT_TRUE(runner
-                  .evaluate_sweep(qnet, {}, synthetic_table(), test,
-                                  core::EvalOptions{})
-                  .empty());
+  const mc::FailureTable table = synthetic_table();
+  EXPECT_TRUE(
+      runner.run(qnet, EvalJob::sweep({}).against(table), test).empty());
 }
+
+// The pre-EvalJob overloads survive as deprecated wrappers; they must stay
+// bit-identical to the run() spellings they forward to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(EngineTest, DeprecatedOverloadsMatchEvalJobRun) {
+  const ann::Mlp net{{784, 16, 10}, 11};
+  const core::QuantizedNetwork qnet{net, 8};
+  const data::Dataset test = data::generate_digits(80, 9);
+  const std::vector<std::size_t> words = qnet.bank_words();
+  const mc::FailureTable table = synthetic_table();
+
+  core::EvalOptions opt;
+  opt.chips = 2;
+  const std::vector<SweepPoint> points{
+      {core::MemoryConfig::uniform_hybrid(words, 2), 0.65},
+      {core::MemoryConfig::all_6t(words), 0.70}};
+  const std::vector<BatchPoint> batch{
+      {core::MemoryConfig::uniform_hybrid(words, 3), 0.66, &table, opt}};
+
+  const ExperimentRunner runner{4};
+  const auto sweep_old = runner.evaluate_sweep(qnet, points, table, test, opt);
+  const auto sweep_new =
+      runner.run(qnet, EvalJob::sweep(points, opt).against(table), test);
+  ASSERT_EQ(sweep_old.size(), sweep_new.size());
+  for (std::size_t p = 0; p < sweep_old.size(); ++p) {
+    EXPECT_EQ(sweep_old[p].per_chip, sweep_new[p].per_chip);
+    EXPECT_EQ(sweep_old[p].mean, sweep_new[p].mean);
+  }
+
+  const auto batch_old = runner.evaluate_batch(qnet, batch, test);
+  const auto batch_new = runner.run(qnet, EvalJob::batch(batch), test);
+  ASSERT_EQ(batch_old.size(), batch_new.size());
+  EXPECT_EQ(batch_old[0].per_chip, batch_new[0].per_chip);
+}
+#pragma GCC diagnostic pop
 
 TableSpec reference_spec() {
   TableSpec spec;

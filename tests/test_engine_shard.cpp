@@ -355,15 +355,15 @@ TEST_F(ShardTest, RunnerSweepAndBatchAcceptShardPlans) {
       {core::MemoryConfig::all_6t(words), 0.80}};
 
   const ExperimentRunner runner{4};
-  const std::vector<core::AccuracyResult> sharded =
-      runner.evaluate_sweep(qnet, points, plan, analyzer(), coordinator,
-                            test, opt);
+  const std::vector<core::AccuracyResult> sharded = runner.run(
+      qnet, EvalJob::sweep(points, opt).via(plan, analyzer(), coordinator),
+      test);
 
-  // Reference: monolithic table, prebuilt-table overload.
+  // Reference: monolithic table, shared-table job.
   const mc::FailureTable table =
       mc::FailureTable::build(analyzer(), s.vdd_grid, s.seed);
   const std::vector<core::AccuracyResult> reference =
-      runner.evaluate_sweep(qnet, points, table, test, opt);
+      runner.run(qnet, EvalJob::sweep(points, opt).against(table), test);
   ASSERT_EQ(sharded.size(), reference.size());
   for (std::size_t p = 0; p < reference.size(); ++p) {
     ASSERT_EQ(sharded[p].per_chip.size(), reference[p].per_chip.size());
@@ -382,13 +382,13 @@ TEST_F(ShardTest, RunnerSweepAndBatchAcceptShardPlans) {
   const std::vector<BatchPoint> batch{
       {core::MemoryConfig::uniform_hybrid(words, 2), 0.65, nullptr, opt},
       {core::MemoryConfig::all_6t(words), 0.70, &other, opt}};
-  const std::vector<core::AccuracyResult> got =
-      runner.evaluate_batch(qnet, batch, plan, analyzer(), coordinator, test);
+  const std::vector<core::AccuracyResult> got = runner.run(
+      qnet, EvalJob::batch(batch).via(plan, analyzer(), coordinator), test);
   const std::vector<BatchPoint> bound{
       {batch[0].config, batch[0].vdd, &table, opt},
       {batch[1].config, batch[1].vdd, &other, opt}};
   const std::vector<core::AccuracyResult> want =
-      runner.evaluate_batch(qnet, bound, test);
+      runner.run(qnet, EvalJob::batch(bound), test);
   ASSERT_EQ(got.size(), want.size());
   for (std::size_t p = 0; p < want.size(); ++p) {
     EXPECT_EQ(got[p].mean, want[p].mean);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -414,36 +415,89 @@ TEST_F(EvalServiceTest, CompletedHistoryIsBounded) {
   // Only the 2 most recently finished responses are retained; older ids
   // are evicted (but were completed -- the totals still count them).
   EXPECT_EQ(service.totals().completed, 5u);
-  EXPECT_FALSE(service.poll(ids[0]).has_value());
-  EXPECT_FALSE(service.poll(ids[2]).has_value());
-  ASSERT_TRUE(service.poll(ids[3]).has_value());
-  ASSERT_TRUE(service.poll(ids[4]).has_value());
-  EXPECT_EQ(service.poll(ids[4])->status, RequestStatus::done);
+  EXPECT_EQ(service.poll(ids[0]).status, RequestStatus::evicted);
+  EXPECT_EQ(service.poll(ids[2]).status, RequestStatus::evicted);
+  EXPECT_EQ(service.poll(ids[3]).status, RequestStatus::done);
+  EXPECT_EQ(service.poll(ids[4]).status, RequestStatus::done);
 
-  // wait() on an evicted-but-assigned id reports eviction instead of
-  // throwing (only never-assigned ids are an error).
+  // wait() is total over ids: an evicted-but-assigned id reports eviction,
+  // a never-assigned id reports not_found with a structured code -- neither
+  // throws (docs in eval_service.hpp).
   EXPECT_EQ(service.wait(ids[0]).status, RequestStatus::evicted);
   EXPECT_EQ(service.wait(ids[4]).status, RequestStatus::done);
-  EXPECT_THROW((void)service.wait(ids[4] + 100), std::invalid_argument);
+  const Response unknown = service.wait(ids[4] + 100);
+  EXPECT_EQ(unknown.status, RequestStatus::not_found);
+  EXPECT_EQ(unknown.code, ErrorCode::not_found);
+  EXPECT_EQ(unknown.id, ids[4] + 100);
 }
 
 TEST_F(EvalServiceTest, PollTracksLifecycleAndUnknownIds) {
   ServiceOptions opts = fast_options();
   opts.start_paused = true;
   EvalService service{qnet_, test_, opts};
-  EXPECT_FALSE(service.poll(999).has_value());
-  EXPECT_THROW((void)service.wait(999), std::invalid_argument);
+  EXPECT_EQ(service.poll(999).status, RequestStatus::not_found);
+  EXPECT_EQ(service.poll(999).code, ErrorCode::not_found);
+  EXPECT_EQ(service.poll(0).status, RequestStatus::not_found);
+  EXPECT_EQ(service.wait(999).status, RequestStatus::not_found);
 
   const std::uint64_t id = service.submit(evaluate_request("all6t", 0.65));
-  const auto queued = service.poll(id);
-  ASSERT_TRUE(queued.has_value());
-  EXPECT_EQ(queued->status, RequestStatus::queued);
+  EXPECT_EQ(service.poll(id).status, RequestStatus::queued);
 
   service.resume();
   const Response done = service.wait(id);
   EXPECT_EQ(done.status, RequestStatus::done);
+  EXPECT_EQ(done.code, ErrorCode::none);
   EXPECT_GE(done.stats.wall_ms, 0.0);
   EXPECT_GT(done.stats.dispatch_seq, 0u);
+}
+
+TEST_F(EvalServiceTest, CompletionCallbacksFireOnceAtTerminalTransition) {
+  ServiceOptions opts = fast_options();
+  opts.start_paused = true;
+  EvalService service{qnet_, test_, opts};
+
+  std::mutex mu;
+  std::vector<Response> seen;
+  const auto record = [&](const Response& r) {
+    const std::scoped_lock lock{mu};
+    seen.push_back(r);
+  };
+
+  Request tagged = evaluate_request("hybrid2", 0.65);
+  tagged.tag = "cb-1";
+  const std::uint64_t done_id = service.submit(tagged, record);
+  const std::uint64_t cancel_id =
+      service.submit(evaluate_request("all6t", 0.70), record);
+  EXPECT_TRUE(service.cancel(cancel_id));
+  service.resume();
+  service.drain();
+
+  const std::scoped_lock lock{mu};
+  ASSERT_EQ(seen.size(), 2u);  // exactly once each, cancel included
+  for (const Response& r : seen) {
+    if (r.id == done_id) {
+      EXPECT_EQ(r.status, RequestStatus::done) << r.error;
+      EXPECT_EQ(r.tag, "cb-1");
+    } else {
+      EXPECT_EQ(r.id, cancel_id);
+      EXPECT_EQ(r.status, RequestStatus::cancelled);
+    }
+  }
+}
+
+TEST_F(EvalServiceTest, DestructorFiresCallbacksForQueuedRequests) {
+  ServiceOptions opts = fast_options();
+  opts.start_paused = true;
+  std::vector<RequestStatus> statuses;
+  {
+    EvalService service{qnet_, test_, opts};
+    (void)service.submit(
+        evaluate_request("all6t", 0.65),
+        [&](const Response& r) { statuses.push_back(r.status); });
+    // Destructor cancels the queued request: its callback must still fire.
+  }
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0], RequestStatus::cancelled);
 }
 
 }  // namespace

@@ -93,5 +93,30 @@ TEST(Json, BuildersConvertNull) {
   EXPECT_TRUE(obj.is_object());
 }
 
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  ParseError err;
+  EXPECT_FALSE(Json::parse(R"({"a":1,})", &err).has_value());
+  EXPECT_EQ(err.line, 1u);
+  EXPECT_EQ(err.offset, 7u);  // points at the '}' after the stray comma
+  EXPECT_EQ(err.column, 8u);  // 1-based
+  EXPECT_FALSE(err.message.empty());
+  // str() renders position for protocol error messages.
+  EXPECT_NE(err.str().find("line 1"), std::string::npos);
+  EXPECT_NE(err.str().find("offset 7"), std::string::npos);
+
+  // Multi-line documents report the line of the failure, not line 1.
+  EXPECT_FALSE(Json::parse("{\n  \"a\": 1,\n  \"b\": oops\n}", &err));
+  EXPECT_EQ(err.line, 3u);
+  EXPECT_GT(err.column, 1u);
+
+  // Truncation points at end of input.
+  EXPECT_FALSE(Json::parse(R"({"a": "unterminated)", &err));
+  EXPECT_NE(err.message.find("string"), std::string::npos);
+
+  // The error-free overload still works and agrees.
+  EXPECT_FALSE(Json::parse(R"({"a":1,})").has_value());
+  EXPECT_TRUE(Json::parse(R"({"a":1})", &err).has_value());
+}
+
 }  // namespace
 }  // namespace hynapse::serve

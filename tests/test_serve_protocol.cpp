@@ -235,5 +235,169 @@ TEST(FormatResponse, RendersFailureAndPendingStates) {
   EXPECT_EQ(qline.find("stats"), std::string::npos);  // not dispatched yet
 }
 
+TEST(Protocol, VersionFieldIsOptionalButChecked) {
+  // "v" omitted: accepted (v1 servers predate the field).
+  std::string error;
+  EXPECT_TRUE(parse_request(R"({"op":"table_info"})", &error).has_value());
+  // Matching version: accepted.
+  EXPECT_TRUE(
+      parse_request(R"({"op":"table_info","v":1})", &error).has_value());
+  // Mismatch: refused with the structured unsupported_version code.
+  RequestError structured;
+  EXPECT_FALSE(
+      parse_request(R"({"op":"table_info","v":2})", &structured).has_value());
+  EXPECT_EQ(structured.code, ErrorCode::unsupported_version);
+  EXPECT_NE(structured.message.find("v1"), std::string::npos);
+
+  // Responses always carry the version.
+  Response r;
+  r.id = 1;
+  r.status = RequestStatus::queued;
+  EXPECT_NE(format_response(r).find("\"v\":1"), std::string::npos);
+  // ...and format_request stamps it too.
+  Request info;
+  info.kind = RequestKind::table_info;
+  EXPECT_NE(format_request(info).find("\"v\":1"), std::string::npos);
+}
+
+TEST(Protocol, ErrorCodeNamesRoundTrip) {
+  for (const ErrorCode code :
+       {ErrorCode::none, ErrorCode::bad_request, ErrorCode::queue_full,
+        ErrorCode::shard_out_of_range, ErrorCode::shutting_down,
+        ErrorCode::not_found, ErrorCode::unsupported_version,
+        ErrorCode::internal}) {
+    const auto parsed = parse_error_code(to_string(code));
+    ASSERT_TRUE(parsed.has_value()) << to_string(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(parse_error_code("made_up").has_value());
+}
+
+TEST(Protocol, StructuredParseErrorsCarryCodes) {
+  RequestError error;
+  EXPECT_FALSE(parse_request("not json", &error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::bad_request);
+  // JSON syntax failures surface the position from serve::Json.
+  EXPECT_NE(error.message.find("line 1"), std::string::npos) << error.message;
+
+  error = {};
+  EXPECT_FALSE(
+      parse_request(R"({"op":"evaluate","vdd":0.6})", &error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::bad_request);
+  EXPECT_NE(error.message.find("config"), std::string::npos);
+}
+
+TEST(Protocol, TagEchoesAndInlineRowsGate) {
+  std::string error;
+  const auto tagged = parse_request(
+      R"({"op":"table_shard","shard":0,"shard_count":2,"tag":"shard-0",)"
+      R"("inline_rows":true})",
+      &error);
+  ASSERT_TRUE(tagged.has_value()) << error;
+  EXPECT_EQ(tagged->tag, "shard-0");
+  EXPECT_TRUE(tagged->inline_rows);
+
+  // inline_rows is shard-only; tag must be a string.
+  EXPECT_FALSE(parse_request(
+                   R"({"op":"table_info","inline_rows":true})", &error)
+                   .has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"table_info","tag":7})", &error).has_value());
+
+  // Responses echo the tag and the code.
+  Response r;
+  r.id = 3;
+  r.status = RequestStatus::failed;
+  r.code = ErrorCode::queue_full;
+  r.tag = "shard-0";
+  const std::string line = format_response(r);
+  EXPECT_NE(line.find("\"code\":\"queue_full\""), std::string::npos);
+  EXPECT_NE(line.find("\"tag\":\"shard-0\""), std::string::npos);
+}
+
+TEST(Protocol, RequestFormatParseRoundTrip) {
+  Request shard;
+  shard.kind = RequestKind::table_shard;
+  shard.shard = 1;
+  shard.shard_count = 4;
+  shard.mc_samples = 800;
+  shard.table_seed = 42;
+  shard.inline_rows = true;
+  shard.tag = "shard-1";
+  std::string error;
+  const auto parsed = parse_request(format_request(shard), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->kind, RequestKind::table_shard);
+  EXPECT_EQ(parsed->shard, 1u);
+  EXPECT_EQ(parsed->shard_count, 4u);
+  EXPECT_EQ(parsed->mc_samples, 800u);
+  EXPECT_EQ(parsed->table_seed, 42u);
+  EXPECT_TRUE(parsed->inline_rows);
+  EXPECT_EQ(parsed->tag, "shard-1");
+
+  Request sweep;
+  sweep.kind = RequestKind::sweep;
+  sweep.configs = {*ConfigSpec::parse("all6t"), *ConfigSpec::parse("hybrid2")};
+  sweep.vdds = {0.6, 0.7};
+  sweep.chips = 2;
+  const auto parsed_sweep = parse_request(format_request(sweep), &error);
+  ASSERT_TRUE(parsed_sweep.has_value()) << error;
+  ASSERT_EQ(parsed_sweep->configs.size(), 2u);
+  EXPECT_EQ(parsed_sweep->configs[1].str(), "hybrid2");
+  EXPECT_EQ(parsed_sweep->vdds, (std::vector<double>{0.6, 0.7}));
+  EXPECT_EQ(parsed_sweep->chips, 2u);
+}
+
+TEST(Protocol, ResponseFormatParseRoundTripWithShardRows) {
+  Response r;
+  r.id = 11;
+  r.status = RequestStatus::done;
+  r.tag = "shard-0";
+  r.table_fingerprint = 0xabc;
+  r.shard_index = 0;
+  r.shard_count = 2;
+  r.shard_fingerprint = 0xdef;
+  r.stats.table_source = engine::TableSource::built;
+  mc::FailureTableRow row;
+  row.vdd = 0.6500000000000004;  // exercises %.17g exactness
+  row.cell6 = {0.012345678901234567, 3.3e-7, 0.0};
+  row.cell8 = {1.0e-9, 0.0, 5.5e-4};
+  r.shard_rows = {row};
+
+  std::string error;
+  const auto parsed = parse_response(format_response(r), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->id, 11u);
+  EXPECT_EQ(parsed->status, RequestStatus::done);
+  EXPECT_EQ(parsed->tag, "shard-0");
+  EXPECT_EQ(parsed->shard_index, 0u);
+  EXPECT_EQ(parsed->shard_count, 2u);
+  EXPECT_EQ(parsed->shard_fingerprint, 0xdefu);
+  ASSERT_EQ(parsed->shard_rows.size(), 1u);
+  // Bit-exact round trip: the fleet's correctness depends on it.
+  EXPECT_EQ(parsed->shard_rows[0].vdd, row.vdd);
+  EXPECT_EQ(parsed->shard_rows[0].cell6.read_access, row.cell6.read_access);
+  EXPECT_EQ(parsed->shard_rows[0].cell6.write_fail, row.cell6.write_fail);
+  EXPECT_EQ(parsed->shard_rows[0].cell8.read_disturb, row.cell8.read_disturb);
+
+  // Failure responses round-trip status/code/error.
+  Response failed;
+  failed.id = 12;
+  failed.status = RequestStatus::failed;
+  failed.code = ErrorCode::shard_out_of_range;
+  failed.error = "shard 9 out of range";
+  const auto parsed_failed = parse_response(format_response(failed), &error);
+  ASSERT_TRUE(parsed_failed.has_value()) << error;
+  EXPECT_EQ(parsed_failed->code, ErrorCode::shard_out_of_range);
+  EXPECT_EQ(parsed_failed->error, "shard 9 out of range");
+
+  // Garbage and schema violations report, not crash.
+  EXPECT_FALSE(parse_response("nope", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_response(R"({"status":"done"})", &error).has_value());
+  EXPECT_FALSE(
+      parse_response(R"({"id":1,"status":"sideways"})", &error).has_value());
+}
+
 }  // namespace
 }  // namespace hynapse::serve
