@@ -13,7 +13,13 @@
 //   * "legacy" — today's core::EvalPath::legacy (full rebuild per chip, but
 //                the shared blocked GEMM): isolates the delta/workspace
 //                contribution from the kernel contribution.
-//   * "delta"  — core::EvalPath::delta + ann::EvalWorkspace (the default).
+//   * "delta"  — core::EvalPath::delta + ann::EvalWorkspace (the PR-4
+//                per-chip hot path).
+//   * "fused"  — delta + fused multi-chip batches (EvalContext::
+//                evaluate_chips): all chips in a group share one traversal
+//                of the weight matrices per mini-batch, reference backend.
+//   * "fused_simd" — the same fused batches through the SIMD kernel
+//                backend (omitted when the build has no SIMD backend).
 //
 // Every arm must produce bit-identical per-chip accuracies; the bench
 // aborts (exit 1) if any chip disagrees. The test slice defaults to 48
@@ -24,7 +30,8 @@
 // --images 2000 for the full synthetic test set.
 //
 // Flags: --chips N (per sweep point, default 24), --images N (default 48),
-// plus the shared --threads/--json (bench::parse_bench_flags). --json
+// --fuse N (chips per fused group, default 0 = auto sizing), plus the
+// shared --threads/--json (bench::parse_bench_flags). --json
 // overwrites PATH with one JSON object (the BENCH_eval_hotpath.json
 // artifact collected by scripts/run_bench.sh).
 //
@@ -38,12 +45,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "ann/backends/backend.hpp"
 #include "common.hpp"
 #include "core/delta_eval.hpp"
+#include "core/experiments.hpp"
 #include "core/synaptic_memory.hpp"
 #include "data/digits.hpp"
 #include "mc/failure_table.hpp"
@@ -170,6 +180,8 @@ int main(int argc, char** argv) {
       parse_flag(argc, argv, "--chips", 24));
   const auto images = static_cast<std::size_t>(
       parse_flag(argc, argv, "--images", 48));
+  const auto fuse = static_cast<std::size_t>(
+      parse_flag(argc, argv, "--fuse", 0));  // 0 = auto group sizing
 
   bench::print_header(
       "Chip-evaluation hot path: legacy full-rebuild vs delta+workspace",
@@ -194,21 +206,30 @@ int main(int argc, char** argv) {
   eval.threads = opts.threads;
 
   const double total_chips = static_cast<double>(vdds.size() * chips);
+  // Every arm runs its sweep twice and keeps the faster wall time
+  // (min-of-reps: per-chip results are seed-deterministic, so both reps
+  // compute identical accuracies and the min strips scheduler noise).
+  constexpr int kReps = 2;
   const auto run_arm = [&](auto&& chip_fn) {
     ArmResult arm;
     arm.per_point.resize(vdds.size());
-    const Clock::time_point t0 = Clock::now();
-    for (std::size_t v = 0; v < vdds.size(); ++v) {
-      const core::FaultModel model{table, vdds[v], eval.policy};
-      arm.per_point[v].resize(chips);
-      util::parallel_for(
-          chips,
-          [&](std::size_t chip) {
-            arm.per_point[v][chip] = chip_fn(model, chip);
-          },
-          eval.threads);
+    arm.seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      const Clock::time_point t0 = Clock::now();
+      for (std::size_t v = 0; v < vdds.size(); ++v) {
+        const core::FaultModel model{table, vdds[v], eval.policy};
+        arm.per_point[v].resize(chips);
+        util::parallel_for(
+            chips,
+            [&](std::size_t chip) {
+              arm.per_point[v][chip] = chip_fn(model, chip);
+            },
+            eval.threads);
+      }
+      arm.seconds = std::min(
+          arm.seconds,
+          std::chrono::duration<double>(Clock::now() - t0).count());
     }
-    arm.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
     arm.chips_per_sec = total_chips / arm.seconds;
     return arm;
   };
@@ -235,10 +256,61 @@ int main(int argc, char** argv) {
                                          eval.seed, chip);
   });
 
+  // Fused arms: chips of one sweep point share a single weight-matrix
+  // traversal per mini-batch, in groups of `group` chips.
+  const std::size_t group =
+      core::fused_group_size(fuse, chips, eval.threads);
+  const std::size_t num_groups = (chips + group - 1) / group;
+  const auto run_fused_arm = [&](ann::backends::Backend backend) {
+    ArmResult arm;
+    arm.per_point.resize(vdds.size());
+    arm.seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      const Clock::time_point t0 = Clock::now();
+      for (std::size_t v = 0; v < vdds.size(); ++v) {
+        const core::FaultModel model{table, vdds[v], eval.policy};
+        arm.per_point[v].resize(chips);
+        std::span<double> out{arm.per_point[v]};
+        util::parallel_for(
+            num_groups,
+            [&](std::size_t g) {
+              const std::size_t begin = g * group;
+              const std::size_t count = std::min(group, chips - begin);
+              core::EvalContextPool::Lease lease{contexts};
+              lease.context().evaluate_chips(
+                  qnet, qnet_fp, config, model, test, eval.seed, begin, count,
+                  out.subspan(begin, count), backend);
+            },
+            eval.threads);
+      }
+      arm.seconds = std::min(
+          arm.seconds,
+          std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    arm.chips_per_sec = total_chips / arm.seconds;
+    return arm;
+  };
+
+  std::printf("[fused]  fused chip groups of %zu, reference backend...\n",
+              group);
+  const ArmResult fused = run_fused_arm(ann::backends::Backend::reference);
+
+  const bool have_simd = ann::backends::simd_compiled();
+  ArmResult fused_simd;
+  if (have_simd) {
+    std::printf("[fused_simd] fused chip groups of %zu, SIMD backend...\n",
+                group);
+    fused_simd = run_fused_arm(ann::backends::Backend::simd);
+  } else {
+    std::printf("[fused_simd] skipped: SIMD backend not compiled in\n");
+  }
+
   bool identical = true;
   for (std::size_t v = 0; v < vdds.size(); ++v) {
     identical &= pr3.per_point[v] == delta.per_point[v];
     identical &= legacy.per_point[v] == delta.per_point[v];
+    identical &= fused.per_point[v] == delta.per_point[v];
+    if (have_simd) identical &= fused_simd.per_point[v] == delta.per_point[v];
   }
 
   util::Table out{{"path", "wall [s]", "chips/sec", "speedup"}};
@@ -250,7 +322,10 @@ int main(int argc, char** argv) {
   row("pr3 (pre-rework)", pr3);
   row("legacy (rebuild, new kernels)", legacy);
   row("delta+workspace", delta);
+  row("fused (reference backend)", fused);
+  if (have_simd) row("fused (simd backend)", fused_simd);
   out.print();
+  std::printf("\nfused group size: %zu chips (--fuse %zu)\n", group, fuse);
   std::printf("\nper-chip accuracies bit-identical across paths: %s\n",
               identical ? "yes" : "NO -- BUG");
 
@@ -273,7 +348,20 @@ int main(int argc, char** argv) {
        << "  \"speedup_vs_pr3\": " << pr3.seconds / delta.seconds << ",\n"
        << "  \"speedup_vs_legacy\": " << legacy.seconds / delta.seconds
        << ",\n"
-       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "  \"fused_group\": " << group << ",\n"
+       << "  \"fused_seconds\": " << fused.seconds << ",\n"
+       << "  \"fused_chips_per_sec\": " << fused.chips_per_sec << ",\n"
+       << "  \"fused_speedup_vs_delta\": " << delta.seconds / fused.seconds
+       << ",\n"
+       << "  \"simd_compiled\": " << (have_simd ? "true" : "false") << ",\n";
+    if (have_simd) {
+      js << "  \"fused_simd_seconds\": " << fused_simd.seconds << ",\n"
+         << "  \"fused_simd_chips_per_sec\": " << fused_simd.chips_per_sec
+         << ",\n"
+         << "  \"fused_simd_speedup_vs_delta\": "
+         << delta.seconds / fused_simd.seconds << ",\n";
+    }
+    js << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
        << "}\n";
     std::printf("JSON written to %s\n", opts.json.c_str());
   }

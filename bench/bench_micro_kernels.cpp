@@ -3,6 +3,7 @@
 // injection, and end-to-end inference.
 #include <benchmark/benchmark.h>
 
+#include "ann/backends/backend.hpp"
 #include "ann/matrix.hpp"
 #include "ann/mlp.hpp"
 #include "circuit/reference.hpp"
@@ -83,6 +84,82 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(128)->Arg(512);
+
+// Per-backend kernel arms. The simd arms silently fall back to the
+// reference kernels when the build has no SIMD backend (kernel_ops'
+// fallback rule), so reference/simd timings then coincide; run_bench.sh
+// computes the per-variant speedup ratios from the JSON counters. Arg 130
+// exercises the tile remainders (130 % 4 == 2 rows, 130 % 16 == 2 cols).
+
+void BM_GemmBackend(benchmark::State& state, ann::backends::Backend backend) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ann::Matrix a{n, n};
+  ann::Matrix b{n, n};
+  ann::Matrix c{n, n};
+  util::Rng rng{4};
+  for (float& x : a.data()) x = static_cast<float>(rng.uniform());
+  for (float& x : b.data()) x = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    ann::gemm(a, b, c, /*parallel=*/true, backend);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK_CAPTURE(BM_GemmBackend, reference,
+                  ann::backends::Backend::reference)
+    ->Arg(128)
+    ->Arg(130)
+    ->Arg(512);
+BENCHMARK_CAPTURE(BM_GemmBackend, simd, ann::backends::Backend::simd)
+    ->Arg(128)
+    ->Arg(130)
+    ->Arg(512);
+
+void BM_GemmBtBackend(benchmark::State& state,
+                      ann::backends::Backend backend) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ann::Matrix a{n, n};
+  ann::Matrix bt{n, n};
+  ann::Matrix c{n, n};
+  util::Rng rng{6};
+  for (float& x : a.data()) x = static_cast<float>(rng.uniform());
+  for (float& x : bt.data()) x = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    ann::gemm_bt(a, bt, c, /*parallel=*/true, backend);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK_CAPTURE(BM_GemmBtBackend, reference,
+                  ann::backends::Backend::reference)
+    ->Arg(128)
+    ->Arg(130);
+BENCHMARK_CAPTURE(BM_GemmBtBackend, simd, ann::backends::Backend::simd)
+    ->Arg(128)
+    ->Arg(130);
+
+void BM_GemmAtBackend(benchmark::State& state,
+                      ann::backends::Backend backend) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ann::Matrix a{n, n};
+  ann::Matrix b{n, n};
+  ann::Matrix c{n, n};
+  util::Rng rng{8};
+  for (float& x : a.data()) x = static_cast<float>(rng.uniform());
+  for (float& x : b.data()) x = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    ann::gemm_at(a, b, c, /*parallel=*/true, backend);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK_CAPTURE(BM_GemmAtBackend, reference,
+                  ann::backends::Backend::reference)
+    ->Arg(128)
+    ->Arg(130);
+BENCHMARK_CAPTURE(BM_GemmAtBackend, simd, ann::backends::Backend::simd)
+    ->Arg(128)
+    ->Arg(130);
 
 void BM_FaultMapSampling(benchmark::State& state) {
   std::vector<mc::FailureTableRow> rows(2);

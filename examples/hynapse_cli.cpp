@@ -548,7 +548,10 @@ int usage() {
       "  fleet-build <count> --workers host:port[,host:port..] "
       "[samples=4000] [seed=20160312]\n"
       "global options:\n"
-      "  --threads N   thread-pool participation cap (0 = hardware)\n");
+      "  --threads N        thread-pool participation cap (0 = hardware)\n"
+      "  --backend NAME     GEMM kernel backend: reference | simd\n"
+      "                     (bit-identical results; simd falls back to\n"
+      "                     reference when not compiled in)\n");
   return 2;
 }
 
@@ -556,6 +559,12 @@ int usage() {
 
 int main(int argc, char** argv) {
   (void)hynapse::util::strip_threads_flag(argc, argv);
+  std::string backend_error;
+  if (!hynapse::ann::backends::strip_backend_flag(argc, argv,
+                                                  &backend_error)) {
+    std::fprintf(stderr, "hynapse_cli: %s\n", backend_error.c_str());
+    return usage();
+  }
   if (argc < 2) return usage();
   const std::string cmd{argv[1]};
   Stack st;

@@ -55,6 +55,7 @@ struct Cli {
   std::size_t chips = 3;
   std::size_t samples = 4000;
   std::size_t dispatchers = 2;
+  std::size_t fuse = 0;  // fused chip-group size (0 = auto)
   std::string cache_dir;
   bool naive = false;
   bool per_chip = false;
@@ -82,6 +83,8 @@ Cli parse_cli(int argc, char** argv) {
       cli.ok &= next_num(cli.samples);
     } else if (arg == "--dispatchers") {
       cli.ok &= next_num(cli.dispatchers);
+    } else if (arg == "--fuse") {
+      cli.ok &= next_num(cli.fuse);
     } else if (arg == "--cache") {
       cli.ok = cli.ok && i + 1 < argc;
       if (cli.ok) cli.cache_dir = argv[++i];
@@ -286,8 +289,9 @@ int serve_tcp(const core::QuantizedNetwork& qnet, const data::Dataset& test,
 int usage() {
   std::fprintf(
       stderr,
-      "usage: hynapse_served [--threads N] [--chips N] [--samples N]\n"
-      "                      [--dispatchers N] [--cache DIR] [--naive]\n"
+      "usage: hynapse_served [--threads N] [--backend reference|simd]\n"
+      "                      [--chips N] [--samples N] [--dispatchers N]\n"
+      "                      [--fuse N] [--cache DIR] [--naive]\n"
       "                      [--per-chip] [--listen [PORT]] "
       "[requests.jsonl]\n");
   return 2;
@@ -297,6 +301,11 @@ int usage() {
 
 int main(int argc, char** argv) {
   (void)util::strip_threads_flag(argc, argv);
+  std::string backend_error;
+  if (!ann::backends::strip_backend_flag(argc, argv, &backend_error)) {
+    std::fprintf(stderr, "[served] %s\n", backend_error.c_str());
+    return usage();
+  }
   const Cli cli = parse_cli(argc, argv);
   if (!cli.ok) return usage();
 
@@ -309,11 +318,15 @@ int main(int argc, char** argv) {
   options.dispatchers = cli.dispatchers;
   options.cache_dir = cli.cache_dir;
   options.coalesce = !cli.naive;
+  options.fuse_chips = cli.fuse;
   std::fprintf(stderr,
                "[served] ready (chips=%zu samples=%zu dispatchers=%zu "
-               "coalesce=%s cache=%s)\n",
+               "coalesce=%s backend=%s cache=%s)\n",
                cli.chips, cli.samples, cli.dispatchers,
-               cli.naive ? "off" : "on", cli.cache_dir.c_str());
+               cli.naive ? "off" : "on",
+               std::string{ann::backends::backend_name(options.backend)}
+                   .c_str(),
+               cli.cache_dir.c_str());
 
   if (cli.listen) {
     return serve_tcp(qnet, test, options,

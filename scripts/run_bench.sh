@@ -44,6 +44,30 @@ if [[ -x "${build_dir}/bench/bench_micro_kernels" ]]; then
     --benchmark_format=json \
     --benchmark_out="${out_dir}/BENCH_micro_kernels.json" \
     --benchmark_min_time=0.05
+  # Fold the per-backend kernel arms (BM_Gemm*Backend/{reference,simd}/N)
+  # into a "backend_speedups" key: simd speedup over reference per
+  # kernel/size, so the trajectory plots don't have to re-derive it.
+  python3 - "${out_dir}/BENCH_micro_kernels.json" <<'PYEOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+times = {}
+for b in doc.get("benchmarks", []):
+    parts = b["name"].split("/")
+    if len(parts) == 3 and parts[0].endswith("Backend"):
+        kernel = parts[0][len("BM_"):-len("Backend")].lower()
+        times[(kernel, parts[2], parts[1])] = b["cpu_time"]
+speedups = {}
+for (kernel, size, backend), t in sorted(times.items()):
+    ref = times.get((kernel, size, "reference"))
+    if backend == "simd" and ref:
+        speedups[f"{kernel}/{size}"] = round(ref / t, 3)
+doc["backend_speedups"] = speedups
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+print("backend_speedups:", json.dumps(speedups))
+PYEOF
 else
   echo "bench_micro_kernels not built (Google Benchmark missing); skipped"
 fi

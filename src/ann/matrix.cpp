@@ -1,16 +1,11 @@
 #include "ann/matrix.hpp"
 
-#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
+#include "ann/backends/backend.hpp"
+#include "ann/backends/kernels_detail.hpp"
 #include "util/parallel.hpp"
-
-#if defined(_MSC_VER)
-#define HYNAPSE_RESTRICT __restrict
-#else
-#define HYNAPSE_RESTRICT __restrict__
-#endif
 
 namespace hynapse::ann {
 
@@ -43,85 +38,17 @@ void check_gemm(std::size_t ar, std::size_t ac, std::size_t br,
     throw std::invalid_argument{"gemm: dimension mismatch"};
 }
 
-// Micro-tile shape for the i-k-j kernel below. 4 rows x 16 columns of
-// accumulators is 64 floats — small enough for the compiler to keep in
-// vector registers across the whole p loop, which is what removes the
-// per-iteration C load/store traffic that bounds the plain i-p-j loop.
-constexpr std::size_t kTileRows = 4;
-constexpr std::size_t kTileCols = 16;
-
-// c (m x n, fully overwritten) = a (m x k) * b (k x n), all row-major and
-// contiguous. Every output element accumulates over p in ascending order in
-// every branch below, so the kernel is bit-identical to gemm_naive and
-// independent of how callers partition rows.
-void gemm_kernel(const float* HYNAPSE_RESTRICT a,
-                 const float* HYNAPSE_RESTRICT b, float* HYNAPSE_RESTRICT c,
-                 std::size_t m, std::size_t k, std::size_t n) {
-  std::size_t j0 = 0;
-  for (; j0 + kTileCols <= n; j0 += kTileCols) {
-    std::size_t i = 0;
-    for (; i + kTileRows <= m; i += kTileRows) {
-      const float* HYNAPSE_RESTRICT a0 = a + i * k;
-      const float* HYNAPSE_RESTRICT a1 = a0 + k;
-      const float* HYNAPSE_RESTRICT a2 = a1 + k;
-      const float* HYNAPSE_RESTRICT a3 = a2 + k;
-      float acc0[kTileCols] = {};
-      float acc1[kTileCols] = {};
-      float acc2[kTileCols] = {};
-      float acc3[kTileCols] = {};
-      for (std::size_t p = 0; p < k; ++p) {
-        const float* HYNAPSE_RESTRICT bp = b + p * n + j0;
-        const float a0p = a0[p];
-        const float a1p = a1[p];
-        const float a2p = a2[p];
-        const float a3p = a3[p];
-        for (std::size_t j = 0; j < kTileCols; ++j) {
-          acc0[j] += a0p * bp[j];
-          acc1[j] += a1p * bp[j];
-          acc2[j] += a2p * bp[j];
-          acc3[j] += a3p * bp[j];
-        }
-      }
-      std::memcpy(c + i * n + j0, acc0, sizeof(acc0));
-      std::memcpy(c + (i + 1) * n + j0, acc1, sizeof(acc1));
-      std::memcpy(c + (i + 2) * n + j0, acc2, sizeof(acc2));
-      std::memcpy(c + (i + 3) * n + j0, acc3, sizeof(acc3));
-    }
-    for (; i < m; ++i) {
-      const float* HYNAPSE_RESTRICT ai = a + i * k;
-      float acc[kTileCols] = {};
-      for (std::size_t p = 0; p < k; ++p) {
-        const float* HYNAPSE_RESTRICT bp = b + p * n + j0;
-        const float aip = ai[p];
-        for (std::size_t j = 0; j < kTileCols; ++j) acc[j] += aip * bp[j];
-      }
-      std::memcpy(c + i * n + j0, acc, sizeof(acc));
-    }
-  }
-  if (j0 < n) {
-    // Column remainder (n % 16): same loop structure with a runtime-width
-    // tile accumulated directly in C (at most 15 columns, so the extra C
-    // traffic is negligible).
-    const std::size_t jw = n - j0;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float* HYNAPSE_RESTRICT ai = a + i * k;
-      float* HYNAPSE_RESTRICT ci = c + i * n + j0;
-      std::fill(ci, ci + jw, 0.0f);
-      for (std::size_t p = 0; p < k; ++p) {
-        const float* HYNAPSE_RESTRICT bp = b + p * n + j0;
-        const float aip = ai[p];
-        for (std::size_t j = 0; j < jw; ++j) ci[j] += aip * bp[j];
-      }
-    }
-  }
-}
-
+// The kernel bodies themselves live in ann/backends/{reference,simd}.cpp;
+// this TU owns the shape checks and the parallel row partitioning, both of
+// which are backend-independent (every backend's gemm/gemm_bt are
+// row-partitionable bit-for-bit, and gemm_at takes an explicit row range).
 void gemm_dispatch(const float* a, const Matrix& b, Matrix& c, std::size_t m,
-                   bool parallel) {
+                   bool parallel, backends::Backend backend) {
+  const backends::KernelOps& ops = backends::kernel_ops(backend);
   const std::size_t k = b.rows();
   const std::size_t n = b.cols();
   const auto body = [&](std::size_t r0, std::size_t r1) {
-    gemm_kernel(a + r0 * k, b.row(0), c.row(r0), r1 - r0, k, n);
+    ops.gemm(a + r0 * k, b.row(0), c.row(r0), r1 - r0, k, n);
   };
   if (parallel && m >= 64) {
     util::parallel_for_chunks(m, body);
@@ -132,61 +59,30 @@ void gemm_dispatch(const float* a, const Matrix& b, Matrix& c, std::size_t m,
 
 }  // namespace
 
-void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool parallel) {
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool parallel,
+          backends::Backend backend) {
   check_gemm(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
-  gemm_dispatch(a.row(0), b, c, a.rows(), parallel);
+  gemm_dispatch(a.row(0), b, c, a.rows(), parallel, backend);
 }
 
 void gemm_block(const float* a_rows, std::size_t m, const Matrix& b,
-                Matrix& c, bool parallel) {
+                Matrix& c, bool parallel, backends::Backend backend) {
   if (c.rows() != m || c.cols() != b.cols())
     throw std::invalid_argument{"gemm_block: dimension mismatch"};
-  gemm_dispatch(a_rows, b, c, m, parallel);
+  gemm_dispatch(a_rows, b, c, m, parallel, backend);
 }
 
-void gemm_bt(const Matrix& a, const Matrix& bt, Matrix& c, bool parallel) {
+void gemm_bt(const Matrix& a, const Matrix& bt, Matrix& c, bool parallel,
+             backends::Backend backend) {
   // c[i][j] = sum_p a[i][p] * bt[j][p]
   if (a.cols() != bt.cols() || c.rows() != a.rows() || c.cols() != bt.rows())
     throw std::invalid_argument{"gemm_bt: dimension mismatch"};
+  const backends::KernelOps& ops = backends::kernel_ops(backend);
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = bt.rows();
   const auto body = [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* HYNAPSE_RESTRICT ai = a.row(i);
-      float* HYNAPSE_RESTRICT ci = c.row(i);
-      std::size_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        // Four independent dot products: each keeps its strict ascending-p
-        // order (so results stay bit-identical) but the four chains overlap
-        // in the pipeline.
-        const float* HYNAPSE_RESTRICT b0 = bt.row(j);
-        const float* HYNAPSE_RESTRICT b1 = b0 + k;
-        const float* HYNAPSE_RESTRICT b2 = b1 + k;
-        const float* HYNAPSE_RESTRICT b3 = b2 + k;
-        float s0 = 0.0f;
-        float s1 = 0.0f;
-        float s2 = 0.0f;
-        float s3 = 0.0f;
-        for (std::size_t p = 0; p < k; ++p) {
-          const float ap = ai[p];
-          s0 += ap * b0[p];
-          s1 += ap * b1[p];
-          s2 += ap * b2[p];
-          s3 += ap * b3[p];
-        }
-        ci[j] = s0;
-        ci[j + 1] = s1;
-        ci[j + 2] = s2;
-        ci[j + 3] = s3;
-      }
-      for (; j < n; ++j) {
-        const float* HYNAPSE_RESTRICT bj = bt.row(j);
-        float acc = 0.0f;
-        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-        ci[j] = acc;
-      }
-    }
+    ops.gemm_bt(a.row(r0), bt.row(0), c.row(r0), r1 - r0, k, n);
   };
   if (parallel && m >= 64) {
     util::parallel_for_chunks(m, body);
@@ -195,64 +91,17 @@ void gemm_bt(const Matrix& a, const Matrix& bt, Matrix& c, bool parallel) {
   }
 }
 
-void gemm_at(const Matrix& at, const Matrix& b, Matrix& c, bool parallel) {
-  // c[i][j] = sum_p at[p][i] * b[p][j]; c is (at.cols x b.cols). Same
-  // micro-tile as gemm_kernel — the four A scalars per p step are the
-  // contiguous at[p][i..i+3], so the transposed layout costs nothing.
+void gemm_at(const Matrix& at, const Matrix& b, Matrix& c, bool parallel,
+             backends::Backend backend) {
+  // c[i][j] = sum_p at[p][i] * b[p][j]; c is (at.cols x b.cols).
   if (at.rows() != b.rows() || c.rows() != at.cols() || c.cols() != b.cols())
     throw std::invalid_argument{"gemm_at: dimension mismatch"};
+  const backends::KernelOps& ops = backends::kernel_ops(backend);
   const std::size_t k = at.rows();
   const std::size_t m = at.cols();
   const std::size_t n = b.cols();
   const auto body = [&](std::size_t r0, std::size_t r1) {
-    std::size_t i = r0;
-    for (; i + kTileRows <= r1; i += kTileRows) {
-      std::size_t j0 = 0;
-      for (; j0 + kTileCols <= n; j0 += kTileCols) {
-        float acc0[kTileCols] = {};
-        float acc1[kTileCols] = {};
-        float acc2[kTileCols] = {};
-        float acc3[kTileCols] = {};
-        for (std::size_t p = 0; p < k; ++p) {
-          const float* HYNAPSE_RESTRICT ap = at.row(p) + i;
-          const float* HYNAPSE_RESTRICT bp = b.row(p) + j0;
-          const float w0 = ap[0];
-          const float w1 = ap[1];
-          const float w2 = ap[2];
-          const float w3 = ap[3];
-          for (std::size_t j = 0; j < kTileCols; ++j) {
-            acc0[j] += w0 * bp[j];
-            acc1[j] += w1 * bp[j];
-            acc2[j] += w2 * bp[j];
-            acc3[j] += w3 * bp[j];
-          }
-        }
-        std::memcpy(c.row(i) + j0, acc0, sizeof(acc0));
-        std::memcpy(c.row(i + 1) + j0, acc1, sizeof(acc1));
-        std::memcpy(c.row(i + 2) + j0, acc2, sizeof(acc2));
-        std::memcpy(c.row(i + 3) + j0, acc3, sizeof(acc3));
-      }
-      for (std::size_t r = 0; r < kTileRows; ++r) {
-        if (j0 >= n) break;
-        float* HYNAPSE_RESTRICT ci = c.row(i + r) + j0;
-        const std::size_t jw = n - j0;
-        std::fill(ci, ci + jw, 0.0f);
-        for (std::size_t p = 0; p < k; ++p) {
-          const float w = at.at(p, i + r);
-          const float* HYNAPSE_RESTRICT bp = b.row(p) + j0;
-          for (std::size_t j = 0; j < jw; ++j) ci[j] += w * bp[j];
-        }
-      }
-    }
-    for (; i < r1; ++i) {
-      float* HYNAPSE_RESTRICT ci = c.row(i);
-      std::fill(ci, ci + n, 0.0f);
-      for (std::size_t p = 0; p < k; ++p) {
-        const float w = at.at(p, i);
-        const float* HYNAPSE_RESTRICT bp = b.row(p);
-        for (std::size_t j = 0; j < n; ++j) ci[j] += w * bp[j];
-      }
-    }
+    ops.gemm_at(at.row(0), b.row(0), c.row(0), r0, r1, m, k, n);
   };
   if (parallel && m >= 64) {
     util::parallel_for_chunks(m, body);

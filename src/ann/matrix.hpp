@@ -15,6 +15,8 @@
 #include <span>
 #include <vector>
 
+#include "ann/backends/backend.hpp"
+
 namespace hynapse::ann {
 
 class Matrix {
@@ -73,27 +75,33 @@ class Matrix {
 };
 
 /// c = a * b. Dimensions must agree (throws std::invalid_argument).
-/// Register-tiled i-k-j kernel (4-row x 16-column micro-tiles held in
-/// accumulators, restrict-qualified row pointers) so the compiler
-/// vectorizes the inner loops; optionally multithreaded over row blocks.
-void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool parallel = true);
+/// Dispatches to the selected backend's register-tiled i-k-j kernel
+/// (backends::kernel_ops; see ann/backends/backend.hpp for the determinism
+/// contract — every backend is bit-identical to gemm_naive); optionally
+/// multithreaded over row blocks.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool parallel = true,
+          backends::Backend backend = backends::Backend::reference);
 
 /// c = a_rows * b where `a_rows` points at `m` contiguous row-major rows of
 /// width b.rows(). Same kernel as gemm(); the workspace forward path feeds
 /// mini-batches straight out of the caller's input matrix through this
 /// overload, so no staging copy is needed. c must already be m x b.cols().
 void gemm_block(const float* a_rows, std::size_t m, const Matrix& b, Matrix& c,
-                bool parallel = false);
+                bool parallel = false,
+                backends::Backend backend = backends::Backend::reference);
 
 /// c = a * b^T (used by the backward pass). Per-element accumulation stays
-/// in ascending p order (a strict-FP dot product cannot be vectorized, so
-/// this kernel takes its ILP from four independent output columns).
+/// in ascending p order in every backend (a strict-FP dot product cannot be
+/// vectorized, so the kernels take their ILP from independent output
+/// columns).
 void gemm_bt(const Matrix& a, const Matrix& b_transposed, Matrix& c,
-             bool parallel = true);
+             bool parallel = true,
+             backends::Backend backend = backends::Backend::reference);
 
 /// c = a^T * b (used for weight gradients).
 void gemm_at(const Matrix& a_transposed, const Matrix& b, Matrix& c,
-             bool parallel = true);
+             bool parallel = true,
+             backends::Backend backend = backends::Backend::reference);
 
 /// Reference implementation for testing the optimized kernels.
 void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 namespace hynapse::ann {
 
 class EvalWorkspace;
+class GroupEvalWorkspace;
 
 /// Hidden-layer nonlinearity. The paper's text shows sigmoid neurons
 /// (Fig. 1); its simulator, the DeepLearnToolbox [22], defaults to LeCun's
@@ -87,6 +89,28 @@ class Mlp {
   [[nodiscard]] double accuracy(const Matrix& input,
                                 std::span<const std::uint8_t> labels,
                                 EvalWorkspace& workspace) const;
+
+  /// Called around each layer's GEMM+bias in accuracy_group:
+  /// mutate(chip, layer, true) right before, mutate(chip, layer, false)
+  /// right after. Lets the caller apply/revert per-chip weight deltas while
+  /// the shared weights are in flight; must not throw between apply and
+  /// revert.
+  using GroupMutator =
+      std::function<void(std::size_t chip, std::size_t layer, bool apply)>;
+
+  /// Fused multi-chip accuracy: evaluates `group` perturbed variants of
+  /// this network in one traversal of the weight matrices. Loop order is
+  /// mini-batch -> layer -> chip, so each layer's weight matrix is streamed
+  /// from memory once per mini-batch and stays cache-resident across the
+  /// whole chip group instead of being re-fetched per chip.
+  /// accuracies[c] is bit-identical to a per-chip accuracy(...) call with
+  /// the same batch geometry under chip c's deltas: per chip the exact same
+  /// kernels see the exact same operands in the exact same order — fusing
+  /// only interleaves *which chip* computes when (docs/performance.md).
+  void accuracy_group(const Matrix& input, std::span<const std::uint8_t> labels,
+                      GroupEvalWorkspace& workspace, std::size_t group,
+                      const GroupMutator& mutate,
+                      std::span<double> accuracies) const;
 
  private:
   std::vector<std::size_t> sizes_;

@@ -162,12 +162,8 @@ void EvalContext::compute_deltas(const QuantizedNetwork& qnet,
   }
 }
 
-double EvalContext::evaluate_chip(const QuantizedNetwork& qnet,
-                                  std::uint64_t qnet_fp,
-                                  const MemoryConfig& config,
-                                  const FaultModel& model,
-                                  const data::Dataset& test,
-                                  std::uint64_t eval_seed, std::size_t chip) {
+void EvalContext::check_shapes(const QuantizedNetwork& qnet,
+                               const MemoryConfig& config) const {
   // Same shape validation (and messages) as the legacy SynapticMemory path.
   if (config.num_banks() != qnet.num_layers())
     throw std::invalid_argument{
@@ -176,7 +172,18 @@ double EvalContext::evaluate_chip(const QuantizedNetwork& qnet,
     if (qnet.layer(b).synapse_count() > config.banks()[b].words)
       throw std::invalid_argument{"SynapticMemory::store: bank too small"};
   }
+}
+
+double EvalContext::evaluate_chip(const QuantizedNetwork& qnet,
+                                  std::uint64_t qnet_fp,
+                                  const MemoryConfig& config,
+                                  const FaultModel& model,
+                                  const data::Dataset& test,
+                                  std::uint64_t eval_seed, std::size_t chip,
+                                  ann::backends::Backend backend) {
+  check_shapes(qnet, config);
   bind(qnet, qnet_fp);
+  workspace_.set_backend(backend);
   const std::uint64_t chip_seed =
       eval_seed ^ (0x9e3779b97f4a7c15ull * (chip + 1));
   compute_deltas(qnet, config, model, chip_seed);
@@ -220,6 +227,91 @@ double EvalContext::evaluate_chip(const QuantizedNetwork& qnet,
   }
   revert();
   return accuracy;
+}
+
+void EvalContext::evaluate_chips(const QuantizedNetwork& qnet,
+                                 std::uint64_t qnet_fp,
+                                 const MemoryConfig& config,
+                                 const FaultModel& model,
+                                 const data::Dataset& test,
+                                 std::uint64_t eval_seed,
+                                 std::size_t chip_begin, std::size_t count,
+                                 std::span<double> out,
+                                 ann::backends::Backend backend) {
+  if (count == 0) return;
+  if (out.size() < count)
+    throw std::invalid_argument{
+        "EvalContext::evaluate_chips: output span too small"};
+  if (count == 1) {
+    // A group of one gains nothing from fusion; the scalar path avoids the
+    // group workspace entirely.
+    out[0] = evaluate_chip(qnet, qnet_fp, config, model, test, eval_seed,
+                           chip_begin, backend);
+    return;
+  }
+  check_shapes(qnet, config);
+  bind(qnet, qnet_fp);
+  group_workspace_.set_backend(backend);
+
+  // Precompute every chip's deltas up front as (slot, faulted, clean)
+  // triples, grouped into per-(chip, layer) runs so the mutate callback in
+  // the fused forward pass is two tight pointer loops. Each chip's delta
+  // derivation is self-contained (its RNGs are seeded from its own
+  // chip_seed), so hoisting it out of the forward pass cannot change the
+  // values the per-chip path would compute.
+  const std::size_t num_layers = qnet.num_layers();
+  fused_deltas_.clear();
+  fused_offsets_.assign(count * num_layers + 1, 0);
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t chip = chip_begin + c;
+    const std::uint64_t chip_seed =
+        eval_seed ^ (0x9e3779b97f4a7c15ull * (chip + 1));
+    compute_deltas(qnet, config, model, chip_seed);
+    // deltas_ is pushed bank-major, so its layers are already ascending.
+    std::size_t di = 0;
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      fused_offsets_[c * num_layers + l] = fused_deltas_.size();
+      const QuantizedLayer& layer = qnet.layer(l);
+      const std::size_t nw = layer.weight_codes.size();
+      for (; di < deltas_.size() && deltas_[di].layer == l; ++di) {
+        const FaultDelta& d = deltas_[di];
+        float* slot = nullptr;
+        float faulted = 0.0f;
+        if (d.word < nw) {
+          slot = &baseline_->weight(d.layer).data()[d.word];
+          faulted = static_cast<float>(layer.weight_fmt.dequantize(d.code));
+        } else {
+          slot = &baseline_->bias(d.layer)[d.word - nw];
+          faulted = static_cast<float>(layer.bias_fmt.dequantize(d.code));
+        }
+        fused_deltas_.push_back(FusedDelta{slot, faulted, *slot});
+      }
+    }
+  }
+  fused_offsets_[count * num_layers] = fused_deltas_.size();
+
+  const auto mutate = [this, num_layers](std::size_t chip, std::size_t layer,
+                                         bool apply) {
+    const std::size_t b = fused_offsets_[chip * num_layers + layer];
+    const std::size_t e = fused_offsets_[chip * num_layers + layer + 1];
+    if (apply) {
+      for (std::size_t i = b; i < e; ++i)
+        *fused_deltas_[i].slot = fused_deltas_[i].faulted;
+    } else {
+      for (std::size_t i = b; i < e; ++i)
+        *fused_deltas_[i].slot = fused_deltas_[i].clean;
+    }
+  };
+  try {
+    baseline_->accuracy_group(test.images, test.labels, group_workspace_,
+                              count, mutate, out);
+  } catch (...) {
+    // Restore every shadowed slot (clean values are shared across chips
+    // touching the same word, so blanket restoration is idempotent) and keep
+    // the baseline usable for the next call on this context.
+    for (const FusedDelta& d : fused_deltas_) *d.slot = d.clean;
+    throw;
+  }
 }
 
 std::size_t EvalContextPool::idle_count() const {

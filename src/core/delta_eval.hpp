@@ -26,8 +26,10 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "ann/backends/backend.hpp"
 #include "ann/mlp.hpp"
 #include "ann/workspace.hpp"
 #include "core/fault_model.hpp"
@@ -64,13 +66,27 @@ class EvalContext {
   /// Accuracy of chip `chip` — same contract and bit-identical result as
   /// the legacy core::evaluate_chip. `qnet_fp` must be
   /// network_fingerprint(qnet) (precomputed by the caller once per call).
-  [[nodiscard]] double evaluate_chip(const QuantizedNetwork& qnet,
-                                     std::uint64_t qnet_fp,
-                                     const MemoryConfig& config,
-                                     const FaultModel& model,
-                                     const data::Dataset& test,
-                                     std::uint64_t eval_seed,
-                                     std::size_t chip);
+  /// `backend` selects the GEMM kernel table (ann/backends; identical
+  /// results either way).
+  [[nodiscard]] double evaluate_chip(
+      const QuantizedNetwork& qnet, std::uint64_t qnet_fp,
+      const MemoryConfig& config, const FaultModel& model,
+      const data::Dataset& test, std::uint64_t eval_seed, std::size_t chip,
+      ann::backends::Backend backend = ann::backends::Backend::reference);
+
+  /// Fused evaluation of chips [chip_begin, chip_begin + count): all chips
+  /// share one batched forward pass (Mlp::accuracy_group), so each layer's
+  /// weight matrix is streamed from memory once per mini-batch for the
+  /// whole group instead of once per chip — the fault deltas are still
+  /// applied/reverted per chip around each GEMM. out[i] receives the
+  /// accuracy of chip_begin + i, bit-identical to count separate
+  /// evaluate_chip calls (tests/test_core_fused_eval.cpp pins this).
+  void evaluate_chips(
+      const QuantizedNetwork& qnet, std::uint64_t qnet_fp,
+      const MemoryConfig& config, const FaultModel& model,
+      const data::Dataset& test, std::uint64_t eval_seed,
+      std::size_t chip_begin, std::size_t count, std::span<double> out,
+      ann::backends::Backend backend = ann::backends::Backend::reference);
 
   /// The deltas computed by the most recent evaluate_chip (diagnostics /
   /// tests).
@@ -79,13 +95,24 @@ class EvalContext {
   }
 
  private:
+  /// One precomputed fused delta: the baseline slot it shadows, the faulted
+  /// value to write on apply, and the clean value to restore on revert.
+  struct FusedDelta {
+    float* slot;
+    float faulted;
+    float clean;
+  };
+
   void bind(const QuantizedNetwork& qnet, std::uint64_t qnet_fp);
   void compute_deltas(const QuantizedNetwork& qnet, const MemoryConfig& config,
                       const FaultModel& model, std::uint64_t chip_seed);
+  void check_shapes(const QuantizedNetwork& qnet,
+                    const MemoryConfig& config) const;
 
   std::uint64_t qnet_fp_ = 0;
   std::optional<ann::Mlp> baseline_;  ///< clean dequantized network
   ann::EvalWorkspace workspace_;
+  ann::GroupEvalWorkspace group_workspace_;
 
   // Scratch reused across chips (capacity persists, contents re-derived).
   std::vector<FaultMap> maps_;
@@ -94,6 +121,9 @@ class EvalContext {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> flips_;  // (word, bits)
   std::vector<std::uint32_t> powerup_words_;
   std::vector<std::uint16_t> powerup_bits_;
+  // Fused-path scratch: flattened per-(chip, layer) delta runs.
+  std::vector<FusedDelta> fused_deltas_;
+  std::vector<std::size_t> fused_offsets_;  // (chip * layers + layer) runs
 };
 
 /// Thread-safe free list of EvalContexts: one context per concurrently

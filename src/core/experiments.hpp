@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ann/backends/backend.hpp"
 #include "core/fault_model.hpp"
 #include "core/memory_config.hpp"
 #include "core/quantized_network.hpp"
@@ -44,7 +45,26 @@ struct EvalOptions {
   /// 1 = serial). Results are bit-identical for any value.
   std::size_t threads = 0;
   EvalPath path = EvalPath::delta;
+  /// GEMM kernel backend for the forward passes (delta path). Every backend
+  /// is bit-identical (ann/backends/backend.hpp); the default follows the
+  /// process-wide --backend selection.
+  ann::backends::Backend backend = ann::backends::default_backend();
+  /// Fused-evaluation group size for the delta path: how many chips share
+  /// one batched forward pass (weight matrices streamed once per group
+  /// instead of once per chip). 0 = auto (fused_group_size), 1 = per-chip,
+  /// N = fixed groups of N. Results are bit-identical for any value.
+  std::size_t fuse_chips = 0;
 };
+
+/// Resolves EvalOptions::fuse_chips to a concrete group size for a point
+/// with `total_chips` chips evaluated across `threads` workers (0 = auto).
+/// Auto balances the two wins: fusing amortizes weight streaming, but each
+/// group is one serial unit of work, so groups are capped to keep every
+/// worker busy (and to 8 chips, past which the grouped activation panels
+/// outgrow the cache level that makes fusion pay).
+[[nodiscard]] std::size_t fused_group_size(std::size_t fuse_chips,
+                                           std::size_t total_chips,
+                                           std::size_t threads);
 
 /// Accuracy of one simulated chip instance: chip index `chip` under
 /// `eval_seed`. The unit of parallelism for evaluate_accuracy and

@@ -33,11 +33,18 @@ std::vector<core::AccuracyResult> ExperimentRunner::run(
   std::vector<core::AccuracyResult> results(job.points.size());
 
   // Fault models are cheap to derive from a table; one per point, shared
-  // read-only by that point's chip jobs. `offsets` maps the flat job space
-  // onto (point, chip) -- points may request different chip counts.
+  // read-only by that point's chip jobs. The flat job space is (point x
+  // chip group): legacy points contribute one group per chip, delta points
+  // carve their chips into fused groups so each group shares one batched
+  // forward pass.
   std::vector<const mc::FailureTable*> tables(job.points.size(), nullptr);
   std::vector<std::optional<core::FaultModel>> models(job.points.size());
-  std::vector<std::size_t> offsets(job.points.size() + 1, 0);
+  struct GroupJob {
+    std::size_t point;
+    std::size_t chip_begin;
+    std::size_t count;
+  };
+  std::vector<GroupJob> groups;
   for (std::size_t p = 0; p < job.points.size(); ++p) {
     const BatchPoint& pt = job.points[p];
     tables[p] = pt.failures != nullptr ? pt.failures : shared;
@@ -47,13 +54,18 @@ std::vector<core::AccuracyResult> ExperimentRunner::run(
       models[p].emplace(*tables[p], pt.vdd, pt.options.policy);
     }
     results[p].per_chip.resize(chips);
-    offsets[p + 1] = offsets[p] + chips;
+    const std::size_t group =
+        pt.options.path == core::EvalPath::delta
+            ? core::fused_group_size(pt.options.fuse_chips, chips, threads)
+            : 1;
+    for (std::size_t begin = 0; begin < chips; begin += group) {
+      groups.push_back(GroupJob{p, begin, std::min(group, chips - begin)});
+    }
   }
 
-  // One flat (point x chip) job matrix on the shared pool. The network
-  // fingerprint keys the per-worker delta baselines; one hash covers the
-  // whole batch since every point shares `qnet`, and an all-legacy batch
-  // (the A/B-comparison usage) skips it entirely.
+  // The network fingerprint keys the per-worker delta baselines; one hash
+  // covers the whole batch since every point shares `qnet`, and an
+  // all-legacy batch (the A/B-comparison usage) skips it entirely.
   std::uint64_t qnet_fp = job.qnet_fp;
   const bool any_delta = std::any_of(
       job.points.begin(), job.points.end(), [&](const BatchPoint& pt) {
@@ -64,23 +76,22 @@ std::vector<core::AccuracyResult> ExperimentRunner::run(
     qnet_fp = core::network_fingerprint(qnet);
   }
   util::parallel_for(
-      offsets.back(),
-      [&](std::size_t j) {
-        const std::size_t p =
-            static_cast<std::size_t>(
-                std::upper_bound(offsets.begin(), offsets.end(), j) -
-                offsets.begin()) -
-            1;
-        const std::size_t chip = j - offsets[p];
-        const BatchPoint& pt = job.points[p];
+      groups.size(),
+      [&](std::size_t g) {
+        const GroupJob& gj = groups[g];
+        const BatchPoint& pt = job.points[gj.point];
         if (pt.options.path == core::EvalPath::legacy) {
-          results[p].per_chip[chip] = core::evaluate_chip(
-              qnet, pt.config, *models[p], test, pt.options.seed, chip);
+          results[gj.point].per_chip[gj.chip_begin] = core::evaluate_chip(
+              qnet, pt.config, *models[gj.point], test, pt.options.seed,
+              gj.chip_begin);
         } else {
           core::EvalContextPool::Lease lease{contexts_};
-          results[p].per_chip[chip] = lease.context().evaluate_chip(
-              qnet, qnet_fp, pt.config, *models[p], test, pt.options.seed,
-              chip);
+          lease.context().evaluate_chips(
+              qnet, qnet_fp, pt.config, *models[gj.point], test,
+              pt.options.seed, gj.chip_begin, gj.count,
+              std::span<double>{results[gj.point].per_chip}
+                  .subspan(gj.chip_begin, gj.count),
+              pt.options.backend);
         }
       },
       threads);
@@ -91,47 +102,6 @@ std::vector<core::AccuracyResult> ExperimentRunner::run(
     results[p].stddev = util::stddev(results[p].per_chip);
   }
   return results;
-}
-
-std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
-    const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
-    const mc::FailureTable& failures, const data::Dataset& test,
-    core::EvalOptions options) const {
-  return run(qnet, EvalJob::sweep(points, options).against(failures), test);
-}
-
-std::vector<core::AccuracyResult> ExperimentRunner::evaluate_sweep(
-    const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
-    const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
-    ShardCoordinator& coordinator, const data::Dataset& test,
-    core::EvalOptions options) const {
-  return run(qnet,
-             EvalJob::sweep(points, options).via(plan, analyzer, coordinator),
-             test);
-}
-
-std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
-    const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
-    const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
-    ShardCoordinator& coordinator, const data::Dataset& test,
-    std::size_t threads, std::uint64_t qnet_fp) const {
-  return run(qnet,
-             EvalJob::batch({points.begin(), points.end()})
-                 .via(plan, analyzer, coordinator)
-                 .with_threads(threads)
-                 .with_network_fingerprint(qnet_fp),
-             test);
-}
-
-std::vector<core::AccuracyResult> ExperimentRunner::evaluate_batch(
-    const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
-    const data::Dataset& test, std::size_t threads,
-    std::uint64_t qnet_fp) const {
-  return run(qnet,
-             EvalJob::batch({points.begin(), points.end()})
-                 .with_threads(threads)
-                 .with_network_fingerprint(qnet_fp),
-             test);
 }
 
 }  // namespace hynapse::engine

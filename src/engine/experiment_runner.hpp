@@ -136,48 +136,20 @@ class ExperimentRunner {
       const mc::FailureTable& failures, double vdd, const data::Dataset& test,
       core::EvalOptions options = {}) const;
 
-  /// Runs one EvalJob as a single flat (point x chip) job matrix on the
-  /// shared pool, amortizing pool wake-ups across many small requests (the
-  /// serve::EvalService hot path). result[i] corresponds to job.points[i]
-  /// and is bit-identical to evaluate() on that point alone, for any
-  /// thread count or batch shape; a point whose table resolves to nothing
-  /// (see EvalJob) yields an empty result. When the job carries a shard
-  /// plan, the table is coordinator-acquired first and results are
-  /// bit-identical to building it monolithically.
+  /// Runs one EvalJob as a single flat (point x chip-group) job matrix on
+  /// the shared pool, amortizing pool wake-ups across many small requests
+  /// (the serve::EvalService hot path). Delta-path points are carved into
+  /// fused chip groups (core::fused_group_size of their EvalOptions), each
+  /// group sharing one batched forward pass; legacy-path points stay
+  /// per-chip. result[i] corresponds to job.points[i] and is bit-identical
+  /// to evaluate() on that point alone, for any thread count, batch shape
+  /// or group size; a point whose table resolves to nothing (see EvalJob)
+  /// yields an empty result. When the job carries a shard plan, the table
+  /// is coordinator-acquired first and results are bit-identical to
+  /// building it monolithically.
   [[nodiscard]] std::vector<core::AccuracyResult> run(
       const core::QuantizedNetwork& qnet, const EvalJob& job,
       const data::Dataset& test) const;
-
-  /// Deprecated wrappers for the pre-EvalJob overload matrix; each is a
-  /// thin spelling of run() and stays bit-identical to it.
-  [[deprecated("use run(qnet, EvalJob::sweep(points, options).against("
-               "failures), test)")]] [[nodiscard]]
-  std::vector<core::AccuracyResult> evaluate_sweep(
-      const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
-      const mc::FailureTable& failures, const data::Dataset& test,
-      core::EvalOptions options = {}) const;
-
-  [[deprecated("use run(qnet, EvalJob::batch(points), test)")]] [[nodiscard]]
-  std::vector<core::AccuracyResult> evaluate_batch(
-      const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
-      const data::Dataset& test, std::size_t threads = 0,
-      std::uint64_t qnet_fp = 0) const;
-
-  [[deprecated("use run(qnet, EvalJob::sweep(points, options).via(plan, "
-               "analyzer, coordinator), test)")]] [[nodiscard]]
-  std::vector<core::AccuracyResult> evaluate_sweep(
-      const core::QuantizedNetwork& qnet, std::span<const SweepPoint> points,
-      const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
-      ShardCoordinator& coordinator, const data::Dataset& test,
-      core::EvalOptions options = {}) const;
-
-  [[deprecated("use run(qnet, EvalJob::batch(points).via(plan, analyzer, "
-               "coordinator), test)")]] [[nodiscard]]
-  std::vector<core::AccuracyResult> evaluate_batch(
-      const core::QuantizedNetwork& qnet, std::span<const BatchPoint> points,
-      const ShardPlan& plan, const mc::FailureAnalyzer& analyzer,
-      ShardCoordinator& coordinator, const data::Dataset& test,
-      std::size_t threads = 0, std::uint64_t qnet_fp = 0) const;
 
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 

@@ -1,0 +1,203 @@
+// Backend seam coverage: the registry (parse/name/fallback/default/flag
+// stripping) and the per-backend kernel matrix. Every backend must be
+// bit-identical to gemm_naive — and therefore to the reference backend —
+// across all four GEMM entry points, tile remainders, odd shapes, and both
+// serial and pool-parallel row partitioning (ann/backends/backend.hpp).
+#include "ann/backends/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ann/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hynapse::ann {
+namespace {
+
+using backends::Backend;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Matrix m{r, c};
+  util::Rng rng{seed};
+  for (float& x : m.data()) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+Matrix transpose(const Matrix& m) {
+  Matrix t{m.cols(), m.rows()};
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) t.at(j, i) = m.at(i, j);
+  return t;
+}
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+// Exercises the 4x16 tile interior, the row remainder (m % 4), the column
+// remainder (n % 16), sub-tile shapes, k smaller than the unroll, and a
+// 64+-row shape that crosses the parallel-dispatch threshold.
+const std::vector<Shape>& shapes() {
+  static const std::vector<Shape> s{
+      {1, 1, 1},   {3, 5, 2},    {4, 16, 16},  {5, 17, 31}, {8, 1, 16},
+      {7, 2, 15},  {16, 33, 17}, {64, 32, 48}, {70, 11, 19}, {13, 48, 64},
+  };
+  return s;
+}
+
+TEST(Backends, RegistryParseAndNameRoundTrip) {
+  EXPECT_EQ(backends::parse_backend("reference"), Backend::reference);
+  EXPECT_EQ(backends::parse_backend("simd"), Backend::simd);
+  EXPECT_FALSE(backends::parse_backend("gpu").has_value());
+  EXPECT_FALSE(backends::parse_backend("").has_value());
+  for (const Backend b : backends::available_backends()) {
+    const auto parsed = backends::parse_backend(backends::backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_EQ(backends::available_backends().front(), Backend::reference);
+}
+
+TEST(Backends, SimdFallsBackToReferenceWhenNotCompiled) {
+  const backends::KernelOps& ref = backends::reference_kernel_ops();
+  const backends::KernelOps& simd = backends::kernel_ops(Backend::simd);
+  EXPECT_EQ(&backends::kernel_ops(Backend::reference), &ref);
+  if (backends::simd_compiled()) {
+    EXPECT_NE(&simd, &ref);
+  } else {
+    EXPECT_EQ(&simd, &ref);
+  }
+}
+
+TEST(Backends, DefaultBackendIsProcessWideAndResettable) {
+  const Backend before = backends::default_backend();
+  backends::set_default_backend(Backend::simd);
+  EXPECT_EQ(backends::default_backend(), Backend::simd);
+  backends::set_default_backend(Backend::reference);
+  EXPECT_EQ(backends::default_backend(), Backend::reference);
+  backends::set_default_backend(before);
+}
+
+TEST(Backends, StripBackendFlagConsumesAndApplies) {
+  const Backend before = backends::default_backend();
+  std::string a0 = "prog", a1 = "--backend", a2 = "simd", a3 = "evaluate";
+  std::vector<char*> argv{a0.data(), a1.data(), a2.data(), a3.data()};
+  int argc = static_cast<int>(argv.size());
+  EXPECT_TRUE(backends::strip_backend_flag(argc, argv.data()));
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "evaluate");
+  EXPECT_EQ(backends::default_backend(), Backend::simd);
+
+  std::string b0 = "prog", b1 = "--backend=reference", b2 = "-x";
+  std::vector<char*> argv2{b0.data(), b1.data(), b2.data()};
+  argc = static_cast<int>(argv2.size());
+  EXPECT_TRUE(backends::strip_backend_flag(argc, argv2.data()));
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv2[1], "-x");
+  EXPECT_EQ(backends::default_backend(), Backend::reference);
+  backends::set_default_backend(before);
+}
+
+TEST(Backends, StripBackendFlagReportsErrors) {
+  const Backend before = backends::default_backend();
+  std::string a0 = "prog", a1 = "--backend", a2 = "warp";
+  std::vector<char*> argv{a0.data(), a1.data(), a2.data()};
+  int argc = static_cast<int>(argv.size());
+  std::string error;
+  EXPECT_FALSE(backends::strip_backend_flag(argc, argv.data(), &error));
+  EXPECT_NE(error.find("warp"), std::string::npos);
+  EXPECT_EQ(argc, 1);  // flag and value consumed even on error
+
+  std::string b0 = "prog", b1 = "--backend";
+  std::vector<char*> argv2{b0.data(), b1.data()};
+  argc = static_cast<int>(argv2.size());
+  EXPECT_FALSE(backends::strip_backend_flag(argc, argv2.data(), &error));
+  EXPECT_NE(error.find("requires a value"), std::string::npos);
+  backends::set_default_backend(before);
+}
+
+TEST(Backends, GemmMatchesNaiveBitwiseAcrossBackendsAndShapes) {
+  for (const Backend backend : backends::available_backends()) {
+    for (const Shape& s : shapes()) {
+      const Matrix a = random_matrix(s.m, s.k, 101 + s.m);
+      const Matrix b = random_matrix(s.k, s.n, 202 + s.n);
+      Matrix naive{s.m, s.n};
+      gemm_naive(a, b, naive);
+      for (const bool parallel : {false, true}) {
+        Matrix c{s.m, s.n};
+        gemm(a, b, c, parallel, backend);
+        EXPECT_EQ(c, naive)
+            << "backend=" << backends::backend_name(backend) << " m=" << s.m
+            << " k=" << s.k << " n=" << s.n << " parallel=" << parallel;
+      }
+    }
+  }
+}
+
+TEST(Backends, GemmBlockMatchesNaiveBitwiseOnRowWindows) {
+  for (const Backend backend : backends::available_backends()) {
+    const Matrix a = random_matrix(21, 17, 31);
+    const Matrix b = random_matrix(17, 29, 32);
+    Matrix naive{21, 29};
+    gemm_naive(a, b, naive);
+    // Row windows of every alignment against the 4-row tile.
+    for (const std::size_t r0 : {std::size_t{0}, std::size_t{3}}) {
+      for (const std::size_t m : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{7}, std::size_t{18} - r0}) {
+        Matrix c{m, 29};
+        gemm_block(a.row(r0), m, b, c, /*parallel=*/false, backend);
+        for (std::size_t i = 0; i < m; ++i) {
+          EXPECT_EQ(0, std::memcmp(c.row(i), naive.row(r0 + i),
+                                   29 * sizeof(float)))
+              << "backend=" << backends::backend_name(backend)
+              << " r0=" << r0 << " m=" << m << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Backends, GemmBtMatchesNaiveBitwiseAcrossBackendsAndShapes) {
+  for (const Backend backend : backends::available_backends()) {
+    for (const Shape& s : shapes()) {
+      const Matrix a = random_matrix(s.m, s.k, 303 + s.m);
+      const Matrix b = random_matrix(s.k, s.n, 404 + s.n);
+      const Matrix bt = transpose(b);
+      Matrix naive{s.m, s.n};
+      gemm_naive(a, b, naive);
+      for (const bool parallel : {false, true}) {
+        Matrix c{s.m, s.n};
+        gemm_bt(a, bt, c, parallel, backend);
+        EXPECT_EQ(c, naive)
+            << "backend=" << backends::backend_name(backend) << " m=" << s.m
+            << " k=" << s.k << " n=" << s.n << " parallel=" << parallel;
+      }
+    }
+  }
+}
+
+TEST(Backends, GemmAtMatchesNaiveBitwiseAcrossBackendsAndShapes) {
+  for (const Backend backend : backends::available_backends()) {
+    for (const Shape& s : shapes()) {
+      const Matrix a = random_matrix(s.m, s.k, 505 + s.m);
+      const Matrix at = transpose(a);
+      const Matrix b = random_matrix(s.m, s.n, 606 + s.n);
+      // c = a^T * b is (k x n); a^T has s.k rows of s.m inner elements.
+      Matrix naive{s.k, s.n};
+      gemm_naive(at, b, naive);
+      for (const bool parallel : {false, true}) {
+        Matrix c{s.k, s.n};
+        gemm_at(a, b, c, parallel, backend);
+        EXPECT_EQ(c, naive)
+            << "backend=" << backends::backend_name(backend) << " m=" << s.m
+            << " k=" << s.k << " n=" << s.n << " parallel=" << parallel;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hynapse::ann

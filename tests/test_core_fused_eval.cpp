@@ -1,0 +1,164 @@
+// Pins fused multi-chip batched evaluation (EvalContext::evaluate_chips /
+// Mlp::accuracy_group) to the per-chip path bit for bit: all three
+// ReadFaultPolicy modes, every compiled backend, assorted group sizes and
+// 1/3/8-thread chip loops. Fusion shares one traversal of the weight
+// matrices across a chip group; it must never change a single per-chip
+// accuracy (docs/performance.md).
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "ann/backends/backend.hpp"
+#include "core/delta_eval.hpp"
+#include "core/experiments.hpp"
+#include "test_helpers.hpp"
+
+namespace hynapse::core {
+namespace {
+
+using hynapse::testing::flat_table;
+using hynapse::testing::small_test_set;
+using hynapse::testing::small_trained_net;
+
+const QuantizedNetwork& test_qnet() {
+  static const QuantizedNetwork qnet{small_trained_net(), 8};
+  return qnet;
+}
+
+TEST(FusedGroupSize, ResolvesExplicitAutoAndDegenerateInputs) {
+  EXPECT_EQ(fused_group_size(1, 100, 4), 1u);   // explicit per-chip
+  EXPECT_EQ(fused_group_size(6, 100, 4), 6u);   // explicit group
+  EXPECT_EQ(fused_group_size(64, 10, 4), 10u);  // capped at total
+  EXPECT_EQ(fused_group_size(0, 0, 4), 1u);     // empty point
+  // Auto: ~total/(2*threads), clamped to [1, 8].
+  EXPECT_EQ(fused_group_size(0, 4, 8), 1u);
+  EXPECT_EQ(fused_group_size(0, 64, 4), 8u);
+  EXPECT_EQ(fused_group_size(0, 24, 2), 6u);
+  EXPECT_GE(fused_group_size(0, 1000, 1), 1u);
+  EXPECT_LE(fused_group_size(0, 1000, 1), 8u);
+}
+
+TEST(FusedEval, EvaluateChipsMatchesPerChipBitwise) {
+  const QuantizedNetwork& qnet = test_qnet();
+  const std::uint64_t fp = network_fingerprint(qnet);
+  const data::Dataset test = small_test_set().head(200);
+  const mc::FailureTable table = flat_table(0.03, 0.01, 0.004, 0.001, 0.0005);
+  const MemoryConfig config =
+      MemoryConfig::uniform_hybrid(qnet.bank_words(), 3);
+  constexpr std::size_t kChips = 7;
+  constexpr std::uint64_t kSeed = 4242;
+
+  for (const ReadFaultPolicy policy :
+       {ReadFaultPolicy::random_per_read, ReadFaultPolicy::always_flip,
+        ReadFaultPolicy::stuck_at_powerup}) {
+    const FaultModel model{table, 0.63, policy};
+    EvalContext scalar_ctx;
+    std::vector<double> expected(kChips);
+    for (std::size_t chip = 0; chip < kChips; ++chip) {
+      expected[chip] = scalar_ctx.evaluate_chip(qnet, fp, config, model, test,
+                                                kSeed, chip);
+    }
+    for (const auto backend : ann::backends::available_backends()) {
+      for (const std::size_t group :
+           {std::size_t{2}, std::size_t{3}, std::size_t{7}}) {
+        EvalContext fused_ctx;
+        std::vector<double> got(kChips, -1.0);
+        for (std::size_t begin = 0; begin < kChips; begin += group) {
+          const std::size_t count = std::min(group, kChips - begin);
+          fused_ctx.evaluate_chips(
+              qnet, fp, config, model, test, kSeed, begin, count,
+              std::span<double>{got}.subspan(begin, count), backend);
+        }
+        EXPECT_EQ(got, expected)
+            << "policy=" << static_cast<int>(policy) << " group=" << group
+            << " backend=" << ann::backends::backend_name(backend);
+      }
+    }
+  }
+}
+
+TEST(FusedEval, FusedGroupLeavesBaselineCleanForNextCall) {
+  // A fused pass must revert every delta: a fault-free evaluation on the
+  // same context afterwards must match a fresh context exactly.
+  const QuantizedNetwork& qnet = test_qnet();
+  const std::uint64_t fp = network_fingerprint(qnet);
+  const data::Dataset test = small_test_set().head(150);
+  const mc::FailureTable faulty = flat_table(0.05, 0.02, 0.01);
+  const mc::FailureTable clean = flat_table(0.0, 0.0, 0.0);
+  const MemoryConfig config = MemoryConfig::all_6t(qnet.bank_words());
+  const FaultModel faulty_model{faulty, 0.60, ReadFaultPolicy::always_flip};
+  const FaultModel clean_model{clean, 1.00, ReadFaultPolicy::always_flip};
+
+  EvalContext reused;
+  std::vector<double> scratch(5);
+  reused.evaluate_chips(qnet, fp, config, faulty_model, test, 99, 0, 5,
+                        scratch);
+  EvalContext fresh;
+  std::vector<double> after(1), baseline(1);
+  reused.evaluate_chips(qnet, fp, config, clean_model, test, 99, 0, 1, after);
+  fresh.evaluate_chips(qnet, fp, config, clean_model, test, 99, 0, 1,
+                       baseline);
+  EXPECT_EQ(after, baseline);
+}
+
+TEST(FusedEval, EvaluateChipsValidatesArguments) {
+  const QuantizedNetwork& qnet = test_qnet();
+  const std::uint64_t fp = network_fingerprint(qnet);
+  const data::Dataset test = small_test_set().head(50);
+  const mc::FailureTable table = flat_table(0.01, 0.0, 0.0);
+  const MemoryConfig config = MemoryConfig::all_6t(qnet.bank_words());
+  const FaultModel model{table, 0.63, ReadFaultPolicy::always_flip};
+  EvalContext ctx;
+  std::vector<double> out(2);
+  EXPECT_THROW(ctx.evaluate_chips(qnet, fp, config, model, test, 1, 0, 3,
+                                  std::span<double>{out}),
+               std::invalid_argument);
+  // count == 0 is a no-op, even with an empty span.
+  ctx.evaluate_chips(qnet, fp, config, model, test, 1, 0, 0,
+                     std::span<double>{});
+}
+
+TEST(FusedEval, EvaluateAccuracyBitIdenticalAcrossFusionThreadsAndPolicies) {
+  const QuantizedNetwork& qnet = test_qnet();
+  const data::Dataset test = small_test_set().head(200);
+  const mc::FailureTable table = flat_table(0.02, 0.008, 0.003, 0.0008, 0.0);
+  const std::vector<int> msbs{2, 3, 1};
+  const MemoryConfig config =
+      MemoryConfig::per_layer(qnet.bank_words(), msbs);
+
+  for (const ReadFaultPolicy policy :
+       {ReadFaultPolicy::random_per_read, ReadFaultPolicy::always_flip,
+        ReadFaultPolicy::stuck_at_powerup}) {
+    EvalOptions options;
+    options.chips = 6;
+    options.seed = 515;
+    options.policy = policy;
+    options.fuse_chips = 1;
+    options.threads = 1;
+    options.backend = ann::backends::Backend::reference;
+    const AccuracyResult per_chip =
+        evaluate_accuracy(qnet, config, table, 0.63, test, options);
+    for (const std::size_t fuse : {std::size_t{0}, std::size_t{2},
+                                   std::size_t{6}}) {
+      for (const std::size_t threads : {1u, 3u, 8u}) {
+        for (const auto backend : ann::backends::available_backends()) {
+          options.fuse_chips = fuse;
+          options.threads = threads;
+          options.backend = backend;
+          const AccuracyResult fused =
+              evaluate_accuracy(qnet, config, table, 0.63, test, options);
+          EXPECT_EQ(fused.per_chip, per_chip.per_chip)
+              << "policy=" << static_cast<int>(policy) << " fuse=" << fuse
+              << " threads=" << threads << " backend="
+              << ann::backends::backend_name(backend);
+          EXPECT_EQ(fused.mean, per_chip.mean);
+          EXPECT_EQ(fused.stddev, per_chip.stddev);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hynapse::core

@@ -208,41 +208,47 @@ TEST_F(EngineTest, RunnerSweepHandlesEmptyInput) {
       runner.run(qnet, EvalJob::sweep({}).against(table), test).empty());
 }
 
-// The pre-EvalJob overloads survive as deprecated wrappers; they must stay
-// bit-identical to the run() spellings they forward to.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(EngineTest, DeprecatedOverloadsMatchEvalJobRun) {
+// Fused chip grouping and kernel backend are performance knobs, never
+// result knobs: any (fuse_chips, backend) combination must reproduce the
+// per-chip reference spelling bit for bit through the runner.
+TEST_F(EngineTest, RunFusedGroupsAndBackendsMatchPerChip) {
   const ann::Mlp net{{784, 16, 10}, 11};
   const core::QuantizedNetwork qnet{net, 8};
   const data::Dataset test = data::generate_digits(80, 9);
   const std::vector<std::size_t> words = qnet.bank_words();
   const mc::FailureTable table = synthetic_table();
 
-  core::EvalOptions opt;
-  opt.chips = 2;
+  core::EvalOptions per_chip;
+  per_chip.chips = 5;
+  per_chip.fuse_chips = 1;
+  per_chip.backend = ann::backends::Backend::reference;
   const std::vector<SweepPoint> points{
       {core::MemoryConfig::uniform_hybrid(words, 2), 0.65},
       {core::MemoryConfig::all_6t(words), 0.70}};
-  const std::vector<BatchPoint> batch{
-      {core::MemoryConfig::uniform_hybrid(words, 3), 0.66, &table, opt}};
 
   const ExperimentRunner runner{4};
-  const auto sweep_old = runner.evaluate_sweep(qnet, points, table, test, opt);
-  const auto sweep_new =
-      runner.run(qnet, EvalJob::sweep(points, opt).against(table), test);
-  ASSERT_EQ(sweep_old.size(), sweep_new.size());
-  for (std::size_t p = 0; p < sweep_old.size(); ++p) {
-    EXPECT_EQ(sweep_old[p].per_chip, sweep_new[p].per_chip);
-    EXPECT_EQ(sweep_old[p].mean, sweep_new[p].mean);
-  }
+  const auto baseline = runner.run(
+      qnet, EvalJob::sweep(points, per_chip).against(table), test);
 
-  const auto batch_old = runner.evaluate_batch(qnet, batch, test);
-  const auto batch_new = runner.run(qnet, EvalJob::batch(batch), test);
-  ASSERT_EQ(batch_old.size(), batch_new.size());
-  EXPECT_EQ(batch_old[0].per_chip, batch_new[0].per_chip);
+  for (const std::size_t fuse : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{5}, std::size_t{64}}) {
+    for (const auto backend : ann::backends::available_backends()) {
+      core::EvalOptions opt = per_chip;
+      opt.fuse_chips = fuse;
+      opt.backend = backend;
+      const auto fused =
+          runner.run(qnet, EvalJob::sweep(points, opt).against(table), test);
+      ASSERT_EQ(fused.size(), baseline.size());
+      for (std::size_t p = 0; p < fused.size(); ++p) {
+        EXPECT_EQ(fused[p].per_chip, baseline[p].per_chip)
+            << "fuse=" << fuse << " backend="
+            << ann::backends::backend_name(backend) << " point=" << p;
+        EXPECT_EQ(fused[p].mean, baseline[p].mean);
+        EXPECT_EQ(fused[p].stddev, baseline[p].stddev);
+      }
+    }
+  }
 }
-#pragma GCC diagnostic pop
 
 TableSpec reference_spec() {
   TableSpec spec;

@@ -50,6 +50,45 @@ class EvalServiceTest : public ::testing::Test {
   data::Dataset test_;
 };
 
+TEST_F(EvalServiceTest, FusedGroupsAndBackendsAreResultInvariant) {
+  // ServiceOptions::backend / fuse_chips are pure performance knobs: any
+  // combination must serve bit-identical accuracies to the per-chip
+  // reference configuration.
+  ServiceOptions base = fast_options();
+  base.default_chips = 5;
+  base.fuse_chips = 1;
+  base.backend = ann::backends::Backend::reference;
+  EvalService baseline{qnet_, test_, base};
+  const Response expected =
+      baseline.wait(baseline.submit(evaluate_request("hybrid2", 0.65)));
+  ASSERT_EQ(expected.status, RequestStatus::done) << expected.error;
+  ASSERT_EQ(expected.results.size(), 1u);
+
+  for (const auto backend : ann::backends::available_backends()) {
+    for (const std::size_t fuse : {std::size_t{0}, std::size_t{3},
+                                   std::size_t{16}}) {
+      ServiceOptions opts = base;
+      opts.backend = backend;
+      opts.fuse_chips = fuse;
+      EvalService service{qnet_, test_, opts};
+      const Response got =
+          service.wait(service.submit(evaluate_request("hybrid2", 0.65)));
+      ASSERT_EQ(got.status, RequestStatus::done) << got.error;
+      ASSERT_EQ(got.results.size(), 1u);
+      const core::AccuracyResult& a = expected.results[0].accuracy;
+      const core::AccuracyResult& b = got.results[0].accuracy;
+      ASSERT_EQ(b.per_chip.size(), a.per_chip.size());
+      for (std::size_t c = 0; c < a.per_chip.size(); ++c) {
+        EXPECT_EQ(b.per_chip[c], a.per_chip[c])
+            << "backend=" << ann::backends::backend_name(backend)
+            << " fuse=" << fuse << " chip=" << c;
+      }
+      EXPECT_EQ(b.mean, a.mean);
+      EXPECT_EQ(b.stddev, a.stddev);
+    }
+  }
+}
+
 TEST_F(EvalServiceTest, ResultsBitIdenticalToDirectRunner) {
   ServiceOptions opts = fast_options();
   EvalService service{qnet_, test_, opts};
