@@ -11,12 +11,23 @@
 // interactive design-space exploration where many small requests hit a few
 // shared tables.
 //
+// A fourth arm sweeps offered load against latency percentiles: a
+// memory-hit-only service (max_batch=1, table prebuilt) is paced open-loop
+// at fractions and multiples of its measured closed-loop capacity, and each
+// level's completion latencies land in an obs::Histogram whose p50/p95/p99
+// show the saturation knee (flat below capacity, queueing blow-up above).
+//
 // Flags (bench::parse_bench_flags): --threads N, --samples N (per-mechanism
 // MC samples for every table build, default 300), --json PATH (write the
 // complete comparison as one JSON object to PATH, overwriting it -- the
-// BENCH_serve_throughput.json artifact collected by scripts/run_bench.sh).
+// BENCH_serve_throughput.json artifact collected by scripts/run_bench.sh),
+// --latency-json PATH (write the saturation sweep as
+// BENCH_serve_latency.json).
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -26,6 +37,8 @@
 #include "ann/trainer.hpp"
 #include "common.hpp"
 #include "data/digits.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
@@ -160,11 +173,111 @@ ModeResult run_socket_mode(const core::QuantizedNetwork& qnet,
   return out;
 }
 
+struct LatencyLevel {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  std::size_t requests = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct LatencyResult {
+  double capacity_rps = 0.0;
+  std::vector<LatencyLevel> levels;
+};
+
+/// Offered-load vs latency sweep. One request provenance, table prebuilt,
+/// max_batch=1: every dispatch is a memory-hit single-request batch, so the
+/// measured latencies are pure service+queueing time and the knee sits at
+/// the dispatch capacity rather than at a table-build artifact.
+LatencyResult run_latency_sweep(const core::QuantizedNetwork& qnet,
+                                const data::Dataset& test,
+                                std::size_t samples, std::size_t threads) {
+  serve::ServiceOptions options;
+  options.coalesce = true;
+  options.max_batch = 1;
+  options.dispatchers = 2;
+  options.threads = threads;
+  options.vdd_grid = {0.60, 0.70};
+  options.default_samples = samples;
+  options.queue_capacity = 4096;  // open-loop overload must queue, not block
+  serve::EvalService service{qnet, test, options};
+
+  serve::Request probe;
+  probe.kind = serve::RequestKind::evaluate;
+  probe.configs = {*serve::ConfigSpec::parse("hybrid3")};
+  probe.vdds = {0.65};
+  probe.chips = 2;
+  probe.table_seed = 1;
+
+  // Warm the one failure table; nothing below pays a Monte-Carlo build.
+  (void)service.wait(service.submit(probe));
+
+  // Closed-loop capacity: saturate the queue and take the drain rate.
+  constexpr std::size_t kCapacityProbe = 60;
+  const auto c0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kCapacityProbe; ++i) service.submit(probe);
+  service.drain();
+  const double capacity_s =
+      std::chrono::duration<double>{std::chrono::steady_clock::now() - c0}
+          .count();
+  LatencyResult out;
+  out.capacity_rps = static_cast<double>(kCapacityProbe) / capacity_s;
+
+  for (const double fraction : {0.4, 0.8, 1.5, 3.0}) {
+    const double offered = fraction * out.capacity_rps;
+    // ~2 seconds of offered load per level, bounded so gross overload
+    // cannot run away (the cap only shortens the level, not its rate).
+    const std::size_t n = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(offered * 2.0)), 40, 2000);
+
+    obs::Histogram latencies;
+    const auto start =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds{50};
+    for (std::size_t i = 0; i < n; ++i) {
+      // Open-loop pacing: request i is DUE at start + i/offered, and its
+      // latency is measured from that due time, so time spent queueing
+      // behind a saturated service counts against it (the knee).
+      const auto due =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>{
+                          static_cast<double>(i) / offered});
+      std::this_thread::sleep_until(due);
+      service.submit(probe, [&latencies, due](const serve::Response&) {
+        latencies.record(obs::elapsed_us(due, obs::Clock::now()));
+      });
+    }
+    service.drain();
+    const double level_s =
+        std::chrono::duration<double>{std::chrono::steady_clock::now() - start}
+            .count();
+
+    const obs::HistogramSnapshot snap = latencies.snapshot();
+    LatencyLevel level;
+    level.offered_rps = offered;
+    level.achieved_rps = static_cast<double>(n) / level_s;
+    level.requests = n;
+    level.p50_ms = snap.percentile(0.50) / 1000.0;
+    level.p95_ms = snap.percentile(0.95) / 1000.0;
+    level.p99_ms = snap.percentile(0.99) / 1000.0;
+    out.levels.push_back(level);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_bench_flags(argc, argv);
   const std::size_t samples = opts.samples != 0 ? opts.samples : 300;
+  std::string latency_json;  // --latency-json passes through parse_bench_flags
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--latency-json") == 0 && i + 1 < argc) {
+      latency_json = argv[++i];
+    }
+  }
 
   bench::print_header(
       "Serving throughput: request coalescing vs naive dispatch",
@@ -233,6 +346,43 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(coal.table_builds),
                  static_cast<unsigned long long>(naive.table_builds));
     return 1;
+  }
+
+  std::printf("  saturation sweep (offered load vs latency)...\n");
+  const LatencyResult latency =
+      run_latency_sweep(qnet, test, samples, opts.threads);
+  std::printf("capacity %.1f req/s (closed-loop)\n", latency.capacity_rps);
+  util::Table lt{{"offered req/s", "achieved req/s", "requests", "p50 ms",
+                  "p95 ms", "p99 ms"}};
+  for (const LatencyLevel& level : latency.levels) {
+    lt.add_row({util::Table::num(level.offered_rps, 1),
+                util::Table::num(level.achieved_rps, 1),
+                std::to_string(level.requests),
+                util::Table::num(level.p50_ms, 2),
+                util::Table::num(level.p95_ms, 2),
+                util::Table::num(level.p99_ms, 2)});
+  }
+  lt.print();
+
+  if (!latency_json.empty()) {
+    std::ofstream out{latency_json, std::ios::trunc};
+    out << "{\n"
+        << "  \"name\": \"serve_latency\",\n"
+        << "  \"mc_samples\": " << samples << ",\n"
+        << "  \"capacity_rps\": " << latency.capacity_rps << ",\n"
+        << "  \"levels\": [\n";
+    for (std::size_t i = 0; i < latency.levels.size(); ++i) {
+      const LatencyLevel& level = latency.levels[i];
+      out << "    {\"offered_rps\": " << level.offered_rps
+          << ", \"achieved_rps\": " << level.achieved_rps
+          << ", \"requests\": " << level.requests
+          << ", \"p50_ms\": " << level.p50_ms
+          << ", \"p95_ms\": " << level.p95_ms
+          << ", \"p99_ms\": " << level.p99_ms << "}"
+          << (i + 1 < latency.levels.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("latency JSON written to %s\n", latency_json.c_str());
   }
 
   if (!opts.json.empty()) {

@@ -8,8 +8,13 @@
 //   optimize [vdd] [drop%]         greedy per-bank MSB allocation
 //   retention                      standby data-retention failure sweep
 //   cache-stats [--prune]          list cached failure tables (hit/miss
-//                                  counters print after evaluate/optimize);
-//                                  --prune deletes corrupt/partial CSVs
+//                                  counters print after evaluate/optimize)
+//                                  with total footprint and a reclaimable
+//                                  preview; --prune deletes corrupt/partial
+//                                  CSVs
+//   stats <host:port>              scrape a serving endpoint's health and
+//                                  metrics registry (docs/observability.md);
+//                                  --json raw line, --prometheus exposition
 //   shard-plan [count]             print the shard plan for the paper-grid
 //                                  failure table (fingerprints, CSV state)
 //   shard-build <shard> <count>    build ONE shard and persist its CSV --
@@ -58,6 +63,7 @@
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
+#include "obs/metrics.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/net.hpp"
 #include "util/table.hpp"
@@ -211,17 +217,32 @@ int cmd_cache_stats(bool prune) {
   std::printf("failure-table cache at %s:\n", dir.c_str());
   const std::vector<engine::CachedTableInfo> infos =
       engine::list_cached_tables(dir);
+  std::uintmax_t footprint = 0;
   if (infos.empty()) {
     std::printf("  (no cached tables)\n");
   } else {
     util::Table t{{"fingerprint", "rows", "bytes", "age", "state", "file"}};
     for (const engine::CachedTableInfo& info : infos) {
+      footprint += info.bytes;
       t.add_row({engine::fingerprint_hex(info.fingerprint),
                  std::to_string(info.rows), std::to_string(info.bytes),
                  age_string(info.mtime), info.valid ? "ok" : "INVALID",
                  std::filesystem::path{info.path}.filename().string()});
     }
     t.print();
+  }
+  std::printf("footprint: %zu tables, %llu bytes\n", infos.size(),
+              static_cast<unsigned long long>(footprint));
+  if (!prune) {
+    // Preview what --prune would reclaim without deleting anything.
+    const engine::PruneResult preview =
+        engine::prune_cache_dir(dir, /*dry_run=*/true);
+    if (!preview.removed.empty()) {
+      std::printf("reclaimable: %zu corrupt/partial files, %llu bytes"
+                  " (run with --prune to remove)\n",
+                  preview.removed.size(),
+                  static_cast<unsigned long long>(preview.bytes_freed));
+    }
   }
   if (prune) {
     const engine::PruneResult result = engine::prune_cache_dir(dir);
@@ -236,6 +257,100 @@ int cmd_cache_stats(bool prune) {
                   result.removed.size(),
                   static_cast<unsigned long long>(result.bytes_freed));
     }
+  }
+  return 0;
+}
+
+/// Scrapes a running hynapse_served / fleet-worker endpoint with the
+/// protocol's `stats` op and renders the health + registry snapshot.
+/// --json passes the raw response line through (for scripts); --prometheus
+/// re-renders the registry in text exposition format (for scrapers).
+int cmd_stats(const std::string& endpoint_text, const std::string& mode) {
+  const std::optional<engine::FleetEndpoint> endpoint =
+      engine::parse_endpoint(endpoint_text);
+  if (!endpoint) {
+    std::fprintf(stderr, "stats: bad endpoint '%s' (want [host:]port)\n",
+                 endpoint_text.c_str());
+    return 2;
+  }
+  std::optional<serve::TcpClient> client =
+      serve::TcpClient::connect(endpoint->host, endpoint->port);
+  if (!client) {
+    std::fprintf(stderr, "stats: cannot connect to %s:%u\n",
+                 endpoint->host.c_str(), endpoint->port);
+    return 1;
+  }
+  serve::Request request;
+  request.kind = serve::RequestKind::stats;
+  request.tag = "cli";
+  if (!client->send_line(serve::format_request(request))) {
+    std::fprintf(stderr, "stats: send failed\n");
+    return 1;
+  }
+  const std::optional<std::string> line = client->read_line(10.0);
+  if (!line) {
+    std::fprintf(stderr, "stats: no response\n");
+    return 1;
+  }
+  std::string parse_error;
+  const std::optional<serve::Response> response =
+      serve::parse_response(*line, &parse_error);
+  if (!response || response->status != serve::RequestStatus::done) {
+    std::fprintf(stderr, "stats: %s\n",
+                 response ? response->error.c_str() : parse_error.c_str());
+    return 1;
+  }
+
+  if (mode == "--json") {
+    std::printf("%s\n", line->c_str());
+    return 0;
+  }
+  if (mode == "--prometheus") {
+    std::fputs(obs::prometheus_text(response->metrics).c_str(), stdout);
+    return 0;
+  }
+
+  if (response->health) {
+    const serve::HealthSummary& h = *response->health;
+    std::printf("health of %s:%u (up %.1fs)\n", endpoint->host.c_str(),
+                endpoint->port, h.uptime_s);
+    std::printf("  queue %zu/%zu  dispatchers %zu  backend %s  path %s\n",
+                h.queue_depth, h.queue_capacity, h.dispatchers,
+                h.backend.c_str(), h.eval_path.c_str());
+    if (!h.cache_dir.empty()) {
+      std::printf("  cache %s: %zu tables, %llu bytes\n", h.cache_dir.c_str(),
+                  h.cache_tables,
+                  static_cast<unsigned long long>(h.cache_bytes));
+    }
+    const serve::ServiceTotals& t = h.totals;
+    std::printf("  totals: submitted %llu done %llu failed %llu"
+                " cancelled %llu rejected %llu\n",
+                static_cast<unsigned long long>(t.submitted),
+                static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.failed),
+                static_cast<unsigned long long>(t.cancelled),
+                static_cast<unsigned long long>(t.rejected));
+    std::printf("  tables: built %llu mem-hit %llu disk-hit %llu"
+                "  shards: built %llu replayed %llu\n",
+                static_cast<unsigned long long>(t.table_builds),
+                static_cast<unsigned long long>(t.table_memory_hits),
+                static_cast<unsigned long long>(t.table_disk_hits),
+                static_cast<unsigned long long>(t.shard_builds),
+                static_cast<unsigned long long>(t.shard_replays));
+  }
+  if (!response->metrics.empty()) {
+    util::Table t{{"metric", "kind", "count/value", "p50us", "p95us",
+                   "p99us"}};
+    for (const obs::MetricSnapshot& m : response->metrics) {
+      const bool hist = m.kind == obs::MetricKind::histogram;
+      t.add_row({m.name, obs::metric_kind_name(m.kind),
+                 hist ? std::to_string(m.count)
+                      : util::Table::num(m.value, 0),
+                 hist ? util::Table::num(m.p50, 1) : "",
+                 hist ? util::Table::num(m.p95, 1) : "",
+                 hist ? util::Table::num(m.p99, 1) : ""});
+    }
+    t.print();
   }
   return 0;
 }
@@ -541,6 +656,9 @@ int usage() {
       "  optimize [vdd=0.65] [max_drop_percent=1.0]\n"
       "  retention\n"
       "  cache-stats [--prune]   (also as a flag: --cache-stats)\n"
+      "  stats <host:port> [--json|--prometheus]\n"
+      "                          scrape a serving endpoint's health and\n"
+      "                          metrics registry (protocol `stats` op)\n"
       "  shard-plan [count=0(per-voltage)] [samples=4000] [seed=20160312]\n"
       "  shard-build <shard> <count> [samples=4000] [seed=20160312]\n"
       "  shard-merge <count> [samples=4000] [seed=20160312]\n"
@@ -584,6 +702,10 @@ int main(int argc, char** argv) {
     if (cmd == "cache-stats" || cmd == "--cache-stats") {
       return cmd_cache_stats(argc > 2 &&
                              std::strcmp(argv[2], "--prune") == 0);
+    }
+    if (cmd == "stats") {
+      if (argc < 3) return usage();
+      return cmd_stats(argv[2], argc > 3 ? argv[3] : "");
     }
     const auto num_arg = [&](int i, std::size_t fallback) -> std::size_t {
       return argc > i ? static_cast<std::size_t>(std::atol(argv[i]))

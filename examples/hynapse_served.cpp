@@ -20,6 +20,10 @@
 //     --per-chip       emit per-chip accuracies in responses
 //     --listen [PORT]  serve the JSONL protocol over TCP instead of stdin
 //                      (PORT 0/omitted = ephemeral; Ctrl-C stops)
+//     --metrics-prometheus PATH
+//                      dump the obs registry in Prometheus text exposition
+//                      format to PATH: refreshed every ~2s under --listen,
+//                      written once at exit in replay/REPL modes
 //
 // Request lines (see docs/serving.md for the full schema):
 //   {"op":"evaluate","config":"hybrid3","vdd":0.65}
@@ -42,6 +46,7 @@
 #include "ann/trainer.hpp"
 #include "data/digits.hpp"
 #include "engine/table_cache.hpp"
+#include "obs/metrics.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/net.hpp"
 #include "serve/session.hpp"
@@ -61,6 +66,7 @@ struct Cli {
   bool per_chip = false;
   bool listen = false;
   std::size_t listen_port = 0;
+  std::string metrics_path;  ///< "" = no Prometheus dump
   std::string file;
   bool ok = true;
 };
@@ -92,6 +98,9 @@ Cli parse_cli(int argc, char** argv) {
       cli.naive = true;
     } else if (arg == "--per-chip") {
       cli.per_chip = true;
+    } else if (arg == "--metrics-prometheus") {
+      cli.ok = cli.ok && i + 1 < argc;
+      if (cli.ok) cli.metrics_path = argv[++i];
     } else if (arg == "--listen") {
       cli.listen = true;
       // Optional port (0/omitted = ephemeral, printed once bound).
@@ -138,6 +147,20 @@ void print_totals(const serve::EvalService& service) {
                static_cast<unsigned long long>(t.table_disk_hits));
 }
 
+/// Renders the whole process-wide registry in Prometheus text exposition
+/// format to `path` (truncate-and-rewrite; scrapers tolerate the brief
+/// window). No-op when no path was configured.
+void write_prometheus(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    std::fprintf(stderr, "[served] warning: cannot write metrics to %s\n",
+                 path.c_str());
+    return;
+  }
+  out << obs::prometheus_text(obs::Registry::global().snapshot());
+}
+
 /// Turns "eval <config> <vdd>" into a request line; everything else passes
 /// through untouched.
 std::string expand_shorthand(const std::string& line) {
@@ -162,7 +185,7 @@ std::string expand_shorthand(const std::string& line) {
 /// coalesce, then answers in submission order.
 int replay_file(const core::QuantizedNetwork& qnet, const data::Dataset& test,
                 serve::ServiceOptions options, const std::string& path,
-                bool per_chip) {
+                bool per_chip, const std::string& metrics_path) {
   std::ifstream in{path};
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
@@ -201,6 +224,7 @@ int replay_file(const core::QuantizedNetwork& qnet, const data::Dataset& test,
     std::printf("%s\n", serve::format_response(response, per_chip).c_str());
   }
   print_totals(service);
+  write_prometheus(metrics_path);
   return 0;
 }
 
@@ -209,7 +233,8 @@ int replay_file(const core::QuantizedNetwork& qnet, const data::Dataset& test,
 /// the cheap ones answer first); parse errors and refusals come back as
 /// failed response lines with structured codes, exactly like the TCP path.
 int repl(const core::QuantizedNetwork& qnet, const data::Dataset& test,
-         const serve::ServiceOptions& options, bool per_chip) {
+         const serve::ServiceOptions& options, bool per_chip,
+         const std::string& metrics_path) {
   serve::EvalService service{qnet, test, options};
   serve::SessionOptions so;
   so.per_chip = per_chip;
@@ -230,7 +255,10 @@ int repl(const core::QuantizedNetwork& qnet, const data::Dataset& test,
     if (line.empty() || line[0] == '#') continue;
     if (line == "quit" || line == "exit") break;
     if (line == "stats") {
-      print_totals(service);
+      // Shorthand for the protocol's stats op: the health + registry
+      // snapshot streams back as a JSON response line like any other
+      // request (print_totals' stderr summary still prints at exit).
+      session.handle_line(R"({"op":"stats","tag":"stats"})");
       continue;
     }
     if (line == "help") {
@@ -240,6 +268,7 @@ int repl(const core::QuantizedNetwork& qnet, const data::Dataset& test,
                    "  {\"op\":\"sweep\",\"configs\":[...],\"vdds\":[...]}\n"
                    "  {\"op\":\"table_info\"}\n"
                    "  {\"op\":\"table_shard\",\"shard\":0,\"shard_count\":4}\n"
+                   "  {\"op\":\"stats\"}\n"
                    "  eval <all6t|hybridN|perlayer:a,b,..> <vdd>\n"
                    "  stats | help | quit\n");
       continue;
@@ -247,6 +276,8 @@ int repl(const core::QuantizedNetwork& qnet, const data::Dataset& test,
     session.handle_line(expand_shorthand(line));
   }
   session.drain();  // answer everything still in flight before exiting
+  print_totals(service);
+  write_prometheus(metrics_path);
   return 0;
 }
 
@@ -258,7 +289,7 @@ void handle_stop_signal(int) { g_stop_requested = 1; }
 /// against the same service. Blocks until SIGINT/SIGTERM, then drains.
 int serve_tcp(const core::QuantizedNetwork& qnet, const data::Dataset& test,
               const serve::ServiceOptions& options, std::uint16_t port,
-              bool per_chip) {
+              bool per_chip, const std::string& metrics_path) {
   serve::EvalService service{qnet, test, options};
   serve::TcpServerOptions to;
   to.port = port;
@@ -269,11 +300,18 @@ int serve_tcp(const core::QuantizedNetwork& qnet, const data::Dataset& test,
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  std::size_t ticks = 0;
   while (g_stop_requested == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // Refresh the exposition file every ~2s so external scrapers see live
+    // counters without speaking the JSONL protocol.
+    if (!metrics_path.empty() && ++ticks % 20 == 0) {
+      write_prometheus(metrics_path);
+    }
   }
 
   server.stop();
+  write_prometheus(metrics_path);
   const serve::TcpServer::Stats stats = server.stats();
   std::fprintf(stderr,
                "[served] stopped: %llu connections, %llu request lines, "
@@ -292,8 +330,8 @@ int usage() {
       "usage: hynapse_served [--threads N] [--backend reference|simd]\n"
       "                      [--chips N] [--samples N] [--dispatchers N]\n"
       "                      [--fuse N] [--cache DIR] [--naive]\n"
-      "                      [--per-chip] [--listen [PORT]] "
-      "[requests.jsonl]\n");
+      "                      [--per-chip] [--listen [PORT]]\n"
+      "                      [--metrics-prometheus PATH] [requests.jsonl]\n");
   return 2;
 }
 
@@ -331,9 +369,10 @@ int main(int argc, char** argv) {
   if (cli.listen) {
     return serve_tcp(qnet, test, options,
                      static_cast<std::uint16_t>(cli.listen_port),
-                     cli.per_chip);
+                     cli.per_chip, cli.metrics_path);
   }
   return cli.file.empty()
-             ? repl(qnet, test, options, cli.per_chip)
-             : replay_file(qnet, test, options, cli.file, cli.per_chip);
+             ? repl(qnet, test, options, cli.per_chip, cli.metrics_path)
+             : replay_file(qnet, test, options, cli.file, cli.per_chip,
+                           cli.metrics_path);
 }

@@ -54,6 +54,20 @@ EXTRACTORS = {
         "x",
         True,
     ),
+    "serve capacity (closed-loop)": (
+        "BENCH_serve_latency",
+        lambda d: d.get("capacity_rps"),
+        "req/s",
+        True,
+    ),
+    "serve p99 below capacity": (
+        "BENCH_serve_latency",
+        # First sweep level is the lightest offered load (0.4x capacity):
+        # its p99 is the uncontended tail latency.
+        lambda d: (d.get("levels") or [{}])[0].get("p99_ms"),
+        "ms",
+        False,
+    ),
     "eval hot path (delta+workspace)": (
         "BENCH_eval_hotpath",
         lambda d: d.get("delta_chips_per_sec"),

@@ -4,7 +4,9 @@
 #   * the fig5 Monte-Carlo failure-table build, from scratch, serial vs
 #     parallel -- the wall-clock anchor for the engine's thread pool.
 #   * bench_serve_throughput: the 200-request mixed trace through
-#     serve::EvalService, naive vs coalesced (requests/sec + table builds).
+#     serve::EvalService, naive vs coalesced (requests/sec + table builds),
+#     plus the offered-load saturation sweep (BENCH_serve_latency.json:
+#     p50/p95/p99 latency per load level around the measured capacity).
 #   * bench_eval_hotpath: chips/sec through the ANN fault-injection hot
 #     path, pre-rework baseline vs full-rebuild vs delta+workspace.
 #   * bench_shard_scaling: monolithic vs sharded (scatter/merge) failure-
@@ -103,11 +105,12 @@ EOF
 
 echo "serial ${serial}s, parallel ${parallel}s (threads=${threads}), speedup ${speedup}x"
 
-echo "== bench_serve_throughput: naive vs coalesced =="
+echo "== bench_serve_throughput: naive vs coalesced + saturation sweep =="
 serve_samples=${HYNAPSE_SERVE_BENCH_SAMPLES:-300}
 "${build_dir}/bench/bench_serve_throughput" \
   --samples "${serve_samples}" \
-  --json "${out_dir}/BENCH_serve_throughput.json"
+  --json "${out_dir}/BENCH_serve_throughput.json" \
+  --latency-json "${out_dir}/BENCH_serve_latency.json"
 
 echo "== bench_eval_hotpath: legacy rebuild vs delta+workspace =="
 eval_chips=${HYNAPSE_EVAL_BENCH_CHIPS:-24}

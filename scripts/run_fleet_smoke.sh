@@ -87,6 +87,36 @@ if ! cmp "${fleet_csv}" "${solo_csv}"; then
 fi
 echo "fleet CSV is byte-identical to the single-process build ($(wc -l <"${fleet_csv}") lines)"
 
+# Scrape each still-running worker with the protocol's `stats` op: the
+# snapshot must parse, its per-request wall-time histogram must account for
+# every completed request (scrapes exclude themselves), and the two workers
+# together must have built exactly the scattered shards.
+echo "== scraping worker stats (protocol stats op) =="
+total_shard_builds=0
+for p in "${p1}" "${p2}"; do
+  builds=$("${cli}" stats "127.0.0.1:${p}" --json | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.readline())
+assert doc["status"] == "done", doc
+health = doc["health"]
+assert health["uptime_s"] > 0, health
+totals = health["totals"]
+registry = {m["name"]: m for m in doc["registry"]}
+wall = registry["serve.request.wall_us"]
+assert wall["kind"] == "histogram", wall
+terminal = totals["completed"] + totals["failed"]
+assert wall["count"] == terminal, (wall["count"], terminal)
+print(totals["shard_builds"])
+')
+  echo "worker :${p} shard_builds=${builds}"
+  total_shard_builds=$((total_shard_builds + builds))
+done
+if [[ "${total_shard_builds}" -ne "${shards}" ]]; then
+  echo "error: workers report ${total_shard_builds} shard builds, expected ${shards}" >&2
+  exit 1
+fi
+echo "stats scrape OK: ${total_shard_builds}/${shards} shard builds accounted for"
+
 # Graceful worker shutdown: SIGTERM, then collect their stats lines.
 for pid in "${worker_pids[@]}"; do
   kill -TERM "${pid}" 2>/dev/null || true

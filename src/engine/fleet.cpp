@@ -8,10 +8,38 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
 
 namespace hynapse::engine {
+
+namespace {
+
+/// Process-wide fleet counters, additive across coordinators and builds.
+struct FleetInstruments {
+  obs::Counter& shards_remote;
+  obs::Counter& shards_local;
+  obs::Counter& worker_failures;
+  obs::Counter& retries;
+  obs::Counter& workers_used;
+
+  static FleetInstruments& get() {
+    static FleetInstruments* instruments = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new FleetInstruments{
+          r.counter("fleet.shards_remote"),
+          r.counter("fleet.shards_local"),
+          r.counter("fleet.worker_failures"),
+          r.counter("fleet.retries"),
+          r.counter("fleet.workers_used"),
+      };
+    }();
+    return *instruments;
+  }
+};
+
+}  // namespace
 
 std::optional<FleetEndpoint> parse_endpoint(std::string_view text) {
   FleetEndpoint ep;
@@ -72,10 +100,13 @@ std::size_t FleetCoordinator::worker_loop(const FleetEndpoint& endpoint,
       const std::scoped_lock lock{scatter.mutex};
       const std::scoped_lock stats_lock{mutex_};
       ++stats_.worker_failures;
+      FleetInstruments& obs = FleetInstruments::get();
+      obs.worker_failures.add(1);
       if (++scatter.attempts[failed_shard] >= scatter.fleet_size) {
         scatter.local.push_back(failed_shard);
       } else {
         ++stats_.retries;
+        obs.retries.add(1);
         scatter.pending.push_back(failed_shard);
       }
     };
@@ -132,6 +163,7 @@ std::size_t FleetCoordinator::worker_loop(const FleetEndpoint& endpoint,
       const std::scoped_lock stats_lock{mutex_};
       ++stats_.shards_remote;
     }
+    FleetInstruments::get().shards_remote.add(1);
     ++completed;
   }
 }
@@ -162,7 +194,10 @@ const mc::FailureTable& FleetCoordinator::build(
     for (std::thread& t : threads) t.join();
     const std::scoped_lock lock{mutex_};
     for (const std::size_t n : produced) {
-      if (n > 0) ++stats_.workers_used;
+      if (n > 0) {
+        ++stats_.workers_used;
+        FleetInstruments::get().workers_used.add(1);
+      }
     }
   }
 
@@ -182,6 +217,7 @@ const mc::FailureTable& FleetCoordinator::build(
   for (const std::size_t shard : leftovers) {
     if (scatter.parts[shard].has_value()) continue;  // double-queued fail
     scatter.parts[shard] = local_.build_shard(plan, shard, analyzer);
+    FleetInstruments::get().shards_local.add(1);
     const std::scoped_lock lock{mutex_};
     ++stats_.shards_local;
   }

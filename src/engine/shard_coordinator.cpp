@@ -7,9 +7,39 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace hynapse::engine {
+
+namespace {
+
+/// Process-wide shard-pipeline counters, additive across coordinators.
+struct ShardInstruments {
+  obs::Counter& table_hits;
+  obs::Counter& built;
+  obs::Counter& replayed;
+  obs::Counter& coalesced;
+  obs::Counter& merges;
+  obs::Counter& merged_rows;
+
+  static ShardInstruments& get() {
+    static ShardInstruments* instruments = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new ShardInstruments{
+          r.counter("shard.table_hits"),
+          r.counter("shard.built"),
+          r.counter("shard.replayed"),
+          r.counter("shard.coalesced"),
+          r.counter("shard.merges"),
+          r.counter("shard.merged_rows"),
+      };
+    }();
+    return *instruments;
+  }
+};
+
+}  // namespace
 
 const mc::FailureTable& ShardCoordinator::acquire(
     const ShardPlan& plan, const mc::FailureAnalyzer& analyzer, bool rebuild) {
@@ -21,6 +51,7 @@ const mc::FailureTable& ShardCoordinator::acquire(
     if (const mc::FailureTable* memoized = cache_.lookup(fp)) {
       const std::scoped_lock lock{mutex_};
       ++stats_.table_hits;
+      ShardInstruments::get().table_hits.add(1);
       return *memoized;
     }
   }
@@ -35,6 +66,7 @@ const mc::FailureTable& ShardCoordinator::acquire(
       if (const mc::FailureTable* memoized = cache_.lookup(fp)) {
         const std::scoped_lock lock{mutex_};
         ++stats_.table_hits;
+        ShardInstruments::get().table_hits.add(1);
         return *memoized;
       }
       if (const std::string path = cache_.csv_path(fp); !path.empty()) {
@@ -43,6 +75,7 @@ const mc::FailureTable& ShardCoordinator::acquire(
             const std::scoped_lock lock{mutex_};
             ++stats_.table_hits;
           }
+          ShardInstruments::get().table_hits.add(1);
           // Already persisted at this very path; memoize only.
           return cache_.put(fp, std::move(*loaded), /*persist=*/false);
         }
@@ -76,6 +109,9 @@ const mc::FailureTable& ShardCoordinator::acquire(
       ++stats_.merges;
       stats_.merged_rows += merged.rows().size();
     }
+    ShardInstruments& obs = ShardInstruments::get();
+    obs.merges.add(1);
+    obs.merged_rows.add(merged.rows().size());
     return cache_.put(fp, std::move(merged));
   });
 }
@@ -110,6 +146,9 @@ mc::FailureTable ShardCoordinator::obtain_shard(
             const std::scoped_lock lock{mutex_};
             ++stats_.shards_replayed;
             if (coalesced) ++stats_.shards_coalesced;
+            ShardInstruments& obs = ShardInstruments::get();
+            obs.replayed.add(1);
+            if (coalesced) obs.coalesced.add(1);
             if (replayed != nullptr) *replayed = true;
             return std::move(*loaded);
           }
@@ -121,6 +160,11 @@ mc::FailureTable ShardCoordinator::obtain_shard(
           const std::scoped_lock lock{mutex_};
           ++stats_.shards_built;
           if (coalesced) ++stats_.shards_coalesced;
+        }
+        {
+          ShardInstruments& obs = ShardInstruments::get();
+          obs.built.add(1);
+          if (coalesced) obs.coalesced.add(1);
         }
         if (replayed != nullptr) *replayed = false;
         if (!path.empty()) {
@@ -160,6 +204,10 @@ std::optional<mc::FailureTable> ShardCoordinator::merge_from_disk(
   }
   if (parts.size() != plan.shard_count()) return std::nullopt;
   mc::FailureTable merged = mc::FailureTable::merge(parts);
+  ShardInstruments& obs = ShardInstruments::get();
+  obs.replayed.add(plan.shard_count());
+  obs.merges.add(1);
+  obs.merged_rows.add(merged.rows().size());
   const std::scoped_lock lock{mutex_};
   stats_.shards_replayed += plan.shard_count();
   ++stats_.merges;

@@ -7,11 +7,34 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/hash.hpp"
 
 namespace hynapse::engine {
 
 namespace {
+
+/// Process-wide cache counters, additive across FailureTableCache
+/// instances (every service/CLI in the process feeds the same registry).
+struct CacheInstruments {
+  obs::Counter& memory_hits;
+  obs::Counter& disk_hits;
+  obs::Counter& builds;
+  obs::Counter& coalesced;
+
+  static CacheInstruments& get() {
+    static CacheInstruments* instruments = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new CacheInstruments{
+          r.counter("cache.memory_hits"),
+          r.counter("cache.disk_hits"),
+          r.counter("cache.builds"),
+          r.counter("cache.coalesced"),
+      };
+    }();
+    return *instruments;
+  }
+};
 
 void feed_card(util::Fnv1a& h, const circuit::TechCard& card) {
   h.f64(card.vt0);
@@ -197,6 +220,7 @@ const mc::FailureTable* FailureTableCache::lookup(std::uint64_t fingerprint) {
   const auto it = tables_.find(fingerprint);
   if (it == tables_.end() || !it->second) return nullptr;
   ++stats_.memory_hits;
+  CacheInstruments::get().memory_hits.add(1);
   return it->second.get();
 }
 
@@ -223,6 +247,7 @@ const mc::FailureTable& FailureTableCache::get(
     const auto it = tables_.find(fp);
     if (it != tables_.end() && it->second) {
       ++stats_.memory_hits;
+      CacheInstruments::get().memory_hits.add(1);
       if (source != nullptr) *source = TableSource::memory;
       return *it->second;
     }
@@ -238,6 +263,9 @@ const mc::FailureTable& FailureTableCache::get(
         if (it != tables_.end() && it->second) {
           ++stats_.memory_hits;
           if (coalesced) ++stats_.coalesced;
+          CacheInstruments& obs = CacheInstruments::get();
+          obs.memory_hits.add(1);
+          if (coalesced) obs.coalesced.add(1);
           if (source != nullptr) *source = TableSource::memory;
           return *it->second;
         }
@@ -247,6 +275,9 @@ const mc::FailureTable& FailureTableCache::get(
           const std::scoped_lock lock{mutex_};
           ++stats_.disk_hits;
           if (coalesced) ++stats_.coalesced;
+          CacheInstruments& obs = CacheInstruments::get();
+          obs.disk_hits.add(1);
+          if (coalesced) obs.coalesced.add(1);
           if (source != nullptr) *source = TableSource::disk;
           auto& slot = tables_[fp];
           slot = std::make_unique<mc::FailureTable>(std::move(*loaded));
@@ -265,6 +296,9 @@ const mc::FailureTable& FailureTableCache::get(
       const std::scoped_lock lock{mutex_};
       ++stats_.builds;
       if (coalesced) ++stats_.coalesced;
+      CacheInstruments& obs = CacheInstruments::get();
+      obs.builds.add(1);
+      if (coalesced) obs.coalesced.add(1);
       if (source != nullptr) *source = TableSource::built;
       auto& slot = tables_[fp];
       slot = std::make_unique<mc::FailureTable>(std::move(table));

@@ -1,0 +1,73 @@
+// Lightweight phase timing over obs::Histogram.
+//
+//   * Timer -- RAII: records elapsed microseconds into one histogram
+//     when it goes out of scope (or at stop()).
+//   * Span  -- a named multi-phase breakdown: each mark(phase) closes
+//     the current segment into histogram "<name>.<phase>_us" and opens
+//     the next. Used to stamp serve requests with where their
+//     wall-clock went (queue wait, table build, chip eval,
+//     serialization).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace hynapse::obs {
+
+using Clock = std::chrono::steady_clock;
+
+inline std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+class Timer {
+ public:
+  explicit Timer(Histogram& hist) : hist_(&hist), start_(Clock::now()) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { stop(); }
+
+  // Record now instead of at scope exit; idempotent.
+  std::uint64_t stop() {
+    if (hist_ == nullptr) return 0;
+    const std::uint64_t us = elapsed_us(start_, Clock::now());
+    hist_->record(us);
+    hist_ = nullptr;
+    return us;
+  }
+
+ private:
+  Histogram* hist_;
+  Clock::time_point start_;
+};
+
+class Span {
+ public:
+  // Phases are recorded into registry histograms "<name>.<phase>_us".
+  explicit Span(std::string name, Registry& registry = Registry::global())
+      : name_(std::move(name)), registry_(&registry), mark_(Clock::now()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Close the segment started at the previous mark (or construction)
+  // into "<name>.<phase>_us" and start timing the next segment.
+  // Returns the recorded microseconds.
+  std::uint64_t mark(const std::string& phase) {
+    const Clock::time_point now = Clock::now();
+    const std::uint64_t us = elapsed_us(mark_, now);
+    registry_->histogram(name_ + "." + phase + "_us").record(us);
+    mark_ = now;
+    return us;
+  }
+
+ private:
+  std::string name_;
+  Registry* registry_;
+  Clock::time_point mark_;
+};
+
+}  // namespace hynapse::obs

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/span.hpp"
+
 namespace hynapse::serve {
 
 namespace {
@@ -16,7 +18,29 @@ double ms_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>{to - from}.count();
 }
 
+std::uint64_t ms_to_us(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0 + 0.5);
+}
+
 }  // namespace
+
+EvalService::Instruments EvalService::resolve_instruments() {
+  obs::Registry& r = obs::Registry::global();
+  return Instruments{
+      r.counter("serve.requests_submitted"),
+      r.counter("serve.requests_completed"),
+      r.counter("serve.requests_failed"),
+      r.counter("serve.requests_cancelled"),
+      r.counter("serve.requests_rejected"),
+      r.counter("serve.batches"),
+      r.counter("serve.coalesced_requests"),
+      r.gauge("serve.queue_depth"),
+      r.histogram("serve.request.queue_us"),
+      r.histogram("serve.request.table_us"),
+      r.histogram("serve.request.run_us"),
+      r.histogram("serve.request.wall_us"),
+  };
+}
 
 EvalService::EvalService(const core::QuantizedNetwork& qnet,
                          const data::Dataset& test, ServiceOptions options)
@@ -58,6 +82,7 @@ EvalService::~EvalService() {
     stop_ = true;
     const std::deque<SlotPtr> queued = std::move(queue_);
     queue_.clear();
+    obs_.queue_depth.set(0);
     for (const SlotPtr& slot : queued) {
       finish_locked(slot, RequestStatus::cancelled, {}, ErrorCode::none,
                     fired);
@@ -98,6 +123,9 @@ engine::TableSpec EvalService::table_spec(const Request& request) const {
 }
 
 std::uint64_t EvalService::fingerprint(const Request& request) const {
+  // A stats scrape names no table; 0 keeps the response's table block
+  // suppressed (and stats requests never coalesce -- see next_batch).
+  if (request.kind == RequestKind::stats) return 0;
   const std::uint64_t table_fp = engine::table_fingerprint(
       table_spec(request), analyzer_options(request));
   if (request.kind != RequestKind::table_shard) return table_fp;
@@ -140,6 +168,8 @@ std::uint64_t EvalService::enqueue_locked(
   ++pending_;
   totals_.max_queue_depth =
       std::max<std::uint64_t>(totals_.max_queue_depth, queue_.size());
+  obs_.submitted.add(1);
+  obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   cv_work_.notify_one();
   return id;
 }
@@ -163,6 +193,7 @@ std::optional<std::uint64_t> EvalService::try_submit(Request request,
   if (stop_) throw std::runtime_error{"EvalService: shutting down"};
   if (queue_.size() >= options_.queue_capacity) {
     ++totals_.rejected;
+    obs_.rejected.add(1);
     return std::nullopt;
   }
   return enqueue_locked(std::move(request), fp, std::move(on_complete), lock);
@@ -227,6 +258,7 @@ bool EvalService::cancel(std::uint64_t id) {
     }
     const SlotPtr slot = it->second;
     queue_.erase(std::find(queue_.begin(), queue_.end(), slot));
+    obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
     finish_locked(slot, RequestStatus::cancelled, {}, ErrorCode::none, fired);
     cv_space_.notify_one();
   }
@@ -265,6 +297,35 @@ EvalService::Totals EvalService::totals() const {
   return t;
 }
 
+HealthSummary EvalService::health() const {
+  HealthSummary h;
+  h.uptime_s =
+      std::chrono::duration<double>{Clock::now() - started_at_}.count();
+  h.queue_capacity = options_.queue_capacity;
+  h.dispatchers = options_.dispatchers;
+  h.threads = options_.threads;
+  h.backend = std::string{ann::backends::backend_name(options_.backend)};
+  h.eval_path =
+      options_.eval_path == core::EvalPath::delta ? "delta" : "legacy";
+  h.fuse_chips = options_.fuse_chips;
+  h.max_batch = options_.max_batch;
+  h.coalesce = options_.coalesce;
+  h.cache_dir = options_.cache_dir;
+  if (!options_.cache_dir.empty()) {
+    // Directory scan + per-file validation: IO, done without the service
+    // lock (this method takes mutex_ only for the queue depth).
+    for (const engine::CachedTableInfo& info :
+         engine::list_cached_tables(options_.cache_dir)) {
+      ++h.cache_tables;
+      h.cache_bytes += static_cast<std::uint64_t>(info.bytes);
+    }
+  }
+  h.totals = totals();
+  const std::scoped_lock lock{mutex_};
+  h.queue_depth = queue_.size();
+  return h;
+}
+
 std::vector<EvalService::SlotPtr> EvalService::next_batch() {
   std::unique_lock lock{mutex_};
   cv_work_.wait(lock, [this] {
@@ -284,17 +345,21 @@ std::vector<EvalService::SlotPtr> EvalService::next_batch() {
 
   // Coalescing: draft every queued request that shares the leader's table
   // fingerprint (regardless of priority -- they ride for free on work that
-  // is about to happen anyway). table_info requests are answered alone.
+  // is about to happen anyway). table_info and stats requests are answered
+  // alone (a stats scrape's fp is 0, so two scrapes must not fuse).
   // table_shard requests only fuse with other table_shard requests: their
   // fp is the shard-extended fingerprint, so a fused shard batch is a set
   // of identical shard requests answered by one build.
-  if (options_.coalesce && batch[0]->request.kind != RequestKind::table_info) {
+  if (options_.coalesce &&
+      batch[0]->request.kind != RequestKind::table_info &&
+      batch[0]->request.kind != RequestKind::stats) {
     const bool shard_leader =
         batch[0]->request.kind == RequestKind::table_shard;
     for (auto it = queue_.begin();
          it != queue_.end() && batch.size() < options_.max_batch;) {
       if ((*it)->fp == batch[0]->fp &&
           (*it)->request.kind != RequestKind::table_info &&
+          (*it)->request.kind != RequestKind::stats &&
           ((*it)->request.kind == RequestKind::table_shard) == shard_leader) {
         batch.push_back(*it);
         it = queue_.erase(it);
@@ -303,9 +368,11 @@ std::vector<EvalService::SlotPtr> EvalService::next_batch() {
       }
     }
   }
+  obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
 
   const std::uint64_t seq = ++dispatch_seq_;
   ++totals_.batches;
+  obs_.batches.add(1);
   const Clock::time_point now = Clock::now();
   for (const SlotPtr& slot : batch) {
     slot->status = RequestStatus::running;
@@ -335,18 +402,33 @@ void EvalService::finish_locked(const SlotPtr& slot, RequestStatus status,
   switch (status) {
     case RequestStatus::failed:
       ++totals_.failed;
+      obs_.failed.add(1);
       break;
     case RequestStatus::cancelled:
       ++totals_.cancelled;
+      obs_.cancelled.add(1);
       break;
     default:
       ++totals_.completed;
+      obs_.completed.add(1);
       break;
   }
   // Headline metric counts only requests that actually benefited: riders
   // that failed (bad config, eval error) shared a table but got nothing.
   if (status == RequestStatus::done && slot->response.stats.coalesced) {
     ++totals_.coalesced_requests;
+    obs_.coalesced.add(1);
+  }
+  // Phase histograms record dispatched work requests exactly once, at
+  // their terminal transition; stats scrapes are excluded so a scrape
+  // never perturbs the distributions it reports.
+  if ((status == RequestStatus::done || status == RequestStatus::failed) &&
+      slot->request.kind != RequestKind::stats) {
+    const RequestStats& s = slot->response.stats;
+    obs_.queue_us.record(ms_to_us(s.queue_ms));
+    obs_.table_us.record(ms_to_us(s.table_ms));
+    obs_.run_us.record(ms_to_us(s.run_ms));
+    obs_.wall_us.record(ms_to_us(s.wall_ms));
   }
   --pending_;
 
@@ -383,6 +465,23 @@ void EvalService::answer_table_info(const SlotPtr& slot) {
     r.table_csv = csv;
     r.table_in_memory = in_memory;
     r.table_rows = rows;
+    finish_locked(slot, RequestStatus::done, {}, ErrorCode::none, fired);
+  }
+  run_callbacks(fired);
+}
+
+void EvalService::answer_stats(const SlotPtr& slot) {
+  // Gather outside the service lock: the cache-dir listing is IO and the
+  // registry snapshot walks every instrument. Both are taken BEFORE this
+  // request's own terminal transition, so a scrape never counts itself as
+  // completed (its submit does appear in `submitted`).
+  HealthSummary h = health();
+  std::vector<obs::MetricSnapshot> metrics = obs::Registry::global().snapshot();
+  FiredCallbacks fired;
+  {
+    const std::scoped_lock lock{mutex_};
+    slot->response.health = std::move(h);
+    slot->response.metrics = std::move(metrics);
     finish_locked(slot, RequestStatus::done, {}, ErrorCode::none, fired);
   }
   run_callbacks(fired);
@@ -463,6 +562,10 @@ void EvalService::answer_table_shard(const std::vector<SlotPtr>& batch) {
 }
 
 void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
+  // Per-batch phase breakdown into the registry (serve.batch.{table,run,
+  // publish}_us); the per-request share lands in serve.request.* at the
+  // terminal transition (finish_locked).
+  obs::Span span{"serve.batch"};
   // Acquire the (shared) failure table once for the whole batch.
   const mc::FailureAnalyzer analyzer{criteria_, sampler_,
                                      analyzer_options(batch[0]->request)};
@@ -482,6 +585,7 @@ void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
     ++naive_builds_;
   }
   const double table_ms = ms_between(t0, Clock::now());
+  span.mark("table");
 
   // Fuse every request's (config x vdd) grid into one flat job list;
   // requests whose config cannot bind to the served network fail alone.
@@ -536,6 +640,7 @@ void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
     batch_error = e.what();
   }
   const double run_ms = ms_between(t1, Clock::now());
+  span.mark("run");
 
   // Publish: responses are only ever mutated under the service lock, so
   // poll()/wait() snapshots cannot observe a response mid-write.
@@ -577,6 +682,7 @@ void EvalService::execute_batch(const std::vector<SlotPtr>& batch) {
       finish_locked(slot, RequestStatus::done, {}, ErrorCode::none, fired);
     }
   }
+  span.mark("publish");
   run_callbacks(fired);
 }
 
@@ -587,6 +693,8 @@ void EvalService::dispatcher_loop() {
     try {
       if (batch[0]->request.kind == RequestKind::table_info) {
         answer_table_info(batch[0]);
+      } else if (batch[0]->request.kind == RequestKind::stats) {
+        answer_stats(batch[0]);
       } else if (batch[0]->request.kind == RequestKind::table_shard) {
         answer_table_shard(batch);
       } else {

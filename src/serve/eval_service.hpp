@@ -60,6 +60,7 @@
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "sram/array.hpp"
 
@@ -156,24 +157,15 @@ class EvalService {
   void pause();
   void resume();
 
-  /// Service-lifetime counters. Table counters merge the shared cache's
-  /// stats with the naive-mode private builds.
-  struct Totals {
-    std::uint64_t submitted = 0;
-    std::uint64_t completed = 0;
-    std::uint64_t failed = 0;
-    std::uint64_t cancelled = 0;
-    std::uint64_t rejected = 0;        ///< try_submit refusals
-    std::uint64_t batches = 0;         ///< dispatches (>= 1 request each)
-    std::uint64_t coalesced_requests = 0;  ///< requests that reused a table
-    std::uint64_t table_builds = 0;
-    std::uint64_t table_memory_hits = 0;
-    std::uint64_t table_disk_hits = 0;
-    std::uint64_t shard_builds = 0;    ///< table_shard requests that built
-    std::uint64_t shard_replays = 0;   ///< table_shard requests served from CSV
-    std::uint64_t max_queue_depth = 0;
-  };
+  /// Service-lifetime counters (the protocol-level ServiceTotals: the
+  /// `stats` op carries them in its health summary). Table counters merge
+  /// the shared cache's stats with the naive-mode private builds.
+  using Totals = ServiceTotals;
   [[nodiscard]] Totals totals() const;
+
+  /// The `stats` op's health block, gathered on demand: queue pressure,
+  /// static configuration, cache-dir footprint and lifetime totals.
+  [[nodiscard]] HealthSummary health() const;
 
   /// The provenance a request's failure table is keyed by (also what
   /// table_info answers from). Pure functions of (request, service config).
@@ -220,6 +212,8 @@ class EvalService {
   std::vector<SlotPtr> next_batch();
   void execute_batch(const std::vector<SlotPtr>& batch);
   void answer_table_info(const SlotPtr& slot);
+  /// Answers a `stats` request: health summary + full registry snapshot.
+  void answer_stats(const SlotPtr& slot);
   /// Builds/replays one table shard for a (same-shard-fingerprint) batch of
   /// table_shard requests: the work happens once, every rider gets the
   /// same response.
@@ -255,6 +249,30 @@ class EvalService {
   engine::ExperimentRunner runner_;
   engine::FailureTableCache cache_;
   engine::ShardCoordinator coordinator_;  ///< shard scatter over cache_
+
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
+
+  /// Process-wide instruments, resolved once (registry lookups take a
+  /// mutex; recording is a relaxed fetch-add). Shared across services in
+  /// one process by design: the registry aggregates the process, the
+  /// per-service view is totals()/health().
+  struct Instruments {
+    obs::Counter& submitted;
+    obs::Counter& completed;
+    obs::Counter& failed;
+    obs::Counter& cancelled;
+    obs::Counter& rejected;
+    obs::Counter& batches;
+    obs::Counter& coalesced;
+    obs::Gauge& queue_depth;
+    obs::Histogram& queue_us;   ///< submit -> dispatch, done/failed requests
+    obs::Histogram& table_us;   ///< per-request table acquisition share
+    obs::Histogram& run_us;     ///< per-request chip-eval share
+    obs::Histogram& wall_us;    ///< submit -> terminal
+  };
+  static Instruments resolve_instruments();
+  Instruments obs_ = resolve_instruments();
 
   mutable std::mutex mutex_;
   std::condition_variable cv_work_;   ///< queue gained work / unpaused / stop

@@ -15,9 +15,31 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace hynapse::serve {
 
 namespace {
+
+/// Process-wide transport counters (all TcpServers in a process share
+/// them; the per-server view is TcpServer::stats()).
+struct NetInstruments {
+  obs::Counter& connections;
+  obs::Counter& oversize_lines;
+  obs::Gauge& active;
+
+  static NetInstruments& get() {
+    static NetInstruments* instruments = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new NetInstruments{
+          r.counter("net.connections"),
+          r.counter("net.oversize_lines"),
+          r.gauge("net.active_connections"),
+      };
+    }();
+    return *instruments;
+  }
+};
 
 using Clock = std::chrono::steady_clock;
 
@@ -58,6 +80,11 @@ struct TcpServer::Connection {
   std::atomic<bool> draining{false};  ///< stop(): EOF is expected, not a drop
   std::atomic<bool> done{false};      ///< reader exited; ready to reap
   bool oversize = false;              ///< poisoned by an over-long line
+  /// Session stats already folded into absorbed_ (guarded by the server
+  /// mutex). Set by the reader thread on its way out -- once the session
+  /// is closed its stats are final -- so a stats() call during teardown
+  /// cannot undercount; reap_locked then skips the re-absorb.
+  bool stats_absorbed = false;
 };
 
 TcpServer::TcpServer(EvalService& service, TcpServerOptions options)
@@ -141,6 +168,8 @@ void TcpServer::accept_loop() {
       }
       ++absorbed_.connections;
       connections_.push_back(conn);
+      NetInstruments::get().connections.add(1);
+      NetInstruments::get().active.add(1);
     }
     conn->reader = std::thread{[this, conn] { reader_loop(conn); }};
   }
@@ -186,6 +215,7 @@ void TcpServer::reader_loop(const std::shared_ptr<Connection>& conn) {
         (void)send_all(conn->fd, framed.data(), framed.size());
       }
       conn->oversize = true;
+      NetInstruments::get().oversize_lines.add(1);
       break;
     }
   }
@@ -193,15 +223,38 @@ void TcpServer::reader_loop(const std::shared_ptr<Connection>& conn) {
   // A trailing fragment without its newline never parsed; that is the
   // protocol's truncation semantics (tested): no newline, no request.
   if (conn->draining.load() && clean_eof) {
-    // stop() owns the drain; nothing to cancel.
+    // stop() owns the drain; nothing to cancel. The session stays live
+    // (responses are still streaming), so its stats are NOT final here --
+    // stop() absorbs them through reap_locked after the drain.
   } else {
     // The peer went away (or poisoned the stream) with the conversation
     // possibly unfinished: connection-scoped cancellation. Queued requests
     // die; running ones finish unobserved. In the draining-but-died case
     // this also keeps stop() from waiting on work nobody will read.
     conn->session->close();
+    // close() made the stats final (no sink, nothing left to cancel):
+    // fold them into absorbed_ NOW, before this thread exits, so a
+    // concurrent stats() never undercounts the teardown window between
+    // the reader finishing and the reaper running.
+    const std::scoped_lock lock{mutex_};
+    absorb_stats_locked(*conn);
   }
+  // done is set after the absorb released mutex_, so reap_locked (which
+  // joins only done readers while holding mutex_) cannot deadlock.
   conn->done.store(true);
+}
+
+void TcpServer::absorb_stats_locked(Connection& conn) {
+  if (conn.stats_absorbed) return;
+  conn.stats_absorbed = true;
+  const Session::Stats s = conn.session->stats();
+  absorbed_.lines += s.lines;
+  absorbed_.responses += s.responses;
+  absorbed_.parse_errors += s.parse_errors;
+  // Sessions closed by a graceful stop() drained first, so anything a
+  // close() actually cancelled traces back to a vanished peer.
+  absorbed_.cancelled_on_disconnect += s.cancelled_on_close;
+  if (conn.oversize) ++absorbed_.oversize_lines;
 }
 
 void TcpServer::reap_locked() {
@@ -212,16 +265,10 @@ void TcpServer::reap_locked() {
       continue;
     }
     if (conn->reader.joinable()) conn->reader.join();
-    const Session::Stats s = conn->session->stats();
-    absorbed_.lines += s.lines;
-    absorbed_.responses += s.responses;
-    absorbed_.parse_errors += s.parse_errors;
-    // Sessions closed by a graceful stop() drained first, so anything a
-    // close() actually cancelled traces back to a vanished peer.
-    absorbed_.cancelled_on_disconnect += s.cancelled_on_close;
-    if (conn->oversize) ++absorbed_.oversize_lines;
+    absorb_stats_locked(*conn);
     ::close(conn->fd);
     it = connections_.erase(it);
+    NetInstruments::get().active.add(-1);
   }
 }
 
@@ -266,6 +313,10 @@ TcpServer::Stats TcpServer::stats() const {
   const std::scoped_lock lock{mutex_};
   Stats s = absorbed_;
   for (const auto& conn : connections_) {
+    // A connection whose reader already folded its final stats into
+    // absorbed_ must not be summed again (or counted as active -- its
+    // socket conversation is over, it just awaits the reaper).
+    if (conn->stats_absorbed) continue;
     const Session::Stats cs = conn->session->stats();
     s.lines += cs.lines;
     s.responses += cs.responses;

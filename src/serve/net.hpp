@@ -80,6 +80,14 @@ class TcpServer {
   void accept_loop();
   void reader_loop(const std::shared_ptr<Connection>& conn);
   void reap_locked();  ///< joins and absorbs finished connections
+  /// Folds a connection's final Session::Stats into absorbed_ exactly once
+  /// (requires mutex_). Called by the reader thread on its way out -- after
+  /// it closed the session, so the stats cannot change any more -- which
+  /// closes the teardown window where stats() undercounted a dying
+  /// connection; reap_locked calls it again only for connections the
+  /// reader did not absorb (graceful-drain exits, where the session stays
+  /// live until stop() closes it).
+  void absorb_stats_locked(Connection& conn);
 
   EvalService& service_;
   const TcpServerOptions options_;

@@ -240,6 +240,8 @@ std::optional<Request> parse_request(std::string_view line,
     req.kind = RequestKind::table_info;
   } else if (op->as_string() == "table_shard") {
     req.kind = RequestKind::table_shard;
+  } else if (op->as_string() == "stats") {
+    req.kind = RequestKind::stats;
   } else {
     return fail("unknown op \"" + op->as_string() + "\"");
   }
@@ -325,6 +327,14 @@ std::optional<Request> parse_request(std::string_view line,
     }
   }
 
+  if (req.kind == RequestKind::stats) {
+    // A stats scrape names no workload; everything but the envelope
+    // (v/tag/priority) is a client error, not silently ignored state.
+    if (!req.configs.empty() || !req.vdds.empty() || req.chips != 0 ||
+        req.eval_seed != 0 || req.mc_samples != 0 || req.table_seed != 0) {
+      return fail("\"stats\" takes only \"v\", \"tag\" and \"priority\"");
+    }
+  }
   if (req.kind == RequestKind::table_shard) {
     if (req.shard_count == 0) {
       return fail("\"table_shard\" requires \"shard_count\" >= 1");
@@ -362,6 +372,7 @@ std::string format_request(const Request& request) {
     case RequestKind::sweep: j.set("op", "sweep"); break;
     case RequestKind::table_info: j.set("op", "table_info"); break;
     case RequestKind::table_shard: j.set("op", "table_shard"); break;
+    case RequestKind::stats: j.set("op", "stats"); break;
   }
   if (request.kind == RequestKind::evaluate ||
       request.kind == RequestKind::sweep) {
@@ -459,6 +470,80 @@ std::string format_response(const Response& response, bool per_chip) {
       shard.set("rows_data", std::move(rows));
     }
     j.set("shard", std::move(shard));
+  }
+
+  if (response.health.has_value()) {
+    const HealthSummary& h = *response.health;
+    Json health = Json::object();
+    health.set("uptime_s", h.uptime_s);
+    health.set("queue_depth", static_cast<double>(h.queue_depth));
+    health.set("queue_capacity", static_cast<double>(h.queue_capacity));
+    health.set("dispatchers", static_cast<double>(h.dispatchers));
+    health.set("threads", static_cast<double>(h.threads));
+    health.set("backend", h.backend);
+    health.set("eval_path", h.eval_path);
+    health.set("fuse_chips", static_cast<double>(h.fuse_chips));
+    health.set("max_batch", static_cast<double>(h.max_batch));
+    health.set("coalesce", h.coalesce);
+    if (!h.cache_dir.empty()) health.set("cache_dir", h.cache_dir);
+    health.set("cache_tables", static_cast<double>(h.cache_tables));
+    health.set("cache_bytes", static_cast<double>(h.cache_bytes));
+    Json totals = Json::object();
+    const auto set = [&totals](const char* key, std::uint64_t v) {
+      totals.set(key, static_cast<double>(v));
+    };
+    set("submitted", h.totals.submitted);
+    set("completed", h.totals.completed);
+    set("failed", h.totals.failed);
+    set("cancelled", h.totals.cancelled);
+    set("rejected", h.totals.rejected);
+    set("batches", h.totals.batches);
+    set("coalesced_requests", h.totals.coalesced_requests);
+    set("table_builds", h.totals.table_builds);
+    set("table_memory_hits", h.totals.table_memory_hits);
+    set("table_disk_hits", h.totals.table_disk_hits);
+    set("shard_builds", h.totals.shard_builds);
+    set("shard_replays", h.totals.shard_replays);
+    set("max_queue_depth", h.totals.max_queue_depth);
+    health.set("totals", std::move(totals));
+    j.set("health", std::move(health));
+  }
+
+  if (!response.metrics.empty()) {
+    Json registry = Json::array();
+    for (const obs::MetricSnapshot& m : response.metrics) {
+      Json metric = Json::object();
+      metric.set("name", m.name);
+      metric.set("kind", obs::metric_kind_name(m.kind));
+      switch (m.kind) {
+        case obs::MetricKind::counter:
+          metric.set("count", static_cast<double>(m.count));
+          break;
+        case obs::MetricKind::gauge:
+          metric.set("value", m.value);
+          break;
+        case obs::MetricKind::histogram: {
+          metric.set("count", static_cast<double>(m.count));
+          metric.set("sum", static_cast<double>(m.sum));
+          metric.set("p50", m.p50);
+          metric.set("p95", m.p95);
+          metric.set("p99", m.p99);
+          // Sparse [bucket_index, count] pairs; integers survive the
+          // double round trip exactly (indices < 65, realistic counts).
+          Json buckets = Json::array();
+          for (const auto& [idx, n] : m.buckets) {
+            Json pair = Json::array();
+            pair.push_back(static_cast<double>(idx));
+            pair.push_back(static_cast<double>(n));
+            buckets.push_back(std::move(pair));
+          }
+          metric.set("buckets", std::move(buckets));
+          break;
+        }
+      }
+      registry.push_back(std::move(metric));
+    }
+    j.set("registry", std::move(registry));
   }
 
   if (response.status == RequestStatus::done ||
@@ -616,6 +701,127 @@ std::optional<Response> parse_response(std::string_view line,
         out.cell8.read_disturb = row.items()[6].as_number();
         r.shard_rows.push_back(out);
       }
+    }
+  }
+
+  if (const Json* health = doc->get("health");
+      health != nullptr && health->is_object()) {
+    HealthSummary h;
+    const auto number = [&](const char* key, double& out) {
+      if (const Json* v = health->get(key); v != nullptr && v->is_number()) {
+        out = v->as_number();
+      }
+    };
+    const auto count = [&](const char* key, std::size_t& out) {
+      if (const Json* v = health->get(key); v != nullptr && v->is_number()) {
+        out = static_cast<std::size_t>(v->as_number());
+      }
+    };
+    number("uptime_s", h.uptime_s);
+    count("queue_depth", h.queue_depth);
+    count("queue_capacity", h.queue_capacity);
+    count("dispatchers", h.dispatchers);
+    count("threads", h.threads);
+    count("fuse_chips", h.fuse_chips);
+    count("max_batch", h.max_batch);
+    if (const Json* v = health->get("backend");
+        v != nullptr && v->is_string()) {
+      h.backend = v->as_string();
+    }
+    if (const Json* v = health->get("eval_path");
+        v != nullptr && v->is_string()) {
+      h.eval_path = v->as_string();
+    }
+    if (const Json* v = health->get("coalesce");
+        v != nullptr && v->is_bool()) {
+      h.coalesce = v->as_bool();
+    }
+    if (const Json* v = health->get("cache_dir");
+        v != nullptr && v->is_string()) {
+      h.cache_dir = v->as_string();
+    }
+    count("cache_tables", h.cache_tables);
+    if (const Json* v = health->get("cache_bytes");
+        v != nullptr && v->is_number()) {
+      h.cache_bytes = static_cast<std::uint64_t>(v->as_number());
+    }
+    if (const Json* totals = health->get("totals");
+        totals != nullptr && totals->is_object()) {
+      const auto total = [&](const char* key, std::uint64_t& out) {
+        if (const Json* v = totals->get(key);
+            v != nullptr && v->is_number()) {
+          out = static_cast<std::uint64_t>(v->as_number());
+        }
+      };
+      total("submitted", h.totals.submitted);
+      total("completed", h.totals.completed);
+      total("failed", h.totals.failed);
+      total("cancelled", h.totals.cancelled);
+      total("rejected", h.totals.rejected);
+      total("batches", h.totals.batches);
+      total("coalesced_requests", h.totals.coalesced_requests);
+      total("table_builds", h.totals.table_builds);
+      total("table_memory_hits", h.totals.table_memory_hits);
+      total("table_disk_hits", h.totals.table_disk_hits);
+      total("shard_builds", h.totals.shard_builds);
+      total("shard_replays", h.totals.shard_replays);
+      total("max_queue_depth", h.totals.max_queue_depth);
+    }
+    r.health = std::move(h);
+  }
+
+  if (const Json* registry = doc->get("registry");
+      registry != nullptr && registry->is_array()) {
+    for (const Json& item : registry->items()) {
+      if (!item.is_object()) return fail("bad entry in \"registry\"");
+      obs::MetricSnapshot m;
+      const Json* name = item.get("name");
+      const Json* kind = item.get("kind");
+      if (name == nullptr || !name->is_string() || kind == nullptr ||
+          !kind->is_string() ||
+          !obs::parse_metric_kind(kind->as_string(), m.kind)) {
+        return fail("bad entry in \"registry\"");
+      }
+      m.name = name->as_string();
+      if (const Json* v = item.get("count");
+          v != nullptr && v->is_number()) {
+        m.count = static_cast<std::uint64_t>(v->as_number());
+      }
+      if (const Json* v = item.get("sum"); v != nullptr && v->is_number()) {
+        m.sum = static_cast<std::uint64_t>(v->as_number());
+      }
+      if (const Json* v = item.get("value");
+          v != nullptr && v->is_number()) {
+        m.value = v->as_number();
+      }
+      if (m.kind == obs::MetricKind::counter) {
+        m.value = static_cast<double>(m.count);
+      }
+      if (const Json* v = item.get("p50"); v != nullptr && v->is_number()) {
+        m.p50 = v->as_number();
+      }
+      if (const Json* v = item.get("p95"); v != nullptr && v->is_number()) {
+        m.p95 = v->as_number();
+      }
+      if (const Json* v = item.get("p99"); v != nullptr && v->is_number()) {
+        m.p99 = v->as_number();
+      }
+      if (const Json* buckets = item.get("buckets");
+          buckets != nullptr && buckets->is_array()) {
+        for (const Json& pair : buckets->items()) {
+          if (!pair.is_array() || pair.items().size() != 2 ||
+              !pair.items()[0].is_number() || !pair.items()[1].is_number()) {
+            return fail("bad histogram bucket in \"registry\"");
+          }
+          m.buckets.emplace_back(
+              static_cast<std::uint32_t>(pair.items()[0].as_number()),
+              static_cast<std::uint64_t>(pair.items()[1].as_number()));
+        }
+        if (m.kind == obs::MetricKind::histogram && m.count != 0) {
+          m.value = static_cast<double>(m.sum) / static_cast<double>(m.count);
+        }
+      }
+      r.metrics.push_back(std::move(m));
     }
   }
 

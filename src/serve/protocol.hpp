@@ -13,6 +13,7 @@
 //   {"op":"table_info","samples":M,"table_seed":T}
 //   {"op":"table_shard","shard":K,"shard_count":N,"samples":M,
 //    "table_seed":T,"priority":P,"inline_rows":true}
+//   {"op":"stats"}
 // Every request additionally accepts "v" (protocol version; omitted means
 // kProtocolVersion) and "tag" (an opaque string echoed verbatim in the
 // response -- correlation for pipelined clients). "evaluate" also accepts
@@ -25,6 +26,10 @@
 // grid size by the service. With "inline_rows":true the response carries
 // the shard's rows inline ("rows_data", bit-exact doubles), so a remote
 // coordinator can merge without a shared filesystem.
+// "stats" answers with the service's health summary ("health": uptime,
+// queue depth/capacity, configuration, lifetime totals) plus a full
+// obs::Registry snapshot ("registry") -- the scrapeable observability
+// surface (docs/observability.md). It takes only "v"/"tag"/"priority".
 //
 // Responses always carry "v" (protocol version) and, on failure, a
 // machine-readable "code" alongside the human-readable "error" string.
@@ -41,6 +46,7 @@
 #include "core/memory_config.hpp"
 #include "engine/table_cache.hpp"
 #include "mc/failure_table.hpp"
+#include "obs/metrics.hpp"
 
 namespace hynapse::serve {
 
@@ -90,7 +96,7 @@ struct ConfigSpec {
       std::span<const std::size_t> bank_words) const;
 };
 
-enum class RequestKind { evaluate, sweep, table_info, table_shard };
+enum class RequestKind { evaluate, sweep, table_info, table_shard, stats };
 
 /// Upper bound on per-request chip instances, enforced both by the codec
 /// and at dispatch: a hostile `chips` must fail that one request, never
@@ -153,6 +159,45 @@ struct RequestStats {
   std::uint64_t dispatch_seq = 0;  ///< service-wide dispatch order (from 1)
 };
 
+/// Service-lifetime counters, answered by the `stats` op (and by
+/// EvalService::totals(), which aliases this as Totals). Table counters
+/// merge the shared cache's stats with the naive-mode private builds.
+struct ServiceTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;        ///< try_submit refusals
+  std::uint64_t batches = 0;         ///< dispatches (>= 1 request each)
+  std::uint64_t coalesced_requests = 0;  ///< requests that reused a table
+  std::uint64_t table_builds = 0;
+  std::uint64_t table_memory_hits = 0;
+  std::uint64_t table_disk_hits = 0;
+  std::uint64_t shard_builds = 0;    ///< table_shard requests that built
+  std::uint64_t shard_replays = 0;   ///< table_shard requests served from CSV
+  std::uint64_t max_queue_depth = 0;
+};
+
+/// Point-in-time service health, answered by the `stats` op alongside the
+/// registry snapshot: queue pressure, static configuration, cache-dir
+/// footprint, and the lifetime totals.
+struct HealthSummary {
+  double uptime_s = 0.0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t dispatchers = 0;
+  std::size_t threads = 0;         ///< pool participation cap (0 = default)
+  std::string backend;             ///< GEMM kernel backend name
+  std::string eval_path;           ///< "delta" or "legacy"
+  std::size_t fuse_chips = 0;
+  std::size_t max_batch = 0;
+  bool coalesce = false;
+  std::string cache_dir;           ///< "" = in-memory cache
+  std::size_t cache_tables = 0;    ///< persisted CSV artifacts in cache_dir
+  std::uint64_t cache_bytes = 0;   ///< their total size on disk
+  ServiceTotals totals;
+};
+
 struct Response {
   std::uint64_t id = 0;
   RequestStatus status = RequestStatus::queued;
@@ -171,6 +216,11 @@ struct Response {
   std::uint64_t shard_fingerprint = 0;   ///< shard-extended provenance
   /// Inline shard rows (Request::inline_rows); round-trips bit-exactly.
   std::vector<mc::FailureTableRow> shard_rows;
+  // stats op:
+  std::optional<HealthSummary> health;
+  /// Full obs::Registry snapshot (stats op); sparse histogram buckets
+  /// round-trip exactly, percentiles travel as %.17g doubles.
+  std::vector<obs::MetricSnapshot> metrics;
   RequestStats stats;
 };
 

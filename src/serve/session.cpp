@@ -7,7 +7,39 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace hynapse::serve {
+
+namespace {
+
+/// Process-wide session counters (aggregated across transports: REPL and
+/// every TCP connection record into the same instruments).
+struct SessionInstruments {
+  obs::Counter& lines;
+  obs::Counter& responses;
+  obs::Counter& parse_errors;
+  obs::Counter& rejected;
+  obs::Counter& cancelled_on_close;
+  obs::Histogram& serialize_us;  ///< format_response + sink write
+
+  static SessionInstruments& get() {
+    static SessionInstruments* instruments = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new SessionInstruments{
+          r.counter("session.lines"),
+          r.counter("session.responses"),
+          r.counter("session.parse_errors"),
+          r.counter("session.rejected"),
+          r.counter("session.cancelled_on_close"),
+          r.histogram("serve.request.serialize_us"),
+      };
+    }();
+    return *instruments;
+  }
+};
+
+}  // namespace
 
 // Lives behind a shared_ptr because completion callbacks can outlive the
 // Session object: a request still running when the session closes completes
@@ -48,6 +80,7 @@ void Session::emit_error(const std::string& tag, ErrorCode code,
   if (state_->open && state_->sink) {
     state_->sink(format_response(r, options_.per_chip));
     ++state_->stats.responses;
+    SessionInstruments::get().responses.add(1);
   }
 }
 
@@ -56,6 +89,7 @@ std::uint64_t Session::handle_line(std::string_view line) {
     const std::lock_guard lock{state_->mutex};
     ++state_->stats.lines;
   }
+  SessionInstruments::get().lines.add(1);
 
   RequestError error;
   std::optional<Request> request = parse_request(line, &error);
@@ -64,6 +98,7 @@ std::uint64_t Session::handle_line(std::string_view line) {
       const std::lock_guard lock{state_->mutex};
       ++state_->stats.parse_errors;
     }
+    SessionInstruments::get().parse_errors.add(1);
     emit_error({}, error.code, std::move(error.message));
     return 0;
   }
@@ -73,6 +108,7 @@ std::uint64_t Session::handle_line(std::string_view line) {
       const std::lock_guard lock{state_->mutex};
       ++state_->stats.rejected;
     }
+    SessionInstruments::get().rejected.add(1);
     emit_error(request->tag, ErrorCode::bad_request,
                "this endpoint serves table builds only"
                " (evaluate/sweep disabled)");
@@ -94,8 +130,13 @@ std::uint64_t Session::handle_line(std::string_view line) {
       state->completed_early.insert(response.id);
     }
     if (state->open && state->sink) {
+      // The serialization phase of the request's span: rendering the
+      // response line plus handing it to the transport sink.
+      SessionInstruments& instruments = SessionInstruments::get();
+      const obs::Timer timer{instruments.serialize_us};
       state->sink(format_response(response, per_chip));
       ++state->stats.responses;
+      instruments.responses.add(1);
     }
     --state->outstanding;
     state->cv.notify_all();
@@ -114,6 +155,7 @@ std::uint64_t Session::handle_line(std::string_view line) {
           --state->outstanding;
           ++state->stats.rejected;
         }
+        SessionInstruments::get().rejected.add(1);
         emit_error(tag, ErrorCode::queue_full,
                    "service queue is at capacity");
         return 0;
@@ -129,6 +171,7 @@ std::uint64_t Session::handle_line(std::string_view line) {
       ++state->stats.rejected;
       state->cv.notify_all();
     }
+    SessionInstruments::get().rejected.add(1);
     emit_error(tag, ErrorCode::shutting_down, e.what());
     return 0;
   }
@@ -160,6 +203,9 @@ void Session::close() {
   std::uint64_t cancelled = 0;
   for (const std::uint64_t id : to_cancel) {
     if (service_.cancel(id)) ++cancelled;
+  }
+  if (cancelled != 0) {
+    SessionInstruments::get().cancelled_on_close.add(cancelled);
   }
   const std::lock_guard lock{state_->mutex};
   state_->stats.cancelled_on_close += cancelled;

@@ -3,9 +3,35 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/span.hpp"
+
 namespace hynapse::util {
 
 namespace {
+
+/// Process-wide pool instruments, additive across pools (the shared()
+/// pool plus any private ones): worker head-count, queued job copies,
+/// jobs executed and the busy-time integral -- utilization is
+/// busy_us / (workers * uptime).
+struct PoolInstruments {
+  obs::Gauge& workers;
+  obs::Gauge& queue_depth;
+  obs::Counter& jobs_run;
+  obs::Counter& busy_us;
+
+  static PoolInstruments& get() {
+    static PoolInstruments* instruments = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new PoolInstruments{
+          r.gauge("pool.workers"),
+          r.gauge("pool.queue_depth"),
+          r.counter("pool.jobs_run"),
+          r.counter("pool.busy_us"),
+      };
+    }();
+    return *instruments;
+  }
+};
 
 std::atomic<std::size_t> g_default_threads{0};  // 0 = auto
 
@@ -84,6 +110,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  PoolInstruments::get().workers.add(static_cast<std::int64_t>(workers));
 }
 
 ThreadPool::~ThreadPool() {
@@ -93,6 +120,8 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  PoolInstruments::get().workers.add(
+      -static_cast<std::int64_t>(workers_.size()));
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -109,6 +138,7 @@ void ThreadPool::submit(const std::shared_ptr<Job>& job, std::size_t copies) {
     const std::scoped_lock lock{mutex_};
     for (std::size_t i = 0; i < copies; ++i) queue_.push_back(job);
   }
+  PoolInstruments::get().queue_depth.add(static_cast<std::int64_t>(copies));
   if (copies == 1) {
     cv_.notify_one();
   } else {
@@ -117,6 +147,7 @@ void ThreadPool::submit(const std::shared_ptr<Job>& job, std::size_t copies) {
 }
 
 void ThreadPool::worker_loop() {
+  PoolInstruments& instruments = PoolInstruments::get();
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -126,7 +157,11 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    instruments.queue_depth.add(-1);
+    const obs::Clock::time_point t0 = obs::Clock::now();
     job->run();
+    instruments.busy_us.add(obs::elapsed_us(t0, obs::Clock::now()));
+    instruments.jobs_run.add(1);
     job.reset();  // release the control block before blocking on the queue
   }
 }

@@ -1,0 +1,64 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hynapse::obs {
+namespace {
+
+TEST(Timer, RecordsOnDestruction) {
+  Registry r;
+  Histogram& h = r.histogram("t.us");
+  {
+    Timer timer{h};
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.sum, 2000u);  // slept >= 2ms
+}
+
+TEST(Timer, StopIsIdempotent) {
+  Registry r;
+  Histogram& h = r.histogram("t.us");
+  {
+    Timer timer{h};
+    timer.stop();
+    timer.stop();  // second stop and destruction must not re-record
+  }
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(Span, MarksRecordPhasesIntoNamedHistograms) {
+  Registry r;
+  Span span{"req", r};
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  span.mark("table");
+  span.mark("run");
+  const HistogramSnapshot table = r.histogram("req.table_us").snapshot();
+  const HistogramSnapshot run = r.histogram("req.run_us").snapshot();
+  EXPECT_EQ(table.count, 1u);
+  EXPECT_GE(table.sum, 2000u);
+  EXPECT_EQ(run.count, 1u);
+  // The run segment starts at the table mark, so it excludes the sleep.
+  EXPECT_LT(run.sum, table.sum + 1);
+}
+
+TEST(Span, SequentialMarksCoverTheWholeSpan) {
+  Registry r;
+  Span span{"job", r};
+  std::uint64_t total = 0;
+  total += span.mark("a");
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  total += span.mark("b");
+  total += span.mark("c");
+  const std::uint64_t sum = r.histogram("job.a_us").snapshot().sum +
+                            r.histogram("job.b_us").snapshot().sum +
+                            r.histogram("job.c_us").snapshot().sum;
+  EXPECT_EQ(sum, total);
+  EXPECT_GE(sum, 1000u);
+}
+
+}  // namespace
+}  // namespace hynapse::obs

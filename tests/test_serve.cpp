@@ -16,6 +16,7 @@
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
+#include "obs/metrics.hpp"
 #include "serve/eval_service.hpp"
 
 namespace hynapse::serve {
@@ -537,6 +538,81 @@ TEST_F(EvalServiceTest, DestructorFiresCallbacksForQueuedRequests) {
   }
   ASSERT_EQ(statuses.size(), 1u);
   EXPECT_EQ(statuses[0], RequestStatus::cancelled);
+}
+
+// The registry is process-global (other tests in this binary record into
+// it), so registry assertions work on deltas, never absolute counts.
+std::uint64_t metric_count(const std::vector<obs::MetricSnapshot>& metrics,
+                           const std::string& name) {
+  for (const obs::MetricSnapshot& m : metrics) {
+    if (m.name == name) return m.count;
+  }
+  return 0;
+}
+
+TEST_F(EvalServiceTest, StatsOpReportsHealthAndRegistry) {
+  const std::uint64_t wall_before = metric_count(
+      obs::Registry::global().snapshot(), "serve.request.wall_us");
+
+  EvalService service{qnet_, test_, fast_options()};
+  for (int i = 0; i < 3; ++i) {
+    const Response r =
+        service.wait(service.submit(evaluate_request("hybrid2", 0.65)));
+    ASSERT_EQ(r.status, RequestStatus::done) << r.error;
+  }
+
+  Request probe;
+  probe.kind = RequestKind::stats;
+  probe.tag = "probe";
+  EXPECT_EQ(service.fingerprint(probe), 0u);  // no table provenance
+
+  const Response stats = service.wait(service.submit(probe));
+  ASSERT_EQ(stats.status, RequestStatus::done) << stats.error;
+  EXPECT_EQ(stats.tag, "probe");
+  EXPECT_EQ(stats.table_fingerprint, 0u);
+
+  ASSERT_TRUE(stats.health.has_value());
+  const HealthSummary& h = *stats.health;
+  EXPECT_GT(h.uptime_s, 0.0);
+  EXPECT_GT(h.queue_capacity, 0u);
+  EXPECT_EQ(h.dispatchers, 2u);
+  EXPECT_FALSE(h.backend.empty());
+  EXPECT_TRUE(h.eval_path == "delta" || h.eval_path == "legacy");
+  EXPECT_TRUE(h.cache_dir.empty());
+  EXPECT_EQ(h.cache_tables, 0u);
+  // Snapshot taken before the scrape's own terminal transition: the three
+  // evaluates are complete, the scrape itself is only submitted.
+  EXPECT_EQ(h.totals.completed, 3u);
+  EXPECT_EQ(h.totals.submitted, 4u);
+  EXPECT_EQ(h.totals.failed, 0u);
+
+  // The registry snapshot rides along, and the per-request wall histogram
+  // grew by exactly the three evaluates (scrapes are excluded so that
+  // monitoring does not perturb the latency distributions).
+  ASSERT_FALSE(stats.metrics.empty());
+  EXPECT_EQ(metric_count(stats.metrics, "serve.request.wall_us"),
+            wall_before + 3);
+
+  // Two concurrent scrapes share fingerprint 0 but must never coalesce:
+  // each gets its own health snapshot.
+  std::uint64_t id1 = 0;
+  std::uint64_t id2 = 0;
+  {
+    Request a;
+    a.kind = RequestKind::stats;
+    Request b;
+    b.kind = RequestKind::stats;
+    id1 = service.submit(std::move(a));
+    id2 = service.submit(std::move(b));
+  }
+  const Response s1 = service.wait(id1);
+  const Response s2 = service.wait(id2);
+  ASSERT_EQ(s1.status, RequestStatus::done) << s1.error;
+  ASSERT_EQ(s2.status, RequestStatus::done) << s2.error;
+  EXPECT_TRUE(s1.health.has_value());
+  EXPECT_TRUE(s2.health.has_value());
+  EXPECT_FALSE(s1.stats.coalesced);
+  EXPECT_FALSE(s2.stats.coalesced);
 }
 
 }  // namespace

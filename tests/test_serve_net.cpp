@@ -27,6 +27,7 @@
 #include "mc/criteria.hpp"
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
+#include "obs/metrics.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
@@ -379,6 +380,50 @@ TEST_F(ServeNetTest, ServesConcurrentConnectionsOverLoopback) {
   EXPECT_GE(s.lines, 2u);
   EXPECT_GE(s.responses, 2u);
   EXPECT_EQ(s.cancelled_on_disconnect, 0u);
+}
+
+TEST_F(ServeNetTest, StatsOpScrapesHealthOverTcp) {
+  EvalService service{qnet_, test_, fast_options()};
+  TcpServer server{service};
+  std::optional<TcpClient> client =
+      TcpClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+
+  for (const char* tag : {"e1", "e2"}) {
+    ASSERT_TRUE(client->send_line(
+        format_request(evaluate_request("hybrid2", 0.65, tag))));
+    const std::optional<std::string> line = client->read_line(30.0);
+    ASSERT_TRUE(line.has_value());
+    const std::optional<Response> r = parse_response(*line, nullptr);
+    ASSERT_TRUE(r.has_value()) << *line;
+    EXPECT_EQ(r->status, RequestStatus::done) << r->error;
+  }
+
+  ASSERT_TRUE(client->send_line(R"({"op":"stats","tag":"probe"})"));
+  const std::optional<std::string> line = client->read_line(30.0);
+  ASSERT_TRUE(line.has_value());
+  std::string error;
+  const std::optional<Response> scrape = parse_response(*line, &error);
+  ASSERT_TRUE(scrape.has_value()) << error << " in " << *line;
+  EXPECT_EQ(scrape->status, RequestStatus::done) << scrape->error;
+  EXPECT_EQ(scrape->tag, "probe");
+  ASSERT_TRUE(scrape->health.has_value());
+  // Service-local truths survive the wire: both evaluates are complete,
+  // the scrape itself is only submitted.
+  EXPECT_EQ(scrape->health->totals.completed, 2u);
+  EXPECT_EQ(scrape->health->totals.submitted, 3u);
+  EXPECT_FALSE(scrape->health->backend.empty());
+  EXPECT_FALSE(scrape->metrics.empty());
+  // The registry rides along and the net-layer connection counter has seen
+  // at least this very connection.
+  bool saw_connections = false;
+  for (const obs::MetricSnapshot& m : scrape->metrics) {
+    if (m.name == "net.connections") {
+      saw_connections = true;
+      EXPECT_GE(m.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_connections);
 }
 
 TEST_F(ServeNetTest, MalformedLineAnswersErrorAndConnectionSurvives) {

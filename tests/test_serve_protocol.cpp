@@ -399,5 +399,139 @@ TEST(Protocol, ResponseFormatParseRoundTripWithShardRows) {
       parse_response(R"({"id":1,"status":"sideways"})", &error).has_value());
 }
 
+TEST(ParseRequest, AcceptsStatsAndRejectsWorkloadFields) {
+  std::string error;
+  const auto parsed = parse_request(R"({"op":"stats","tag":"probe"})", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->kind, RequestKind::stats);
+  EXPECT_EQ(parsed->tag, "probe");
+
+  // A scrape carries no workload: any evaluate-shaped field is a schema
+  // error, not silently ignored.
+  RequestError why;
+  EXPECT_FALSE(
+      parse_request(R"({"op":"stats","config":"all6t"})", &why).has_value());
+  EXPECT_EQ(why.code, ErrorCode::bad_request);
+  EXPECT_FALSE(
+      parse_request(R"({"op":"stats","vdd":0.7})", &why).has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"stats","chips":3})", &why).has_value());
+
+  // Round trip through the formatter.
+  const auto again = parse_request(format_request(*parsed), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->kind, RequestKind::stats);
+  EXPECT_EQ(again->tag, "probe");
+}
+
+TEST(Protocol, StatsResponseRoundTripsHealthAndRegistry) {
+  Response r;
+  r.id = 21;
+  r.status = RequestStatus::done;
+  r.tag = "probe";
+
+  HealthSummary h;
+  h.uptime_s = 12.5;
+  h.queue_depth = 3;
+  h.queue_capacity = 64;
+  h.dispatchers = 2;
+  h.threads = 4;
+  h.backend = "simd";
+  h.eval_path = "delta";
+  h.fuse_chips = 8;
+  h.max_batch = 16;
+  h.coalesce = true;
+  h.cache_dir = "/tmp/cache";
+  h.cache_tables = 2;
+  h.cache_bytes = 4096;
+  h.totals.submitted = 10;
+  h.totals.completed = 9;
+  h.totals.failed = 1;
+  h.totals.batches = 5;
+  h.totals.coalesced_requests = 2;
+  h.totals.table_builds = 3;
+  h.totals.shard_builds = 4;
+  h.totals.max_queue_depth = 7;
+  r.health = h;
+
+  obs::MetricSnapshot counter;
+  counter.name = "serve.requests_submitted";
+  counter.kind = obs::MetricKind::counter;
+  counter.count = 10;
+  counter.value = 10.0;
+  obs::MetricSnapshot gauge;
+  gauge.name = "serve.queue_depth";
+  gauge.kind = obs::MetricKind::gauge;
+  gauge.value = 3.0;
+  obs::MetricSnapshot histogram;
+  histogram.name = "serve.request.wall_us";
+  histogram.kind = obs::MetricKind::histogram;
+  histogram.count = 9;
+  histogram.sum = 4500;
+  histogram.p50 = 400.0;
+  histogram.p95 = 900.0;
+  histogram.p99 = 1000.0;
+  histogram.buckets = {{9, 5}, {10, 4}};
+  r.metrics = {counter, gauge, histogram};
+
+  std::string error;
+  const auto parsed = parse_response(format_response(r), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_TRUE(parsed->health.has_value());
+  const HealthSummary& ph = *parsed->health;
+  EXPECT_DOUBLE_EQ(ph.uptime_s, 12.5);
+  EXPECT_EQ(ph.queue_depth, 3u);
+  EXPECT_EQ(ph.queue_capacity, 64u);
+  EXPECT_EQ(ph.dispatchers, 2u);
+  EXPECT_EQ(ph.threads, 4u);
+  EXPECT_EQ(ph.backend, "simd");
+  EXPECT_EQ(ph.eval_path, "delta");
+  EXPECT_EQ(ph.fuse_chips, 8u);
+  EXPECT_EQ(ph.max_batch, 16u);
+  EXPECT_TRUE(ph.coalesce);
+  EXPECT_EQ(ph.cache_dir, "/tmp/cache");
+  EXPECT_EQ(ph.cache_tables, 2u);
+  EXPECT_EQ(ph.cache_bytes, 4096u);
+  EXPECT_EQ(ph.totals.submitted, 10u);
+  EXPECT_EQ(ph.totals.completed, 9u);
+  EXPECT_EQ(ph.totals.failed, 1u);
+  EXPECT_EQ(ph.totals.batches, 5u);
+  EXPECT_EQ(ph.totals.coalesced_requests, 2u);
+  EXPECT_EQ(ph.totals.table_builds, 3u);
+  EXPECT_EQ(ph.totals.shard_builds, 4u);
+  EXPECT_EQ(ph.totals.max_queue_depth, 7u);
+
+  ASSERT_EQ(parsed->metrics.size(), 3u);
+  const obs::MetricSnapshot& pc = parsed->metrics[0];
+  EXPECT_EQ(pc.name, "serve.requests_submitted");
+  EXPECT_EQ(pc.kind, obs::MetricKind::counter);
+  EXPECT_EQ(pc.count, 10u);
+  const obs::MetricSnapshot& pg = parsed->metrics[1];
+  EXPECT_EQ(pg.kind, obs::MetricKind::gauge);
+  EXPECT_DOUBLE_EQ(pg.value, 3.0);
+  const obs::MetricSnapshot& phist = parsed->metrics[2];
+  EXPECT_EQ(phist.kind, obs::MetricKind::histogram);
+  EXPECT_EQ(phist.count, 9u);
+  EXPECT_EQ(phist.sum, 4500u);
+  EXPECT_DOUBLE_EQ(phist.p50, 400.0);
+  EXPECT_DOUBLE_EQ(phist.p95, 900.0);
+  EXPECT_DOUBLE_EQ(phist.p99, 1000.0);
+  ASSERT_EQ(phist.buckets.size(), 2u);
+  EXPECT_EQ(phist.buckets[0], (std::pair<std::uint32_t, std::uint64_t>{9, 5}));
+  EXPECT_EQ(phist.buckets[1],
+            (std::pair<std::uint32_t, std::uint64_t>{10, 4}));
+
+  // A malformed registry entry is a parse failure, not a silent skip.
+  EXPECT_FALSE(parse_response(
+                   R"({"id":1,"status":"done","registry":[{"kind":"counter"}]})",
+                   &error)
+                   .has_value());
+  EXPECT_FALSE(parse_response(
+                   R"({"id":1,"status":"done",)"
+                   R"("registry":[{"name":"x","kind":"sideways"}]})",
+                   &error)
+                   .has_value());
+}
+
 }  // namespace
 }  // namespace hynapse::serve
