@@ -185,6 +185,11 @@ struct LatencyLevel {
 struct LatencyResult {
   double capacity_rps = 0.0;
   std::vector<LatencyLevel> levels;
+  /// Journal arm: the 0.8x-capacity level re-run with the request journal
+  /// enabled, pricing the durability tax (append + amortized fsync on the
+  /// submit path) against the matching plain level.
+  LatencyLevel journal;
+  double journal_overhead_pct = 0.0;  ///< p50 delta vs the plain 0.8x level
 };
 
 /// Offered-load vs latency sweep. One request provenance, table prebuilt,
@@ -225,8 +230,11 @@ LatencyResult run_latency_sweep(const core::QuantizedNetwork& qnet,
   LatencyResult out;
   out.capacity_rps = static_cast<double>(kCapacityProbe) / capacity_s;
 
-  for (const double fraction : {0.4, 0.8, 1.5, 3.0}) {
-    const double offered = fraction * out.capacity_rps;
+  // One open-loop level: request i is DUE at start + i/offered, latency is
+  // measured from that due time, so time spent queueing behind a saturated
+  // service counts against it (the knee).
+  const auto run_level = [&probe](serve::EvalService& svc,
+                                  double offered) -> LatencyLevel {
     // ~2 seconds of offered load per level, bounded so gross overload
     // cannot run away (the cap only shortens the level, not its rate).
     const std::size_t n = std::clamp<std::size_t>(
@@ -236,20 +244,17 @@ LatencyResult run_latency_sweep(const core::QuantizedNetwork& qnet,
     const auto start =
         std::chrono::steady_clock::now() + std::chrono::milliseconds{50};
     for (std::size_t i = 0; i < n; ++i) {
-      // Open-loop pacing: request i is DUE at start + i/offered, and its
-      // latency is measured from that due time, so time spent queueing
-      // behind a saturated service counts against it (the knee).
       const auto due =
           start + std::chrono::duration_cast<
                       std::chrono::steady_clock::duration>(
                       std::chrono::duration<double>{
                           static_cast<double>(i) / offered});
       std::this_thread::sleep_until(due);
-      service.submit(probe, [&latencies, due](const serve::Response&) {
+      svc.submit(probe, [&latencies, due](const serve::Response&) {
         latencies.record(obs::elapsed_us(due, obs::Clock::now()));
       });
     }
-    service.drain();
+    svc.drain();
     const double level_s =
         std::chrono::duration<double>{std::chrono::steady_clock::now() - start}
             .count();
@@ -262,7 +267,30 @@ LatencyResult run_latency_sweep(const core::QuantizedNetwork& qnet,
     level.p50_ms = snap.percentile(0.50) / 1000.0;
     level.p95_ms = snap.percentile(0.95) / 1000.0;
     level.p99_ms = snap.percentile(0.99) / 1000.0;
-    out.levels.push_back(level);
+    return level;
+  };
+
+  for (const double fraction : {0.4, 0.8, 1.5, 3.0}) {
+    out.levels.push_back(run_level(service, fraction * out.capacity_rps));
+  }
+
+  // Journal arm: the same 0.8x-capacity level with the request journal on
+  // (fsync-batched appends on every submit, terminals on every
+  // completion). The comparison against levels[1] is the journaling
+  // overhead the robustness acceptance bound (<= 10% on p50) tracks.
+  {
+    serve::ServiceOptions jopts = options;
+    jopts.journal.path = "bench_serve_journal.tmp.jsonl";
+    std::remove(jopts.journal.path.c_str());
+    serve::EvalService jservice{qnet, test, jopts};
+    (void)jservice.wait(jservice.submit(probe));  // same warm table
+    out.journal = run_level(jservice, 0.8 * out.capacity_rps);
+    const double base_p50 = out.levels[1].p50_ms;
+    if (base_p50 > 0.0) {
+      out.journal_overhead_pct =
+          100.0 * (out.journal.p50_ms - base_p50) / base_p50;
+    }
+    std::remove(jopts.journal.path.c_str());
   }
   return out;
 }
@@ -363,6 +391,11 @@ int main(int argc, char** argv) {
                 util::Table::num(level.p99_ms, 2)});
   }
   lt.print();
+  std::printf("journal arm at %.1f req/s (0.8x capacity): p50 %.2f ms, "
+              "p95 %.2f ms, p99 %.2f ms -> %.1f%% p50 overhead vs plain\n",
+              latency.journal.offered_rps, latency.journal.p50_ms,
+              latency.journal.p95_ms, latency.journal.p99_ms,
+              latency.journal_overhead_pct);
 
   if (!latency_json.empty()) {
     std::ofstream out{latency_json, std::ios::trunc};
@@ -381,7 +414,14 @@ int main(int argc, char** argv) {
           << ", \"p99_ms\": " << level.p99_ms << "}"
           << (i + 1 < latency.levels.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n"
+        << "  \"journal\": {\"offered_rps\": " << latency.journal.offered_rps
+        << ", \"requests\": " << latency.journal.requests
+        << ", \"p50_ms\": " << latency.journal.p50_ms
+        << ", \"p95_ms\": " << latency.journal.p95_ms
+        << ", \"p99_ms\": " << latency.journal.p99_ms
+        << ", \"overhead_pct\": " << latency.journal_overhead_pct << "}\n";
+    out << "}\n";
     std::printf("latency JSON written to %s\n", latency_json.c_str());
   }
 

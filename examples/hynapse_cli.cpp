@@ -12,6 +12,13 @@
 //                                  with total footprint and a reclaimable
 //                                  preview; --prune deletes corrupt/partial
 //                                  CSVs
+//   cache-export <archive>         pack the cache's valid tables into one
+//                                  portable text archive
+//   cache-import <archive>         unpack an archive into the cache dir,
+//                                  re-validating every entry (corrupt or
+//                                  fingerprint-mismatched entries skip)
+//   replay <journal>               re-run a served request journal as a
+//                                  load benchmark (docs/robustness.md)
 //   stats <host:port>              scrape a serving endpoint's health and
 //                                  metrics registry (docs/observability.md);
 //                                  --json raw line, --prometheus exposition
@@ -647,6 +654,102 @@ int cmd_retention(const Stack& st) {
   return 0;
 }
 
+/// Replays a recorded request journal (docs/robustness.md) against a fresh
+/// service as a load benchmark: every journaled submit re-runs (terminal or
+/// not), and the report gives throughput plus wall-time percentiles.
+int cmd_replay(const std::string& path) {
+  std::string load_error;
+  const std::optional<serve::JournalLoad> load =
+      serve::load_journal(path, &load_error);
+  if (!load) {
+    std::fprintf(stderr, "replay: %s\n", load_error.c_str());
+    return 1;
+  }
+  if (load->skipped_lines > 0) {
+    std::fprintf(stderr,
+                 "replay: warning: skipped %zu corrupt or torn line(s)\n",
+                 load->skipped_lines);
+  }
+  if (load->entries.empty()) {
+    std::printf("replay: journal %s holds no requests\n", path.c_str());
+    return 0;
+  }
+
+  const core::QuantizedNetwork qnet = trained_reference();
+  const data::Dataset test = data::generate_digits(700, 52);
+  if (const std::uint64_t fp = core::network_fingerprint(qnet);
+      load->service_fingerprint != 0 && load->service_fingerprint != fp) {
+    std::fprintf(stderr,
+                 "replay: warning: journal was recorded against a different "
+                 "network (fingerprint %s vs %s); accuracies will differ\n",
+                 engine::fingerprint_hex(load->service_fingerprint).c_str(),
+                 engine::fingerprint_hex(fp).c_str());
+  }
+
+  serve::ServiceOptions so;
+  so.cache_dir = engine::default_cache_dir();
+  so.completed_history =
+      std::max(so.completed_history, load->entries.size());
+  serve::EvalService service{qnet, test, so};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(load->entries.size());
+  for (const serve::JournalEntry& entry : load->entries) {
+    serve::Request request = entry.request;
+    ids.push_back(service.submit(std::move(request)));
+  }
+  std::vector<double> walls;
+  walls.reserve(ids.size());
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  for (const std::uint64_t id : ids) {
+    const serve::Response response = service.wait(id);
+    walls.push_back(response.stats.wall_ms);
+    response.status == serve::RequestStatus::done ? ++done : ++failed;
+  }
+  const double secs =
+      std::chrono::duration<double>{std::chrono::steady_clock::now() - t0}
+          .count();
+
+  std::sort(walls.begin(), walls.end());
+  const auto pct = [&](double p) {
+    const std::size_t i = static_cast<std::size_t>(
+        p * static_cast<double>(walls.size() - 1) + 0.5);
+    return walls[i];
+  };
+  std::printf("replayed %zu request(s) from %s in %.2f s "
+              "(%.1f req/s): %zu done, %zu failed\n",
+              ids.size(), path.c_str(), secs,
+              static_cast<double>(ids.size()) / std::max(secs, 1e-9), done,
+              failed);
+  std::printf("  wall ms p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n", pct(0.50),
+              pct(0.95), pct(0.99), walls.back());
+  return 0;
+}
+
+int cmd_cache_export(const std::string& archive) {
+  const std::string dir = engine::default_cache_dir();
+  const engine::ArchiveResult r = engine::export_cache_archive(dir, archive);
+  std::printf("exported %zu table(s), %llu bytes: %s -> %s\n", r.files.size(),
+              static_cast<unsigned long long>(r.bytes), dir.c_str(),
+              archive.c_str());
+  for (const std::string& s : r.skipped)
+    std::printf("  skipped %s\n", s.c_str());
+  return 0;
+}
+
+int cmd_cache_import(const std::string& archive) {
+  const std::string dir = engine::default_cache_dir();
+  const engine::ArchiveResult r = engine::import_cache_archive(archive, dir);
+  std::printf("imported %zu table(s), %llu bytes: %s -> %s\n", r.files.size(),
+              static_cast<unsigned long long>(r.bytes), archive.c_str(),
+              dir.c_str());
+  for (const std::string& s : r.skipped)
+    std::printf("  skipped %s\n", s.c_str());
+  return r.skipped.empty() || !r.files.empty() ? 0 : 1;
+}
+
 int usage() {
   std::printf(
       "usage: hynapse_cli [--threads N] <command> [args]\n"
@@ -656,6 +759,12 @@ int usage() {
       "  optimize [vdd=0.65] [max_drop_percent=1.0]\n"
       "  retention\n"
       "  cache-stats [--prune]   (also as a flag: --cache-stats)\n"
+      "  cache-export <archive>  pack the cache's valid tables into one\n"
+      "                          portable text archive\n"
+      "  cache-import <archive>  unpack an archive into the cache dir,\n"
+      "                          validating fingerprints (mismatches skip)\n"
+      "  replay <journal>        re-run a served request journal as a load\n"
+      "                          benchmark (docs/robustness.md)\n"
       "  stats <host:port> [--json|--prometheus]\n"
       "                          scrape a serving endpoint's health and\n"
       "                          metrics registry (protocol `stats` op)\n"
@@ -684,6 +793,10 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (argc < 2) return usage();
+  // A peer that hangs up mid-write (fleet-worker serving a dying
+  // coordinator, stats against a dropping endpoint) must surface as EPIPE,
+  // not kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
   const std::string cmd{argv[1]};
   Stack st;
   try {
@@ -706,6 +819,18 @@ int main(int argc, char** argv) {
     if (cmd == "stats") {
       if (argc < 3) return usage();
       return cmd_stats(argv[2], argc > 3 ? argv[3] : "");
+    }
+    if (cmd == "replay") {
+      if (argc < 3) return usage();
+      return cmd_replay(argv[2]);
+    }
+    if (cmd == "cache-export") {
+      if (argc < 3) return usage();
+      return cmd_cache_export(argv[2]);
+    }
+    if (cmd == "cache-import") {
+      if (argc < 3) return usage();
+      return cmd_cache_import(argv[2]);
     }
     const auto num_arg = [&](int i, std::size_t fallback) -> std::size_t {
       return argc > i ? static_cast<std::size_t>(std::atol(argv[i]))

@@ -24,6 +24,14 @@
 //                      dump the obs registry in Prometheus text exposition
 //                      format to PATH: refreshed every ~2s under --listen,
 //                      written once at exit in replay/REPL modes
+//     --journal PATH   append-only crash-safe request journal (JSONL WAL);
+//                      see docs/robustness.md for the format and semantics
+//     --recover        replay the journal's incomplete requests before
+//                      serving (requires --journal): their responses print
+//                      to stdout and the journal is marked so the next
+//                      restart does not replay them again
+//     --admission      per-client admission quotas + weighted-fair dispatch
+//     --weights SPEC   client weights for --admission: "name=w,name=w"
 //
 // Request lines (see docs/serving.md for the full schema):
 //   {"op":"evaluate","config":"hybrid3","vdd":0.65}
@@ -41,9 +49,12 @@
 #include <iostream>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ann/trainer.hpp"
+#include "core/delta_eval.hpp"
 #include "data/digits.hpp"
 #include "engine/table_cache.hpp"
 #include "obs/metrics.hpp"
@@ -67,9 +78,32 @@ struct Cli {
   bool listen = false;
   std::size_t listen_port = 0;
   std::string metrics_path;  ///< "" = no Prometheus dump
+  std::string journal_path;  ///< "" = no request journal
+  bool recover = false;
+  bool admission = false;
+  std::string weights;  ///< "client=weight,..." for --admission
   std::string file;
   bool ok = true;
 };
+
+/// Parses "--weights alice=2,bob=0.5" into the admission weight map.
+bool parse_weights(const std::string& spec,
+                   std::unordered_map<std::string, double>& out) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == 0 || eq == std::string::npos) return false;
+    char* end = nullptr;
+    const double w = std::strtod(item.c_str() + eq + 1, &end);
+    if (end != item.c_str() + item.size() || !(w > 0.0)) return false;
+    out[item.substr(0, eq)] = w;
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
 
 Cli parse_cli(int argc, char** argv) {
   Cli cli;
@@ -101,6 +135,16 @@ Cli parse_cli(int argc, char** argv) {
     } else if (arg == "--metrics-prometheus") {
       cli.ok = cli.ok && i + 1 < argc;
       if (cli.ok) cli.metrics_path = argv[++i];
+    } else if (arg == "--journal") {
+      cli.ok = cli.ok && i + 1 < argc;
+      if (cli.ok) cli.journal_path = argv[++i];
+    } else if (arg == "--recover") {
+      cli.recover = true;
+    } else if (arg == "--admission") {
+      cli.admission = true;
+    } else if (arg == "--weights") {
+      cli.ok = cli.ok && i + 1 < argc;
+      if (cli.ok) cli.weights = argv[++i];
     } else if (arg == "--listen") {
       cli.listen = true;
       // Optional port (0/omitted = ephemeral, printed once bound).
@@ -161,6 +205,41 @@ void write_prometheus(const std::string& path) {
   out << obs::prometheus_text(obs::Registry::global().snapshot());
 }
 
+/// Incomplete journal entries carried from a previous run: (old id,
+/// request) pairs to re-submit into the fresh service.
+using RecoveredRequests =
+    std::vector<std::pair<std::uint64_t, serve::Request>>;
+
+/// Re-submits recovered requests, prints their responses to stdout, and
+/// stamps the OLD journal ids terminal (plus the new ids, when the mode
+/// records terminals itself) so the next restart does not replay them
+/// again. The service journals the re-submissions like any other request.
+void replay_incomplete(serve::EvalService& service, RecoveredRequests& pending,
+                       bool per_chip) {
+  if (pending.empty()) return;
+  std::fprintf(stderr,
+               "[served] recovering %zu incomplete request(s) from the "
+               "journal\n",
+               pending.size());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ids;  // old -> new
+  ids.reserve(pending.size());
+  for (auto& [old_id, request] : pending) {
+    ids.emplace_back(old_id, service.submit(std::move(request)));
+  }
+  const bool stamp_new = !service.options().journal.record_terminals;
+  for (const auto& [old_id, new_id] : ids) {
+    const serve::Response response = service.wait(new_id);
+    std::printf("%s\n", serve::format_response(response, per_chip).c_str());
+    std::fflush(stdout);
+    if (serve::RequestJournal* journal = service.journal()) {
+      journal->record_terminal(old_id, response.status);
+      if (stamp_new) journal->record_terminal(new_id, response.status);
+    }
+    obs::count("serve.journal.replayed");
+  }
+  pending.clear();
+}
+
 /// Turns "eval <config> <vdd>" into a request line; everything else passes
 /// through untouched.
 std::string expand_shorthand(const std::string& line) {
@@ -185,7 +264,8 @@ std::string expand_shorthand(const std::string& line) {
 /// coalesce, then answers in submission order.
 int replay_file(const core::QuantizedNetwork& qnet, const data::Dataset& test,
                 serve::ServiceOptions options, const std::string& path,
-                bool per_chip, const std::string& metrics_path) {
+                bool per_chip, const std::string& metrics_path,
+                RecoveredRequests& recovered) {
   std::ifstream in{path};
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
@@ -211,17 +291,30 @@ int replay_file(const core::QuantizedNetwork& qnet, const data::Dataset& test,
   // otherwise early responses of a long trace would be evicted before the
   // replay loop reads them.
   options.completed_history =
-      std::max(options.completed_history, trace.size());
+      std::max(options.completed_history, trace.size() + recovered.size());
+  // File replay stamps terminals itself, only after a response has been
+  // PRINTED: a kill -9 between completion and delivery still replays on
+  // the next --recover run (printed-and-journaled is the durable state).
+  options.journal.record_terminals = false;
   serve::EvalService service{qnet, test, options};
+  replay_incomplete(service, recovered, per_chip);
 
   std::vector<std::uint64_t> ids;
   ids.reserve(trace.size());
   for (serve::Request& request : trace) {
     ids.push_back(service.submit(std::move(request)));
   }
+  // Make the whole trace durable before answering anything: a crash past
+  // this point can lose at most terminal records (which only means some
+  // already-printed requests replay again), never a submitted request.
+  if (serve::RequestJournal* journal = service.journal()) journal->flush();
   for (const std::uint64_t id : ids) {
     const serve::Response response = service.wait(id);
     std::printf("%s\n", serve::format_response(response, per_chip).c_str());
+    std::fflush(stdout);
+    if (serve::RequestJournal* journal = service.journal()) {
+      journal->record_terminal(id, response.status);
+    }
   }
   print_totals(service);
   write_prometheus(metrics_path);
@@ -234,8 +327,9 @@ int replay_file(const core::QuantizedNetwork& qnet, const data::Dataset& test,
 /// failed response lines with structured codes, exactly like the TCP path.
 int repl(const core::QuantizedNetwork& qnet, const data::Dataset& test,
          const serve::ServiceOptions& options, bool per_chip,
-         const std::string& metrics_path) {
+         const std::string& metrics_path, RecoveredRequests& recovered) {
   serve::EvalService service{qnet, test, options};
+  replay_incomplete(service, recovered, per_chip);
   serve::SessionOptions so;
   so.per_chip = per_chip;
   so.reject_when_full = false;  // stdin can block: backpressure over errors
@@ -289,8 +383,12 @@ void handle_stop_signal(int) { g_stop_requested = 1; }
 /// against the same service. Blocks until SIGINT/SIGTERM, then drains.
 int serve_tcp(const core::QuantizedNetwork& qnet, const data::Dataset& test,
               const serve::ServiceOptions& options, std::uint16_t port,
-              bool per_chip, const std::string& metrics_path) {
+              bool per_chip, const std::string& metrics_path,
+              RecoveredRequests& recovered) {
   serve::EvalService service{qnet, test, options};
+  // The original clients are gone; recovered responses print to stdout
+  // (and the completed work warms the table cache for reconnecting peers).
+  replay_incomplete(service, recovered, per_chip);
   serve::TcpServerOptions to;
   to.port = port;
   to.session.per_chip = per_chip;
@@ -331,7 +429,9 @@ int usage() {
       "                      [--chips N] [--samples N] [--dispatchers N]\n"
       "                      [--fuse N] [--cache DIR] [--naive]\n"
       "                      [--per-chip] [--listen [PORT]]\n"
-      "                      [--metrics-prometheus PATH] [requests.jsonl]\n");
+      "                      [--metrics-prometheus PATH]\n"
+      "                      [--journal PATH] [--recover] [--admission]\n"
+      "                      [--weights name=w,...] [requests.jsonl]\n");
   return 2;
 }
 
@@ -346,6 +446,13 @@ int main(int argc, char** argv) {
   }
   const Cli cli = parse_cli(argc, argv);
   if (!cli.ok) return usage();
+  if (cli.recover && cli.journal_path.empty()) {
+    std::fprintf(stderr, "[served] --recover requires --journal PATH\n");
+    return usage();
+  }
+  // A peer that hangs up mid-response must surface as EPIPE on the write,
+  // not kill the whole server.
+  std::signal(SIGPIPE, SIG_IGN);
 
   const core::QuantizedNetwork qnet = train_served_network();
   const data::Dataset test = data::generate_digits(600, 72);
@@ -357,6 +464,53 @@ int main(int argc, char** argv) {
   options.cache_dir = cli.cache_dir;
   options.coalesce = !cli.naive;
   options.fuse_chips = cli.fuse;
+  options.journal.path = cli.journal_path;
+  options.admission.enabled = cli.admission;
+  if (!cli.weights.empty()) {
+    if (!parse_weights(cli.weights, options.admission.weights)) {
+      std::fprintf(stderr, "[served] bad --weights spec \"%s\"\n",
+                   cli.weights.c_str());
+      return usage();
+    }
+  }
+
+  // Recovery reads the journal BEFORE the service reopens it for append:
+  // incomplete entries re-submit into the fresh service, and the id
+  // counter starts above everything journaled so ids stay unique across
+  // restarts.
+  RecoveredRequests recovered;
+  if (cli.recover) {
+    std::string journal_error;
+    if (const auto load =
+            serve::load_journal(cli.journal_path, &journal_error)) {
+      options.first_request_id = load->max_id + 1;
+      for (const serve::JournalEntry* entry :
+           serve::incomplete_entries(*load)) {
+        recovered.emplace_back(entry->id, entry->request);
+      }
+      if (load->skipped_lines > 0) {
+        std::fprintf(stderr,
+                     "[served] warning: journal %s: skipped %zu corrupt or "
+                     "torn line(s)\n",
+                     cli.journal_path.c_str(), load->skipped_lines);
+      }
+      const std::uint64_t qnet_fp = core::network_fingerprint(qnet);
+      if (load->service_fingerprint != 0 &&
+          load->service_fingerprint != qnet_fp) {
+        std::fprintf(stderr,
+                     "[served] warning: journal %s was recorded against a "
+                     "different network (fingerprint %s vs %s); replaying "
+                     "anyway\n",
+                     cli.journal_path.c_str(),
+                     engine::fingerprint_hex(load->service_fingerprint)
+                         .c_str(),
+                     engine::fingerprint_hex(qnet_fp).c_str());
+      }
+    } else {
+      std::fprintf(stderr, "[served] note: no journal to recover (%s)\n",
+                   journal_error.c_str());
+    }
+  }
   std::fprintf(stderr,
                "[served] ready (chips=%zu samples=%zu dispatchers=%zu "
                "coalesce=%s backend=%s cache=%s)\n",
@@ -369,10 +523,11 @@ int main(int argc, char** argv) {
   if (cli.listen) {
     return serve_tcp(qnet, test, options,
                      static_cast<std::uint16_t>(cli.listen_port),
-                     cli.per_chip, cli.metrics_path);
+                     cli.per_chip, cli.metrics_path, recovered);
   }
   return cli.file.empty()
-             ? repl(qnet, test, options, cli.per_chip, cli.metrics_path)
+             ? repl(qnet, test, options, cli.per_chip, cli.metrics_path,
+                    recovered)
              : replay_file(qnet, test, options, cli.file, cli.per_chip,
-                           cli.metrics_path);
+                           cli.metrics_path, recovered);
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
+#include <cmath>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
@@ -11,6 +13,8 @@
 #include "obs/metrics.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
+#include "util/fault_injection.hpp"
+#include "util/hash.hpp"
 
 namespace hynapse::engine {
 
@@ -23,6 +27,8 @@ struct FleetInstruments {
   obs::Counter& worker_failures;
   obs::Counter& retries;
   obs::Counter& workers_used;
+  obs::Counter& backoff_waits;
+  obs::Counter& deadline_expired;
 
   static FleetInstruments& get() {
     static FleetInstruments* instruments = [] {
@@ -33,11 +39,31 @@ struct FleetInstruments {
           r.counter("fleet.worker_failures"),
           r.counter("fleet.retries"),
           r.counter("fleet.workers_used"),
+          r.counter("fleet.backoff_waits"),
+          r.counter("fleet.deadline_expired"),
       };
     }();
     return *instruments;
   }
 };
+
+using Clock = std::chrono::steady_clock;
+
+/// Deterministic backoff before retry `attempt` (1-based) of `shard`:
+/// min(cap, base * 2^(attempt-1)) scaled by a jitter factor in [0.5, 1.0)
+/// hashed from (shard, attempt) -- reproducible across runs, decorrelated
+/// across shards so failovers spread out instead of stampeding.
+double backoff_delay_s(std::size_t shard, std::size_t attempt, double base_s,
+                       double cap_s) {
+  double delay = base_s * std::ldexp(1.0, static_cast<int>(attempt) - 1);
+  delay = std::min(delay, cap_s);
+  util::Fnv1a h;
+  h.u64(shard);
+  h.u64(attempt);
+  const double frac =
+      static_cast<double>(h.digest() >> 11) * (1.0 / 9007199254740992.0);
+  return delay * (0.5 + 0.5 * frac);
+}
 
 }  // namespace
 
@@ -71,6 +97,9 @@ struct FleetCoordinator::Scatter {
   std::vector<std::size_t> attempts;            ///< failovers per shard
   std::vector<std::size_t> local;               ///< shards headed for fallback
   std::vector<std::optional<mc::FailureTable>> parts;
+  /// First remote dispatch per shard (epoch value = not yet dispatched);
+  /// the cumulative shard deadline is measured from here.
+  std::vector<Clock::time_point> first_dispatch;
   std::size_t fleet_size = 0;
 };
 
@@ -87,11 +116,45 @@ std::size_t FleetCoordinator::worker_loop(const FleetEndpoint& endpoint,
   std::size_t completed = 0;
   for (;;) {
     std::size_t shard = 0;
+    std::size_t prior_attempts = 0;
     {
       const std::scoped_lock lock{scatter.mutex};
       if (scatter.pending.empty()) return completed;
       shard = scatter.pending.front();
       scatter.pending.pop_front();
+      prior_attempts = scatter.attempts[shard];
+      const auto now = Clock::now();
+      if (scatter.first_dispatch[shard] == Clock::time_point{}) {
+        scatter.first_dispatch[shard] = now;
+      } else if (options_.shard_deadline_s > 0 &&
+                 now - scatter.first_dispatch[shard] >
+                     std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>{
+                             options_.shard_deadline_s})) {
+        // The shard has been bouncing across workers for longer than its
+        // cumulative deadline: stop failing over, build it locally.
+        scatter.local.push_back(shard);
+        {
+          const std::scoped_lock stats_lock{mutex_};
+          ++stats_.deadline_expired;
+        }
+        FleetInstruments::get().deadline_expired.add(1);
+        continue;
+      }
+    }
+
+    // A requeued shard waits out its backoff before the next attempt --
+    // transient faults (a worker restarting, a flaky link) get time to
+    // clear instead of burning every endpoint's chance instantly.
+    if (prior_attempts > 0 && options_.retry_backoff_base_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>{
+          backoff_delay_s(shard, prior_attempts, options_.retry_backoff_base_s,
+                          options_.retry_backoff_cap_s)});
+      {
+        const std::scoped_lock stats_lock{mutex_};
+        ++stats_.backoff_waits;
+      }
+      FleetInstruments::get().backoff_waits.add(1);
     }
 
     // A shard bounces between fail and requeue until some worker builds it
@@ -124,6 +187,16 @@ std::size_t FleetCoordinator::worker_loop(const FleetEndpoint& endpoint,
     request.table_seed = plan.spec.seed;
     request.inline_rows = true;
     request.tag = "shard-" + std::to_string(shard);
+
+    // `fleet.drop_before_send` kills this coordinator-side connection just
+    // before the request goes out -- the shard fails over exactly like a
+    // worker that died, and this worker thread retires (no reconnects).
+    if (util::FaultInjector::instance().armed() &&
+        util::FaultInjector::instance().should_fire("fleet.drop_before_send")) {
+      client->close();
+      give_up_or_retry(shard);
+      return completed;
+    }
 
     if (!client->send_line(serve::format_request(request))) {
       give_up_or_retry(shard);
@@ -177,6 +250,7 @@ const mc::FailureTable& FleetCoordinator::build(
 
   Scatter scatter;
   scatter.attempts.assign(plan.shard_count(), 0);
+  scatter.first_dispatch.assign(plan.shard_count(), Clock::time_point{});
   scatter.parts.resize(plan.shard_count());
   scatter.fleet_size = std::max<std::size_t>(options_.workers.size(), 1);
   for (std::size_t s = 0; s < plan.shard_count(); ++s) {

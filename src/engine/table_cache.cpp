@@ -5,9 +5,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/fault_injection.hpp"
 #include "util/hash.hpp"
 
 namespace hynapse::engine {
@@ -168,6 +173,167 @@ PruneResult prune_cache_dir(const std::string& dir, bool dry_run) {
   return result;
 }
 
+namespace {
+
+constexpr std::string_view kArchiveHeader = "# hynapse-cache-archive v1";
+
+/// Fingerprint encoded in a cache filename, or 0 for shard files and
+/// anything else (shard filenames carry the PARENT hex while their header
+/// carries the shard-extended fingerprint, so only merged-table names --
+/// failure_table_<16hex>.csv exactly -- can be cross-checked).
+std::uint64_t filename_fingerprint(const std::string& name) {
+  constexpr std::string_view prefix = "failure_table_";
+  if (name.size() != prefix.size() + 16 + 4) return 0;
+  if (name.rfind(prefix, 0) != 0) return 0;
+  if (name.compare(name.size() - 4, 4, ".csv") != 0) return 0;
+  const std::string hex = name.substr(prefix.size(), 16);
+  char* end = nullptr;
+  const std::uint64_t fp = std::strtoull(hex.c_str(), &end, 16);
+  if (end != hex.c_str() + 16) return 0;
+  return fp;
+}
+
+/// A filename safe to create inside the target dir: the cache layout's
+/// names only, no separators or traversal.
+bool safe_archive_name(const std::string& name) {
+  if (name.empty() || name.rfind("failure_table_", 0) != 0) return false;
+  if (name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos ||
+      name.find("..") != std::string::npos) {
+    return false;
+  }
+  return name.size() > 4 && name.compare(name.size() - 4, 4, ".csv") == 0;
+}
+
+}  // namespace
+
+ArchiveResult export_cache_archive(const std::string& dir,
+                                   const std::string& archive) {
+  ArchiveResult result;
+  std::ofstream out{archive, std::ios::binary | std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error{"export_cache_archive: cannot write " + archive};
+  }
+  out << kArchiveHeader << '\n';
+  for (const CachedTableInfo& info : list_cached_tables(dir)) {
+    const std::string name =
+        std::filesystem::path{info.path}.filename().string();
+    if (!info.valid) {
+      result.skipped.push_back(name + ": fails CSV validation");
+      std::fprintf(stderr,
+                   "[engine] warning: skipping corrupt cache file %s\n",
+                   info.path.c_str());
+      continue;
+    }
+    std::ifstream in{info.path, std::ios::binary};
+    if (!in) {
+      result.skipped.push_back(name + ": unreadable");
+      continue;
+    }
+    std::string payload{std::istreambuf_iterator<char>{in},
+                        std::istreambuf_iterator<char>{}};
+    out << ">>> " << name << ' ' << payload.size() << '\n';
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out << '\n';
+    result.files.push_back(name);
+    result.bytes += payload.size();
+  }
+  out.flush();
+  if (!out) {
+    throw std::runtime_error{"export_cache_archive: write to " + archive +
+                             " failed"};
+  }
+  return result;
+}
+
+ArchiveResult import_cache_archive(const std::string& archive,
+                                   const std::string& dir) {
+  ArchiveResult result;
+  std::ifstream in{archive, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error{"import_cache_archive: cannot read " + archive};
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kArchiveHeader) {
+    throw std::runtime_error{"import_cache_archive: " + archive +
+                             " is not a hynapse cache archive (v1)"};
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  const auto skip = [&](const std::string& name, const std::string& reason) {
+    result.skipped.push_back(name + ": " + reason);
+    std::fprintf(stderr, "[engine] warning: skipping archive entry %s: %s\n",
+                 name.c_str(), reason.c_str());
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind(">>> ", 0) != 0) {
+      throw std::runtime_error{
+          "import_cache_archive: malformed entry line: " + line};
+    }
+    const std::size_t space = line.rfind(' ');
+    const std::string name = line.substr(4, space - 4);
+    const std::size_t size = std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    std::string payload(size, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(size));
+    if (static_cast<std::size_t>(in.gcount()) != size) {
+      throw std::runtime_error{"import_cache_archive: truncated archive at " +
+                               name};
+    }
+    in.get();  // the separator newline after the payload
+
+    if (!safe_archive_name(name)) {
+      skip(name, "not a cache-layout filename");
+      continue;
+    }
+    // Validate BEFORE the file lands in the cache dir: write to a temp
+    // path, run it through load_csv, and cross-check merged-table names
+    // against the embedded fingerprint. A corrupted or mislabeled entry
+    // never becomes a cache file.
+    const std::string target = dir + "/" + name;
+    const std::string tmp = target + ".import.tmp";
+    {
+      std::ofstream entry{tmp, std::ios::binary | std::ios::trunc};
+      if (!entry) {
+        skip(name, "cannot write to " + dir);
+        continue;
+      }
+      entry.write(payload.data(), static_cast<std::streamsize>(size));
+      if (!entry) {
+        skip(name, "short write");
+        std::filesystem::remove(tmp, ec);
+        continue;
+      }
+    }
+    std::uint64_t embedded = 0;
+    const auto table = mc::FailureTable::load_csv(tmp, 0, &embedded);
+    if (!table) {
+      skip(name, "fails CSV validation");
+      std::filesystem::remove(tmp, ec);
+      continue;
+    }
+    if (const std::uint64_t named = filename_fingerprint(name);
+        named != 0 && named != embedded) {
+      skip(name, "fingerprint mismatch (filename " + fingerprint_hex(named) +
+                     " vs header " + fingerprint_hex(embedded) + ")");
+      std::filesystem::remove(tmp, ec);
+      continue;
+    }
+    std::filesystem::rename(tmp, target, ec);
+    if (ec) {
+      skip(name, "rename failed: " + ec.message());
+      std::filesystem::remove(tmp, ec);
+      continue;
+    }
+    result.files.push_back(name);
+    result.bytes += size;
+  }
+  std::sort(result.files.begin(), result.files.end());
+  return result;
+}
+
 FailureTableCache::FailureTableCache(std::string dir) : dir_{std::move(dir)} {
   if (!dir_.empty()) {
     // Best effort: if creation fails, the first save_csv reports the error.
@@ -203,6 +369,13 @@ const mc::FailureTable& FailureTableCache::put(std::uint64_t fingerprint,
   if (persist) {
     if (const std::string path = csv_path(fingerprint); !path.empty()) {
       try {
+        // `cache.write_fail` simulates an unwritable cache dir / full disk
+        // -- the memo must survive it (only the disk cache is lost).
+        if (util::FaultInjector::instance().armed() &&
+            util::FaultInjector::instance().should_fire("cache.write_fail")) {
+          throw std::runtime_error{
+              "injected fault: cache write failed (cache.write_fail)"};
+        }
         stored->save_csv(path, fingerprint);
       } catch (const std::exception& e) {
         std::fprintf(stderr,
@@ -306,6 +479,11 @@ const mc::FailureTable& FailureTableCache::get(
     }
     if (const std::string path = csv_path(fp); !path.empty()) {
       try {
+        if (util::FaultInjector::instance().armed() &&
+            util::FaultInjector::instance().should_fire("cache.write_fail")) {
+          throw std::runtime_error{
+              "injected fault: cache write failed (cache.write_fail)"};
+        }
         stored->save_csv(path, fp);
       } catch (const std::exception& e) {
         std::fprintf(stderr,

@@ -94,6 +94,34 @@ struct PruneResult {
 /// else ".hynapse_cache".
 [[nodiscard]] std::string default_cache_dir();
 
+/// What export_cache_archive / import_cache_archive did. `skipped` holds
+/// "filename: reason" strings for entries rejected by validation.
+struct ArchiveResult {
+  std::vector<std::string> files;    ///< filenames written, sorted
+  std::vector<std::string> skipped;  ///< rejected entries with reasons
+  std::uintmax_t bytes = 0;          ///< payload bytes moved
+};
+
+/// Packs every VALID failure-table CSV of `dir` into one text archive
+/// (format: a "# hynapse-cache-archive v1" header, then per file a
+/// ">>> <filename> <bytes>" line followed by the raw bytes) -- the
+/// transferable form of a cache directory for air-gapped fleet hosts.
+/// Corrupt tables are skipped with a warning. Throws std::runtime_error
+/// when the archive itself cannot be written.
+[[nodiscard]] ArchiveResult export_cache_archive(const std::string& dir,
+                                                 const std::string& archive);
+
+/// Unpacks an archive produced by export_cache_archive into `dir`
+/// (created if missing). Every entry is re-validated before it lands:
+/// the payload must pass FailureTable::load_csv, and for merged-table
+/// entries (failure_table_<16hex>.csv) the embedded header fingerprint
+/// must match the filename -- entries failing either check are skipped
+/// with a warning, never written. Existing files are overwritten (the
+/// fingerprint guarantees identical content). Throws std::runtime_error
+/// when the archive cannot be read or is not a v1 cache archive.
+[[nodiscard]] ArchiveResult import_cache_archive(const std::string& archive,
+                                                 const std::string& dir);
+
 /// Canonical 16-digit zero-padded lowercase-hex rendering of a fingerprint
 /// -- the one format used in CSV filenames, headers and wire responses.
 [[nodiscard]] std::string fingerprint_hex(std::uint64_t fingerprint);

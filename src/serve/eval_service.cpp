@@ -1,12 +1,15 @@
 #include "serve/eval_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/span.hpp"
+#include "util/fault_injection.hpp"
 
 namespace hynapse::serve {
 
@@ -32,6 +35,8 @@ EvalService::Instruments EvalService::resolve_instruments() {
       r.counter("serve.requests_failed"),
       r.counter("serve.requests_cancelled"),
       r.counter("serve.requests_rejected"),
+      r.counter("serve.quota_rejected"),
+      r.counter("serve.deadline_expired"),
       r.counter("serve.batches"),
       r.counter("serve.coalesced_requests"),
       r.gauge("serve.queue_depth"),
@@ -54,6 +59,15 @@ EvalService::EvalService(const core::QuantizedNetwork& qnet,
         options.max_batch = std::max<std::size_t>(options.max_batch, 1);
         options.queue_capacity =
             std::max<std::size_t>(options.queue_capacity, 1);
+        if (options.admission.client_share <= 0.0 ||
+            options.admission.client_share > 1.0) {
+          options.admission.client_share = 0.5;
+        }
+        if (options.admission.default_weight <= 0.0) {
+          options.admission.default_weight = 1.0;
+        }
+        options.first_request_id =
+            std::max<std::uint64_t>(options.first_request_id, 1);
         return std::move(options);
       }()},
       bank_words_{qnet.bank_words()},
@@ -68,7 +82,12 @@ EvalService::EvalService(const core::QuantizedNetwork& qnet,
       runner_{options_.threads},
       cache_{options_.cache_dir},
       coordinator_{cache_, options_.threads},
+      first_id_{options_.first_request_id},
       paused_{options_.start_paused} {
+  next_id_ = first_id_;
+  if (!options_.journal.path.empty()) {
+    journal_ = std::make_unique<RequestJournal>(options_.journal, qnet_fp_);
+  }
   dispatchers_.reserve(options_.dispatchers);
   for (std::size_t d = 0; d < options_.dispatchers; ++d) {
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
@@ -82,6 +101,7 @@ EvalService::~EvalService() {
     stop_ = true;
     const std::deque<SlotPtr> queued = std::move(queue_);
     queue_.clear();
+    client_queued_.clear();
     obs_.queue_depth.set(0);
     for (const SlotPtr& slot : queued) {
       finish_locked(slot, RequestStatus::cancelled, {}, ErrorCode::none,
@@ -96,8 +116,48 @@ EvalService::~EvalService() {
 }
 
 void EvalService::run_callbacks(FiredCallbacks& fired) {
-  for (auto& [fn, response] : fired) fn(response);
-  fired.clear();
+  // Terminal records first: once a completion is observable (the callback
+  // ran), its journal record must already be durable-or-buffered, so a
+  // recovery never replays work whose result a client acted on.
+  if (journal_ != nullptr) {
+    for (const auto& [id, status] : fired.terminals) {
+      journal_->record_terminal(id, status);
+    }
+  }
+  fired.terminals.clear();
+  for (auto& [fn, response] : fired.callbacks) fn(response);
+  fired.callbacks.clear();
+}
+
+double EvalService::client_weight(const std::string& client) const {
+  const auto it = options_.admission.weights.find(client);
+  const double w =
+      it != options_.admission.weights.end() ? it->second : 0.0;
+  return w > 0.0 ? w : options_.admission.default_weight;
+}
+
+std::size_t EvalService::client_quota(const std::string& client) const {
+  const double q = static_cast<double>(options_.queue_capacity) *
+                   options_.admission.client_share * client_weight(client);
+  return std::max<std::size_t>(static_cast<std::size_t>(q), 1);
+}
+
+bool EvalService::admit_locked(const Request& request) const {
+  if (queue_.size() >= options_.queue_capacity) return false;
+  if (!options_.admission.enabled) return true;
+  const auto it = client_queued_.find(request.client);
+  const std::size_t queued = it != client_queued_.end() ? it->second : 0;
+  return queued < client_quota(request.client);
+}
+
+double EvalService::retry_after_hint_locked() const {
+  // Heuristic, not a reservation: one EWMA batch wall time per dispatch
+  // round queued ahead of the caller (50ms floor before any history).
+  const double per_round = ewma_wall_ms_ > 0.0 ? ewma_wall_ms_ : 50.0;
+  const double rounds_ahead =
+      1.0 + static_cast<double>(queue_.size()) /
+                static_cast<double>(options_.dispatchers * options_.max_batch);
+  return per_round * rounds_ahead;
 }
 
 mc::AnalyzerOptions EvalService::analyzer_options(
@@ -158,6 +218,14 @@ std::uint64_t EvalService::enqueue_locked(
   slot->fp = fp;
   slot->on_complete = std::move(on_complete);
   slot->submitted_at = Clock::now();
+  if (slot->request.deadline_ms > 0.0) {
+    slot->deadline =
+        slot->submitted_at +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>{
+                slot->request.deadline_ms});
+  }
+  ++client_queued_[slot->request.client];
   slot->response.id = id;
   slot->response.status = RequestStatus::queued;
   slot->response.table_fingerprint = slot->fp;
@@ -176,27 +244,69 @@ std::uint64_t EvalService::enqueue_locked(
 
 std::uint64_t EvalService::submit(Request request, Completion on_complete) {
   // Fingerprinting hashes the whole circuit stack; it reads only immutable
-  // service state, so keep it outside the lock.
+  // service state, so keep it outside the lock. Same for the journal
+  // rendering (the request is moved into its slot below).
   const std::uint64_t fp = fingerprint(request);
+  std::string journal_line;
+  if (journal_ != nullptr) journal_line = format_request(request);
   std::unique_lock lock{mutex_};
-  cv_space_.wait(lock, [this] {
-    return stop_ || queue_.size() < options_.queue_capacity;
-  });
+  // Backpressure: blocks while the queue is full OR (with admission
+  // enabled) while this client is at its queued quota.
+  cv_space_.wait(lock,
+                 [this, &request] { return stop_ || admit_locked(request); });
   if (stop_) throw std::runtime_error{"EvalService: shutting down"};
-  return enqueue_locked(std::move(request), fp, std::move(on_complete), lock);
+  const std::uint64_t id =
+      enqueue_locked(std::move(request), fp, std::move(on_complete), lock);
+  lock.unlock();
+  // Journaled after enqueue (the id must be known) and outside the lock
+  // (appends can fsync). The submit->append window is a documented crash
+  // hole: a request accepted but not yet journaled is simply not replayed.
+  if (journal_ != nullptr) journal_->record_submit(id, journal_line);
+  return id;
 }
 
-std::optional<std::uint64_t> EvalService::try_submit(Request request,
-                                                     Completion on_complete) {
+std::optional<std::uint64_t> EvalService::try_submit(
+    Request request, Completion on_complete, SubmitRejection* rejection) {
   const std::uint64_t fp = fingerprint(request);
+  std::string journal_line;
+  if (journal_ != nullptr) journal_line = format_request(request);
   std::unique_lock lock{mutex_};
   if (stop_) throw std::runtime_error{"EvalService: shutting down"};
   if (queue_.size() >= options_.queue_capacity) {
     ++totals_.rejected;
     obs_.rejected.add(1);
+    if (rejection != nullptr) {
+      rejection->code = ErrorCode::queue_full;
+      rejection->message = "service queue is at capacity (" +
+                           std::to_string(options_.queue_capacity) + ")";
+      rejection->retry_after_ms = retry_after_hint_locked();
+    }
     return std::nullopt;
   }
-  return enqueue_locked(std::move(request), fp, std::move(on_complete), lock);
+  if (!admit_locked(request)) {
+    ++totals_.quota_rejected;
+    obs_.quota_rejected.add(1);
+    const double hint = retry_after_hint_locked();
+    std::string client = request.client;
+    if (rejection != nullptr) {
+      rejection->code = ErrorCode::quota_exceeded;
+      rejection->message =
+          "client \"" + client + "\" is at its admission quota (" +
+          std::to_string(client_quota(client)) + " queued)";
+      rejection->retry_after_ms = hint;
+    }
+    lock.unlock();
+    // Per-client rejection counter (cold path; cardinality is bounded by
+    // the set of distinct client ids the service ever sees).
+    obs::count("serve.quota_rejected." +
+               (client.empty() ? std::string{"anonymous"} : client));
+    return std::nullopt;
+  }
+  const std::uint64_t id =
+      enqueue_locked(std::move(request), fp, std::move(on_complete), lock);
+  lock.unlock();
+  if (journal_ != nullptr) journal_->record_submit(id, journal_line);
+  return id;
 }
 
 namespace {
@@ -227,7 +337,7 @@ Response EvalService::poll(std::uint64_t id) const {
   // Ids are only ever removed by completed-history eviction, so an
   // absent-but-assigned id means the request finished and its response
   // aged out before being collected; anything else was never issued.
-  if (id == 0 || id >= next_id_) return not_found_response(id);
+  if (id < first_id_ || id >= next_id_) return not_found_response(id);
   return evicted_response(id);
 }
 
@@ -235,7 +345,7 @@ Response EvalService::wait(std::uint64_t id) {
   std::unique_lock lock{mutex_};
   const auto it = slots_.find(id);
   if (it == slots_.end()) {
-    if (id == 0 || id >= next_id_) return not_found_response(id);
+    if (id < first_id_ || id >= next_id_) return not_found_response(id);
     // See poll(): absent-but-assigned means evicted, not unknown.
     return evicted_response(id);
   }
@@ -259,8 +369,11 @@ bool EvalService::cancel(std::uint64_t id) {
     const SlotPtr slot = it->second;
     queue_.erase(std::find(queue_.begin(), queue_.end(), slot));
     obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    dec_client_queued_locked(slot->request.client);
     finish_locked(slot, RequestStatus::cancelled, {}, ErrorCode::none, fired);
-    cv_space_.notify_one();
+    // notify_all: with admission quotas, which waiter can proceed depends
+    // on which client just left the queue.
+    cv_space_.notify_all();
   }
   run_callbacks(fired);
   return true;
@@ -326,18 +439,84 @@ HealthSummary EvalService::health() const {
   return h;
 }
 
+void EvalService::dec_client_queued_locked(const std::string& client) {
+  const auto it = client_queued_.find(client);
+  if (it == client_queued_.end()) return;
+  if (--it->second == 0) client_queued_.erase(it);
+}
+
+std::size_t EvalService::shed_expired_locked(FiredCallbacks& fired) {
+  const Clock::time_point now = Clock::now();
+  std::size_t shed = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const SlotPtr& slot = *it;
+    if (!slot->deadline.has_value() || now < *slot->deadline) {
+      ++it;
+      continue;
+    }
+    const SlotPtr expired = slot;
+    it = queue_.erase(it);
+    dec_client_queued_locked(expired->request.client);
+    ++totals_.deadline_expired;
+    obs_.deadline_expired.add(1);
+    finish_locked(expired, RequestStatus::failed,
+                  "deadline of " +
+                      std::to_string(expired->request.deadline_ms) +
+                      "ms expired before dispatch",
+                  ErrorCode::deadline_exceeded, fired);
+    ++shed;
+  }
+  if (shed > 0) {
+    obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+  }
+  return shed;
+}
+
 std::vector<EvalService::SlotPtr> EvalService::next_batch() {
   std::unique_lock lock{mutex_};
-  cv_work_.wait(lock, [this] {
-    return stop_ || (!paused_ && !queue_.empty());
-  });
-  if (queue_.empty()) return {};  // stop_ with nothing left
+  FiredCallbacks fired;
+  for (;;) {
+    cv_work_.wait(lock, [this] {
+      return stop_ || (!paused_ && !queue_.empty());
+    });
+    if (queue_.empty()) return {};  // stop_ with nothing left
+    // Shed requests whose deadline already passed before they waste a
+    // dispatch (and a table build) on a result nobody is waiting for.
+    if (shed_expired_locked(fired) == 0) break;
+    cv_space_.notify_all();
+    lock.unlock();
+    run_callbacks(fired);
+    lock.lock();
+  }
 
-  // Highest priority wins; FIFO among equals (stable first occurrence).
+  // Highest priority wins. Among equals: FIFO (stable first occurrence),
+  // unless admission control is on -- then the client with the least
+  // weighted dispatch credit goes first, so a flood from one client cannot
+  // starve a peer at the same priority.
   std::size_t best = 0;
-  for (std::size_t i = 1; i < queue_.size(); ++i) {
-    if (queue_[i]->request.priority > queue_[best]->request.priority) {
-      best = i;
+  if (!options_.admission.enabled) {
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      if (queue_[i]->request.priority > queue_[best]->request.priority) {
+        best = i;
+      }
+    }
+  } else {
+    int top = queue_[0]->request.priority;
+    for (const SlotPtr& slot : queue_) {
+      top = std::max(top, slot->request.priority);
+    }
+    double best_credit = 0.0;
+    bool found = false;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i]->request.priority != top) continue;
+      const auto it = client_dispatched_.find(queue_[i]->request.client);
+      const double credit =
+          it != client_dispatched_.end() ? it->second : 0.0;
+      if (!found || credit < best_credit) {
+        best = i;
+        best_credit = credit;
+        found = true;
+      }
     }
   }
   std::vector<SlotPtr> batch{queue_[best]};
@@ -380,6 +559,13 @@ std::vector<EvalService::SlotPtr> EvalService::next_batch() {
     slot->response.stats.queue_ms = ms_between(slot->submitted_at, now);
     slot->response.stats.batch_size = batch.size();
     slot->response.stats.dispatch_seq = seq;
+    dec_client_queued_locked(slot->request.client);
+    if (options_.admission.enabled) {
+      // Weighted dispatch credit: a weight-w client pays 1/w per request,
+      // so the least-credit pick serves clients proportionally to weight.
+      client_dispatched_[slot->request.client] +=
+          1.0 / client_weight(slot->request.client);
+    }
   }
   cv_space_.notify_all();
   return batch;
@@ -430,6 +616,21 @@ void EvalService::finish_locked(const SlotPtr& slot, RequestStatus status,
     obs_.run_us.record(ms_to_us(s.run_ms));
     obs_.wall_us.record(ms_to_us(s.wall_ms));
   }
+  // Feed the retry-after estimator from completed work requests only (a
+  // stats scrape's wall time says nothing about build cost).
+  if (status == RequestStatus::done &&
+      slot->request.kind != RequestKind::stats) {
+    const double wall = slot->response.stats.wall_ms;
+    ewma_wall_ms_ =
+        ewma_wall_ms_ == 0.0 ? wall : 0.9 * ewma_wall_ms_ + 0.1 * wall;
+  }
+  // Arm the journal terminal record (written by run_callbacks, off-lock).
+  // Shutdown cancellations are deliberately NOT journaled: a request the
+  // dying service threw away must replay after restart.
+  if (journal_ != nullptr && options_.journal.record_terminals &&
+      !(stop_ && status == RequestStatus::cancelled)) {
+    fired.terminals.emplace_back(slot->id, status);
+  }
   --pending_;
 
   // Bound the retained-response history: evict the oldest terminal slots.
@@ -441,7 +642,8 @@ void EvalService::finish_locked(const SlotPtr& slot, RequestStatus status,
     finished_.pop_front();
   }
   if (slot->on_complete) {
-    fired.emplace_back(std::move(slot->on_complete), slot->response);
+    fired.callbacks.emplace_back(std::move(slot->on_complete),
+                                 slot->response);
     slot->on_complete = nullptr;
   }
   cv_done_.notify_all();
@@ -489,6 +691,24 @@ void EvalService::answer_stats(const SlotPtr& slot) {
 
 void EvalService::answer_table_shard(const std::vector<SlotPtr>& batch) {
   const Request& req = batch[0]->request;
+
+  // Chaos harness hooks (docs/robustness.md): `serve.shard_crash` fails the
+  // batch through the normal dispatcher catch-all (exercising fleet
+  // retries); `serve.shard_crash_hard` kills the worker process outright
+  // mid-shard, the way a real crash would.
+  util::FaultInjector& faults = util::FaultInjector::instance();
+  if (faults.armed()) {
+    if (faults.should_fire("serve.shard_crash_hard")) {
+      std::fprintf(stderr,
+                   "[fault] serve.shard_crash_hard: aborting mid-shard\n");
+      std::abort();
+    }
+    if (faults.should_fire("serve.shard_crash")) {
+      throw std::runtime_error{
+          "injected fault: worker crashed mid-shard (serve.shard_crash)"};
+    }
+  }
+
   const engine::ShardPlan plan = shard_plan(req);
 
   // The codec guarantees shard < shard_count, but the planner clamps the

@@ -61,10 +61,30 @@
 #include "mc/montecarlo.hpp"
 #include "mc/variation.hpp"
 #include "obs/metrics.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "sram/array.hpp"
 
 namespace hynapse::serve {
+
+/// Per-client admission control over the bounded queue
+/// (docs/robustness.md). Off by default: with `enabled = false` the queue
+/// behaves exactly as before (capacity is the only limit, FIFO within
+/// priority).
+struct AdmissionOptions {
+  bool enabled = false;
+  /// Fraction of queue_capacity one unit of client weight may occupy:
+  /// quota(c) = max(1, floor(queue_capacity * client_share * weight(c))).
+  /// The 0.5 default means a greedy default-weight client can fill at most
+  /// half the queue, so a peer can always get in.
+  double client_share = 0.5;
+  /// Weight for clients not listed in `weights` (including the anonymous
+  /// "" client).
+  double default_weight = 1.0;
+  /// Per-client weight overrides (> 0): a weight-2 client gets twice the
+  /// queue quota and twice the dispatch share of a weight-1 client.
+  std::unordered_map<std::string, double> weights;
+};
 
 struct ServiceOptions {
   std::size_t queue_capacity = 256;  ///< bounded: submit blocks, try_submit rejects
@@ -98,6 +118,26 @@ struct ServiceOptions {
   std::uint64_t default_eval_seed = 2024;
   std::size_t default_samples = 4000;
   std::uint64_t default_table_seed = 20160312;
+  /// Request journal (journal.path empty = no journaling). Submits are
+  /// recorded after enqueue, terminals at the completion transition, so a
+  /// crashed service can be restarted and replay what never finished
+  /// (docs/robustness.md).
+  JournalOptions journal;
+  /// Per-client weighted quotas + fair dispatch (off by default).
+  AdmissionOptions admission;
+  /// First request id issued (ids grow from here). A recovering served
+  /// process sets this above the journal's max id so journal records stay
+  /// unambiguous across restarts.
+  std::uint64_t first_request_id = 1;
+};
+
+/// Why try_submit refused, plus the service's structured retry hint: an
+/// estimate (EWMA of recent batch wall time scaled by queue depth) of when
+/// capacity frees up. Advisory, not a reservation.
+struct SubmitRejection {
+  ErrorCode code = ErrorCode::queue_full;
+  std::string message;
+  double retry_after_ms = 0.0;
 };
 
 class EvalService {
@@ -127,10 +167,13 @@ class EvalService {
   /// via Request::tag).
   std::uint64_t submit(Request request, Completion on_complete = {});
 
-  /// Non-blocking submit: nullopt when the queue is full (`on_complete` is
-  /// then never invoked).
+  /// Non-blocking submit: nullopt when the queue is full or the client's
+  /// admission quota is exhausted (`on_complete` is then never invoked).
+  /// When `rejection` is non-null it receives the structured reason
+  /// (queue_full vs quota_exceeded) and a retry-after hint.
   std::optional<std::uint64_t> try_submit(Request request,
-                                          Completion on_complete = {});
+                                          Completion on_complete = {},
+                                          SubmitRejection* rejection = nullptr);
 
   /// Snapshot of a request's current state. Total over ids: an id this
   /// service never issued yields status `not_found` (code not_found); an
@@ -185,6 +228,11 @@ class EvalService {
     return options_;
   }
 
+  /// The request journal, when options().journal.path is set (nullptr
+  /// otherwise). Used by hynapse_served's replay mode to stamp terminals
+  /// at delivery time instead of completion time.
+  [[nodiscard]] RequestJournal* journal() noexcept { return journal_.get(); }
+
  private:
   struct Slot {
     std::uint64_t id = 0;
@@ -194,19 +242,36 @@ class EvalService {
     Response response;
     Completion on_complete;  ///< moved out at the terminal transition
     std::chrono::steady_clock::time_point submitted_at;
+    /// Absolute shed deadline (Request::deadline_ms past submission).
+    std::optional<std::chrono::steady_clock::time_point> deadline;
   };
   using SlotPtr = std::shared_ptr<Slot>;
-  /// Completion callbacks armed under mutex_ but fired outside it (a
-  /// callback may re-enter the service): finish_locked moves the callback
-  /// and a snapshot of the final response here, the unlocking caller runs
-  /// them.
-  using FiredCallbacks = std::vector<std::pair<Completion, Response>>;
+  /// Work armed under mutex_ but performed outside it: finish_locked moves
+  /// completion callbacks (which may re-enter the service) and journal
+  /// terminal records (IO) here; the unlocking caller runs run_callbacks.
+  struct FiredCallbacks {
+    std::vector<std::pair<Completion, Response>> callbacks;
+    std::vector<std::pair<std::uint64_t, RequestStatus>> terminals;
+  };
 
   std::uint64_t enqueue_locked(Request&& request, std::uint64_t fp,
                                Completion on_complete,
                                std::unique_lock<std::mutex>& lock);
-  static void run_callbacks(FiredCallbacks& fired);
+  /// Journals armed terminal records, then fires completion callbacks.
+  void run_callbacks(FiredCallbacks& fired);
   void dispatcher_loop();
+  /// Admission predicate: queue has room AND (when admission is enabled)
+  /// the request's client is under its queued quota.
+  [[nodiscard]] bool admit_locked(const Request& request) const;
+  [[nodiscard]] double client_weight(const std::string& client) const;
+  [[nodiscard]] std::size_t client_quota(const std::string& client) const;
+  /// Retry-after estimate for rejections: EWMA of recent batch wall time
+  /// scaled by how many dispatch rounds are queued ahead.
+  [[nodiscard]] double retry_after_hint_locked() const;
+  /// Fails (deadline_exceeded) every queued request past its deadline;
+  /// returns how many were shed.
+  std::size_t shed_expired_locked(FiredCallbacks& fired);
+  void dec_client_queued_locked(const std::string& client);
   /// Pops the next batch (same-fingerprint fusion when coalescing) or
   /// returns empty when shutting down with an empty queue.
   std::vector<SlotPtr> next_batch();
@@ -263,6 +328,8 @@ class EvalService {
     obs::Counter& failed;
     obs::Counter& cancelled;
     obs::Counter& rejected;
+    obs::Counter& quota_rejected;
+    obs::Counter& deadline_expired;
     obs::Counter& batches;
     obs::Counter& coalesced;
     obs::Gauge& queue_depth;
@@ -281,6 +348,7 @@ class EvalService {
   std::deque<SlotPtr> queue_;
   std::unordered_map<std::uint64_t, SlotPtr> slots_;
   std::deque<std::uint64_t> finished_;  ///< terminal ids, oldest first
+  const std::uint64_t first_id_ = 1;
   std::uint64_t next_id_ = 1;
   std::uint64_t dispatch_seq_ = 0;
   std::uint64_t pending_ = 0;  ///< queued + running requests
@@ -288,6 +356,16 @@ class EvalService {
   bool stop_ = false;
   Totals totals_;
   std::uint64_t naive_builds_ = 0;
+  /// Queued (not yet dispatched) requests per client id; entries are erased
+  /// at zero, so the map is bounded by queue content.
+  std::unordered_map<std::string, std::size_t> client_queued_;
+  /// Weighted dispatch credit per client (each dispatched request adds
+  /// 1/weight): the fair pick takes the max-priority request of the client
+  /// with the least credit. Only maintained while admission is enabled.
+  std::unordered_map<std::string, double> client_dispatched_;
+  /// EWMA of completed-batch wall time, feeding the retry-after hint.
+  double ewma_wall_ms_ = 0.0;
+  std::unique_ptr<RequestJournal> journal_;
 
   std::vector<std::thread> dispatchers_;  // last: started after all state
 };

@@ -13,9 +13,11 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/fault_injection.hpp"
 
 namespace hynapse::serve {
 
@@ -137,6 +139,21 @@ void TcpServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
 
+    // Failpoints for chaos testing: `net.accept_delay@ms` stalls the
+    // accept (slow handshake), `net.drop_accept` hangs up immediately
+    // (a peer that connected and vanished before speaking).
+    if (util::FaultInjector::instance().armed()) {
+      util::FaultInjector& inject = util::FaultInjector::instance();
+      if (inject.should_fire("net.accept_delay")) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>{
+            inject.arg("net.accept_delay", 50.0)});
+      }
+      if (inject.should_fire("net.drop_accept")) {
+        ::close(fd);
+        continue;
+      }
+    }
+
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
@@ -154,6 +171,16 @@ void TcpServer::accept_loop() {
           const std::scoped_lock wlock{c->write_mutex};
           std::string framed{line};
           framed.push_back('\n');
+          // `net.truncate_frame` sends only half the frame then half-closes:
+          // the torn-line-on-the-wire case clients must survive (their
+          // framing drops the unterminated fragment).
+          if (util::FaultInjector::instance().armed() &&
+              util::FaultInjector::instance().should_fire(
+                  "net.truncate_frame")) {
+            (void)send_all(c->fd, framed.data(), framed.size() / 2);
+            ::shutdown(c->fd, SHUT_WR);
+            return;
+          }
           (void)send_all(c->fd, framed.data(), framed.size());
         },
         options_.session);
@@ -201,6 +228,15 @@ void TcpServer::reader_loop(const std::shared_ptr<Connection>& conn) {
       start = nl + 1;
     }
     buffer.erase(0, start);
+
+    // `net.drop_connection` severs the socket mid-conversation (counted
+    // per received chunk): the server treats it exactly like a vanished
+    // peer -- session close, connection-scoped cancellation.
+    if (util::FaultInjector::instance().armed() &&
+        util::FaultInjector::instance().should_fire("net.drop_connection")) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+      break;
+    }
 
     if (buffer.size() > options_.max_line_bytes) {
       // Poisoned framing: answer once, then hang up (which cancels).
@@ -358,6 +394,12 @@ void TcpClient::close() {
 std::optional<TcpClient> TcpClient::connect(const std::string& host,
                                             std::uint16_t port,
                                             double timeout_s) {
+  // `net.connect_fail` simulates an unreachable endpoint -- exercised by
+  // the fleet coordinator's retry/backoff path.
+  if (util::FaultInjector::instance().armed() &&
+      util::FaultInjector::instance().should_fire("net.connect_fail")) {
+    return std::nullopt;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -398,11 +440,47 @@ std::optional<TcpClient> TcpClient::connect(const std::string& host,
   return TcpClient{fd};
 }
 
-bool TcpClient::send_line(std::string_view line) {
+bool TcpClient::send_line(std::string_view line, double timeout_s) {
   if (fd_ < 0) return false;
   std::string framed{line};
   framed.push_back('\n');
-  return send_all(fd_, framed.data(), framed.size());
+
+  // Deadline-bounded send: the socket goes non-blocking for the duration
+  // so a peer that stopped reading (full kernel buffers) cannot wedge the
+  // caller forever -- partial sends resume where they left off, EINTR
+  // retries, and the deadline fires even mid-frame.
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>{timeout_s});
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  const char* data = framed.data();
+  std::size_t size = framed.size();
+  bool ok = true;
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n > 0) {
+      data += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int ms = remaining_ms(deadline);
+      const int ready = ::poll(&pfd, 1, ms);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0 || ms == 0) {
+        ok = false;  // poll error, or the deadline expired
+        break;
+      }
+      continue;
+    }
+    ok = false;  // EPIPE / ECONNRESET: the peer is gone
+    break;
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+  return ok;
 }
 
 std::optional<std::string> TcpClient::read_line(double timeout_s) {
@@ -423,8 +501,9 @@ std::optional<std::string> TcpClient::read_line(double timeout_s) {
     const int ms = remaining_ms(deadline);
     const int ready = ::poll(&pfd, 1, ms);
     if (ready < 0 && errno == EINTR) continue;
-    if (ready <= 0 && ms == 0) return std::nullopt;  // deadline
-    if (ready <= 0) continue;
+    if (ready < 0) return std::nullopt;  // persistent poll error, not EINTR
+    if (ready == 0 && ms == 0) return std::nullopt;  // deadline
+    if (ready == 0) continue;
 
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);

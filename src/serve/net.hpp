@@ -121,8 +121,11 @@ class TcpClient {
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 
-  /// Sends `line` plus the terminating newline. False on a broken socket.
-  bool send_line(std::string_view line);
+  /// Sends `line` plus the terminating newline. False on a broken socket
+  /// or when the deadline expires before the full frame is written (a
+  /// peer that stopped reading); EINTR and partial sends are retried
+  /// within the deadline.
+  bool send_line(std::string_view line, double timeout_s = 30.0);
 
   /// Next complete line (newline stripped). nullopt on EOF, error or
   /// deadline; the connection is unusable afterwards except for buffered

@@ -188,6 +188,8 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::none: return "none";
     case ErrorCode::bad_request: return "bad_request";
     case ErrorCode::queue_full: return "queue_full";
+    case ErrorCode::quota_exceeded: return "quota_exceeded";
+    case ErrorCode::deadline_exceeded: return "deadline_exceeded";
     case ErrorCode::shard_out_of_range: return "shard_out_of_range";
     case ErrorCode::shutting_down: return "shutting_down";
     case ErrorCode::not_found: return "not_found";
@@ -201,6 +203,8 @@ std::optional<ErrorCode> parse_error_code(std::string_view text) noexcept {
   if (text == "none") return ErrorCode::none;
   if (text == "bad_request") return ErrorCode::bad_request;
   if (text == "queue_full") return ErrorCode::queue_full;
+  if (text == "quota_exceeded") return ErrorCode::quota_exceeded;
+  if (text == "deadline_exceeded") return ErrorCode::deadline_exceeded;
   if (text == "shard_out_of_range") return ErrorCode::shard_out_of_range;
   if (text == "shutting_down") return ErrorCode::shutting_down;
   if (text == "not_found") return ErrorCode::not_found;
@@ -258,6 +262,15 @@ std::optional<Request> parse_request(std::string_view line,
     } else if (key == "tag") {
       if (!value.is_string()) return fail("\"tag\" must be a string");
       req.tag = value.as_string();
+    } else if (key == "client") {
+      if (!value.is_string()) return fail("\"client\" must be a string");
+      req.client = value.as_string();
+    } else if (key == "deadline_ms") {
+      const double d = value.is_number() ? value.as_number() : -1.0;
+      if (!(d > 0.0) || !std::isfinite(d)) {
+        return fail("\"deadline_ms\" must be a positive number");
+      }
+      req.deadline_ms = d;
     } else if (key == "inline_rows") {
       if (req.kind != RequestKind::table_shard) {
         return fail("\"inline_rows\" is only valid for op \"table_shard\"");
@@ -402,6 +415,8 @@ std::string format_request(const Request& request) {
     j.set("table_seed", static_cast<double>(request.table_seed));
   }
   if (!request.tag.empty()) j.set("tag", request.tag);
+  if (!request.client.empty()) j.set("client", request.client);
+  if (request.deadline_ms > 0.0) j.set("deadline_ms", request.deadline_ms);
   return j.dump();
 }
 
@@ -415,6 +430,9 @@ std::string format_response(const Response& response, bool per_chip) {
     j.set("code", to_string(response.code));
   }
   if (!response.tag.empty()) j.set("tag", response.tag);
+  if (response.retry_after_ms > 0.0) {
+    j.set("retry_after_ms", response.retry_after_ms);
+  }
 
   if (!response.results.empty()) {
     Json results = Json::array();
@@ -497,6 +515,8 @@ std::string format_response(const Response& response, bool per_chip) {
     set("failed", h.totals.failed);
     set("cancelled", h.totals.cancelled);
     set("rejected", h.totals.rejected);
+    set("quota_rejected", h.totals.quota_rejected);
+    set("deadline_expired", h.totals.deadline_expired);
     set("batches", h.totals.batches);
     set("coalesced_requests", h.totals.coalesced_requests);
     set("table_builds", h.totals.table_builds);
@@ -603,6 +623,10 @@ std::optional<Response> parse_response(std::string_view line,
   }
   if (const Json* tag = doc->get("tag"); tag != nullptr && tag->is_string()) {
     r.tag = tag->as_string();
+  }
+  if (const Json* retry = doc->get("retry_after_ms");
+      retry != nullptr && retry->is_number()) {
+    r.retry_after_ms = retry->as_number();
   }
 
   if (const Json* results = doc->get("results");
@@ -758,6 +782,8 @@ std::optional<Response> parse_response(std::string_view line,
       total("failed", h.totals.failed);
       total("cancelled", h.totals.cancelled);
       total("rejected", h.totals.rejected);
+      total("quota_rejected", h.totals.quota_rejected);
+      total("deadline_expired", h.totals.deadline_expired);
       total("batches", h.totals.batches);
       total("coalesced_requests", h.totals.coalesced_requests);
       total("table_builds", h.totals.table_builds);

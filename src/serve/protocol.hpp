@@ -15,8 +15,11 @@
 //    "table_seed":T,"priority":P,"inline_rows":true}
 //   {"op":"stats"}
 // Every request additionally accepts "v" (protocol version; omitted means
-// kProtocolVersion) and "tag" (an opaque string echoed verbatim in the
-// response -- correlation for pipelined clients). "evaluate" also accepts
+// kProtocolVersion), "tag" (an opaque string echoed verbatim in the
+// response -- correlation for pipelined clients), "client" (admission
+// identity: requests sharing a client id share one admission quota,
+// docs/robustness.md) and "deadline_ms" (time budget from submission;
+// expired requests are shed before dispatch). "evaluate" also accepts
 // the plural keys; "sweep" evaluates the full configs x vdds grid.
 // chips/eval_seed/samples/table_seed default to the service's configuration
 // [0 = service default]; priority defaults to 0 (higher dispatches first).
@@ -61,6 +64,8 @@ enum class ErrorCode {
   none,                 ///< not an error (never emitted on the wire)
   bad_request,          ///< malformed line, unknown field, invalid value
   queue_full,           ///< service queue at capacity (try_submit rejection)
+  quota_exceeded,       ///< client's admission quota exhausted (queue has room)
+  deadline_exceeded,    ///< request deadline expired before dispatch
   shard_out_of_range,   ///< shard index >= clamped shard count
   shutting_down,        ///< service is draining; no new work accepted
   not_found,            ///< unknown request id (poll/wait on a bogus id)
@@ -125,6 +130,14 @@ struct Request {
   /// Opaque client correlation string, echoed in the response. Not part of
   /// the coalescing fingerprint.
   std::string tag;
+  /// Admission identity: requests sharing a client id share one admission
+  /// quota when admission control is enabled (docs/robustness.md). Empty =
+  /// the anonymous client. Not part of the coalescing fingerprint.
+  std::string client;
+  /// Time budget in milliseconds, measured from submission; 0 = none. A
+  /// request still queued past its deadline is shed before dispatch
+  /// (failed, ErrorCode::deadline_exceeded) instead of wasting a build.
+  double deadline_ms = 0.0;
 };
 
 /// `evicted` is a degenerate terminal state: the request finished, but its
@@ -167,7 +180,9 @@ struct ServiceTotals {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
-  std::uint64_t rejected = 0;        ///< try_submit refusals
+  std::uint64_t rejected = 0;        ///< try_submit refusals (queue full)
+  std::uint64_t quota_rejected = 0;  ///< admission refusals (client quota)
+  std::uint64_t deadline_expired = 0;  ///< requests shed past their deadline
   std::uint64_t batches = 0;         ///< dispatches (>= 1 request each)
   std::uint64_t coalesced_requests = 0;  ///< requests that reused a table
   std::uint64_t table_builds = 0;
@@ -204,6 +219,10 @@ struct Response {
   std::string error;                  ///< non-empty iff status == failed
   ErrorCode code = ErrorCode::none;   ///< set iff status is failed/not_found
   std::string tag;                    ///< echo of Request::tag
+  /// Structured retry hint on queue_full / quota_exceeded rejections: the
+  /// service's estimate of when capacity frees up (0 = no hint). Clients
+  /// should treat it as advisory backoff, not a reservation.
+  double retry_after_ms = 0.0;
   std::vector<PointResult> results;   ///< evaluate/sweep
   std::uint64_t table_fingerprint = 0;
   // table_info:

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/span.hpp"
+#include "util/fault_injection.hpp"
 
 namespace hynapse::serve {
 
@@ -69,13 +70,14 @@ Session::Session(EvalService& service, Sink sink, SessionOptions options)
 Session::~Session() { close(); }
 
 void Session::emit_error(const std::string& tag, ErrorCode code,
-                         std::string message) {
+                         std::string message, double retry_after_ms) {
   Response r;
   r.id = 0;  // no id was assigned; clients correlate by tag (if any)
   r.status = RequestStatus::failed;
   r.code = code;
   r.error = std::move(message);
   r.tag = tag;
+  r.retry_after_ms = retry_after_ms;
   const std::lock_guard lock{state_->mutex};
   if (state_->open && state_->sink) {
     state_->sink(format_response(r, options_.per_chip));
@@ -129,7 +131,13 @@ std::uint64_t Session::handle_line(std::string_view line) {
     if (state->inflight.erase(response.id) == 0) {
       state->completed_early.insert(response.id);
     }
-    if (state->open && state->sink) {
+    // `session.drop_response` simulates a response lost at the transport
+    // seam (written by the service, never delivered) -- the client-timeout
+    // and journal-replay test case.
+    const bool dropped =
+        util::FaultInjector::instance().armed() &&
+        util::FaultInjector::instance().should_fire("session.drop_response");
+    if (state->open && state->sink && !dropped) {
       // The serialization phase of the request's span: rendering the
       // response line plus handing it to the transport sink.
       SessionInstruments& instruments = SessionInstruments::get();
@@ -147,8 +155,9 @@ std::uint64_t Session::handle_line(std::string_view line) {
   std::uint64_t id = 0;
   try {
     if (options_.reject_when_full) {
-      const std::optional<std::uint64_t> assigned =
-          service_.try_submit(std::move(to_submit), std::move(on_complete));
+      SubmitRejection rejection;
+      const std::optional<std::uint64_t> assigned = service_.try_submit(
+          std::move(to_submit), std::move(on_complete), &rejection);
       if (!assigned) {
         {
           const std::lock_guard lock{state->mutex};
@@ -156,8 +165,10 @@ std::uint64_t Session::handle_line(std::string_view line) {
           ++state->stats.rejected;
         }
         SessionInstruments::get().rejected.add(1);
-        emit_error(tag, ErrorCode::queue_full,
-                   "service queue is at capacity");
+        // Structured rejection: queue_full or quota_exceeded, plus the
+        // service's retry-after estimate so clients can back off sensibly.
+        emit_error(tag, rejection.code, std::move(rejection.message),
+                   rejection.retry_after_ms);
         return 0;
       }
       id = *assigned;

@@ -89,7 +89,7 @@ class Session {
   // all mutable state lives behind a shared_ptr.
   struct State;
   void emit_error(const std::string& tag, ErrorCode code,
-                  std::string message);
+                  std::string message, double retry_after_ms = 0.0);
 
   EvalService& service_;
   const SessionOptions options_;

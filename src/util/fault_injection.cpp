@@ -1,0 +1,220 @@
+#include "util/fault_injection.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/hash.hpp"
+
+namespace hynapse::util {
+namespace {
+
+/// Counter resolved once; every fire across every failpoint lands here.
+obs::Counter& fired_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("fault.fired");
+  return c;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_number(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  const std::string buf{s};
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+bool parse_count(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  out = 0;
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  // Leaked on purpose, like the obs registry: failpoint checks may run on
+  // detached threads during static destruction.
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* seed_env = std::getenv("HYNAPSE_FAILPOINT_SEED")) {
+    double s = 0.0;
+    if (parse_number(seed_env, s) && s >= 0.0) {
+      seed_ = static_cast<std::uint64_t>(s);
+    }
+  }
+  if (const char* spec = std::getenv("HYNAPSE_FAILPOINTS")) {
+    std::string error;
+    if (!configure(spec, &error)) {
+      std::fprintf(stderr, "[fault] ignoring HYNAPSE_FAILPOINTS: %s\n",
+                   error.c_str());
+    }
+  }
+}
+
+bool FaultInjector::parse_spec(std::string_view spec,
+                               std::unordered_map<std::string, Point>& out,
+                               std::string* error) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    std::string_view entry = trim(
+        spec.substr(pos, comma == std::string_view::npos ? comma : comma - pos));
+    pos = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      if (error) *error = "expected <name>=<mode> in '" + std::string{entry} + "'";
+      return false;
+    }
+    const std::string name{trim(entry.substr(0, eq))};
+    std::string_view mode = trim(entry.substr(eq + 1));
+
+    Point p;
+    const std::size_t at = mode.find('@');
+    if (at != std::string_view::npos) {
+      if (!parse_number(trim(mode.substr(at + 1)), p.arg)) {
+        if (error) *error = "bad @argument in '" + std::string{entry} + "'";
+        return false;
+      }
+      p.has_arg = true;
+      mode = trim(mode.substr(0, at));
+    }
+
+    if (mode == "always") {
+      p.mode = Mode::always;
+    } else if (mode == "never") {
+      p.mode = Mode::never;
+    } else if (mode.substr(0, 2) == "p:") {
+      p.mode = Mode::probability;
+      if (!parse_number(mode.substr(2), p.probability) || p.probability < 0.0 ||
+          p.probability > 1.0) {
+        if (error) *error = "p: wants a probability in [0,1] in '" + std::string{entry} + "'";
+        return false;
+      }
+    } else if (mode.substr(0, 6) == "every:") {
+      p.mode = Mode::every;
+      if (!parse_count(mode.substr(6), p.n) || p.n == 0) {
+        if (error) *error = "every: wants a positive count in '" + std::string{entry} + "'";
+        return false;
+      }
+    } else if (mode.substr(0, 6) == "first:") {
+      p.mode = Mode::first;
+      if (!parse_count(mode.substr(6), p.n) || p.n == 0) {
+        if (error) *error = "first: wants a positive count in '" + std::string{entry} + "'";
+        return false;
+      }
+    } else {
+      if (error) *error = "unknown mode in '" + std::string{entry} + "'";
+      return false;
+    }
+    out[name] = p;
+  }
+  return true;
+}
+
+bool FaultInjector::configure(std::string_view spec, std::string* error) {
+  std::unordered_map<std::string, Point> parsed;
+  if (!parse_spec(spec, parsed, error)) return false;
+  const std::scoped_lock lock{mutex_};
+  points_ = std::move(parsed);
+  armed_.store(!points_.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::reset() {
+  const std::scoped_lock lock{mutex_};
+  points_.clear();
+  total_fired_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::seed(std::uint64_t seed) {
+  const std::scoped_lock lock{mutex_};
+  seed_ = seed;
+}
+
+bool FaultInjector::should_fire(std::string_view name) {
+  if (!armed()) return false;
+  const std::scoped_lock lock{mutex_};
+  const auto it = points_.find(std::string{name});
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  const std::uint64_t hit = p.hits++;
+  bool fire = false;
+  switch (p.mode) {
+    case Mode::always:
+      fire = true;
+      break;
+    case Mode::never:
+      break;
+    case Mode::probability: {
+      // Deterministic stream: the decision for hit k depends only on
+      // (seed, name, k), so runs with the same spec+seed fire identically.
+      Fnv1a h;
+      h.u64(seed_);
+      h.str(name);
+      h.u64(hit);
+      const double u = static_cast<double>(h.digest() >> 11) *
+                       (1.0 / 9007199254740992.0);  // [0,1) from 53 bits
+      fire = u < p.probability;
+      break;
+    }
+    case Mode::every:
+      fire = (hit + 1) % p.n == 0;
+      break;
+    case Mode::first:
+      fire = hit < p.n;
+      break;
+  }
+  if (fire) {
+    ++p.fired;
+    ++total_fired_;
+    fired_counter().add(1);
+  }
+  return fire;
+}
+
+double FaultInjector::arg(std::string_view name, double fallback) const {
+  const std::scoped_lock lock{mutex_};
+  const auto it = points_.find(std::string{name});
+  if (it == points_.end() || !it->second.has_arg) return fallback;
+  return it->second.arg;
+}
+
+std::uint64_t FaultInjector::fired(std::string_view name) const {
+  const std::scoped_lock lock{mutex_};
+  const auto it = points_.find(std::string{name});
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view name) const {
+  const std::scoped_lock lock{mutex_};
+  const auto it = points_.find(std::string{name});
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  const std::scoped_lock lock{mutex_};
+  return total_fired_;
+}
+
+}  // namespace hynapse::util

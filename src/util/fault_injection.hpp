@@ -1,0 +1,96 @@
+// Env/flag-gated fault injection for robustness testing. A failpoint is a
+// named site in production code that asks `should_fire(name)` on every hit;
+// unarmed sites cost one relaxed atomic load. Arming comes from the
+// HYNAPSE_FAILPOINTS environment variable or programmatic configure():
+//
+//   HYNAPSE_FAILPOINTS="net.drop_connection=every:3,serve.shard_crash=first:1"
+//
+// Spec grammar (comma-separated entries, whitespace tolerated):
+//
+//   <name>=<mode>[@<arg>]
+//   mode := always | never | p:<0..1> | every:<N> | first:<N>
+//
+// `p:` fires pseudo-randomly but *deterministically*: the decision for hit k
+// of a failpoint is a hash of (seed, name, k), so a run with the same spec
+// and seed (HYNAPSE_FAILPOINT_SEED, default 0) fires identically. `@<arg>`
+// attaches a numeric argument the site can read via arg() -- e.g. a delay in
+// milliseconds for net.accept_delay. The failpoint catalog lives in
+// docs/robustness.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace hynapse::util {
+
+/// Process-wide failpoint registry. Thread-safe; hot path is lock-free when
+/// nothing is armed.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Replaces the armed set from a spec string (grammar above). On a
+  /// malformed spec returns false, fills *error when given, and leaves the
+  /// previous arming untouched. An empty spec disarms everything.
+  bool configure(std::string_view spec, std::string* error = nullptr);
+
+  /// Disarms every failpoint and clears hit/fired counts.
+  void reset();
+
+  /// Reseeds the deterministic probability streams (default 0).
+  void seed(std::uint64_t seed);
+
+  /// True when at least one failpoint is armed (relaxed load).
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the named failpoint fires at this hit. Counts the hit either
+  /// way; unarmed names never fire.
+  bool should_fire(std::string_view name);
+
+  /// Numeric argument attached with "@" in the spec; `fallback` when the
+  /// failpoint is unarmed or has no argument.
+  [[nodiscard]] double arg(std::string_view name, double fallback = 0.0) const;
+
+  /// Times the named failpoint has fired / been hit since the last reset.
+  [[nodiscard]] std::uint64_t fired(std::string_view name) const;
+  [[nodiscard]] std::uint64_t hits(std::string_view name) const;
+
+  /// Total fires across all failpoints (mirrors the fault.fired counter).
+  [[nodiscard]] std::uint64_t total_fired() const;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  enum class Mode { always, never, probability, every, first };
+
+  struct Point {
+    Mode mode = Mode::never;
+    double probability = 0.0;  // Mode::probability
+    std::uint64_t n = 0;       // every:N / first:N
+    bool has_arg = false;
+    double arg = 0.0;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  FaultInjector();  // reads HYNAPSE_FAILPOINTS / HYNAPSE_FAILPOINT_SEED
+
+  static bool parse_spec(std::string_view spec,
+                         std::unordered_map<std::string, Point>& out,
+                         std::string* error);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Point> points_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t total_fired_ = 0;
+};
+
+}  // namespace hynapse::util

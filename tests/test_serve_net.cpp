@@ -32,6 +32,7 @@
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
+#include "util/fault_injection.hpp"
 
 namespace hynapse::serve {
 namespace {
@@ -673,6 +674,167 @@ TEST_F(ServeNetTest, FleetStrictModeThrowsWhenNoWorkerCanBuild) {
   EXPECT_THROW((void)fleet.build(plan, analyzer), std::runtime_error);
   EXPECT_GE(fleet.stats().worker_failures, 1u);
   EXPECT_EQ(fleet.stats().shards_local, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection matrix: every serve-side failpoint driven through the
+// real transport, asserting the documented degradation (docs/robustness.md).
+
+/// Clean failpoint slate around each matrix test, even on early exit.
+struct FaultGuard {
+  FaultGuard() { util::FaultInjector::instance().reset(); }
+  ~FaultGuard() { util::FaultInjector::instance().reset(); }
+};
+
+TEST_F(ServeNetTest, FaultMatrixConnectFailLooksLikeDeadEndpoint) {
+  const FaultGuard guard;
+  EvalService service{qnet_, test_, fast_options()};
+  TcpServer server{service};
+
+  ASSERT_TRUE(
+      util::FaultInjector::instance().configure("net.connect_fail=always"));
+  EXPECT_FALSE(
+      TcpClient::connect("127.0.0.1", server.port(), 2.0).has_value());
+
+  // Disarmed, the same endpoint connects fine.
+  ASSERT_TRUE(util::FaultInjector::instance().configure(""));
+  EXPECT_TRUE(TcpClient::connect("127.0.0.1", server.port()).has_value());
+}
+
+TEST_F(ServeNetTest, FaultMatrixDropConnectionCancelsQueuedWork) {
+  const FaultGuard guard;
+  ServiceOptions opts = fast_options();
+  opts.start_paused = true;  // the request stays queued, so the drop cancels
+  EvalService service{qnet_, test_, opts};
+  TcpServer server{service};
+
+  std::optional<TcpClient> client =
+      TcpClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(util::FaultInjector::instance().configure(
+      "net.drop_connection=first:1"));
+  ASSERT_TRUE(
+      client->send_line(format_request(evaluate_request("hybrid2", 0.65))));
+
+  // Server severs the socket after processing the chunk: the session closes
+  // and its queued request is cancelled, exactly like a vanished peer.
+  ASSERT_TRUE(wait_until([&] { return service.totals().cancelled >= 1; }));
+  EXPECT_FALSE(client->read_line(5.0).has_value());
+  EXPECT_GE(util::FaultInjector::instance().fired("net.drop_connection"), 1u);
+  service.resume();
+}
+
+TEST_F(ServeNetTest, FaultMatrixTruncatedResponseFrameIsDropped) {
+  const FaultGuard guard;
+  EvalService service{qnet_, test_, fast_options()};
+  TcpServer server{service};
+
+  std::optional<TcpClient> client =
+      TcpClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(util::FaultInjector::instance().configure(
+      "net.truncate_frame=first:1"));
+  ASSERT_TRUE(
+      client->send_line(format_request(evaluate_request("hybrid2", 0.65))));
+
+  // Half a response frame then a half-close: the client's framing never
+  // sees a newline, so no partial JSON ever surfaces as a line.
+  EXPECT_FALSE(client->read_line(30.0).has_value());
+  EXPECT_GE(util::FaultInjector::instance().fired("net.truncate_frame"), 1u);
+  ASSERT_TRUE(wait_until([&] { return service.totals().completed >= 1; }));
+}
+
+TEST_F(ServeNetTest, FaultMatrixDroppedResponseNeverReachesSink) {
+  const FaultGuard guard;
+  EvalService service{qnet_, test_, fast_options()};
+  LineLog log;
+  Session session{service, log.sink()};
+
+  ASSERT_TRUE(util::FaultInjector::instance().configure(
+      "session.drop_response=first:1"));
+  ASSERT_NE(session.handle_line(
+                format_request(evaluate_request("hybrid2", 0.65, "lost"))),
+            0u);
+  session.drain();
+  EXPECT_TRUE(log.snapshot().empty()) << "dropped completion leaked";
+
+  // The very next completion is delivered (first:1 is spent).
+  ASSERT_NE(session.handle_line(
+                format_request(evaluate_request("all6t", 0.65, "kept"))),
+            0u);
+  session.drain();
+  const std::vector<std::string> lines = log.snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::optional<Response> r = parse_response(lines[0], nullptr);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->tag, "kept");
+}
+
+TEST_F(ServeNetTest, FaultMatrixShardCrashFailsOverBitIdentically) {
+  const FaultGuard guard;
+  const ServiceOptions wo = worker_options();
+  EvalService worker_service{qnet_, test_, wo};
+  TcpServerOptions so;
+  so.session.allow_evaluate = false;
+  TcpServer server{worker_service, so};
+
+  const engine::ShardPlan plan = worker_service.shard_plan(shard_request(3));
+  ReferenceStack stack;
+  const mc::FailureAnalyzer analyzer{stack.criteria, stack.sampler,
+                                     plan.analyzer_options};
+
+  ASSERT_TRUE(util::FaultInjector::instance().configure(
+      "serve.shard_crash=first:1"));
+  engine::FailureTableCache cache{""};
+  engine::ShardCoordinator local{cache};
+  engine::FleetOptions fo;
+  fo.workers = {{"127.0.0.1", server.port()}};
+  engine::FleetCoordinator fleet{local, fo};
+  const mc::FailureTable& merged = fleet.build(plan, analyzer);
+
+  const mc::FailureTable mono =
+      mc::FailureTable::build(analyzer, plan.spec.vdd_grid, plan.spec.seed);
+  expect_rows_bit_identical(merged, mono);
+
+  // The crashed shard failed over (single endpoint: to the local pool).
+  const engine::FleetStats st = fleet.stats();
+  EXPECT_GE(st.worker_failures, 1u);
+  EXPECT_GE(st.shards_local, 1u);
+  EXPECT_EQ(st.shards_remote + st.shards_local, 3u);
+  EXPECT_GE(util::FaultInjector::instance().fired("serve.shard_crash"), 1u);
+}
+
+TEST_F(ServeNetTest, FaultMatrixDropBeforeSendRetiresWorkerNotBuild) {
+  const FaultGuard guard;
+  const ServiceOptions wo = worker_options();
+  EvalService worker_service{qnet_, test_, wo};
+  TcpServerOptions so;
+  so.session.allow_evaluate = false;
+  TcpServer server{worker_service, so};
+
+  const engine::ShardPlan plan = worker_service.shard_plan(shard_request(3));
+  ReferenceStack stack;
+  const mc::FailureAnalyzer analyzer{stack.criteria, stack.sampler,
+                                     plan.analyzer_options};
+
+  ASSERT_TRUE(util::FaultInjector::instance().configure(
+      "fleet.drop_before_send=first:1"));
+  engine::FailureTableCache cache{""};
+  engine::ShardCoordinator local{cache};
+  engine::FleetOptions fo;
+  fo.workers = {{"127.0.0.1", server.port()}};
+  engine::FleetCoordinator fleet{local, fo};
+  const mc::FailureTable& merged = fleet.build(plan, analyzer);
+
+  const mc::FailureTable mono =
+      mc::FailureTable::build(analyzer, plan.spec.vdd_grid, plan.spec.seed);
+  expect_rows_bit_identical(merged, mono);
+
+  // The worker retired before sending anything; everything built locally.
+  const engine::FleetStats st = fleet.stats();
+  EXPECT_GE(st.worker_failures, 1u);
+  EXPECT_EQ(st.shards_remote, 0u);
+  EXPECT_EQ(st.shards_local, 3u);
 }
 
 }  // namespace

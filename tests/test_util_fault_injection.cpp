@@ -1,0 +1,130 @@
+// util::FaultInjector: spec grammar, firing modes, deterministic p: streams
+// and the disarmed fast path (docs/robustness.md has the failpoint catalog).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/fault_injection.hpp"
+
+namespace hynapse::util {
+namespace {
+
+/// The injector is process-wide state; every test runs against a clean
+/// slate and leaves one behind so ordering never matters.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() { FaultInjector::instance().reset(); }
+  ~FaultInjectorTest() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedByDefault) {
+  FaultInjector& fi = FaultInjector::instance();
+  EXPECT_FALSE(fi.armed());
+  EXPECT_FALSE(fi.should_fire("net.drop_connection"));
+  EXPECT_EQ(fi.total_fired(), 0u);
+  EXPECT_EQ(fi.hits("net.drop_connection"), 0u);
+}
+
+TEST_F(FaultInjectorTest, AlwaysAndNeverModes) {
+  FaultInjector& fi = FaultInjector::instance();
+  ASSERT_TRUE(fi.configure("a=always, b=never"));
+  EXPECT_TRUE(fi.armed());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fi.should_fire("a"));
+    EXPECT_FALSE(fi.should_fire("b"));
+  }
+  EXPECT_EQ(fi.fired("a"), 5u);
+  EXPECT_EQ(fi.hits("a"), 5u);
+  EXPECT_EQ(fi.fired("b"), 0u);
+  EXPECT_EQ(fi.hits("b"), 5u);
+  EXPECT_EQ(fi.total_fired(), 5u);
+  // Names that were never armed count nothing and never fire.
+  EXPECT_FALSE(fi.should_fire("c"));
+  EXPECT_EQ(fi.fired("c"), 0u);
+}
+
+TEST_F(FaultInjectorTest, EveryNFiresPeriodically) {
+  FaultInjector& fi = FaultInjector::instance();
+  ASSERT_TRUE(fi.configure("tick=every:3"));
+  std::vector<bool> fires;
+  for (int i = 0; i < 9; ++i) fires.push_back(fi.should_fire("tick"));
+  // Fires on every third hit.
+  const std::vector<bool> expected{false, false, true,  false, false,
+                                   true,  false, false, true};
+  EXPECT_EQ(fires, expected);
+  EXPECT_EQ(fi.fired("tick"), 3u);
+}
+
+TEST_F(FaultInjectorTest, FirstNFiresLeadingHitsOnly) {
+  FaultInjector& fi = FaultInjector::instance();
+  ASSERT_TRUE(fi.configure("boom=first:2"));
+  EXPECT_TRUE(fi.should_fire("boom"));
+  EXPECT_TRUE(fi.should_fire("boom"));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fi.should_fire("boom"));
+  EXPECT_EQ(fi.fired("boom"), 2u);
+  EXPECT_EQ(fi.hits("boom"), 12u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicUnderSeed) {
+  FaultInjector& fi = FaultInjector::instance();
+  const auto sample = [&fi](std::uint64_t seed) {
+    EXPECT_TRUE(fi.configure("p=p:0.5")) << "spec rejected";
+    fi.seed(seed);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(fi.should_fire("p"));
+    return fires;
+  };
+  const std::vector<bool> a = sample(42);
+  const std::vector<bool> b = sample(42);
+  EXPECT_EQ(a, b) << "same spec + seed must fire identically";
+
+  // The stream tracks the probability (loose bounds: P(outside) ~ 1e-9).
+  const std::size_t fired = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fired, 50u);
+  EXPECT_LT(fired, 150u);
+}
+
+TEST_F(FaultInjectorTest, ArgAttachesNumericArgument) {
+  FaultInjector& fi = FaultInjector::instance();
+  ASSERT_TRUE(fi.configure("net.accept_delay=always@25.5, bare=always"));
+  EXPECT_DOUBLE_EQ(fi.arg("net.accept_delay", 7.0), 25.5);
+  EXPECT_DOUBLE_EQ(fi.arg("bare", 7.0), 7.0);        // armed, no arg
+  EXPECT_DOUBLE_EQ(fi.arg("missing", 7.0), 7.0);     // unarmed
+}
+
+TEST_F(FaultInjectorTest, MalformedSpecRejectedAndLeavesArmingUntouched) {
+  FaultInjector& fi = FaultInjector::instance();
+  ASSERT_TRUE(fi.configure("keep=always"));
+  std::string error;
+  EXPECT_FALSE(fi.configure("keep=bogus", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fi.configure("noequals", &error));
+  EXPECT_FALSE(fi.configure("x=p:2.0", &error));   // probability out of range
+  EXPECT_FALSE(fi.configure("x=every:0", &error)); // period must be >= 1
+  // The previous arming survived every rejected spec.
+  EXPECT_TRUE(fi.armed());
+  EXPECT_TRUE(fi.should_fire("keep"));
+}
+
+TEST_F(FaultInjectorTest, EmptySpecDisarmsAndResetClearsCounts) {
+  FaultInjector& fi = FaultInjector::instance();
+  ASSERT_TRUE(fi.configure("a=always"));
+  EXPECT_TRUE(fi.should_fire("a"));
+  ASSERT_TRUE(fi.configure(""));
+  EXPECT_FALSE(fi.armed());
+  EXPECT_FALSE(fi.should_fire("a"));
+
+  ASSERT_TRUE(fi.configure("a=always"));
+  EXPECT_TRUE(fi.should_fire("a"));
+  fi.reset();
+  EXPECT_FALSE(fi.armed());
+  EXPECT_EQ(fi.total_fired(), 0u);
+  EXPECT_EQ(fi.hits("a"), 0u);
+  EXPECT_EQ(fi.fired("a"), 0u);
+}
+
+}  // namespace
+}  // namespace hynapse::util
