@@ -57,6 +57,8 @@ BenchOptions parse_bench_flags(int& argc, char** argv) {
     };
     if (std::strcmp(arg, "--fresh") == 0) {
       opts.fresh = true;
+    } else if (std::strcmp(arg, "--adaptive") == 0) {
+      opts.adaptive = true;
     } else if (const char* v = value("--samples", true)) {
       const long n = numeric(v);
       opts.samples = n > 0 ? static_cast<std::size_t>(n) : 0;

@@ -24,10 +24,13 @@ namespace hynapse::bench {
 ///   --samples N    Monte-Carlo samples per mechanism (0 = paper default)
 ///   --fresh        rebuild cached artifacts, ignoring the disk cache
 ///   --json PATH    append machine-readable timing records to PATH
+///   --adaptive     (fig5 bench) also run the CI-targeted adaptive MC arm
+///                  and validate it against the fixed-sample oracle
 struct BenchOptions {
   std::size_t threads = 0;
   std::size_t samples = 0;
   bool fresh = false;
+  bool adaptive = false;
   std::string json;
 };
 

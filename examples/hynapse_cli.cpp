@@ -80,6 +80,56 @@ namespace {
 
 using namespace hynapse;
 
+/// Global adaptive-sampling policy from the --ci-rel/--ci-abs flags
+/// (disabled when neither is passed: every command keeps the fixed-sample
+/// oracle path). Shared by every table-building subcommand so shard-build,
+/// shard-merge and fleet-build invocations with the same flags agree on the
+/// policy-extended table fingerprint (docs/adaptive_mc.md).
+mc::AdaptivePolicy g_adaptive;
+
+/// Strips "--ci-rel X" / "--ci-abs X" pairs from argv (same contract as
+/// util::strip_threads_flag). False on a missing or non-positive value.
+bool strip_adaptive_flags(int& argc, char** argv, std::string* error) {
+  int out = 1;
+  bool rel_given = false;
+  bool abs_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const bool rel = std::strcmp(argv[i], "--ci-rel") == 0;
+    const bool abs = std::strcmp(argv[i], "--ci-abs") == 0;
+    if (!rel && !abs) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    const char* flag = rel ? "--ci-rel" : "--ci-abs";
+    if (i + 1 >= argc) {
+      if (error != nullptr) *error = std::string{flag} + " needs a value";
+      return false;
+    }
+    const double v = std::atof(argv[++i]);
+    if (!(v > 0.0) || v >= 1.0) {
+      if (error != nullptr) {
+        *error = std::string{flag} + " must be in (0, 1), got '" +
+                 argv[i] + "'";
+      }
+      return false;
+    }
+    g_adaptive.enabled = true;
+    if (rel) {
+      rel_given = true;
+      g_adaptive.rel_target = v;
+    } else {
+      abs_given = true;
+      g_adaptive.abs_target = v;
+    }
+  }
+  // --ci-abs alone means "absolute target only": zero the relative default
+  // so a rare-event rate is not held to 15 % of near-zero.
+  if (abs_given && !rel_given) g_adaptive.rel_target = 0.0;
+  argc = out;
+  argv[argc] = nullptr;
+  return true;
+}
+
 struct Stack {
   circuit::Technology tech = circuit::ptm22();
   circuit::Sizing6T s6 = circuit::reference_sizing_6t(tech);
@@ -132,16 +182,25 @@ int cmd_failure_rates(const Stack& st, std::size_t samples) {
   mc::AnalyzerOptions opts;
   opts.mc_samples = samples;
   opts.is_samples = samples / 2;
+  opts.adaptive = g_adaptive;
   const mc::FailureAnalyzer analyzer{st.criteria, st.sampler, opts};
   util::Table t{{"VDD [V]", "6T read access", "6T write", "8T read access"}};
+  std::size_t spent = 0;
   for (double vdd : circuit::paper_voltage_grid()) {
     const mc::CellFailureRates r6 = analyzer.analyze_6t(vdd, 1);
     const mc::CellFailureRates r8 = analyzer.analyze_8t(vdd, 2);
+    spent += r6.read_access.total_samples + r6.write_fail.total_samples +
+             r6.read_disturb.total_samples + r8.read_access.total_samples +
+             r8.write_fail.total_samples;
     t.add_row({util::Table::num(vdd, 2), util::Table::sci(r6.read_access.p),
                util::Table::sci(r6.write_fail.p),
                util::Table::sci(r8.read_access.p)});
   }
   t.print();
+  if (g_adaptive.enabled) {
+    std::printf("[adaptive] %zu samples spent (rel target %.3g, abs %.3g)\n",
+                spent, g_adaptive.rel_target, g_adaptive.abs_target);
+  }
   return 0;
 }
 
@@ -377,6 +436,10 @@ mc::AnalyzerOptions shard_analyzer_options(std::size_t samples) {
   mc::AnalyzerOptions ao;
   ao.mc_samples = samples;
   ao.is_samples = std::max<std::size_t>(samples / 2, 200);
+  // The policy is part of the table fingerprint: shard-build and
+  // shard-merge invocations must repeat the same --ci-* flags to name the
+  // same artifacts.
+  ao.adaptive = g_adaptive;
   return ao;
 }
 
@@ -504,6 +567,10 @@ int cmd_fleet_worker(std::uint16_t port, std::size_t samples,
   so.cache_dir = engine::default_cache_dir();
   so.default_samples = samples;
   so.default_table_seed = table_seed;
+  // Coordinator requests carry their own policy ("adaptive" object), which
+  // replaces this default wholesale; the flag only shapes direct requests
+  // that omit it.
+  so.adaptive = g_adaptive;
   serve::EvalService service{qnet, tiny, so};
 
   serve::TcpServerOptions to;
@@ -776,6 +843,12 @@ int usage() {
       "[samples=4000] [seed=20160312]\n"
       "global options:\n"
       "  --threads N        thread-pool participation cap (0 = hardware)\n"
+      "  --ci-rel X         adaptive Monte-Carlo: stop each estimate when\n"
+      "                     its CI half-width <= X * rate (0 < X < 1);\n"
+      "                     folded into table fingerprints, so repeat the\n"
+      "                     flag across shard-build/merge invocations\n"
+      "  --ci-abs X         absolute CI half-width target (0 < X < 1);\n"
+      "                     alone, disables the relative criterion\n"
       "  --backend NAME     GEMM kernel backend: reference | simd\n"
       "                     (bit-identical results; simd falls back to\n"
       "                     reference when not compiled in)\n");
@@ -790,6 +863,11 @@ int main(int argc, char** argv) {
   if (!hynapse::ann::backends::strip_backend_flag(argc, argv,
                                                   &backend_error)) {
     std::fprintf(stderr, "hynapse_cli: %s\n", backend_error.c_str());
+    return usage();
+  }
+  std::string adaptive_error;
+  if (!strip_adaptive_flags(argc, argv, &adaptive_error)) {
+    std::fprintf(stderr, "hynapse_cli: %s\n", adaptive_error.c_str());
     return usage();
   }
   if (argc < 2) return usage();

@@ -29,7 +29,9 @@
 //     --recover        replay the journal's incomplete requests before
 //                      serving (requires --journal): their responses print
 //                      to stdout and the journal is marked so the next
-//                      restart does not replay them again
+//                      restart does not replay them again; the journal is
+//                      also compacted first (terminated entries and
+//                      rotated segments drop into one fresh segment)
 //     --admission      per-client admission quotas + weighted-fair dispatch
 //     --weights SPEC   client weights for --admission: "name=w,name=w"
 //
@@ -505,6 +507,25 @@ int main(int argc, char** argv) {
                      engine::fingerprint_hex(load->service_fingerprint)
                          .c_str(),
                      engine::fingerprint_hex(qnet_fp).c_str());
+      }
+      // Compact before the service reopens the journal for append: the
+      // terminated history (and every rotated segment) has served its
+      // purpose, so restart cost stays proportional to live work. The id
+      // watermark moves into the fresh header, keeping ids unique even
+      // when nothing was carried over.
+      std::string compact_error;
+      if (const auto compacted =
+              serve::compact_journal(cli.journal_path, &compact_error)) {
+        std::fprintf(stderr,
+                     "[served] journal compacted: %zu live request(s) kept, "
+                     "%zu dropped, %zu rotated segment(s) removed\n",
+                     compacted->kept, compacted->dropped,
+                     compacted->removed_segments);
+      } else {
+        std::fprintf(stderr,
+                     "[served] warning: journal compaction failed (%s); "
+                     "recovering from the uncompacted journal\n",
+                     compact_error.c_str());
       }
     } else {
       std::fprintf(stderr, "[served] note: no journal to recover (%s)\n",

@@ -42,6 +42,21 @@ EXTRACTORS = {
         "s",
         False,
     ),
+    "adaptive MC sample reduction": (
+        "BENCH_fig5_adaptive_mc",
+        lambda d: d.get("reduction"),
+        "x",
+        True,
+    ),
+    "adaptive MC samples saved": (
+        "BENCH_fig5_adaptive_mc",
+        lambda d: (d["fixed_samples"] - d["adaptive_samples"])
+        if d.get("fixed_samples") is not None
+        and d.get("adaptive_samples") is not None
+        else None,
+        "samples",
+        True,
+    ),
     "serve coalesced throughput": (
         "BENCH_serve_throughput",
         lambda d: d.get("coalesced_requests_per_sec"),

@@ -3,6 +3,9 @@
 #   * bench_micro_kernels in Google-Benchmark JSON format
 #   * the fig5 Monte-Carlo failure-table build, from scratch, serial vs
 #     parallel -- the wall-clock anchor for the engine's thread pool.
+#   * the fig5 adaptive-MC arm (BENCH_fig5_adaptive_mc.json): CI-targeted
+#     sampling vs the fixed-sample oracle at the paper-default budget --
+#     sample reduction, oracle agreement, and fixed-path bit-identity.
 #   * bench_serve_throughput: the 200-request mixed trace through
 #     serve::EvalService, naive vs coalesced (requests/sec + table builds),
 #     plus the offered-load saturation sweep (BENCH_serve_latency.json:
@@ -104,6 +107,18 @@ cat > "${out_dir}/BENCH_fig5_failure_rates.json" <<EOF
 EOF
 
 echo "serial ${serial}s, parallel ${parallel}s (threads=${threads}), speedup ${speedup}x"
+
+echo "== fig5 adaptive MC: CI-targeted sampling vs fixed oracle =="
+adaptive_json="${cache}/adaptive.json"
+HYNAPSE_CACHE_DIR="${cache}" "${build_dir}/bench/bench_fig5_failure_rates" \
+  --fresh --samples "${samples}" --adaptive --json "${adaptive_json}" \
+  | grep -E '^\[adaptive\]|^  ' || true
+# The bench appends one fig5_adaptive_mc record; keep just that line.
+grep '"name":"fig5_adaptive_mc"' "${adaptive_json}" | tail -1 \
+  > "${out_dir}/BENCH_fig5_adaptive_mc.json"
+reduction=$(sed -n 's/.*"reduction":\([0-9.eE+-]*\),.*/\1/p' \
+  "${out_dir}/BENCH_fig5_adaptive_mc.json")
+echo "adaptive sample reduction: ${reduction}x"
 
 echo "== bench_serve_throughput: naive vs coalesced + saturation sweep =="
 serve_samples=${HYNAPSE_SERVE_BENCH_SAMPLES:-300}

@@ -185,6 +185,12 @@ std::size_t FleetCoordinator::worker_loop(const FleetEndpoint& endpoint,
     request.shard_count = plan.shard_count();
     request.mc_samples = plan.analyzer_options.mc_samples;
     request.table_seed = plan.spec.seed;
+    // The full adaptive policy travels with the shard request: the worker
+    // hashes it into the shard fingerprint, so omitting it would make every
+    // adaptive-plan response fail fingerprint validation below.
+    if (plan.analyzer_options.adaptive.enabled) {
+      request.adaptive = plan.analyzer_options.adaptive;
+    }
     request.inline_rows = true;
     request.tag = "shard-" + std::to_string(shard);
 

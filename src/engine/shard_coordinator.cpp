@@ -22,6 +22,8 @@ struct ShardInstruments {
   obs::Counter& coalesced;
   obs::Counter& merges;
   obs::Counter& merged_rows;
+  obs::Counter& samples_built;
+  obs::Counter& samples_replayed;
 
   static ShardInstruments& get() {
     static ShardInstruments* instruments = [] {
@@ -33,11 +35,18 @@ struct ShardInstruments {
           r.counter("shard.coalesced"),
           r.counter("shard.merges"),
           r.counter("shard.merged_rows"),
+          r.counter("shard.samples_built"),
+          r.counter("shard.samples_replayed"),
       };
     }();
     return *instruments;
   }
 };
+
+/// Clamped u64 view of a row-metadata sample total (doubles on the wire).
+std::uint64_t sample_count(double samples) {
+  return samples > 0.0 ? static_cast<std::uint64_t>(samples) : 0;
+}
 
 }  // namespace
 
@@ -143,12 +152,20 @@ mc::FailureTable ShardCoordinator::obtain_shard(
         if ((!rebuild || coalesced) && !path.empty()) {
           if (auto loaded =
                   mc::FailureTable::load_csv(path, planned.fingerprint)) {
-            const std::scoped_lock lock{mutex_};
-            ++stats_.shards_replayed;
-            if (coalesced) ++stats_.shards_coalesced;
+            const std::uint64_t samples = sample_count(loaded->total_samples());
+            {
+              const std::scoped_lock lock{mutex_};
+              ++stats_.shards_replayed;
+              if (coalesced) ++stats_.shards_coalesced;
+              stats_.samples_replayed += samples;
+              if (loaded->max_ci_half_width() > stats_.worst_ci_half_width) {
+                stats_.worst_ci_half_width = loaded->max_ci_half_width();
+              }
+            }
             ShardInstruments& obs = ShardInstruments::get();
             obs.replayed.add(1);
             if (coalesced) obs.coalesced.add(1);
+            obs.samples_replayed.add(samples);
             if (replayed != nullptr) *replayed = true;
             return std::move(*loaded);
           }
@@ -156,15 +173,21 @@ mc::FailureTable ShardCoordinator::obtain_shard(
         mc::FailureTable built = mc::FailureTable::build_shard(
             analyzer, plan.spec.vdd_grid, plan.spec.seed, shard,
             plan.shard_count());
+        const std::uint64_t samples = sample_count(built.total_samples());
         {
           const std::scoped_lock lock{mutex_};
           ++stats_.shards_built;
           if (coalesced) ++stats_.shards_coalesced;
+          stats_.samples_built += samples;
+          if (built.max_ci_half_width() > stats_.worst_ci_half_width) {
+            stats_.worst_ci_half_width = built.max_ci_half_width();
+          }
         }
         {
           ShardInstruments& obs = ShardInstruments::get();
           obs.built.add(1);
           if (coalesced) obs.coalesced.add(1);
+          obs.samples_built.add(samples);
         }
         if (replayed != nullptr) *replayed = false;
         if (!path.empty()) {
@@ -204,14 +227,20 @@ std::optional<mc::FailureTable> ShardCoordinator::merge_from_disk(
   }
   if (parts.size() != plan.shard_count()) return std::nullopt;
   mc::FailureTable merged = mc::FailureTable::merge(parts);
+  const std::uint64_t samples = sample_count(merged.total_samples());
   ShardInstruments& obs = ShardInstruments::get();
   obs.replayed.add(plan.shard_count());
   obs.merges.add(1);
   obs.merged_rows.add(merged.rows().size());
+  obs.samples_replayed.add(samples);
   const std::scoped_lock lock{mutex_};
   stats_.shards_replayed += plan.shard_count();
   ++stats_.merges;
   stats_.merged_rows += merged.rows().size();
+  stats_.samples_replayed += samples;
+  if (merged.max_ci_half_width() > stats_.worst_ci_half_width) {
+    stats_.worst_ci_half_width = merged.max_ci_half_width();
+  }
   return merged;
 }
 

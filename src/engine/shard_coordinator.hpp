@@ -37,6 +37,14 @@ struct ShardStats {
   std::uint64_t merges = 0;           ///< merged-table assemblies
   std::uint64_t merged_rows = 0;      ///< grid rows across all merges
   std::uint64_t table_hits = 0;       ///< acquire() served before any shard work
+  /// CSV v3 sampling metadata aggregated over every shard that passed
+  /// through this coordinator (zero for v2-era shard CSVs, which predate
+  /// the columns): samples actually spent by local Monte-Carlo builds,
+  /// samples recorded in replayed shard CSVs, and the worst per-row
+  /// achieved CI half-width seen across all of them.
+  std::uint64_t samples_built = 0;
+  std::uint64_t samples_replayed = 0;
+  double worst_ci_half_width = 0.0;
 };
 
 /// Progress callback: (shards done, shards total) after each shard of an

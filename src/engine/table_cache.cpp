@@ -59,7 +59,7 @@ std::uint64_t table_fingerprint(const TableSpec& spec,
                                 const mc::AnalyzerOptions& opts) {
   util::Fnv1a h;
   h.str("hynapse-failure-table");
-  h.u64(2);  // CSV format version
+  h.u64(3);  // CSV format version
   feed_card(h, spec.tech.nmos);
   feed_card(h, spec.tech.pmos);
   h.f64(spec.tech.vdd_nominal);
@@ -85,6 +85,24 @@ std::uint64_t table_fingerprint(const TableSpec& spec,
   h.u64(opts.is_samples);
   h.u64(opts.min_hits_for_mc);
   h.f64(opts.is_beta);
+  // The adaptive policy changes which samples are drawn (batch schedule,
+  // stopping rule), so every content-affecting knob folds into the
+  // provenance hash. A disabled policy hashes as the single 0 -- fixed-mode
+  // tables are insensitive to leftover adaptive knobs.
+  h.u64(opts.adaptive.enabled ? 1 : 0);
+  if (opts.adaptive.enabled) {
+    const mc::AdaptivePolicy& ap = opts.adaptive;
+    h.f64(ap.rel_target);
+    h.f64(ap.abs_target);
+    h.f64(ap.z);
+    h.u64(static_cast<std::uint64_t>(ap.interval));
+    h.u64(ap.batch_samples);
+    h.f64(ap.batch_growth);
+    h.u64(ap.min_samples);
+    h.u64(ap.max_samples);
+    h.u64(ap.tail_escape_samples);
+    h.u64(ap.max_is_samples);
+  }
   // opts.threads intentionally omitted: results are thread-count invariant.
   h.u64(spec.seed);
   return h.digest();

@@ -26,10 +26,69 @@ double interp_prob(double p_lo, double p_hi, double t) {
   return p_lo + t * (p_hi - p_lo);
 }
 
-// CSV format v2: first line "# hynapse-failure-table v2 fp=<hex64>",
-// second line the column header, then one row per grid point.
-constexpr std::string_view kCsvMagic = "# hynapse-failure-table v2 fp=";
-constexpr std::string_view kCsvColumns = "vdd,ra6,wr6,rd6,ra8,wr8,rd8";
+// CSV format v3: first line "# hynapse-failure-table v3 fp=<hex64>",
+// second line the column header, then one row per grid point. v3 adds the
+// `samples`/`ci_half_width` sampling-metadata columns and permits the
+// column line to reorder its fields (the loader maps by name); v2 files
+// (fixed column order, no metadata) still load with zeroed metadata.
+constexpr std::string_view kCsvMagicV3 = "# hynapse-failure-table v3 fp=";
+constexpr std::string_view kCsvMagicV2 = "# hynapse-failure-table v2 fp=";
+constexpr std::string_view kCsvColumnsV2 = "vdd,ra6,wr6,rd6,ra8,wr8,rd8";
+constexpr std::string_view kCsvColumnsV3 =
+    "vdd,ra6,wr6,rd6,ra8,wr8,rd8,samples,ci_half_width";
+
+/// Canonical v3 column names, indexing the per-row field table below.
+constexpr std::string_view kColumnNames[] = {
+    "vdd", "ra6", "wr6", "rd6", "ra8", "wr8", "rd8", "samples",
+    "ci_half_width"};
+constexpr std::size_t kColumnCount =
+    sizeof(kColumnNames) / sizeof(kColumnNames[0]);
+constexpr std::size_t kBaseColumnCount = 7;  // vdd + the six rates
+
+double* row_field(FailureTableRow& r, std::size_t column) {
+  switch (column) {
+    case 0: return &r.vdd;
+    case 1: return &r.cell6.read_access;
+    case 2: return &r.cell6.write_fail;
+    case 3: return &r.cell6.read_disturb;
+    case 4: return &r.cell8.read_access;
+    case 5: return &r.cell8.write_fail;
+    case 6: return &r.cell8.read_disturb;
+    case 7: return &r.samples;
+    case 8: return &r.ci_half_width;
+    default: return nullptr;
+  }
+}
+
+/// Maps a v3 column-header line to canonical column indices. Rejects
+/// unknown or duplicate names and requires every base column; the metadata
+/// columns are optional (a tool may strip them). nullopt = malformed.
+std::optional<std::vector<std::size_t>> parse_column_order(
+    const std::string& line) {
+  std::vector<std::size_t> order;
+  bool seen[kColumnCount] = {};
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t comma = line.find(',', start);
+    const std::string_view name =
+        std::string_view{line}.substr(start, comma == std::string::npos
+                                                 ? std::string::npos
+                                                 : comma - start);
+    std::size_t idx = kColumnCount;
+    for (std::size_t i = 0; i < kColumnCount; ++i) {
+      if (name == kColumnNames[i]) idx = i;
+    }
+    if (idx == kColumnCount || seen[idx]) return std::nullopt;
+    seen[idx] = true;
+    order.push_back(idx);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  for (std::size_t i = 0; i < kBaseColumnCount; ++i) {
+    if (!seen[i]) return std::nullopt;
+  }
+  return order;
+}
 
 bool valid_rate(double p) {
   return std::isfinite(p) && p >= 0.0 && p <= 1.0;
@@ -71,10 +130,12 @@ FailureTable FailureTable::build(const FailureAnalyzer& analyzer,
 
   // Flat (voltage x cell-type x mechanism) job matrix. Every job's seeds are
   // exactly those the serial per-voltage analyze_6t/analyze_8t calls derived,
-  // so the table is bit-identical for any thread count, and each job writes
-  // a distinct slot of its row.
+  // so the table is bit-identical for any thread count. Jobs land full
+  // estimates in a scratch matrix; the serial pass below then aggregates the
+  // per-row sampling metadata race-free.
   constexpr std::size_t kSlots = 5;
   const std::uint64_t seed8 = seed ^ 0xabcdefull;
+  std::vector<RateEstimate> ests(vdd_grid.size() * kSlots);
   util::parallel_for(
       vdd_grid.size() * kSlots,
       [&](std::size_t j) {
@@ -82,33 +143,44 @@ FailureTable FailureTable::build(const FailureAnalyzer& analyzer,
         const double vdd = rows[r].vdd;
         switch (j % kSlots) {
           case 0:
-            rows[r].cell6.read_access =
-                analyzer.estimate_6t(Mechanism::read_access, vdd, seed,
-                                     seed + 777).p;
+            ests[j] = analyzer.estimate_6t(Mechanism::read_access, vdd, seed,
+                                           seed + 777);
             break;
           case 1:
-            rows[r].cell6.write_fail =
-                analyzer.estimate_6t(Mechanism::write, vdd, seed + 101,
-                                     seed + 778).p;
+            ests[j] = analyzer.estimate_6t(Mechanism::write, vdd, seed + 101,
+                                           seed + 778);
             break;
           case 2:
-            rows[r].cell6.read_disturb =
-                analyzer.estimate_6t(Mechanism::read_disturb, vdd, seed + 202,
-                                     seed + 779).p;
+            ests[j] = analyzer.estimate_6t(Mechanism::read_disturb, vdd,
+                                           seed + 202, seed + 779);
             break;
           case 3:
-            rows[r].cell8.read_access =
-                analyzer.estimate_8t(Mechanism::read_access, vdd, seed8,
-                                     seed8 + 555).p;
+            ests[j] = analyzer.estimate_8t(Mechanism::read_access, vdd, seed8,
+                                           seed8 + 555);
             break;
           case 4:
-            rows[r].cell8.write_fail =
-                analyzer.estimate_8t(Mechanism::write, vdd, seed8 + 131,
-                                     seed8 + 556).p;
+            ests[j] = analyzer.estimate_8t(Mechanism::write, vdd, seed8 + 131,
+                                           seed8 + 556);
             break;
         }
       },
       analyzer.options().threads);
+  for (std::size_t r = 0; r < vdd_grid.size(); ++r) {
+    const RateEstimate* slot = &ests[r * kSlots];
+    rows[r].cell6.read_access = slot[0].p;
+    rows[r].cell6.write_fail = slot[1].p;
+    rows[r].cell6.read_disturb = slot[2].p;
+    rows[r].cell8.read_access = slot[3].p;
+    rows[r].cell8.write_fail = slot[4].p;
+    double spent = 0.0;
+    double worst = 0.0;
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      spent += static_cast<double>(slot[s].total_samples);
+      worst = std::max(worst, slot[s].ci_half_width());
+    }
+    rows[r].samples = spent;
+    rows[r].ci_half_width = worst;
+  }
   return FailureTable{std::move(rows)};
 }
 
@@ -168,6 +240,20 @@ BitcellFailureRates FailureTable::interpolate(double vdd, bool cell8) const {
   return pick(rows_.back());
 }
 
+double FailureTable::total_samples() const noexcept {
+  double total = 0.0;
+  for (const FailureTableRow& r : rows_) total += r.samples;
+  return total;
+}
+
+double FailureTable::max_ci_half_width() const noexcept {
+  double worst = 0.0;
+  for (const FailureTableRow& r : rows_) {
+    worst = std::max(worst, r.ci_half_width);
+  }
+  return worst;
+}
+
 BitcellFailureRates FailureTable::rates_6t(double vdd) const {
   if (rows_.empty()) throw std::logic_error{"FailureTable: empty"};
   return interpolate(vdd, false);
@@ -195,13 +281,14 @@ void FailureTable::save_csv(const std::string& path,
   {
     std::ofstream out{tmp, std::ios::trunc};
     if (!out) throw std::runtime_error{"FailureTable: cannot open " + tmp};
-    out << kCsvMagic << std::hex << fingerprint << std::dec << '\n';
-    out << kCsvColumns << '\n';
+    out << kCsvMagicV3 << std::hex << fingerprint << std::dec << '\n';
+    out << kCsvColumnsV3 << '\n';
     out.precision(17);  // exact double round-trip
     for (const auto& r : rows_) {
       out << r.vdd << ',' << r.cell6.read_access << ',' << r.cell6.write_fail
           << ',' << r.cell6.read_disturb << ',' << r.cell8.read_access << ','
-          << r.cell8.write_fail << ',' << r.cell8.read_disturb << '\n';
+          << r.cell8.write_fail << ',' << r.cell8.read_disturb << ','
+          << r.samples << ',' << r.ci_half_width << '\n';
     }
     out.flush();
     if (!out) {
@@ -228,13 +315,21 @@ std::optional<FailureTable> FailureTable::load_csv(
   if (!in) return std::nullopt;
   std::string line;
 
-  // Version/fingerprint header.
-  if (!std::getline(in, line) || line.rfind(kCsvMagic, 0) != 0) {
-    return std::nullopt;  // missing or pre-v2 header: treat as stale
+  // Version/fingerprint header. v3 is current; v2 (no sampling-metadata
+  // columns) still loads with zeroed metadata.
+  if (!std::getline(in, line)) return std::nullopt;
+  bool v3 = true;
+  std::string_view magic = kCsvMagicV3;
+  if (line.rfind(kCsvMagicV3, 0) != 0) {
+    if (line.rfind(kCsvMagicV2, 0) != 0) {
+      return std::nullopt;  // missing or pre-v2 header: treat as stale
+    }
+    v3 = false;
+    magic = kCsvMagicV2;
   }
   std::uint64_t file_fp = 0;
   {
-    std::istringstream fp{line.substr(kCsvMagic.size())};
+    std::istringstream fp{line.substr(magic.size())};
     fp >> std::hex >> file_fp;
     if (fp.fail()) return std::nullopt;
   }
@@ -243,29 +338,38 @@ std::optional<FailureTable> FailureTable::load_csv(
     return std::nullopt;  // a different table (grid/options/seed changed)
   }
 
-  if (!std::getline(in, line) || line != kCsvColumns) return std::nullopt;
+  // Column line: v2 is the fixed legacy order; v3 names its columns and may
+  // reorder them (the loader maps by name).
+  if (!std::getline(in, line)) return std::nullopt;
+  std::vector<std::size_t> order;
+  if (v3) {
+    std::optional<std::vector<std::size_t>> parsed = parse_column_order(line);
+    if (!parsed) return std::nullopt;
+    order = std::move(*parsed);
+  } else {
+    if (line != kCsvColumnsV2) return std::nullopt;
+    order = {0, 1, 2, 3, 4, 5, 6};
+  }
 
   std::vector<FailureTableRow> rows;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream ss{line};
     FailureTableRow r;
-    double* fields[] = {&r.vdd,
-                        &r.cell6.read_access,
-                        &r.cell6.write_fail,
-                        &r.cell6.read_disturb,
-                        &r.cell8.read_access,
-                        &r.cell8.write_fail,
-                        &r.cell8.read_disturb};
-    for (std::size_t f = 0; f < 7; ++f) {
+    for (std::size_t f = 0; f < order.size(); ++f) {
       if (f > 0) {
         char comma = 0;
         if (!(ss >> comma) || comma != ',') return std::nullopt;
       }
-      if (!(ss >> *fields[f])) return std::nullopt;
+      if (!(ss >> *row_field(r, order[f]))) return std::nullopt;
     }
     if (!(ss >> std::ws).eof()) return std::nullopt;
     if (!std::isfinite(r.vdd) || r.vdd <= 0.0) return std::nullopt;
+    if (!std::isfinite(r.samples) || r.samples < 0.0) return std::nullopt;
+    if (!std::isfinite(r.ci_half_width) || r.ci_half_width < 0.0 ||
+        r.ci_half_width > 1.0) {
+      return std::nullopt;
+    }
     // The grid must be strictly increasing: save_csv writes sorted rows, so
     // a duplicate or out-of-order vdd means the file was hand-edited or two
     // shards were concatenated -- accepting it would corrupt shard merges

@@ -29,6 +29,13 @@ struct FailureTableRow {
   double vdd = 0.0;
   BitcellFailureRates cell6;
   BitcellFailureRates cell8;
+  /// CSV v3 sampling metadata: total MC + IS samples spent across this
+  /// row's five estimates, and the worst (largest) CI half-width among
+  /// them. Zero when loaded from a v2 CSV (which predates the columns).
+  /// Stored as doubles so the CSV and wire codecs stay all-numeric; real
+  /// counts are far below 2^53, so the round trip is exact.
+  double samples = 0.0;
+  double ci_half_width = 0.0;
 };
 
 /// Contiguous near-equal partition of [0, n) into `shard_count` slices:
@@ -81,6 +88,12 @@ class FailureTable {
   [[nodiscard]] const std::vector<FailureTableRow>& rows() const noexcept {
     return rows_;
   }
+
+  /// Sum of the rows' sampling costs -- what the adaptive sampler reduces
+  /// (0 when every row came from a v2 CSV).
+  [[nodiscard]] double total_samples() const noexcept;
+  /// Worst per-row achieved CI half-width across the table.
+  [[nodiscard]] double max_ci_half_width() const noexcept;
 
   /// CSV round-trip so expensive tables can be cached between bench runs.
   ///

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -28,7 +29,143 @@ RateEstimate finish_mc(std::size_t hits, std::size_t n) {
   const auto ci = util::wilson_interval(hits, n);
   r.ci_lo = ci.lo;
   r.ci_hi = ci.hi;
+  r.total_samples = n;
   return r;
+}
+
+// ---- adaptive (CI-targeted) sampling ---------------------------------------
+// docs/adaptive_mc.md. Each batch is decomposed into kBatchChunks chunks;
+// chunk c's stream is the batch's base Rng (seeded from (seed, batch index))
+// jumped ahead by c * kChunkStride draws, so chunk streams never overlap and
+// the batch result is bit-identical for any thread count. Batch sizes are a
+// pure function of the policy and the deterministic cumulative (hits, trials)
+// sequence, which makes the stopping decisions thread-count invariant too.
+
+constexpr std::size_t kBatchChunks = 16;
+constexpr std::uint64_t kChunkStride = 1ull << 44;
+
+/// Process-wide adaptive-sampler counters (obs naming: mc.adaptive.*).
+struct AdaptiveInstruments {
+  obs::Counter& estimates;
+  obs::Counter& batches;
+  obs::Counter& samples_saved;
+  obs::Counter& ci_misses;
+
+  static AdaptiveInstruments& get() {
+    static AdaptiveInstruments* instruments = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new AdaptiveInstruments{
+          r.counter("mc.adaptive.estimates"),
+          r.counter("mc.adaptive.batches"),
+          r.counter("mc.adaptive.samples_saved"),
+          r.counter("mc.adaptive.ci_misses"),
+      };
+    }();
+    return *instruments;
+  }
+};
+
+/// Policy with every 0-means-default resolved against the analyzer options
+/// and clamped to sane ranges (batches are chunk multiples, min <= max).
+struct ResolvedPolicy {
+  double rel = 0.0;
+  double abs = 0.0;
+  double z = 1.96;
+  double confidence = 0.95;
+  IntervalKind interval = IntervalKind::wilson;
+  std::size_t batch0 = 0;
+  double growth = 2.0;
+  std::size_t min_mc = 0;
+  std::size_t max_mc = 0;
+  std::size_t tail_escape = 0;
+  std::size_t max_is = 0;
+  std::size_t min_hits = 0;
+};
+
+ResolvedPolicy resolve_policy(const AnalyzerOptions& opts) {
+  const AdaptivePolicy& p = opts.adaptive;
+  ResolvedPolicy r;
+  r.rel = std::max(0.0, p.rel_target);
+  r.abs = std::max(0.0, p.abs_target);
+  r.z = p.z > 0.0 ? p.z : 1.96;
+  r.confidence =
+      std::clamp(2.0 * util::normal_cdf(r.z) - 1.0, 0.5, 1.0 - 1e-12);
+  r.interval = p.interval;
+  r.max_mc = std::max<std::size_t>(
+      p.max_samples != 0 ? p.max_samples : opts.mc_samples, kBatchChunks);
+  r.min_mc = std::clamp<std::size_t>(p.min_samples, kBatchChunks, r.max_mc);
+  r.batch0 = std::clamp<std::size_t>(p.batch_samples, kBatchChunks, r.max_mc);
+  r.growth = std::clamp(p.batch_growth, 1.0, 8.0);
+  r.tail_escape =
+      p.tail_escape_samples != 0
+          ? std::clamp(p.tail_escape_samples, r.min_mc, r.max_mc)
+          : r.max_mc;
+  r.max_is = std::max<std::size_t>(
+      p.max_is_samples != 0 ? p.max_is_samples : opts.is_samples,
+      kBatchChunks);
+  r.min_hits = opts.min_hits_for_mc;
+  return r;
+}
+
+util::Interval stopping_interval(const ResolvedPolicy& pol, std::size_t hits,
+                                 std::size_t trials) {
+  if (pol.interval == IntervalKind::clopper_pearson) {
+    return util::clopper_pearson_interval(hits, trials, pol.confidence);
+  }
+  return util::wilson_interval(hits, trials, pol.z);
+}
+
+/// The stopping rule proper: the looser of the relative and absolute
+/// half-width targets wins; both zero (or p = 0 with no abs target) means
+/// "keep sampling".
+bool target_met(const ResolvedPolicy& pol, double p, double half_width) {
+  const double target = std::max(pol.abs, pol.rel * p);
+  return target > 0.0 && half_width <= target;
+}
+
+/// Next batch's chunk count: geometric request, clamped so the cumulative
+/// trial count can never exceed the hard max clamp. 0 means the budget has
+/// fewer than kBatchChunks trials left -- stop.
+std::size_t next_per_chunk(double requested, std::size_t trials,
+                           std::size_t max_total) {
+  const std::size_t want = std::min<std::size_t>(
+      static_cast<std::size_t>(requested), max_total - trials);
+  std::size_t per_chunk = (want + kBatchChunks - 1) / kBatchChunks;
+  if (trials + per_chunk * kBatchChunks > max_total) {
+    per_chunk = (max_total - trials) / kBatchChunks;
+  }
+  return per_chunk;
+}
+
+template <typename HitFn>
+std::size_t run_mc_batch(std::uint64_t seed, std::size_t batch,
+                         std::size_t per_chunk, const HitFn& hit,
+                         std::size_t threads) {
+  const util::Rng base{chunk_seed(seed, batch)};
+  return util::parallel_reduce(
+      kBatchChunks, kBatchChunks, std::size_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        std::size_t h = 0;
+        for (std::size_t c = begin; c < end; ++c) {
+          util::Rng rng = base;
+          rng.discard(static_cast<std::uint64_t>(c) * kChunkStride);
+          for (std::size_t s = 0; s < per_chunk; ++s) {
+            if (hit(rng)) ++h;
+          }
+        }
+        return h;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; }, threads);
+}
+
+void record_adaptive(const AnalyzerOptions& opts, const RateEstimate& r) {
+  AdaptiveInstruments& in = AdaptiveInstruments::get();
+  in.estimates.add(1);
+  in.batches.add(r.batches);
+  if (opts.mc_samples > r.total_samples) {
+    in.samples_saved.add(opts.mc_samples - r.total_samples);
+  }
+  if (!r.converged) in.ci_misses.add(1);
 }
 
 // Per-chunk partial of the weighted importance-sampling estimator. Partials
@@ -67,6 +204,7 @@ RateEstimate importance_sample(const MetricFn& metric,
     r.p = metric(origin) > 0.0 ? 1.0 : 0.0;
     r.ci_lo = r.p;
     r.ci_hi = r.p;
+    r.total_samples = r.trials;
     return r;
   }
   std::array<double, D> mu{};  // standardized shift
@@ -116,6 +254,232 @@ RateEstimate importance_sample(const MetricFn& metric,
   r.ci_hi = std::min(1.0, p + 1.96 * se);
   r.trials = static_cast<std::size_t>(total);
   r.hits = static_cast<double>(sum.hits);
+  r.total_samples = r.trials;
+  return r;
+}
+
+template <std::size_t D, typename MetricFn>
+IsPartial run_is_batch(std::uint64_t seed, std::size_t batch,
+                       std::size_t per_chunk, const MetricFn& metric,
+                       const std::array<double, D>& sigmas,
+                       const std::array<double, D>& mu, double mu_sq,
+                       std::size_t threads) {
+  const util::Rng base{chunk_seed(seed, batch)};
+  return util::parallel_reduce(
+      kBatchChunks, kBatchChunks, IsPartial{},
+      [&](std::size_t begin, std::size_t end) {
+        IsPartial part;
+        for (std::size_t c = begin; c < end; ++c) {
+          util::Rng rng = base;
+          rng.discard(static_cast<std::uint64_t>(c) * kChunkStride);
+          std::array<double, D> x{};
+          for (std::size_t s = 0; s < per_chunk; ++s) {
+            double dot = 0.0;
+            for (std::size_t i = 0; i < D; ++i) {
+              const double z = rng.normal();
+              const double xi = mu[i] + z;
+              dot += mu[i] * xi;
+              x[i] = xi * sigmas[i];
+            }
+            if (metric(x) > 0.0) {
+              const double w = std::exp(-dot + 0.5 * mu_sq);
+              part.sum_w += w;
+              part.sum_w2 += w * w;
+              ++part.hits;
+            }
+          }
+        }
+        return part;
+      },
+      [](IsPartial a, IsPartial b) {
+        a.sum_w += b.sum_w;
+        a.sum_w2 += b.sum_w2;
+        a.hits += b.hits;
+        return a;
+      },
+      threads);
+}
+
+/// Importance-sampled tail phase of the adaptive path: same mean-shifted
+/// estimator as importance_sample, run in growing batches until the
+/// delta-method CI meets the policy target or the IS clamp is spent.
+template <std::size_t D, typename MetricFn>
+RateEstimate adaptive_importance(const MetricFn& metric,
+                                 const std::array<double, D>& sigmas,
+                                 const ResolvedPolicy& pol, double beta,
+                                 std::uint64_t seed, std::size_t threads) {
+  std::array<double, D> grad{};
+  double norm = 0.0;
+  for (std::size_t i = 0; i < D; ++i) {
+    std::array<double, D> plus{};
+    std::array<double, D> minus{};
+    plus[i] = 0.5 * sigmas[i];
+    minus[i] = -0.5 * sigmas[i];
+    grad[i] = metric(plus) - metric(minus);
+    norm += grad[i] * grad[i];
+  }
+  norm = std::sqrt(norm);
+  RateEstimate r;
+  r.importance_sampled = true;
+  if (norm <= 0.0) {
+    std::array<double, D> origin{};
+    r.p = metric(origin) > 0.0 ? 1.0 : 0.0;
+    r.ci_lo = r.p;
+    r.ci_hi = r.p;
+    r.batches = 0;
+    return r;
+  }
+  std::array<double, D> mu{};
+  for (std::size_t i = 0; i < D; ++i) mu[i] = beta * grad[i] / norm;
+  const double mu_sq = beta * beta;
+
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  std::size_t raw_hits = 0;
+  std::size_t trials = 0;
+  std::size_t batches = 0;
+  bool converged = false;
+  double next_batch = static_cast<double>(pol.batch0);
+  double p = 0.0;
+  double se = 0.0;
+  while (trials < pol.max_is) {
+    const std::size_t per_chunk = next_per_chunk(next_batch, trials,
+                                                 pol.max_is);
+    if (per_chunk == 0) break;
+    const IsPartial part = run_is_batch<D>(seed, batches, per_chunk, metric,
+                                           sigmas, mu, mu_sq, threads);
+    sum_w += part.sum_w;
+    sum_w2 += part.sum_w2;
+    raw_hits += part.hits;
+    trials += per_chunk * kBatchChunks;
+    ++batches;
+    next_batch *= pol.growth;
+
+    const double total = static_cast<double>(trials);
+    p = sum_w / total;
+    const double var = std::max(0.0, sum_w2 / total - p * p) / total;
+    se = std::sqrt(var);
+    if (target_met(pol, p, pol.z * se)) {
+      converged = true;
+      break;
+    }
+  }
+  r.p = p;
+  r.ci_lo = std::max(0.0, p - pol.z * se);
+  r.ci_hi = std::min(1.0, p + pol.z * se);
+  r.trials = trials;
+  r.hits = static_cast<double>(raw_hits);
+  r.total_samples = trials;
+  r.batches = batches;
+  r.converged = converged;
+  return r;
+}
+
+/// The adaptive driver: batched plain MC with the CI stopping rule, escaping
+/// to the importance-sampled tail once the mechanism is demonstrably rare:
+/// after tail_escape trials, when the CI upper bound on p projects fewer
+/// than min_hits_for_mc hits over the full plain-MC budget (or when the
+/// budget runs out still hit-starved).
+template <std::size_t D, typename HitFn, typename MetricFn>
+RateEstimate adaptive_estimate(const AnalyzerOptions& opts, const HitFn& hit,
+                               const MetricFn& metric,
+                               const std::array<double, D>& sigmas,
+                               std::uint64_t mc_seed, std::uint64_t is_seed) {
+  const ResolvedPolicy pol = resolve_policy(opts);
+  std::size_t hits = 0;
+  std::size_t trials = 0;
+  std::size_t batches = 0;
+  bool converged = false;
+  double next_batch = static_cast<double>(pol.batch0);
+  util::Interval ci{};
+  while (trials < pol.max_mc) {
+    const std::size_t per_chunk = next_per_chunk(next_batch, trials,
+                                                 pol.max_mc);
+    if (per_chunk == 0) break;
+    hits += run_mc_batch(mc_seed, batches, per_chunk, hit, opts.threads);
+    trials += per_chunk * kBatchChunks;
+    ++batches;
+    next_batch *= pol.growth;
+
+    ci = stopping_interval(pol, hits, trials);
+    if (trials < pol.min_mc) continue;  // hard min clamp: no stopping yet
+    const double p = static_cast<double>(hits) / static_cast<double>(trials);
+    if (hits >= pol.min_hits) {
+      if (target_met(pol, p, 0.5 * (ci.hi - ci.lo))) {
+        converged = true;
+        break;
+      }
+    } else if (trials >= pol.tail_escape &&
+               ci.hi * static_cast<double>(pol.max_mc) <
+                   1.5 * static_cast<double>(pol.min_hits)) {
+      // Demonstrably rare: even p at its CI upper bound projects into the
+      // fixed path's own IS-fallback region (under min_hits over the FULL
+      // plain-MC budget, with 1.5x slack because ci.hi is already a
+      // conservative upper-confidence bound), so the mechanism is beyond
+      // plain-MC reach and the budget is better spent on the IS tail. (A
+      // merely hit-starved mechanism -- say p ~ 2e-3 with ~8 hits in the
+      // escape window -- fails this test by an order of magnitude and keeps
+      // sampling plain MC, where its estimate is unbiased; the IS
+      // mean-shift is tuned for far-tail rates and is the wrong tool
+      // there.)
+      break;
+    }
+  }
+
+  if (hits >= pol.min_hits) {
+    RateEstimate r;
+    r.p = static_cast<double>(hits) / static_cast<double>(trials);
+    r.ci_lo = ci.lo;
+    r.ci_hi = ci.hi;
+    r.trials = trials;
+    r.hits = static_cast<double>(hits);
+    r.total_samples = trials;
+    r.batches = batches;
+    r.converged = converged;
+    record_adaptive(opts, r);
+    return r;
+  }
+
+  RateEstimate r = adaptive_importance<D>(metric, sigmas, pol, opts.is_beta,
+                                          is_seed, opts.threads);
+  // Consistency guard: the escape was a projection from sparse evidence. If
+  // the IS answer falls below even the lower confidence bound of the plain-MC
+  // hits already observed, the mean-shift missed the dominant failure region
+  // (its moderate-p bias, not a tail) -- discard it and resume plain MC,
+  // whose estimate is unbiased at any rate. Genuine tail escapes observe
+  // zero hits and are untouched. Depends only on deterministic counts, so
+  // thread-count invariance is preserved.
+  if (hits > 0 && r.p < stopping_interval(pol, hits, trials).lo) {
+    while (trials < pol.max_mc) {
+      const std::size_t per_chunk = next_per_chunk(next_batch, trials,
+                                                   pol.max_mc);
+      if (per_chunk == 0) break;
+      hits += run_mc_batch(mc_seed, batches, per_chunk, hit, opts.threads);
+      trials += per_chunk * kBatchChunks;
+      ++batches;
+      next_batch *= pol.growth;
+      ci = stopping_interval(pol, hits, trials);
+      const double p = static_cast<double>(hits) / static_cast<double>(trials);
+      if (target_met(pol, p, 0.5 * (ci.hi - ci.lo))) {
+        converged = true;
+        break;
+      }
+    }
+    RateEstimate mc;
+    mc.p = static_cast<double>(hits) / static_cast<double>(trials);
+    mc.ci_lo = ci.lo;
+    mc.ci_hi = ci.hi;
+    mc.trials = trials;
+    mc.hits = static_cast<double>(hits);
+    mc.total_samples = trials + r.trials;
+    mc.batches = batches + r.batches;
+    mc.converged = converged;
+    record_adaptive(opts, mc);
+    return mc;
+  }
+  r.total_samples += trials;
+  r.batches += batches;
+  record_adaptive(opts, r);
   return r;
 }
 
@@ -221,9 +585,13 @@ RateEstimate FailureAnalyzer::retention_6t(double v_standby,
 RateEstimate FailureAnalyzer::estimate_6t(Mechanism m, double vdd,
                                           std::uint64_t mc_seed,
                                           std::uint64_t is_seed) const {
+  if (opts_.adaptive.enabled) return adaptive_6t(m, vdd, mc_seed, is_seed);
   RateEstimate est = plain_mc_6t(m, vdd, opts_.mc_samples, mc_seed);
   if (est.hits < static_cast<double>(opts_.min_hits_for_mc)) {
+    const std::size_t mc_spent = est.total_samples;
     est = importance_6t(m, vdd, opts_.is_samples, is_seed);
+    est.total_samples += mc_spent;
+    ++est.batches;
   }
   return est;
 }
@@ -231,11 +599,43 @@ RateEstimate FailureAnalyzer::estimate_6t(Mechanism m, double vdd,
 RateEstimate FailureAnalyzer::estimate_8t(Mechanism m, double vdd,
                                           std::uint64_t mc_seed,
                                           std::uint64_t is_seed) const {
+  if (opts_.adaptive.enabled) return adaptive_8t(m, vdd, mc_seed, is_seed);
   RateEstimate est = plain_mc_8t(m, vdd, opts_.mc_samples, mc_seed);
   if (est.hits < static_cast<double>(opts_.min_hits_for_mc)) {
+    const std::size_t mc_spent = est.total_samples;
     est = importance_8t(m, vdd, opts_.is_samples, is_seed);
+    est.total_samples += mc_spent;
+    ++est.batches;
   }
   return est;
+}
+
+RateEstimate FailureAnalyzer::adaptive_6t(Mechanism m, double vdd,
+                                          std::uint64_t mc_seed,
+                                          std::uint64_t is_seed) const {
+  const auto hit = [&](util::Rng& rng) {
+    return criteria_->metric_6t(m, sampler_->sample_6t(rng), vdd) > 0.0;
+  };
+  const auto metric = [&](const std::array<double, k6t_devices>& dvt) {
+    return criteria_->metric_6t(m, VariationSampler::pack_6t(dvt), vdd);
+  };
+  return adaptive_estimate<k6t_devices>(opts_, hit, metric,
+                                        sampler_->sigmas_6t(), mc_seed,
+                                        is_seed);
+}
+
+RateEstimate FailureAnalyzer::adaptive_8t(Mechanism m, double vdd,
+                                          std::uint64_t mc_seed,
+                                          std::uint64_t is_seed) const {
+  const auto hit = [&](util::Rng& rng) {
+    return criteria_->metric_8t(m, sampler_->sample_8t(rng), vdd) > 0.0;
+  };
+  const auto metric = [&](const std::array<double, k8t_devices>& dvt) {
+    return criteria_->metric_8t(m, VariationSampler::pack_8t(dvt), vdd);
+  };
+  return adaptive_estimate<k8t_devices>(opts_, hit, metric,
+                                        sampler_->sigmas_8t(), mc_seed,
+                                        is_seed);
 }
 
 CellFailureRates FailureAnalyzer::analyze_6t(double vdd,

@@ -26,6 +26,64 @@ struct RateEstimate {
   std::size_t trials = 0;
   double hits = 0.0;  ///< raw hits (MC) or effective weighted hits (IS)
   bool importance_sampled = false;
+  /// Every sample spent producing this estimate, across phases: for the
+  /// fixed path, the plain-MC trials plus (when the IS fallback fired) the
+  /// IS trials; for the adaptive path, the cumulative batched total. This is
+  /// the cost the adaptive sampler is minimizing.
+  std::size_t total_samples = 0;
+  std::size_t batches = 1;  ///< sequential sampling batches behind `p`
+  /// Adaptive mode only: the CI target was met before the max-sample clamp
+  /// (always true in fixed mode, which has no target).
+  bool converged = true;
+
+  [[nodiscard]] double ci_half_width() const noexcept {
+    return 0.5 * (ci_hi - ci_lo);
+  }
+};
+
+/// Confidence-interval family used by the adaptive stopping rule.
+enum class IntervalKind { wilson, clopper_pearson };
+
+/// Sequential, statistically-targeted sampling (docs/adaptive_mc.md).
+/// Sampling runs in geometrically growing batches per (vdd, mechanism) and
+/// stops as soon as the CI half-width is within
+/// max(rel_target * p_hat, abs_target), subject to hard [min, max] sample
+/// clamps. A mechanism that is demonstrably beyond plain-MC reach -- after
+/// `tail_escape_samples` trials its CI upper bound projects fewer than
+/// AnalyzerOptions::min_hits_for_mc hits over the full budget -- escapes to
+/// batched importance sampling instead of burning the rest of the budget on
+/// a near-zero rate. A consistency guard backstops the escape: an IS answer
+/// below the lower confidence bound of the plain-MC hits already observed
+/// is discarded (the mean-shift's moderate-p bias, not a tail) and plain MC
+/// resumes to the budget. Batch boundaries depend only on the policy
+/// and the deterministic cumulative (hits, trials) sequence, and every
+/// batch derives its sample streams from (seed, batch index) plus
+/// Rng::discard jump-ahead, so adaptive estimates are bit-identical for a
+/// fixed policy regardless of thread count.
+struct AdaptivePolicy {
+  bool enabled = false;
+  /// Stop when the CI half-width <= rel_target * p_hat (0 disables the
+  /// relative criterion).
+  double rel_target = 0.15;
+  /// Absolute half-width floor: the looser of the two criteria wins, so a
+  /// nonzero abs_target lets near-zero rates converge without hits.
+  double abs_target = 0.0;
+  double z = 1.96;  ///< confidence expressed in normal sigmas
+  IntervalKind interval = IntervalKind::wilson;
+  std::size_t batch_samples = 2000;  ///< first batch size
+  double batch_growth = 2.0;         ///< geometric batch growth factor
+  std::size_t min_samples = 2000;    ///< never stop before (hard clamp)
+  /// Never exceed (hard clamp); 0 = AnalyzerOptions::mc_samples, so an
+  /// adaptive estimate is never costlier than the fixed-mode MC phase.
+  std::size_t max_samples = 0;
+  /// Plain-MC trials after which a demonstrably rare mechanism (CI upper
+  /// bound projecting under min_hits_for_mc hits across the full budget)
+  /// switches to importance-sampled tail estimation; 0 = only at
+  /// max_samples.
+  std::size_t tail_escape_samples = 4000;
+  /// Cap on the importance-sampled tail phase; 0 = AnalyzerOptions::
+  /// is_samples.
+  std::size_t max_is_samples = 0;
 };
 
 /// The three per-cell failure mechanisms at one operating voltage.
@@ -44,6 +102,9 @@ struct AnalyzerOptions {
   /// Mean-shift magnitude in units of sigma along the dominant direction.
   double is_beta = 3.5;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// CI-targeted sequential sampling; disabled means the fixed-sample path
+  /// (the bit-exact oracle) runs unchanged.
+  AdaptivePolicy adaptive;
 };
 
 class FailureAnalyzer {
@@ -62,11 +123,23 @@ class FailureAnalyzer {
   /// One mechanism with the plain-MC -> importance-sampling fallback used by
   /// analyze_6t/analyze_8t. Exposed so FailureTable::build can schedule the
   /// full (voltage x cell-type x mechanism) job matrix on the thread pool
-  /// with exactly the per-mechanism seeds the serial path used.
+  /// with exactly the per-mechanism seeds the serial path used. Routes to
+  /// adaptive_6t/adaptive_8t when options().adaptive is enabled.
   [[nodiscard]] RateEstimate estimate_6t(Mechanism m, double vdd,
                                          std::uint64_t mc_seed,
                                          std::uint64_t is_seed) const;
   [[nodiscard]] RateEstimate estimate_8t(Mechanism m, double vdd,
+                                         std::uint64_t mc_seed,
+                                         std::uint64_t is_seed) const;
+
+  /// CI-targeted batched estimation (used by estimate_* when the policy is
+  /// enabled; exposed for oracle-vs-adaptive validation). Same seed
+  /// discipline as estimate_*: mc_seed drives the plain-MC phase, is_seed
+  /// the importance-sampled tail phase.
+  [[nodiscard]] RateEstimate adaptive_6t(Mechanism m, double vdd,
+                                         std::uint64_t mc_seed,
+                                         std::uint64_t is_seed) const;
+  [[nodiscard]] RateEstimate adaptive_8t(Mechanism m, double vdd,
                                          std::uint64_t mc_seed,
                                          std::uint64_t is_seed) const;
 

@@ -167,6 +167,11 @@ mc::AnalyzerOptions EvalService::analyzer_options(
                                           : options_.default_samples;
   ao.is_samples = std::max<std::size_t>(ao.mc_samples / 2, 200);
   ao.threads = options_.threads;
+  // A request-level policy replaces the service default wholesale: the
+  // policy is part of the table fingerprint, so partial merging would make
+  // wire-visible provenance depend on hidden server state.
+  ao.adaptive = request.adaptive.has_value() ? *request.adaptive
+                                             : options_.adaptive;
   return ao;
 }
 
@@ -759,6 +764,8 @@ void EvalService::answer_table_shard(const std::vector<SlotPtr>& batch) {
       r.shard_index = req.shard;
       r.shard_count = plan.shard_count();
       r.shard_fingerprint = planned.fingerprint;
+      r.shard_samples = shard.total_samples();
+      r.shard_ci_half_width = shard.max_ci_half_width();
       r.table_csv = csv;
       r.table_rows = shard.rows().size();
       r.table_in_memory = false;  // shards are disk artifacts, never memoized

@@ -118,6 +118,11 @@ struct ServiceOptions {
   std::uint64_t default_eval_seed = 2024;
   std::size_t default_samples = 4000;
   std::uint64_t default_table_seed = 20160312;
+  /// Default CI-targeted sampling policy for table builds (disabled =
+  /// fixed-sample mode). A request carrying "adaptive" replaces this
+  /// wholesale (the policy is fingerprinted, so default-policy and
+  /// request-policy tables coalesce only when the policies agree).
+  mc::AdaptivePolicy adaptive;
   /// Request journal (journal.path empty = no journaling). Submits are
   /// recorded after enqueue, terminals at the completion transition, so a
   /// crashed service can be restarted and replay what never finished

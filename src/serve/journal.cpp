@@ -26,6 +26,7 @@ struct JournalInstruments {
   obs::Counter& fsyncs;
   obs::Counter& rotations;
   obs::Counter& write_errors;
+  obs::Counter& compactions;
 
   static JournalInstruments& get() {
     static JournalInstruments* in = [] {
@@ -35,6 +36,7 @@ struct JournalInstruments {
           r.counter("serve.journal.fsyncs"),
           r.counter("serve.journal.rotations"),
           r.counter("serve.journal.write_errors"),
+          r.counter("serve.journal.compactions"),
       };
     }();
     return *in;
@@ -231,6 +233,13 @@ void load_segment(const std::string& file, JournalLoad& load,
         load.service_fingerprint = std::strtoull(
             fp->as_string().c_str(), nullptr, 16);
       }
+      // Compacted segments stamp the pre-compaction id watermark into the
+      // header, so max_id survives even when every old record was dropped.
+      if (const Json* mid = doc->get("max_id");
+          mid != nullptr && mid->is_number() && mid->as_number() >= 0.0) {
+        const auto watermark = static_cast<std::uint64_t>(mid->as_number());
+        if (watermark > load.max_id) load.max_id = watermark;
+      }
       continue;
     }
     const Json* e = doc->get("e");
@@ -330,6 +339,73 @@ std::vector<const JournalEntry*> incomplete_entries(const JournalLoad& load) {
     }
   }
   return out;
+}
+
+std::optional<CompactionResult> compact_journal(const std::string& path,
+                                                std::string* error) {
+  std::optional<JournalLoad> load = load_journal(path, error);
+  if (!load) return std::nullopt;
+
+  CompactionResult result;
+  result.max_id = load->max_id;
+  const std::vector<const JournalEntry*> keep = incomplete_entries(*load);
+  result.kept = keep.size();
+  result.dropped = load->entries.size() - keep.size();
+
+  // One fresh segment: header (fingerprint + id watermark) plus the live
+  // submit records. parse_request(format_request(r)) == r, so replaying
+  // the compacted journal is indistinguishable from replaying the
+  // original's incomplete set.
+  std::string out = "{\"journal\":\"hynapse-requests\",\"v\":1,\"fp\":\"" +
+                    fingerprint_hex16(load->service_fingerprint) +
+                    "\",\"max_id\":" + std::to_string(load->max_id) + "}\n";
+  for (const JournalEntry* e : keep) {
+    out += "{\"e\":\"submit\",\"id\":" + std::to_string(e->id) +
+           ",\"req\":" + format_request(e->request) + "}\n";
+  }
+
+  const std::string tmp = path + ".compact.tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error) *error = "cannot create " + tmp + ": " + std::strerror(errno);
+    return std::nullopt;
+  }
+  const char* data = out.data();
+  std::size_t left = out.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = "write to " + tmp + " failed: " + std::strerror(errno);
+      ::close(fd);
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return std::nullopt;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+
+  // Atomic cutover first, cleanup after: a crash between the two leaves a
+  // valid compacted segment plus stale rotated segments, which the next
+  // compaction (or rotation) removes -- never a missing journal.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    if (error) *error = "rename " + tmp + " -> " + path + ": " + ec.message();
+    std::filesystem::remove(tmp, ec);
+    return std::nullopt;
+  }
+  for (std::size_t n = 1; n <= 64; ++n) {
+    std::error_code rec;
+    if (std::filesystem::remove(segment_name(path, n), rec)) {
+      ++result.removed_segments;
+    }
+  }
+  JournalInstruments::get().compactions.add(1);
+  return result;
 }
 
 }  // namespace hynapse::serve

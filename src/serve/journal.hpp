@@ -136,4 +136,30 @@ struct JournalLoad {
 [[nodiscard]] std::vector<const JournalEntry*> incomplete_entries(
     const JournalLoad& load);
 
+/// What compact_journal did: how many live entries were carried into the
+/// fresh segment, how many terminated (or stats) records were left behind,
+/// and how many rotated segments were deleted.
+struct CompactionResult {
+  std::size_t kept = 0;
+  std::size_t dropped = 0;
+  std::size_t removed_segments = 0;
+  /// Id watermark stamped into the new header ("max_id"): the loader's
+  /// max_id survives compaction even when every carried record is dropped,
+  /// so a recovering service never reissues a journaled id.
+  std::uint64_t max_id = 0;
+};
+
+/// Rewrites the journal as ONE fresh active segment holding a header plus
+/// the submit records of incomplete_entries() only; terminal records,
+/// finished requests and rotated segments are dropped. Runs offline (call
+/// before constructing the RequestJournal that will append to `path` --
+/// there is no coordination with a live writer): `hynapse_served --recover`
+/// compacts after loading, so restart cost stays proportional to live work,
+/// not journal history. Crash-safe: the new segment is written to a temp
+/// file, fsynced and renamed over `path` before old segments are removed.
+/// Returns nullopt (with *error) when the journal cannot be loaded or the
+/// new segment cannot be written.
+[[nodiscard]] std::optional<CompactionResult> compact_journal(
+    const std::string& path, std::string* error = nullptr);
+
 }  // namespace hynapse::serve

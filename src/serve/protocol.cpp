@@ -90,6 +90,89 @@ bool parse_fingerprint(const Json* v, std::uint64_t& out) {
   return true;
 }
 
+/// Parses the "adaptive" request object into a policy with enabled=true.
+/// Mirrors the top-level request discipline: unknown keys are rejected, and
+/// every value is validated where a bad value would otherwise be silently
+/// clamped server-side (the policy is fingerprinted verbatim, so two
+/// requests differing only in a junk field must not coalesce).
+bool parse_adaptive(const Json& value, mc::AdaptivePolicy& out,
+                    RequestError* error) {
+  const auto fail = [&](std::string why) {
+    if (error != nullptr) {
+      error->code = ErrorCode::bad_request;
+      error->message = std::move(why);
+    }
+    return false;
+  };
+  if (!value.is_object()) return fail("\"adaptive\" must be an object");
+  mc::AdaptivePolicy p;
+  p.enabled = true;
+  for (const auto& [key, v] : value.members()) {
+    if (key == "rel_target" || key == "abs_target") {
+      const double d = v.is_number() ? v.as_number() : -1.0;
+      if (!(d >= 0.0) || !std::isfinite(d)) {
+        return fail("\"adaptive." + key + "\" must be a non-negative number");
+      }
+      (key == "rel_target" ? p.rel_target : p.abs_target) = d;
+    } else if (key == "z") {
+      const double d = v.is_number() ? v.as_number() : -1.0;
+      if (!(d > 0.0) || !std::isfinite(d)) {
+        return fail("\"adaptive.z\" must be a positive number");
+      }
+      p.z = d;
+    } else if (key == "interval") {
+      if (v.is_string() && v.as_string() == "wilson") {
+        p.interval = mc::IntervalKind::wilson;
+      } else if (v.is_string() && v.as_string() == "clopper_pearson") {
+        p.interval = mc::IntervalKind::clopper_pearson;
+      } else {
+        return fail(
+            "\"adaptive.interval\" must be \"wilson\" or \"clopper_pearson\"");
+      }
+    } else if (key == "batch_growth") {
+      const double d = v.is_number() ? v.as_number() : 0.0;
+      if (!(d >= 1.0) || !std::isfinite(d)) {
+        return fail("\"adaptive.batch_growth\" must be a number >= 1");
+      }
+      p.batch_growth = d;
+    } else if (key == "batch_samples" || key == "min_samples" ||
+               key == "max_samples" || key == "tail_escape_samples" ||
+               key == "max_is_samples") {
+      std::uint64_t n = 0;
+      if (!read_u64(v, "adaptive." + std::string{key}, n, error)) return false;
+      if (key == "batch_samples") p.batch_samples = n;
+      else if (key == "min_samples") p.min_samples = n;
+      else if (key == "max_samples") p.max_samples = n;
+      else if (key == "tail_escape_samples") p.tail_escape_samples = n;
+      else p.max_is_samples = n;
+    } else {
+      return fail("unknown field \"adaptive." + key + "\"");
+    }
+  }
+  out = p;
+  return true;
+}
+
+/// Full-policy rendering: every field is emitted (not just non-defaults) so
+/// parse_request(format_request(r)) reproduces the policy -- and therefore
+/// the fingerprint -- exactly.
+Json adaptive_json(const mc::AdaptivePolicy& p) {
+  Json j = Json::object();
+  j.set("rel_target", p.rel_target);
+  j.set("abs_target", p.abs_target);
+  j.set("z", p.z);
+  j.set("interval", p.interval == mc::IntervalKind::clopper_pearson
+                        ? "clopper_pearson"
+                        : "wilson");
+  j.set("batch_samples", static_cast<double>(p.batch_samples));
+  j.set("batch_growth", p.batch_growth);
+  j.set("min_samples", static_cast<double>(p.min_samples));
+  j.set("max_samples", static_cast<double>(p.max_samples));
+  j.set("tail_escape_samples", static_cast<double>(p.tail_escape_samples));
+  j.set("max_is_samples", static_cast<double>(p.max_is_samples));
+  return j;
+}
+
 }  // namespace
 
 std::optional<ConfigSpec> ConfigSpec::parse(std::string_view text) {
@@ -335,6 +418,10 @@ std::optional<Request> parse_request(std::string_view line,
       if (!read_u64(value, key, n, error)) return std::nullopt;
       (key == "shard" ? req.shard : req.shard_count) =
           static_cast<std::size_t>(n);
+    } else if (key == "adaptive") {
+      mc::AdaptivePolicy policy;
+      if (!parse_adaptive(value, policy, error)) return std::nullopt;
+      req.adaptive = policy;
     } else {
       return fail("unknown field \"" + key + "\"");
     }
@@ -344,7 +431,8 @@ std::optional<Request> parse_request(std::string_view line,
     // A stats scrape names no workload; everything but the envelope
     // (v/tag/priority) is a client error, not silently ignored state.
     if (!req.configs.empty() || !req.vdds.empty() || req.chips != 0 ||
-        req.eval_seed != 0 || req.mc_samples != 0 || req.table_seed != 0) {
+        req.eval_seed != 0 || req.mc_samples != 0 || req.table_seed != 0 ||
+        req.adaptive.has_value()) {
       return fail("\"stats\" takes only \"v\", \"tag\" and \"priority\"");
     }
   }
@@ -414,6 +502,9 @@ std::string format_request(const Request& request) {
   if (request.table_seed != 0) {
     j.set("table_seed", static_cast<double>(request.table_seed));
   }
+  if (request.adaptive.has_value()) {
+    j.set("adaptive", adaptive_json(*request.adaptive));
+  }
   if (!request.tag.empty()) j.set("tag", request.tag);
   if (!request.client.empty()) j.set("client", request.client);
   if (request.deadline_ms > 0.0) j.set("deadline_ms", request.deadline_ms);
@@ -470,9 +561,16 @@ std::string format_response(const Response& response, bool per_chip) {
       // persisted shard CSV (possibly produced by another process).
       shard.set("source", to_string(response.stats.table_source));
     }
+    if (response.shard_samples > 0.0) {
+      // Achieved sampling cost/precision of the artifact (CSV v3 metadata;
+      // omitted for v2-era shards, which predate the columns).
+      shard.set("samples", response.shard_samples);
+      shard.set("ci_half_width", response.shard_ci_half_width);
+    }
     if (!response.shard_rows.empty()) {
-      // [vdd, ra6, wf6, rd6, ra8, wf8, rd8] per row; doubles travel as
-      // %.17g so a remote merge is bit-identical to a local one.
+      // [vdd, ra6, wf6, rd6, ra8, wf8, rd8, samples, ci_half_width] per
+      // row; doubles travel as %.17g so a remote merge is bit-identical to
+      // a local one (including the CSV v3 metadata columns).
       Json rows = Json::array();
       for (const mc::FailureTableRow& row : response.shard_rows) {
         Json r = Json::array();
@@ -483,6 +581,8 @@ std::string format_response(const Response& response, bool per_chip) {
         r.push_back(row.cell8.read_access);
         r.push_back(row.cell8.write_fail);
         r.push_back(row.cell8.read_disturb);
+        r.push_back(row.samples);
+        r.push_back(row.ci_half_width);
         rows.push_back(std::move(r));
       }
       shard.set("rows_data", std::move(rows));
@@ -706,10 +806,21 @@ std::optional<Response> parse_response(std::string_view line,
       if (!parsed) return fail("unknown shard source");
       r.stats.table_source = *parsed;
     }
+    if (const Json* samples = shard->get("samples");
+        samples != nullptr && samples->is_number()) {
+      r.shard_samples = samples->as_number();
+    }
+    if (const Json* ci = shard->get("ci_half_width");
+        ci != nullptr && ci->is_number()) {
+      r.shard_ci_half_width = ci->as_number();
+    }
     if (const Json* rows = shard->get("rows_data");
         rows != nullptr && rows->is_array()) {
       for (const Json& row : rows->items()) {
-        if (!row.is_array() || row.items().size() != 7) {
+        // 9 entries since the CSV v3 metadata columns; 7 accepted for
+        // responses from pre-v3 servers (metadata stays zero).
+        if (!row.is_array() ||
+            (row.items().size() != 9 && row.items().size() != 7)) {
           return fail("bad \"rows_data\" entry");
         }
         for (const Json& v : row.items()) {
@@ -723,6 +834,10 @@ std::optional<Response> parse_response(std::string_view line,
         out.cell8.read_access = row.items()[4].as_number();
         out.cell8.write_fail = row.items()[5].as_number();
         out.cell8.read_disturb = row.items()[6].as_number();
+        if (row.items().size() == 9) {
+          out.samples = row.items()[7].as_number();
+          out.ci_half_width = row.items()[8].as_number();
+        }
         r.shard_rows.push_back(out);
       }
     }

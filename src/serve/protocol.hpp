@@ -29,6 +29,13 @@
 // grid size by the service. With "inline_rows":true the response carries
 // the shard's rows inline ("rows_data", bit-exact doubles), so a remote
 // coordinator can merge without a shared filesystem.
+// Every table-building op additionally accepts "adaptive": an object
+// carrying the full CI-targeted sampling policy (docs/adaptive_mc.md):
+//   {"rel_target":0.15,"abs_target":0,"z":1.96,"interval":"wilson",
+//    "batch_samples":2000,"batch_growth":2,"min_samples":2000,
+//    "max_samples":0,"tail_escape_samples":4000,"max_is_samples":0}
+// Presence enables adaptive sampling for that request's table; the whole
+// policy travels because it is folded into the table fingerprint.
 // "stats" answers with the service's health summary ("health": uptime,
 // queue depth/capacity, configuration, lifetime totals) plus a full
 // obs::Registry snapshot ("registry") -- the scrapeable observability
@@ -127,6 +134,12 @@ struct Request {
   /// table_shard only: return the shard's rows inline in the response
   /// ("rows_data") instead of relying on a shared cache directory.
   bool inline_rows = false;
+  /// CI-targeted adaptive sampling policy ("adaptive" JSON object; absent =
+  /// the service default). The full policy travels on the wire -- not just
+  /// an enable bit -- because the policy is folded into the table
+  /// fingerprint: a fleet worker must hash exactly the coordinator's policy
+  /// or its shards will never match the plan. Rejected for op "stats".
+  std::optional<mc::AdaptivePolicy> adaptive;
   /// Opaque client correlation string, echoed in the response. Not part of
   /// the coalescing fingerprint.
   std::string tag;
@@ -233,6 +246,11 @@ struct Response {
   std::size_t shard_index = 0;
   std::size_t shard_count = 0;           ///< 0 for non-shard responses
   std::uint64_t shard_fingerprint = 0;   ///< shard-extended provenance
+  /// Achieved sampling metadata of the shard artifact: total samples spent
+  /// across its rows and the worst per-row CI half-width (0 when the shard
+  /// came from a v2-era CSV without the columns).
+  double shard_samples = 0.0;
+  double shard_ci_half_width = 0.0;
   /// Inline shard rows (Request::inline_rows); round-trips bit-exactly.
   std::vector<mc::FailureTableRow> shard_rows;
   // stats op:

@@ -64,6 +64,105 @@ Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
           std::min(1.0, (center + spread) / denom)};
 }
 
+namespace {
+
+/// Lentz's continued-fraction evaluation for the incomplete beta; converges
+/// in a few dozen terms for x < (a+1)/(a+b+2) (the caller's regime).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double dm = static_cast<double>(m);
+    const double m2 = 2.0 * dm;
+    double aa = dm * (b - dm) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+/// p-quantile of Beta(a, b): bisection on the monotone CDF. 80 halvings of
+/// [0, 1] exhaust double precision; each step is one incomplete-beta call.
+double beta_quantile(double p, double a, double b) {
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (regularized_incomplete_beta(a, b, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument{
+        "regularized_incomplete_beta: a and b must be positive"};
+  }
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+Interval clopper_pearson_interval(std::size_t successes, std::size_t trials,
+                                  double confidence) {
+  if (trials == 0) {
+    throw std::invalid_argument{"clopper_pearson_interval: zero trials"};
+  }
+  if (successes > trials) {
+    throw std::invalid_argument{
+        "clopper_pearson_interval: successes > trials"};
+  }
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument{
+        "clopper_pearson_interval: confidence must be in (0, 1)"};
+  }
+  const double alpha = 1.0 - confidence;
+  const double k = static_cast<double>(successes);
+  const double n = static_cast<double>(trials);
+  Interval out;
+  out.lo = successes == 0 ? 0.0
+                          : beta_quantile(alpha / 2.0, k, n - k + 1.0);
+  out.hi = successes == trials
+               ? 1.0
+               : beta_quantile(1.0 - alpha / 2.0, k + 1.0, n - k);
+  return out;
+}
+
 double percentile(std::span<const double> sample, double p) {
   if (sample.empty()) throw std::invalid_argument{"percentile: empty sample"};
   p = std::clamp(p, 0.0, 1.0);

@@ -47,6 +47,21 @@ struct Interval {
 [[nodiscard]] Interval wilson_interval(std::size_t successes, std::size_t trials,
                                        double z = 1.96);
 
+/// Exact (conservative) Clopper-Pearson interval at two-sided confidence
+/// `confidence` (0.95 = 95 %). The endpoints are the beta quantiles
+/// lo = BetaInv(alpha/2; k, n-k+1) and hi = BetaInv(1-alpha/2; k+1, n-k)
+/// (with lo = 0 at k = 0 and hi = 1 at k = n), found by bisection on the
+/// monotone regularized incomplete beta -- the stricter of the two stopping
+/// rules available to the adaptive Monte-Carlo sampler (docs/adaptive_mc.md).
+[[nodiscard]] Interval clopper_pearson_interval(std::size_t successes,
+                                                std::size_t trials,
+                                                double confidence = 0.95);
+
+/// Regularized incomplete beta I_x(a, b) via the Lentz continued fraction.
+/// I_x(k+1, n-k) = P(Binomial(n, x) > k), which is what the interval tests
+/// brute-force against.
+[[nodiscard]] double regularized_incomplete_beta(double a, double b, double x);
+
 /// Linear-interpolation percentile of a sample (p in [0,1]); the input span is
 /// copied and sorted internally.
 [[nodiscard]] double percentile(std::span<const double> sample, double p);

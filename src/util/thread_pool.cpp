@@ -18,6 +18,9 @@ struct PoolInstruments {
   obs::Gauge& queue_depth;
   obs::Counter& jobs_run;
   obs::Counter& busy_us;
+  obs::Counter& lock_acquisitions;
+  obs::Counter& lock_contended;
+  obs::Counter& lock_wait_us;
 
   static PoolInstruments& get() {
     static PoolInstruments* instruments = [] {
@@ -27,11 +30,31 @@ struct PoolInstruments {
           r.gauge("pool.queue_depth"),
           r.counter("pool.jobs_run"),
           r.counter("pool.busy_us"),
+          r.counter("pool.lock_acquisitions"),
+          r.counter("pool.lock_contended"),
+          r.counter("pool.lock_wait_us"),
       };
     }();
     return *instruments;
   }
 };
+
+/// Queue-lock contention probe (the ROADMAP's work-stealing question needs
+/// data first): a try_lock resolves the uncontended case with one atomic;
+/// a failed attempt is counted as contended and the blocking wait is
+/// timed. pool.lock_contended / pool.lock_acquisitions is the contention
+/// ratio, pool.lock_wait_us the time lost to it. Condition-variable idle
+/// waits in worker_loop are deliberately NOT counted -- an idle pool is
+/// not a contended pool.
+void lock_with_probe(std::unique_lock<std::mutex>& lock,
+                     PoolInstruments& instruments) {
+  instruments.lock_acquisitions.add(1);
+  if (lock.try_lock()) return;
+  instruments.lock_contended.add(1);
+  const obs::Clock::time_point t0 = obs::Clock::now();
+  lock.lock();
+  instruments.lock_wait_us.add(obs::elapsed_us(t0, obs::Clock::now()));
+}
 
 std::atomic<std::size_t> g_default_threads{0};  // 0 = auto
 
@@ -135,7 +158,8 @@ ThreadPool& ThreadPool::shared() {
 void ThreadPool::submit(const std::shared_ptr<Job>& job, std::size_t copies) {
   if (copies == 0 || !job) return;
   {
-    const std::scoped_lock lock{mutex_};
+    std::unique_lock lock{mutex_, std::defer_lock};
+    lock_with_probe(lock, PoolInstruments::get());
     for (std::size_t i = 0; i < copies; ++i) queue_.push_back(job);
   }
   PoolInstruments::get().queue_depth.add(static_cast<std::int64_t>(copies));
@@ -151,7 +175,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock lock{mutex_};
+      std::unique_lock lock{mutex_, std::defer_lock};
+      lock_with_probe(lock, instruments);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and queue drained
       job = std::move(queue_.front());

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "circuit/reference.hpp"
 #include "util/stats.hpp"
@@ -191,6 +192,102 @@ TEST_F(McTest, FailureTableLoadRejectsGarbage) {
   EXPECT_FALSE(FailureTable::load_csv(path).has_value());
   EXPECT_FALSE(FailureTable::load_csv("/no/such/file.csv").has_value());
   std::filesystem::remove(path);
+}
+
+TEST_F(McTest, FailureTableLoadsV2CsvWithZeroedMetadata) {
+  // CSV v2 predates the samples/ci_half_width columns; a v2 cache file must
+  // still load, with the metadata zeroed (not rejected, not garbage).
+  const std::string path = "/tmp/hynapse_test_v2table.csv";
+  {
+    std::ofstream out{path};
+    out << "# hynapse-failure-table v2 fp=0000000000000000\n"
+        << "vdd,ra6,wr6,rd6,ra8,wr8,rd8\n"
+        << "0.65,0.01,0.002,0.001,0.0001,0.002,0\n"
+        << "0.8,0.001,0.0005,0.0001,1e-05,0.0004,0\n";
+  }
+  const auto loaded = FailureTable::load_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->rows().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->rows()[0].cell6.read_access, 0.01);
+  EXPECT_DOUBLE_EQ(loaded->rows()[1].cell8.write_fail, 0.0004);
+  EXPECT_DOUBLE_EQ(loaded->rows()[0].samples, 0.0);
+  EXPECT_DOUBLE_EQ(loaded->rows()[0].ci_half_width, 0.0);
+  EXPECT_DOUBLE_EQ(loaded->total_samples(), 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST_F(McTest, FailureTableLoadsV3CsvWithReorderedColumns) {
+  // The v3 loader maps columns by name, so a file whose columns were
+  // reordered (e.g. by a spreadsheet round trip) still parses correctly.
+  const std::string path = "/tmp/hynapse_test_v3reorder.csv";
+  {
+    std::ofstream out{path};
+    out << "# hynapse-failure-table v3 fp=0000000000000000\n"
+        << "samples,rd6,vdd,ra6,wr6,ra8,wr8,rd8,ci_half_width\n"
+        << "12000,0.001,0.65,0.01,0.002,0.0001,0.002,0,0.003\n";
+  }
+  const auto loaded = FailureTable::load_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->rows().size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->rows()[0].vdd, 0.65);
+  EXPECT_DOUBLE_EQ(loaded->rows()[0].cell6.read_access, 0.01);
+  EXPECT_DOUBLE_EQ(loaded->rows()[0].cell6.read_disturb, 0.001);
+  EXPECT_DOUBLE_EQ(loaded->rows()[0].samples, 12000.0);
+  EXPECT_DOUBLE_EQ(loaded->rows()[0].ci_half_width, 0.003);
+  std::filesystem::remove(path);
+}
+
+TEST_F(McTest, FailureTableRejectsBadColumnsAndMetadata) {
+  const std::string path = "/tmp/hynapse_test_v3bad.csv";
+  const auto write_and_load = [&](const std::string& header,
+                                  const std::string& row) {
+    {
+      std::ofstream out{path};
+      out << "# hynapse-failure-table v3 fp=0000000000000000\n"
+          << header << "\n"
+          << row << "\n";
+    }
+    return FailureTable::load_csv(path);
+  };
+  // Unknown column name.
+  EXPECT_FALSE(write_and_load("vdd,ra6,wr6,rd6,ra8,wr8,rd8,bogus",
+                              "0.65,0,0,0,0,0,0,1")
+                   .has_value());
+  // Duplicate column name.
+  EXPECT_FALSE(write_and_load("vdd,ra6,wr6,rd6,ra8,wr8,rd8,vdd",
+                              "0.65,0,0,0,0,0,0,0.65")
+                   .has_value());
+  // Missing a required base column.
+  EXPECT_FALSE(
+      write_and_load("vdd,ra6,wr6,rd6,ra8,wr8", "0.65,0,0,0,0,0").has_value());
+  // Negative sample count.
+  EXPECT_FALSE(write_and_load("vdd,ra6,wr6,rd6,ra8,wr8,rd8,samples",
+                              "0.65,0,0,0,0,0,0,-5")
+                   .has_value());
+  // CI half-width outside [0, 1].
+  EXPECT_FALSE(write_and_load("vdd,ra6,wr6,rd6,ra8,wr8,rd8,ci_half_width",
+                              "0.65,0,0,0,0,0,0,1.5")
+                   .has_value());
+  std::filesystem::remove(path);
+}
+
+TEST_F(McTest, FailureTableMergePreservesMetadata) {
+  const FailureAnalyzer analyzer{criteria_, sampler_, fast_opts()};
+  const double grid[] = {0.65, 0.75, 0.85};
+  const FailureTable mono = FailureTable::build(analyzer, grid, 7);
+  std::vector<FailureTable> shards;
+  for (std::size_t s = 0; s < 3; ++s) {
+    shards.push_back(FailureTable::build_shard(analyzer, grid, 7, s, 3));
+  }
+  const FailureTable merged = FailureTable::merge(shards);
+  ASSERT_EQ(merged.rows().size(), mono.rows().size());
+  for (std::size_t i = 0; i < mono.rows().size(); ++i) {
+    EXPECT_GT(merged.rows()[i].samples, 0.0);
+    EXPECT_DOUBLE_EQ(merged.rows()[i].samples, mono.rows()[i].samples);
+    EXPECT_DOUBLE_EQ(merged.rows()[i].ci_half_width,
+                     mono.rows()[i].ci_half_width);
+  }
+  EXPECT_DOUBLE_EQ(merged.total_samples(), mono.total_samples());
 }
 
 }  // namespace

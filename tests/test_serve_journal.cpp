@@ -261,5 +261,80 @@ TEST_F(JournalTest, ServiceRecordsTerminalsByDefault) {
   EXPECT_TRUE(reload->entries[1].terminal);
 }
 
+TEST_F(JournalTest, CompactionDropsTerminalsAndRemovesRotatedSegments) {
+  // Rotation + compaction + recover round trip: after many completed
+  // requests and a handful of in-flight ones, compaction leaves one fresh
+  // segment holding exactly the incomplete submits, drops every rotated
+  // segment, and preserves the id watermark.
+  JournalOptions options{path()};
+  options.rotate_bytes = 256;
+  options.keep_segments = 4;
+  options.fsync_every = 1;
+  {
+    RequestJournal journal{options, 0xfeedfacef00dull};
+    for (std::uint64_t id = 1; id <= 20; ++id) {
+      journal.record_submit(id, evaluate_request("hybrid2", 0.65));
+      if (id % 5 != 0) {  // ids 5, 10, 15, 20 stay in flight
+        journal.record_terminal(id, RequestStatus::done);
+      }
+    }
+    journal.flush();
+    EXPECT_GT(journal.stats().rotations, 0u);
+  }
+  ASSERT_TRUE(fs::exists(path() + std::string{".1"}));
+
+  std::string error;
+  const auto compacted = compact_journal(path(), &error);
+  ASSERT_TRUE(compacted.has_value()) << error;
+  // Rotation may already have aged old terminal records out of the retained
+  // segments, so `dropped` counts only what was still loadable.
+  EXPECT_GT(compacted->dropped, 0u);
+  EXPECT_GE(compacted->kept, 1u);
+  EXPECT_LE(compacted->kept, 4u);
+  EXPECT_EQ(compacted->max_id, 20u);
+  EXPECT_GT(compacted->removed_segments, 0u);
+  EXPECT_FALSE(fs::exists(path() + std::string{".1"}));
+
+  // Only incomplete entries survive (kept may be short of 4 if rotation
+  // aged the oldest in-flight submits out before compaction ran).
+  const auto load = load_journal(path(), &error);
+  ASSERT_TRUE(load.has_value()) << error;
+  EXPECT_EQ(load->service_fingerprint, 0xfeedfacef00dull);
+  EXPECT_EQ(load->max_id, 20u);
+  ASSERT_EQ(load->entries.size(), compacted->kept);
+  for (const JournalEntry& e : load->entries) {
+    EXPECT_FALSE(e.terminal);
+    EXPECT_EQ(e.id % 5, 0u);
+    EXPECT_EQ(e.request.configs[0].str(), "hybrid2");
+  }
+  EXPECT_EQ(incomplete_entries(*load).size(), load->entries.size());
+
+  // Compacting an already-compact journal is a no-op that keeps everything.
+  const auto again = compact_journal(path(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->kept, compacted->kept);
+  EXPECT_EQ(again->dropped, 0u);
+  EXPECT_EQ(again->removed_segments, 0u);
+  EXPECT_EQ(again->max_id, 20u);
+
+  // A fresh journal reopening the compacted segment appends after the
+  // watermark -- ids never move backwards across a compaction.
+  {
+    RequestJournal journal{JournalOptions{path()}, 0xfeedfacef00dull};
+    journal.record_submit(21, evaluate_request("all6t", 0.7));
+    journal.flush();
+  }
+  const auto reload = load_journal(path(), &error);
+  ASSERT_TRUE(reload.has_value()) << error;
+  EXPECT_EQ(reload->max_id, 21u);
+  EXPECT_EQ(reload->entries.back().id, 21u);
+}
+
+TEST_F(JournalTest, CompactionOnMissingJournalFails) {
+  std::string error;
+  EXPECT_FALSE(compact_journal(path("nope.jsonl"), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
 }  // namespace
 }  // namespace hynapse::serve

@@ -533,5 +533,128 @@ TEST(Protocol, StatsResponseRoundTripsHealthAndRegistry) {
                    .has_value());
 }
 
+TEST(Protocol, AdaptivePolicyRoundTrips) {
+  // The full policy must survive format -> parse bit-exactly: every worker
+  // folds it into the table fingerprint, so a lossy wire trip would split
+  // the fleet's provenance.
+  Request req;
+  req.kind = RequestKind::table_shard;
+  req.shard = 0;
+  req.shard_count = 2;
+  mc::AdaptivePolicy policy;
+  policy.enabled = true;
+  policy.rel_target = 0.07;
+  policy.abs_target = 1e-6;
+  policy.z = 2.5758293035489004;
+  policy.interval = mc::IntervalKind::clopper_pearson;
+  policy.batch_samples = 1500;
+  policy.batch_growth = 1.5;
+  policy.min_samples = 3000;
+  policy.max_samples = 90000;
+  policy.tail_escape_samples = 5000;
+  policy.max_is_samples = 12000;
+  req.adaptive = policy;
+
+  std::string error;
+  const auto parsed = parse_request(format_request(req), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_TRUE(parsed->adaptive.has_value());
+  const mc::AdaptivePolicy& p = *parsed->adaptive;
+  EXPECT_TRUE(p.enabled);
+  EXPECT_EQ(p.rel_target, policy.rel_target);
+  EXPECT_EQ(p.abs_target, policy.abs_target);
+  EXPECT_EQ(p.z, policy.z);
+  EXPECT_EQ(p.interval, mc::IntervalKind::clopper_pearson);
+  EXPECT_EQ(p.batch_samples, policy.batch_samples);
+  EXPECT_EQ(p.batch_growth, policy.batch_growth);
+  EXPECT_EQ(p.min_samples, policy.min_samples);
+  EXPECT_EQ(p.max_samples, policy.max_samples);
+  EXPECT_EQ(p.tail_escape_samples, policy.tail_escape_samples);
+  EXPECT_EQ(p.max_is_samples, policy.max_is_samples);
+}
+
+TEST(ParseRequest, AdaptiveObjectValidation) {
+  std::string error;
+  // Partial objects take the remaining defaults.
+  const auto minimal = parse_request(
+      R"({"op":"evaluate","config":"all6t","vdd":0.7,)"
+      R"("adaptive":{"rel_target":0.1}})",
+      &error);
+  ASSERT_TRUE(minimal.has_value()) << error;
+  ASSERT_TRUE(minimal->adaptive.has_value());
+  EXPECT_TRUE(minimal->adaptive->enabled);
+  EXPECT_DOUBLE_EQ(minimal->adaptive->rel_target, 0.1);
+  EXPECT_EQ(minimal->adaptive->interval, mc::IntervalKind::wilson);
+
+  // Unknown keys, bad interval names and bad values are schema errors.
+  RequestError why;
+  EXPECT_FALSE(parse_request(R"({"op":"evaluate","config":"all6t","vdd":0.7,)"
+                             R"("adaptive":{"bogus":1}})",
+                             &why)
+                   .has_value());
+  EXPECT_EQ(why.code, ErrorCode::bad_request);
+  EXPECT_FALSE(parse_request(R"({"op":"evaluate","config":"all6t","vdd":0.7,)"
+                             R"("adaptive":{"interval":"exact"}})",
+                             &why)
+                   .has_value());
+  EXPECT_FALSE(parse_request(R"({"op":"evaluate","config":"all6t","vdd":0.7,)"
+                             R"("adaptive":{"rel_target":-0.5}})",
+                             &why)
+                   .has_value());
+  EXPECT_FALSE(parse_request(R"({"op":"evaluate","config":"all6t","vdd":0.7,)"
+                             R"("adaptive":{"z":0}})",
+                             &why)
+                   .has_value());
+  EXPECT_FALSE(parse_request(R"({"op":"evaluate","config":"all6t","vdd":0.7,)"
+                             R"("adaptive":{"batch_growth":0.5}})",
+                             &why)
+                   .has_value());
+
+  // A stats scrape carries no workload: adaptive is rejected there too.
+  EXPECT_FALSE(parse_request(R"({"op":"stats","adaptive":{}})", &why)
+                   .has_value());
+  EXPECT_EQ(why.code, ErrorCode::bad_request);
+}
+
+TEST(Protocol, ShardSamplingMetadataRoundTrips) {
+  Response r;
+  r.id = 31;
+  r.status = RequestStatus::done;
+  r.shard_index = 1;
+  r.shard_count = 2;
+  r.shard_fingerprint = 0x123;
+  r.shard_samples = 48000.0;
+  r.shard_ci_half_width = 0.0125;
+  mc::FailureTableRow row;
+  row.vdd = 0.7;
+  row.cell6 = {0.001, 2e-5, 0.0};
+  row.cell8 = {1e-8, 0.0, 0.0};
+  row.samples = 24000.0;
+  row.ci_half_width = 0.0125;
+  r.shard_rows = {row};
+
+  std::string error;
+  const auto parsed = parse_response(format_response(r), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_DOUBLE_EQ(parsed->shard_samples, 48000.0);
+  EXPECT_DOUBLE_EQ(parsed->shard_ci_half_width, 0.0125);
+  ASSERT_EQ(parsed->shard_rows.size(), 1u);
+  EXPECT_EQ(parsed->shard_rows[0].samples, row.samples);
+  EXPECT_EQ(parsed->shard_rows[0].ci_half_width, row.ci_half_width);
+
+  // 7-number rows (the pre-metadata wire shape) still parse, with zeroed
+  // metadata -- a fleet can mix old and new workers mid-upgrade.
+  const auto legacy = parse_response(
+      R"({"id":32,"status":"done","shard":{"index":0,"count":1,)"
+      R"("fingerprint":"0","rows":1,)"
+      R"("rows_data":[[0.7,0.001,2e-05,0,1e-08,0,0]]}})",
+      &error);
+  ASSERT_TRUE(legacy.has_value()) << error;
+  ASSERT_EQ(legacy->shard_rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(legacy->shard_rows[0].cell6.read_access, 0.001);
+  EXPECT_DOUBLE_EQ(legacy->shard_rows[0].samples, 0.0);
+  EXPECT_DOUBLE_EQ(legacy->shard_rows[0].ci_half_width, 0.0);
+}
+
 }  // namespace
 }  // namespace hynapse::serve

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 namespace hynapse::util {
@@ -79,6 +80,98 @@ TEST(Wilson, FullSuccesses) {
 TEST(Wilson, RejectsBadInput) {
   EXPECT_THROW((void)wilson_interval(1, 0), std::invalid_argument);
   EXPECT_THROW((void)wilson_interval(5, 4), std::invalid_argument);
+}
+
+// Exact binomial tail P(X >= k) at probability p, summed with
+// log-binomials so n = 1000 stays stable -- the brute-force oracle the
+// Clopper-Pearson endpoints are checked against.
+double binomial_upper_tail(std::size_t k, std::size_t n, double p) {
+  if (k == 0) return 1.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  double sum = 0.0;
+  for (std::size_t i = k; i <= n; ++i) {
+    const double log_comb = std::lgamma(static_cast<double>(n) + 1.0) -
+                            std::lgamma(static_cast<double>(i) + 1.0) -
+                            std::lgamma(static_cast<double>(n - i) + 1.0);
+    sum += std::exp(log_comb + static_cast<double>(i) * std::log(p) +
+                    static_cast<double>(n - i) * std::log1p(-p));
+  }
+  return sum;
+}
+
+TEST(RegularizedIncompleteBeta, KnownClosedForms) {
+  // I_x(1, 1) = x (uniform CDF).
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+  // I_x(2, 2) = x^2 (3 - 2x).
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(regularized_incomplete_beta(2.0, 2.0, x), x * x * (3 - 2 * x),
+                1e-12);
+  }
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(regularized_incomplete_beta(3.5, 7.0, 0.3),
+              1.0 - regularized_incomplete_beta(7.0, 3.5, 0.7), 1e-12);
+  // Boundaries.
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+  EXPECT_THROW((void)regularized_incomplete_beta(0.0, 1.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(ClopperPearson, EndpointsMatchBinomialTails) {
+  // The defining property: at the lower endpoint P(X >= k) == alpha/2, at
+  // the upper endpoint P(X <= k) == alpha/2. Checked against the exact
+  // brute-force binomial sums.
+  const double alpha = 0.05;
+  const struct { std::size_t k, n; } cases[] = {
+      {1, 50}, {5, 100}, {50, 1000}, {997, 1000}, {13, 27}};
+  for (const auto& c : cases) {
+    const Interval iv = clopper_pearson_interval(c.k, c.n, 1.0 - alpha);
+    EXPECT_NEAR(binomial_upper_tail(c.k, c.n, iv.lo), alpha / 2, 1e-9)
+        << c.k << "/" << c.n;
+    // P(X <= k) = 1 - P(X >= k+1).
+    EXPECT_NEAR(1.0 - binomial_upper_tail(c.k + 1, c.n, iv.hi), alpha / 2,
+                1e-9)
+        << c.k << "/" << c.n;
+    EXPECT_LT(iv.lo, static_cast<double>(c.k) / static_cast<double>(c.n));
+    EXPECT_GT(iv.hi, static_cast<double>(c.k) / static_cast<double>(c.n));
+  }
+}
+
+TEST(ClopperPearson, DegenerateCounts) {
+  const Interval none = clopper_pearson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  // Exact rule of ~3: hi = 1 - (alpha/2)^(1/n).
+  EXPECT_NEAR(none.hi, 1.0 - std::pow(0.025, 1.0 / 100.0), 1e-9);
+  const Interval all = clopper_pearson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_NEAR(all.lo, std::pow(0.025, 1.0 / 100.0), 1e-9);
+}
+
+TEST(ClopperPearson, ContainsWilsonEstimateAndIsWider) {
+  // CP is exact (conservative); on the same data its interval contains the
+  // point estimate and is at least as wide as Wilson's at matched
+  // confidence.
+  for (const auto& [k, n] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {3, 200}, {17, 400}, {210, 900}}) {
+    const Interval cp = clopper_pearson_interval(k, n, 0.95);
+    const Interval w = wilson_interval(k, n, 1.959963984540054);
+    const double p_hat = static_cast<double>(k) / static_cast<double>(n);
+    EXPECT_LE(cp.lo, p_hat);
+    EXPECT_GE(cp.hi, p_hat);
+    EXPECT_GE(cp.hi - cp.lo, (w.hi - w.lo) * 0.999);
+  }
+}
+
+TEST(ClopperPearson, RejectsBadInput) {
+  EXPECT_THROW((void)clopper_pearson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)clopper_pearson_interval(5, 4), std::invalid_argument);
+  EXPECT_THROW((void)clopper_pearson_interval(1, 10, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)clopper_pearson_interval(1, 10, 1.0),
+               std::invalid_argument);
 }
 
 TEST(Percentile, InterpolatesLinearly) {

@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/thread_pool.hpp"
 
@@ -321,6 +323,37 @@ TEST_F(StripThreadsFlagTest, NegativeAndHugeValuesAreSanitized) {
   EXPECT_EQ(run({"--threads", "-3", "cmd"}), 0u);  // non-positive -> auto
   EXPECT_EQ(remaining(), (std::vector<const char*>{"cmd"}));
   EXPECT_EQ(run({"--threads", "99999999"}), 512u);  // clamped
+}
+
+TEST(ThreadPool, QueueLockProbeCountsAcquisitions) {
+  // Every submit() and every worker dequeue passes through the contention
+  // probe, so pool.lock_acquisitions must advance by at least the number of
+  // submit calls (contended/wait counters only move under actual
+  // contention, which a test cannot force deterministically).
+  struct CountJob final : ThreadPool::Job {
+    std::atomic<int>* counter;
+    explicit CountJob(std::atomic<int>* c) : counter{c} {}
+    void run() noexcept override { ++*counter; }
+  };
+  obs::Counter& acquisitions =
+      obs::Registry::global().counter("pool.lock_acquisitions");
+  obs::Counter& contended =
+      obs::Registry::global().counter("pool.lock_contended");
+  const std::uint64_t before = acquisitions.value();
+
+  constexpr int kSubmits = 16;
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < kSubmits; ++i) {
+      pool.submit(std::make_shared<CountJob>(&runs), 1);
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(runs.load(), kSubmits);
+  EXPECT_GE(acquisitions.value() - before,
+            static_cast<std::uint64_t>(kSubmits));
+  // Invariant, not an exact count: contended is a subset of acquisitions.
+  EXPECT_LE(contended.value(), acquisitions.value());
 }
 
 }  // namespace
